@@ -1,0 +1,72 @@
+"""Validation benchmark -- cycle-accurate engine vs. analytical model.
+
+Not a paper figure, but the foundation every figure rests on: the analytical
+performance model used for the large sweeps must track the cycle-accurate
+engine.  This benchmark simulates a set of GEMM shapes on the engine, compares
+both cycle counts, and reports the worst relative error.  It also measures the
+simulation speed of the engine itself (simulated MACs per host second), which
+is the practical limit on how large a workload can be run cycle by cycle.
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.fp.vector import random_fp16_matrix
+from repro.interco.hci import Hci, HciConfig
+from repro.mem.layout import MemoryAllocator
+from repro.mem.tcdm import Tcdm
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.engine import RedMulE
+from repro.redmule.job import MatmulJob
+from repro.redmule.perf_model import RedMulEPerfModel
+
+SHAPES = [(8, 16, 16), (16, 16, 16), (8, 64, 16), (13, 7, 5), (24, 100, 40),
+          (32, 32, 32), (8, 256, 16)]
+
+
+def _simulate(shape):
+    m, n, k = shape
+    tcdm = Tcdm()
+    hci = Hci(tcdm, HciConfig())
+    engine = RedMulE(RedMulEConfig.reference(), hci, exact=False)
+    allocator = MemoryAllocator(tcdm.base, tcdm.size)
+    hx = allocator.alloc_matrix(m, n, "X")
+    hw = allocator.alloc_matrix(n, k, "W")
+    hz = allocator.alloc_matrix(m, k, "Z")
+    hx.store(tcdm, random_fp16_matrix(m, n, scale=0.25, seed=m))
+    hw.store(tcdm, random_fp16_matrix(n, k, scale=0.25, seed=k))
+    return engine.run_job(MatmulJob.from_handles(hx, hw, hz))
+
+
+def test_perf_model_tracks_cycle_accurate_engine(benchmark):
+    model = RedMulEPerfModel(RedMulEConfig.reference())
+
+    def run_all():
+        rows = []
+        for shape in SHAPES:
+            measured = _simulate(shape)
+            estimate = model.estimate_gemm(*shape)
+            error = (estimate.cycles - measured.cycles) / measured.cycles
+            rows.append((shape, measured.cycles, estimate.cycles, error))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_series(
+        "Engine validation - cycle-accurate vs analytical model",
+        ["shape (M,N,K)", "engine cycles", "model cycles", "relative error"],
+        [(str(shape), cycles, estimate, error)
+         for shape, cycles, estimate, error in rows],
+    )
+
+    worst = max(abs(error) for *_, error in rows)
+    record_info(benchmark, {"worst_relative_error": worst})
+    assert worst < 0.05
+
+
+def test_engine_simulation_speed(benchmark):
+    """Host-side cost of cycle-accurate simulation (simulated MAC per call)."""
+    result = benchmark(_simulate, (32, 32, 32))
+    record_info(benchmark, {
+        "simulated_cycles": result.cycles,
+        "simulated_macs": result.total_macs,
+    })
+    assert result.total_macs == 32 ** 3

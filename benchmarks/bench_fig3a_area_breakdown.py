@@ -1,0 +1,45 @@
+"""Fig. 3a -- RedMulE area breakdown.
+
+Paper reference: the standalone accelerator occupies 0.07 mm2 in 22 nm (14 %
+of the 0.5 mm2 cluster) and the FMA datapath dominates the breakdown.
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.fig3 import area_breakdown, cluster_area_breakdown
+
+
+def test_fig3a_redmule_area_breakdown(benchmark):
+    breakdown = benchmark(area_breakdown)
+
+    print_series(
+        "Fig. 3a - RedMulE area breakdown (22 nm)",
+        ["component", "area mm2", "share %"],
+        [(name, value, 100.0 * share) for name, value, share in breakdown.as_rows()],
+    )
+    record_info(benchmark, {
+        "total_mm2": breakdown.total,
+        "paper_total_mm2": 0.07,
+        "datapath_share": breakdown.share("datapath (FMAs)"),
+    })
+
+    assert abs(breakdown.total - 0.07) / 0.07 < 0.05
+    assert breakdown.share("datapath (FMAs)") > 0.5
+
+
+def test_fig3a_cluster_area_breakdown(benchmark):
+    breakdown = benchmark(cluster_area_breakdown)
+
+    print_series(
+        "Fig. 3a (companion) - PULP cluster area breakdown (22 nm)",
+        ["component", "area mm2", "share %"],
+        [(name, value, 100.0 * share) for name, value, share in breakdown.as_rows()],
+    )
+    record_info(benchmark, {
+        "cluster_mm2": breakdown.total,
+        "redmule_share": breakdown.share("RedMulE"),
+        "paper_cluster_mm2": 0.5,
+        "paper_redmule_share": 0.14,
+    })
+
+    assert abs(breakdown.total - 0.5) / 0.5 < 0.05
+    assert abs(breakdown.share("RedMulE") - 0.14) < 0.02

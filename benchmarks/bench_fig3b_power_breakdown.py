@@ -1,0 +1,47 @@
+"""Fig. 3b -- RedMulE / cluster power breakdown.
+
+Paper reference: at 0.65 V / 476 MHz the cluster burns 43.5 mW; RedMulE
+contributes 69 % of it and the TCDM banks + HCI 17.1 %.
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.fig3 import cluster_power_breakdown, power_breakdown
+
+
+def test_fig3b_redmule_power_breakdown(benchmark):
+    breakdown = benchmark(power_breakdown)
+
+    print_series(
+        "Fig. 3b - RedMulE power breakdown (0.65 V, 476 MHz)",
+        ["component", "power mW", "share %"],
+        [(name, value, 100.0 * share) for name, value, share in breakdown.as_rows()],
+    )
+    record_info(benchmark, {
+        "redmule_power_mw": breakdown.total,
+        "paper_redmule_power_mw": 0.69 * 43.5,
+    })
+
+    assert abs(breakdown.total - 0.69 * 43.5) / (0.69 * 43.5) < 0.03
+    assert breakdown.share("datapath (FMAs)") > 0.5
+
+
+def test_fig3b_cluster_power_breakdown(benchmark):
+    breakdown = benchmark(cluster_power_breakdown)
+
+    print_series(
+        "Fig. 3b (companion) - cluster power breakdown (0.65 V, 476 MHz)",
+        ["component", "power mW", "share %"],
+        [(name, value, 100.0 * share) for name, value, share in breakdown.as_rows()],
+    )
+    record_info(benchmark, {
+        "cluster_power_mw": breakdown.total,
+        "redmule_share": breakdown.share("RedMulE"),
+        "memory_share": breakdown.share("TCDM + HCI"),
+        "paper_cluster_power_mw": 43.5,
+        "paper_redmule_share": 0.69,
+        "paper_memory_share": 0.171,
+    })
+
+    assert abs(breakdown.total - 43.5) / 43.5 < 0.03
+    assert abs(breakdown.share("RedMulE") - 0.69) < 0.01
+    assert abs(breakdown.share("TCDM + HCI") - 0.171) < 0.01

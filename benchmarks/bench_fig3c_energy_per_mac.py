@@ -1,0 +1,38 @@
+"""Fig. 3c -- cluster energy per MAC operation vs. matrix size.
+
+Paper reference: the energy per FMA operation decreases considerably as the
+amount of computation grows (utilisation increases); at high utilisation the
+cluster spends about 43.5 mW / (31.6 MAC/cycle x 476 MHz) = 2.9 pJ per MAC.
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.fig3 import energy_per_mac_sweep
+
+
+def test_fig3c_energy_per_mac_sweep(benchmark):
+    records = benchmark(energy_per_mac_sweep)
+
+    print_series(
+        "Fig. 3c - cluster energy per MAC vs square matrix size (0.65 V)",
+        ["size", "MACs", "utilisation", "energy/MAC pJ", "GFLOPS/W"],
+        [
+            (r["size"], r["macs"], r["utilisation"], r["energy_per_mac_pj"],
+             r["efficiency_gflops_w"])
+            for r in records
+        ],
+    )
+
+    energies = [r["energy_per_mac_pj"] for r in records]
+    record_info(benchmark, {
+        "energy_per_mac_small_pj": energies[0],
+        "energy_per_mac_large_pj": energies[-1],
+        "paper_energy_per_mac_large_pj": 2.9,
+        "peak_efficiency_gflops_w": records[-1]["efficiency_gflops_w"],
+        "paper_peak_efficiency_gflops_w": 688,
+    })
+
+    # The paper's qualitative claim: energy/MAC decreases monotonically with
+    # the computational burden and bottoms out around 2.9 pJ.
+    assert energies == sorted(energies, reverse=True)
+    assert abs(energies[-1] - 2.9) / 2.9 < 0.05
+    assert abs(records[-1]["efficiency_gflops_w"] - 688) / 688 < 0.05

@@ -1,0 +1,38 @@
+"""Fig. 3d -- throughput at maximum cluster frequency vs. matrix size.
+
+Paper reference: RedMulE reaches 31.6 MAC/cycle (98 % utilisation), i.e.
+21.1 GMAC/s = 42 GFLOPS at 666 MHz / 0.80 V, and throughput drops for small
+matrices because of the control overhead.
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.fig3 import throughput_sweep
+
+
+def test_fig3d_throughput_sweep(benchmark):
+    records = benchmark(throughput_sweep)
+
+    print_series(
+        "Fig. 3d - throughput at 666 MHz vs square matrix size",
+        ["size", "MAC/cycle", "utilisation", "GMAC/s", "GFLOPS"],
+        [
+            (r["size"], r["macs_per_cycle"], r["utilisation"],
+             r["throughput_gmacs"], r["throughput_gflops"])
+            for r in records
+        ],
+    )
+
+    peak = records[-1]
+    record_info(benchmark, {
+        "peak_macs_per_cycle": peak["macs_per_cycle"],
+        "peak_gmacs": peak["throughput_gmacs"],
+        "peak_gflops": peak["throughput_gflops"],
+        "paper_peak_macs_per_cycle": 31.6,
+        "paper_peak_gmacs": 21.1,
+        "paper_peak_gflops": 42,
+    })
+
+    throughputs = [r["macs_per_cycle"] for r in records]
+    assert throughputs == sorted(throughputs)
+    assert peak["macs_per_cycle"] > 31.0
+    assert abs(peak["throughput_gflops"] - 42.0) / 42.0 < 0.03

@@ -1,0 +1,58 @@
+"""Fig. 4b -- RedMulE area sweep as a function of H and L (P = 3).
+
+Paper reference: the accelerator's area becomes comparable to the whole PULP
+cluster with 256 FMAs (H=8, L=32) and doubles it with 512 FMAs (H=16, L=32);
+growing H from 4 to 5 requires two extra 32-bit memory ports.
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.fig4 import area_sweep
+from repro.power.area import AreaModel
+
+
+def test_fig4b_area_sweep(benchmark):
+    records = benchmark(area_sweep)
+
+    print_series(
+        "Fig. 4b - RedMulE area vs (H, L) at P=3",
+        ["H", "L", "FMAs", "mem ports", "area mm2", "area / cluster"],
+        [
+            (r["H"], r["L"], r["n_fma"], r["n_mem_ports"], r["area_mm2"],
+             r["area_vs_cluster"])
+            for r in records
+        ],
+    )
+
+    by_fma = {r["n_fma"]: r for r in records}
+    record_info(benchmark, {
+        "area_32_fma_mm2": by_fma[32]["area_mm2"],
+        "area_256_fma_vs_cluster": by_fma[256]["area_vs_cluster"],
+        "area_512_fma_vs_cluster": by_fma[512]["area_vs_cluster"],
+        "paper_area_32_fma_mm2": 0.07,
+        "paper_area_256_fma_vs_cluster": 1.0,
+        "paper_area_512_fma_vs_cluster": 2.0,
+    })
+
+    assert abs(by_fma[32]["area_mm2"] - 0.07) / 0.07 < 0.05
+    assert abs(by_fma[256]["area_vs_cluster"] - 1.0) < 0.1
+    assert abs(by_fma[512]["area_vs_cluster"] - 2.0) < 0.15
+
+
+def test_fig4b_port_growth_with_h(benchmark):
+    """The memory-port pressure statement of the 'parametric area swipe'."""
+    shapes = [(h, 8) for h in range(2, 17)]
+    records = benchmark(AreaModel.sweep, shapes)
+
+    print_series(
+        "Fig. 4b (companion) - memory ports vs H (L=8, P=3)",
+        ["H", "FMAs", "mem ports", "area mm2"],
+        [(r["H"], r["n_fma"], r["n_mem_ports"], r["area_mm2"]) for r in records],
+    )
+
+    by_h = {r["H"]: r for r in records}
+    record_info(benchmark, {
+        "ports_h4": by_h[4]["n_mem_ports"],
+        "ports_h5": by_h[5]["n_mem_ports"],
+    })
+    assert by_h[4]["n_mem_ports"] == 9
+    assert by_h[5]["n_mem_ports"] == 11

@@ -1,0 +1,66 @@
+"""Fig. 4c -- TinyMLPerf AutoEncoder training at batch size 1.
+
+Paper reference: one forward + backward pass of the MLPerf-Tiny anomaly
+detection auto-encoder at batch 1 runs ~2.6x faster on RedMulE than on the
+8-core software baseline, with the backward pass benefitting much more than
+the forward pass (whose GEMMs have K = batch = 1 and cannot fill the
+accelerator's output rows).
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.fig4 import autoencoder_training
+
+
+def test_fig4c_autoencoder_batch1(benchmark):
+    outcome = benchmark(autoencoder_training, 1)
+
+    print_series(
+        "Fig. 4c - AutoEncoder training step, batch = 1",
+        ["pass", "HW cycles", "SW cycles", "speedup", "MACs"],
+        [
+            ("forward", outcome["forward"]["hw_cycles"],
+             outcome["forward"]["sw_cycles"], outcome["forward"]["speedup"],
+             outcome["forward"]["macs"]),
+            ("backward", outcome["backward"]["hw_cycles"],
+             outcome["backward"]["sw_cycles"], outcome["backward"]["speedup"],
+             outcome["backward"]["macs"]),
+            ("total", outcome["hw_cycles"], outcome["sw_cycles"],
+             outcome["speedup"], outcome["total_macs"]),
+        ],
+    )
+
+    record_info(benchmark, {
+        "speedup_total": outcome["speedup"],
+        "speedup_forward": outcome["forward"]["speedup"],
+        "speedup_backward": outcome["backward"]["speedup"],
+        "paper_speedup_total": 2.6,
+    })
+
+    assert abs(outcome["speedup"] - 2.6) / 2.6 < 0.1
+    assert outcome["backward"]["speedup"] > outcome["forward"]["speedup"]
+
+
+def test_fig4c_per_layer_breakdown(benchmark):
+    """Per-GEMM cycle breakdown (the per-layer bars of the figure)."""
+    outcome = benchmark(autoencoder_training, 1)
+
+    rows = []
+    for name in sorted(outcome["per_gemm_hw"]):
+        hw = outcome["per_gemm_hw"][name]
+        sw = outcome["per_gemm_sw"][name]
+        rows.append((name, hw, sw, sw / hw))
+    print_series(
+        "Fig. 4c (per-GEMM) - AutoEncoder batch = 1",
+        ["gemm", "HW cycles", "SW cycles", "speedup"],
+        rows,
+    )
+
+    weight_gradients = [row for row in rows if "-dw" in row[0]]
+    forwards = [row for row in rows if "-fwd" in row[0]]
+    record_info(benchmark, {
+        "n_gemms": len(rows),
+        "best_dw_speedup": max(row[3] for row in weight_gradients),
+        "best_fwd_speedup": max(row[3] for row in forwards),
+    })
+    # Weight-gradient GEMMs (K = layer width) must beat forward GEMMs (K = 1).
+    assert max(r[3] for r in weight_gradients) > max(r[3] for r in forwards)

@@ -1,0 +1,62 @@
+"""Fig. 4d -- effect of batching on the AutoEncoder training workload.
+
+Paper reference: moving from batch 1 to batch 16 improves RedMulE's
+throughput by almost 16x while the software baseline does not scale, lifting
+the overall speedup from 2.6x to 24.4x; the batch-16 working set (184 kB)
+still fits the L2 memory of a typical PULP system.
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.fig4 import autoencoder_batching
+
+
+def test_fig4d_batching_effect(benchmark):
+    records = benchmark(autoencoder_batching, (1, 16))
+
+    print_series(
+        "Fig. 4d - AutoEncoder training, batch 1 vs 16",
+        ["batch", "HW cycles", "SW cycles", "speedup", "HW MAC/cyc",
+         "SW MAC/cyc", "HW throughput vs B=1", "activations kB"],
+        [
+            (r["batch"], r["hw_cycles"], r["sw_cycles"], r["speedup"],
+             r["hw_macs_per_cycle"], r["sw_macs_per_cycle"],
+             r["hw_throughput_vs_b1"], r["activation_footprint_kb"])
+            for r in records
+        ],
+    )
+
+    b1, b16 = records
+    record_info(benchmark, {
+        "speedup_b1": b1["speedup"],
+        "speedup_b16": b16["speedup"],
+        "hw_throughput_gain": b16["hw_throughput_vs_b1"],
+        "paper_speedup_b1": 2.6,
+        "paper_speedup_b16": 24.4,
+        "paper_hw_throughput_gain": 16.0,
+        "activation_footprint_kb_b16": b16["activation_footprint_kb"],
+    })
+
+    # Shape of the paper's claim: batching lifts the accelerator by an order
+    # of magnitude while the software baseline stays roughly flat.
+    assert abs(b1["speedup"] - 2.6) / 2.6 < 0.1
+    assert b16["speedup"] > 15
+    assert b16["hw_throughput_vs_b1"] > 8
+    assert b16["sw_macs_per_cycle"] < 2 * b1["sw_macs_per_cycle"]
+    assert b16["activation_footprint_kb"] < 200
+
+
+def test_fig4d_batch_size_sweep(benchmark):
+    """Extension: intermediate batch sizes show where the gain saturates."""
+    records = benchmark(autoencoder_batching, (1, 2, 4, 8, 16, 32))
+
+    print_series(
+        "Fig. 4d (extension) - speedup vs batch size",
+        ["batch", "speedup", "HW MAC/cyc"],
+        [(r["batch"], r["speedup"], r["hw_macs_per_cycle"]) for r in records],
+    )
+
+    speedups = [r["speedup"] for r in records]
+    record_info(benchmark, {"speedups": speedups})
+    assert speedups == sorted(speedups)
+    # Going from 16 to 32 keeps improving, but by far less than 1 -> 16.
+    assert speedups[-1] / speedups[-2] < speedups[-2] / speedups[0]

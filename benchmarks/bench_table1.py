@@ -1,0 +1,49 @@
+"""Table I -- state-of-the-art comparison ("Our work" rows).
+
+Regenerates the PULP+RedMulE rows of Table I from the area / power /
+performance models and prints them next to the paper's reported values.
+
+Paper reference values:
+  22 nm, 0.65 V: 0.5 mm2, 476 MHz, 43.5 mW, 30 GOPS, 688 GOPS/W
+  22 nm, 0.80 V: 0.5 mm2, 666 MHz, 90.7 mW, 42 GOPS, 462 GOPS/W
+  65 nm, 1.2 V : 3.85 mm2, 200 MHz, 89.1 mW, 12.6 GOPS, 152 GOPS/W
+"""
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.table1 import build_table1, our_rows_as_dicts
+from repro.perf.comparison import PAPER_OUR_WORK
+
+
+def test_table1_our_work_rows(benchmark):
+    rows = benchmark(our_rows_as_dicts)
+
+    paper_keys = ["22nm-efficiency", "22nm-performance", "65nm"]
+    printable = []
+    for row, key in zip(rows, paper_keys):
+        paper = PAPER_OUR_WORK[key]
+        printable.append([
+            row["design"],
+            row["area_mm2"], paper["area_mm2"],
+            row["power_mw"], paper["power_mw"],
+            row["performance_gops"], paper["performance_gops"],
+            row["efficiency_gops_w"], paper["efficiency_gops_w"],
+        ])
+    print_series(
+        "Table I - PULP + RedMulE rows (measured vs paper)",
+        ["design", "area mm2", "paper", "power mW", "paper",
+         "GOPS", "paper", "GOPS/W", "paper"],
+        printable,
+    )
+    record_info(benchmark, {
+        "efficiency_gops_w_0v65": rows[0]["efficiency_gops_w"],
+        "power_mw_0v65": rows[0]["power_mw"],
+        "efficiency_gops_w_0v80": rows[1]["efficiency_gops_w"],
+        "paper_efficiency_0v65": 688,
+    })
+
+    assert abs(rows[0]["efficiency_gops_w"] - 688) / 688 < 0.05
+
+
+def test_table1_full_table(benchmark):
+    table = benchmark(build_table1)
+    assert len(table["soa_rows"]) + len(table["our_rows"]) == 12

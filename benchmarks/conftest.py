@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment driver under ``pytest-benchmark`` (so the cost of the
+reproduction itself is tracked), stores the headline numbers in the benchmark
+record's ``extra_info`` (machine-readable, ends up in the JSON report), and
+prints the rows/series the paper reports so ``pytest benchmarks/
+--benchmark-only -s`` shows the reproduced result next to the paper value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import pytest
+
+from repro.perf.report import TextTable
+
+
+def print_series(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> None:
+    """Print a reproduced table/series with a title banner."""
+    table = TextTable(headers)
+    table.add_rows(rows)
+    print()
+    print(f"--- {title} ---")
+    print(table.render())
+
+
+def record_info(benchmark, info: Dict[str, object]) -> None:
+    """Attach headline numbers to the pytest-benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+The project metadata lives in ``pyproject.toml``; this stub only exists so
+that ``pip install -e .`` works in offline environments that lack the
+``wheel`` package required by PEP 517 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""RedMulE reproduction package.
+
+A cycle-accurate, bit-exact Python model of the RedMulE FP16 matrix
+multiplication accelerator and of the PULP cluster it plugs into, plus the
+software baseline, power/area/energy models, workloads and experiment drivers
+needed to regenerate every table and figure of the DATE 2022 paper
+"RedMulE: A Compact FP16 Matrix-Multiplication Accelerator for Adaptive Deep
+Learning on RISC-V-Based Ultra-Low-Power SoCs".
+
+Subpackages
+-----------
+``repro.fp``
+    Bit-exact IEEE binary16 arithmetic (FMA, rounding modes, flags).
+``repro.mem`` / ``repro.interco``
+    TCDM, L2 and the Heterogeneous Cluster Interconnect.
+``repro.hwpe``
+    Register file, controller FSM and stream primitives of the HWPE wrapper.
+``repro.redmule``
+    The accelerator itself: datapath, buffers, streamer, scheduler,
+    cycle-accurate engine, analytical performance model and golden models.
+``repro.cluster``
+    PULP cluster top level: cores, DMA, event unit, offload flow.
+``repro.sw``
+    The 8-core software matmul baseline.
+``repro.power``
+    Area / power / energy models calibrated to the published silicon numbers.
+``repro.workloads``
+    GEMM sweeps and the TinyMLPerf AutoEncoder training workload.
+``repro.perf`` / ``repro.experiments``
+    Metrics, the Table I comparison and one driver per paper table/figure.
+
+Quickstart
+----------
+>>> from repro import PulpCluster, random_fp16_matrix
+>>> cluster = PulpCluster()
+>>> x = random_fp16_matrix(32, 64, seed=0)
+>>> w = random_fp16_matrix(64, 32, seed=1)
+>>> z, outcome = cluster.matmul(x, w)
+>>> outcome.accelerator.macs_per_cycle  # doctest: +SKIP
+25.9
+"""
+
+from repro.cluster import ClusterConfig, OffloadResult, PulpCluster
+from repro.fp import Float16, RoundingMode, fma16, quantize_fp16, random_fp16_matrix
+from repro.mem import MatrixHandle, MemoryAllocator, Tcdm, TcdmConfig
+from repro.redmule import (
+    MatmulJob,
+    RedMulE,
+    RedMulEConfig,
+    RedMulEPerfModel,
+    RedMulEResult,
+)
+from repro.power import AreaModel, ClusterAreaModel, EnergyModel
+from repro.sw import SoftwareBaseline
+from repro.workloads import AutoEncoder, GemmShape, GemmWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AreaModel",
+    "AutoEncoder",
+    "ClusterAreaModel",
+    "ClusterConfig",
+    "EnergyModel",
+    "Float16",
+    "GemmShape",
+    "GemmWorkload",
+    "MatmulJob",
+    "MatrixHandle",
+    "MemoryAllocator",
+    "OffloadResult",
+    "PulpCluster",
+    "RedMulE",
+    "RedMulEConfig",
+    "RedMulEPerfModel",
+    "RedMulEResult",
+    "RoundingMode",
+    "SoftwareBaseline",
+    "Tcdm",
+    "TcdmConfig",
+    "__version__",
+    "fma16",
+    "quantize_fp16",
+    "random_fp16_matrix",
+]

@@ -1,0 +1,51 @@
+"""Cluster-level configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.l2 import L2Config
+from repro.mem.tcdm import TcdmConfig
+from repro.redmule.config import RedMulEConfig
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static parameters of the PULP cluster hosting RedMulE.
+
+    The defaults describe the 8-core, 16-bank cluster of the paper with the
+    reference RedMulE instance (H=4, L=8, P=3).
+    """
+
+    #: Number of RISC-V cores.
+    n_cores: int = 8
+    #: TCDM geometry.
+    tcdm: TcdmConfig = field(default_factory=TcdmConfig)
+    #: L2 memory geometry and DMA-visible timing.
+    l2: L2Config = field(default_factory=L2Config)
+    #: RedMulE instance integrated as HWPE.
+    redmule: RedMulEConfig = field(default_factory=RedMulEConfig.reference)
+    #: Maximum consecutive contended cycles granted to the HWPE wide port.
+    hci_max_wide_streak: int = 4
+    #: Cycles for one core store to an HWPE register (peripheral interconnect).
+    periph_write_cycles: int = 2
+    #: Cycles from the HWPE done event to the core resuming execution.
+    event_wakeup_cycles: int = 10
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("the cluster needs at least one core")
+        if self.redmule.n_mem_ports > self.tcdm.n_banks:
+            raise ValueError(
+                f"RedMulE needs {self.redmule.n_mem_ports} adjacent TCDM banks "
+                f"but the cluster only has {self.tcdm.n_banks}"
+            )
+
+    @property
+    def offload_cycles(self) -> int:
+        """Core cycles to program and trigger one RedMulE job.
+
+        Nine job registers plus the trigger register, each written through
+        the peripheral interconnect, plus the event wake-up at completion.
+        """
+        return 10 * self.periph_write_cycles + self.event_wakeup_cycles

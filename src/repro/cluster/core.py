@@ -1,0 +1,110 @@
+"""RISC-V core timing model.
+
+The cluster cores (RI5CY-class, RV32IMFC with FP16 extensions) matter to the
+RedMulE experiments in two ways: they run the software baseline (modelled at
+the kernel level in :mod:`repro.sw`) and they pay the offload cost of
+programming the accelerator.  This module provides a small instruction-cost
+model that both uses: a cost table for the instruction classes that appear in
+the kernels, and a helper to price short instruction sequences such as the
+offload stub.
+
+The cost table follows the RI5CY pipeline: single-cycle ALU, single-cycle
+TCDM loads (when conflict-free), 2-cycle taken branches, and FP16 operations
+executed by the shared FPnew instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class InstructionCosts:
+    """Cycles charged per instruction class."""
+
+    alu: float = 1.0
+    mul: float = 1.0
+    load: float = 1.0
+    store: float = 1.0
+    branch_taken: float = 2.0
+    branch_not_taken: float = 1.0
+    #: FP16 fused multiply-add on the shared FPU.
+    fp16_fma: float = 1.0
+    #: Extra average cycles when two cores contend for the shared FPU.
+    fp16_fma_contended: float = 2.0
+    #: Store to a memory-mapped peripheral register (HWPE register file).
+    periph_store: float = 2.0
+    #: Read of a peripheral register.
+    periph_load: float = 2.0
+    #: Cycles spent sleeping on the event unit before wake-up propagates.
+    event_wait: float = 10.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Cost table as a plain dictionary keyed by instruction class."""
+        return {
+            "alu": self.alu,
+            "mul": self.mul,
+            "load": self.load,
+            "store": self.store,
+            "branch_taken": self.branch_taken,
+            "branch_not_taken": self.branch_not_taken,
+            "fp16_fma": self.fp16_fma,
+            "fp16_fma_contended": self.fp16_fma_contended,
+            "periph_store": self.periph_store,
+            "periph_load": self.periph_load,
+            "event_wait": self.event_wait,
+        }
+
+
+class RiscvCore:
+    """One cluster core: prices instruction sequences and tracks busy cycles."""
+
+    def __init__(self, core_id: int,
+                 costs: InstructionCosts = InstructionCosts()) -> None:
+        self.core_id = core_id
+        self.costs = costs
+        #: Total cycles this core has been charged.
+        self.cycles = 0.0
+        #: Per-class instruction counts (profiling aid).
+        self.retired: Dict[str, int] = {}
+
+    def execute(self, instructions: Iterable[Tuple[str, int]]) -> float:
+        """Charge a sequence of ``(instruction_class, count)`` pairs.
+
+        Returns the cycles of this sequence and accumulates them on the core.
+        """
+        table = self.costs.as_dict()
+        cycles = 0.0
+        for kind, count in instructions:
+            if kind not in table:
+                raise KeyError(f"unknown instruction class {kind!r}")
+            if count < 0:
+                raise ValueError("instruction count must be non-negative")
+            cycles += table[kind] * count
+            self.retired[kind] = self.retired.get(kind, 0) + count
+        self.cycles += cycles
+        return cycles
+
+    # -- canned sequences -------------------------------------------------
+    def offload_sequence(self, n_job_registers: int = 9) -> List[Tuple[str, int]]:
+        """Instruction sequence to program and trigger one HWPE job."""
+        return [
+            ("periph_load", 1),            # acquire
+            ("alu", n_job_registers),      # materialise register values
+            ("periph_store", n_job_registers),
+            ("periph_store", 1),           # trigger
+        ]
+
+    def offload_cycles(self, n_job_registers: int = 9,
+                       include_wait: bool = True) -> float:
+        """Cycles for one accelerator offload, optionally including the wait."""
+        sequence = self.offload_sequence(n_job_registers)
+        if include_wait:
+            sequence = sequence + [("event_wait", 1)]
+        return self.execute(sequence)
+
+    def reset(self) -> None:
+        """Clear accumulated cycles and profiling counters."""
+        self.cycles = 0.0
+        self.retired.clear()

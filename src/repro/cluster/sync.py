@@ -1,0 +1,52 @@
+"""Cluster event unit / hardware synchroniser.
+
+PULP clusters synchronise cores and accelerators through a hardware event
+unit: cores sleep on an event line (clock-gated) and are woken by barriers,
+HWPE done events or DMA completion.  Only the timing side matters here: how
+many cycles a barrier costs, and the bookkeeping of which events are pending,
+used by the cluster model and by the software-baseline parallel overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+@dataclass
+class EventUnit:
+    """Event lines and barrier timing of the cluster."""
+
+    #: Number of cores connected to the unit.
+    n_cores: int = 8
+    #: Cycles for a full-cluster hardware barrier (all cores sleep + wake).
+    barrier_cycles: int = 40
+    #: Cycles from an event being raised to the sleeping core resuming.
+    wakeup_cycles: int = 10
+    #: Currently pending events, by name.
+    pending: Set[str] = field(default_factory=set)
+    #: Count of raised events by name (statistics).
+    raised: Dict[str, int] = field(default_factory=dict)
+
+    def raise_event(self, name: str) -> None:
+        """Raise an event line (e.g. ``"redmule_done"`` or ``"dma_done"``)."""
+        self.pending.add(name)
+        self.raised[name] = self.raised.get(name, 0) + 1
+
+    def wait_event(self, name: str) -> int:
+        """Consume an event and return the wake-up cost in cycles.
+
+        If the event has not been raised yet the caller is responsible for
+        accounting the actual waiting time; the returned value only covers the
+        wake-up propagation.
+        """
+        self.pending.discard(name)
+        return self.wakeup_cycles
+
+    def barrier(self) -> int:
+        """Return the cost of a full-cluster barrier."""
+        return self.barrier_cycles
+
+    def has_pending(self, name: str) -> bool:
+        """True if ``name`` has been raised and not yet consumed."""
+        return name in self.pending

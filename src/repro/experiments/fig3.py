@@ -1,0 +1,108 @@
+"""Fig. 3 reproductions: breakdowns and efficiency/throughput vs. matrix size.
+
+* **Fig. 3a** -- area breakdown of the standalone RedMulE instance;
+* **Fig. 3b** -- power breakdown (accelerator-internal and cluster-level);
+* **Fig. 3c** -- cluster energy per MAC operation as a function of the matrix
+  size (square GEMMs), showing the control overhead of small problems;
+* **Fig. 3d** -- throughput at the maximum cluster frequency as a function of
+  the matrix size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.power.area import AreaModel, ClusterAreaModel
+from repro.power.breakdown import Breakdown
+from repro.power.energy import EnergyModel
+from repro.power.technology import (
+    OP_22NM_EFFICIENCY,
+    OP_22NM_PERFORMANCE,
+    OperatingPoint,
+    TECH_22NM,
+)
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.perf_model import RedMulEPerfModel
+
+#: Default square matrix sizes for the Fig. 3c / 3d sweeps.  Sizes are kept
+#: multiples of the 16-element output block (plus one deliberately tiny point)
+#: so the series shows the utilisation trend rather than edge-tile padding
+#: noise; the ragged-size behaviour is covered by the engine tests.
+DEFAULT_SWEEP_SIZES = (8, 16, 32, 64, 96, 128, 192, 256, 384, 512)
+
+
+def area_breakdown(config: Optional[RedMulEConfig] = None) -> Breakdown:
+    """Fig. 3a: area breakdown of the standalone accelerator."""
+    config = config or RedMulEConfig.reference()
+    return AreaModel(config, TECH_22NM).breakdown()
+
+
+def cluster_area_breakdown(config: Optional[RedMulEConfig] = None) -> Breakdown:
+    """Companion to Fig. 3a: where RedMulE sits inside the 0.5 mm2 cluster."""
+    config = config or RedMulEConfig.reference()
+    return ClusterAreaModel(config, TECH_22NM).breakdown()
+
+
+def power_breakdown(config: Optional[RedMulEConfig] = None,
+                    point: OperatingPoint = OP_22NM_EFFICIENCY) -> Breakdown:
+    """Fig. 3b: power breakdown of the standalone accelerator."""
+    config = config or RedMulEConfig.reference()
+    return EnergyModel(config, TECH_22NM).redmule_power_breakdown(point)
+
+
+def cluster_power_breakdown(config: Optional[RedMulEConfig] = None,
+                            point: OperatingPoint = OP_22NM_EFFICIENCY) -> Breakdown:
+    """Cluster-level power breakdown (RedMulE 69 %, TCDM+HCI 17.1 %, rest)."""
+    config = config or RedMulEConfig.reference()
+    return EnergyModel(config, TECH_22NM).cluster_power_breakdown(point)
+
+
+def energy_per_mac_sweep(
+    sizes: Sequence[int] = DEFAULT_SWEEP_SIZES,
+    config: Optional[RedMulEConfig] = None,
+    point: OperatingPoint = OP_22NM_EFFICIENCY,
+) -> List[Dict[str, float]]:
+    """Fig. 3c: cluster energy per MAC vs. square matrix size."""
+    config = config or RedMulEConfig.reference()
+    perf = RedMulEPerfModel(config)
+    energy = EnergyModel(config, TECH_22NM)
+    records = []
+    for size in sizes:
+        estimate = perf.estimate_gemm(size, size, size)
+        utilisation = estimate.utilisation
+        records.append(
+            {
+                "size": size,
+                "macs": estimate.total_macs,
+                "cycles": estimate.cycles,
+                "utilisation": utilisation,
+                "energy_per_mac_pj": energy.energy_per_mac_pj(utilisation, point),
+                "efficiency_gflops_w": energy.efficiency_gflops_per_w(
+                    utilisation, point
+                ),
+            }
+        )
+    return records
+
+
+def throughput_sweep(
+    sizes: Sequence[int] = DEFAULT_SWEEP_SIZES,
+    config: Optional[RedMulEConfig] = None,
+    point: OperatingPoint = OP_22NM_PERFORMANCE,
+) -> List[Dict[str, float]]:
+    """Fig. 3d: throughput at the maximum cluster frequency vs. matrix size."""
+    config = config or RedMulEConfig.reference()
+    perf = RedMulEPerfModel(config)
+    records = []
+    for size in sizes:
+        estimate = perf.estimate_gemm(size, size, size)
+        records.append(
+            {
+                "size": size,
+                "macs_per_cycle": estimate.macs_per_cycle,
+                "utilisation": estimate.utilisation,
+                "throughput_gmacs": estimate.throughput_gmacs(point.frequency_hz),
+                "throughput_gflops": estimate.throughput_gflops(point.frequency_hz),
+            }
+        )
+    return records

@@ -1,0 +1,66 @@
+"""Experiment registry and batch runner.
+
+Maps the paper's table/figure identifiers to their driver functions so the
+examples and the command line (``python -m repro.experiments.runner``) can
+regenerate everything in one go.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import fig3, fig4, table1
+
+#: Registry of experiment drivers keyed by the paper's identifier.
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "table1": table1.build_table1,
+    "fig3a": fig3.area_breakdown,
+    "fig3b": fig3.power_breakdown,
+    "fig3c": fig3.energy_per_mac_sweep,
+    "fig3d": fig3.throughput_sweep,
+    "fig4a": fig4.hw_vs_sw_sweep,
+    "fig4b": fig4.area_sweep,
+    "fig4c": fig4.autoencoder_training,
+    "fig4d": fig4.autoencoder_batching,
+}
+
+
+def run_experiment(name: str) -> object:
+    """Run one experiment by its identifier (e.g. ``"fig4a"``)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name]()
+
+
+def run_all() -> Dict[str, object]:
+    """Run every experiment and return the results keyed by identifier."""
+    return {name: driver() for name, driver in EXPERIMENTS.items()}
+
+
+def _render(name: str, result: object) -> str:
+    if name == "table1":
+        return table1.render_table1(result)  # type: ignore[arg-type]
+    if hasattr(result, "render"):
+        return result.render()  # Breakdown
+    if isinstance(result, list):
+        lines = [f"{name}:"]
+        lines.extend(f"  {record}" for record in result)
+        return "\n".join(lines)
+    return f"{name}: {result}"
+
+
+def main(names: List[str] = None) -> None:  # pragma: no cover - CLI helper
+    """Print the selected experiments (all of them by default)."""
+    names = names or sorted(EXPERIMENTS)
+    for name in names:
+        print("=" * 72)
+        print(_render(name, run_experiment(name)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    main(sys.argv[1:] or None)

@@ -1,0 +1,85 @@
+"""Bit-accurate IEEE 754 binary16 (FP16) arithmetic substrate.
+
+RedMulE's datapath is built from FPnew-derived FP16 fused multiply-add (FMA)
+units.  This package provides the numerical foundation used by the
+cycle-accurate model:
+
+* :mod:`repro.fp.float16` -- encoding, decoding and classification of 16-bit
+  IEEE binary16 values.
+* :mod:`repro.fp.rounding` -- the rounding modes supported by FPnew-style FPUs
+  and the shared round-and-increment helper.
+* :mod:`repro.fp.fma` -- a bit-exact fused multiply-add (single rounding),
+  addition and multiplication, operating on 16-bit patterns.
+* :mod:`repro.fp.flags` -- IEEE exception flags raised by an operation.
+* :mod:`repro.fp.arith` -- pluggable arithmetic backends (bit-exact or
+  numpy-accelerated) used by the datapath simulator.
+* :mod:`repro.fp.vector` -- helpers to move matrices between numpy arrays and
+  FP16 bit patterns / byte images.
+"""
+
+from repro.fp.flags import ExceptionFlags
+from repro.fp.float16 import (
+    BIAS,
+    EXP_BITS,
+    MAN_BITS,
+    MAX_FINITE_BITS,
+    NAN_BITS,
+    NEG_INF_BITS,
+    POS_INF_BITS,
+    Float16,
+    FloatClass,
+    bits_to_float,
+    classify,
+    float_to_bits,
+    is_finite,
+    is_inf,
+    is_nan,
+    is_subnormal,
+    is_zero,
+)
+from repro.fp.fma import add16, fma16, mul16, neg16
+from repro.fp.rounding import RoundingMode
+from repro.fp.arith import BitExactFp16, Fp16Arithmetic, NumpyFp16
+from repro.fp.vector import (
+    matrix_from_bits,
+    matrix_to_bits,
+    pack_fp16_matrix,
+    quantize_fp16,
+    random_fp16_matrix,
+    unpack_fp16_matrix,
+)
+
+__all__ = [
+    "BIAS",
+    "EXP_BITS",
+    "MAN_BITS",
+    "MAX_FINITE_BITS",
+    "NAN_BITS",
+    "NEG_INF_BITS",
+    "POS_INF_BITS",
+    "BitExactFp16",
+    "ExceptionFlags",
+    "Float16",
+    "FloatClass",
+    "Fp16Arithmetic",
+    "NumpyFp16",
+    "RoundingMode",
+    "add16",
+    "bits_to_float",
+    "classify",
+    "float_to_bits",
+    "fma16",
+    "is_finite",
+    "is_inf",
+    "is_nan",
+    "is_subnormal",
+    "is_zero",
+    "matrix_from_bits",
+    "matrix_to_bits",
+    "mul16",
+    "neg16",
+    "pack_fp16_matrix",
+    "quantize_fp16",
+    "random_fp16_matrix",
+    "unpack_fp16_matrix",
+]

@@ -1,0 +1,110 @@
+"""Pluggable FP16 arithmetic backends for the datapath simulator.
+
+The cycle-accurate RedMulE model issues one FMA per active unit per cycle.
+Two interchangeable backends implement that operation:
+
+* :class:`BitExactFp16` -- bit-exact IEEE binary16 FMA built on
+  :func:`repro.fp.fma.fma16`.  This is the reference backend used by the
+  functional verification tests; its results match the silicon exactly.
+* :class:`NumpyFp16` -- a fast backend that evaluates the FMA in binary64 and
+  rounds once to binary16 via numpy.  Because the binary64 product of two
+  binary16 values is exact and the final rounding happens once, this agrees
+  with the bit-exact backend except in astronomically rare double-rounding
+  corner cases; it is the default for large performance sweeps.
+
+Both backends speak 16-bit patterns, the same representation used by the
+memory system, so swapping them never changes the structure of the simulated
+machine -- only the cost of evaluating each FMA in Python.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.fp.flags import ExceptionFlags
+from repro.fp.float16 import bits_to_float, float_to_bits
+from repro.fp.fma import add16, fma16, mul16
+from repro.fp.rounding import RoundingMode
+
+
+class Fp16Arithmetic(abc.ABC):
+    """Abstract FP16 arithmetic backend (operates on 16-bit patterns)."""
+
+    #: Human-readable backend name (used in reports and tracing).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def fma(self, a: int, b: int, c: int) -> int:
+        """Return the pattern of ``a * b + c`` rounded once to binary16."""
+
+    @abc.abstractmethod
+    def mul(self, a: int, b: int) -> int:
+        """Return the pattern of ``a * b`` rounded to binary16."""
+
+    @abc.abstractmethod
+    def add(self, a: int, b: int) -> int:
+        """Return the pattern of ``a + b`` rounded to binary16."""
+
+    def to_float(self, bits: int) -> float:
+        """Decode a pattern into the exact float it represents."""
+        return bits_to_float(bits)
+
+    def from_float(self, value: float) -> int:
+        """Encode a float into the nearest binary16 pattern (RNE)."""
+        return float_to_bits(value)
+
+
+class BitExactFp16(Fp16Arithmetic):
+    """Reference backend: bit-exact IEEE binary16 with selectable rounding."""
+
+    name = "bit-exact"
+
+    def __init__(self, mode: RoundingMode = RoundingMode.RNE,
+                 track_flags: bool = False) -> None:
+        self.mode = mode
+        #: Accumulated exception flags when ``track_flags`` is enabled.
+        self.flags = ExceptionFlags() if track_flags else None
+
+    def fma(self, a: int, b: int, c: int) -> int:
+        return fma16(a, b, c, self.mode, self.flags)
+
+    def mul(self, a: int, b: int) -> int:
+        return mul16(a, b, self.mode, self.flags)
+
+    def add(self, a: int, b: int) -> int:
+        return add16(a, b, self.mode, self.flags)
+
+
+class NumpyFp16(Fp16Arithmetic):
+    """Fast backend: binary64 evaluation with one final rounding via numpy.
+
+    Only round-to-nearest-even is supported (numpy's conversion mode), which
+    is the hardware default and the only mode RedMulE uses.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._to_f16 = np.float16
+
+    def _round(self, value: float) -> int:
+        return int(np.float16(value).view(np.uint16))
+
+    def _decode(self, bits: int) -> float:
+        return float(np.uint16(bits).view(np.float16))
+
+    def fma(self, a: int, b: int, c: int) -> int:
+        return self._round(self._decode(a) * self._decode(b) + self._decode(c))
+
+    def mul(self, a: int, b: int) -> int:
+        return self._round(self._decode(a) * self._decode(b))
+
+    def add(self, a: int, b: int) -> int:
+        return self._round(self._decode(a) + self._decode(b))
+
+
+def default_arithmetic(exact: bool = True) -> Fp16Arithmetic:
+    """Return the default backend (bit-exact unless ``exact=False``)."""
+    return BitExactFp16() if exact else NumpyFp16()

@@ -1,0 +1,323 @@
+"""IEEE 754 binary16 encoding, decoding and classification.
+
+All values are represented as 16-bit integer patterns (``0 <= bits <= 0xFFFF``)
+to mirror what travels on the hardware datapath and what is stored in the
+TCDM.  The :class:`Float16` convenience wrapper carries a pattern together
+with helpers for inspection and conversion; the free functions operate
+directly on patterns and are what the performance-critical code uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.fp.rounding import RoundingMode, overflow_result, round_shifted
+
+#: Number of exponent bits in binary16.
+EXP_BITS = 5
+#: Number of explicitly stored mantissa bits in binary16.
+MAN_BITS = 10
+#: Exponent bias.
+BIAS = 15
+#: Exponent of the minimum normal number (2**-14).
+EMIN = -14
+#: Exponent of the maximum normal number (2**15).
+EMAX = 15
+#: Hidden-bit weight of the 11-bit normalised significand.
+IMPLICIT_ONE = 1 << MAN_BITS
+#: Unbiased exponent scale of the least significant subnormal bit (2**-24).
+SUBNORMAL_EXP = EMIN - MAN_BITS
+
+#: Canonical quiet NaN produced by FPnew-style units.
+NAN_BITS = 0x7E00
+#: Positive infinity.
+POS_INF_BITS = 0x7C00
+#: Negative infinity.
+NEG_INF_BITS = 0xFC00
+#: Largest finite magnitude (65504.0).
+MAX_FINITE_BITS = 0x7BFF
+#: Positive zero.
+POS_ZERO_BITS = 0x0000
+#: Negative zero.
+NEG_ZERO_BITS = 0x8000
+#: 1.0 in binary16.
+ONE_BITS = 0x3C00
+
+
+class FloatClass(enum.Enum):
+    """Classification of a binary16 pattern (mirrors RISC-V ``fclass``)."""
+
+    NAN = "nan"
+    POS_INF = "+inf"
+    NEG_INF = "-inf"
+    POS_NORMAL = "+normal"
+    NEG_NORMAL = "-normal"
+    POS_SUBNORMAL = "+subnormal"
+    NEG_SUBNORMAL = "-subnormal"
+    POS_ZERO = "+zero"
+    NEG_ZERO = "-zero"
+
+
+def _check_bits(bits: int) -> int:
+    if not isinstance(bits, int):
+        raise TypeError(f"FP16 pattern must be an int, got {type(bits).__name__}")
+    if bits < 0 or bits > 0xFFFF:
+        raise ValueError(f"FP16 pattern out of range: {bits:#x}")
+    return bits
+
+
+def sign_of(bits: int) -> int:
+    """Return the sign bit (0 or 1) of a pattern."""
+    return (_check_bits(bits) >> 15) & 0x1
+
+
+def exponent_field(bits: int) -> int:
+    """Return the raw 5-bit exponent field of a pattern."""
+    return (_check_bits(bits) >> MAN_BITS) & 0x1F
+
+
+def mantissa_field(bits: int) -> int:
+    """Return the raw 10-bit mantissa field of a pattern."""
+    return _check_bits(bits) & (IMPLICIT_ONE - 1)
+
+
+def is_nan(bits: int) -> bool:
+    """Return ``True`` if the pattern encodes a NaN."""
+    return exponent_field(bits) == 0x1F and mantissa_field(bits) != 0
+
+
+def is_inf(bits: int) -> bool:
+    """Return ``True`` if the pattern encodes +inf or -inf."""
+    return exponent_field(bits) == 0x1F and mantissa_field(bits) == 0
+
+
+def is_zero(bits: int) -> bool:
+    """Return ``True`` if the pattern encodes +0 or -0."""
+    return (_check_bits(bits) & 0x7FFF) == 0
+
+
+def is_subnormal(bits: int) -> bool:
+    """Return ``True`` if the pattern encodes a non-zero subnormal."""
+    return exponent_field(bits) == 0 and mantissa_field(bits) != 0
+
+
+def is_finite(bits: int) -> bool:
+    """Return ``True`` if the pattern encodes a finite value (incl. zero)."""
+    return exponent_field(bits) != 0x1F
+
+
+def classify(bits: int) -> FloatClass:
+    """Classify a binary16 pattern."""
+    sign = sign_of(bits)
+    if is_nan(bits):
+        return FloatClass.NAN
+    if is_inf(bits):
+        return FloatClass.NEG_INF if sign else FloatClass.POS_INF
+    if is_zero(bits):
+        return FloatClass.NEG_ZERO if sign else FloatClass.POS_ZERO
+    if is_subnormal(bits):
+        return FloatClass.NEG_SUBNORMAL if sign else FloatClass.POS_SUBNORMAL
+    return FloatClass.NEG_NORMAL if sign else FloatClass.POS_NORMAL
+
+
+def decompose(bits: int):
+    """Decompose a finite, non-zero pattern into ``(sign, significand, exponent)``.
+
+    The value equals ``(-1)**sign * significand * 2**exponent`` with an
+    integer significand.  Normal numbers return an 11-bit significand with the
+    hidden one included; subnormals return the raw mantissa.
+    """
+    if not is_finite(bits) or is_zero(bits):
+        raise ValueError("decompose requires a finite, non-zero pattern")
+    sign = sign_of(bits)
+    exp_field = exponent_field(bits)
+    man = mantissa_field(bits)
+    if exp_field == 0:
+        return sign, man, SUBNORMAL_EXP
+    return sign, man | IMPLICIT_ONE, exp_field - BIAS - MAN_BITS
+
+
+def bits_to_float(bits: int) -> float:
+    """Convert a binary16 pattern to the exact Python float it represents."""
+    _check_bits(bits)
+    if is_nan(bits):
+        return math.nan
+    sign = -1.0 if sign_of(bits) else 1.0
+    if is_inf(bits):
+        return sign * math.inf
+    if is_zero(bits):
+        return sign * 0.0
+    _, sig, exp = decompose(bits)
+    return sign * math.ldexp(float(sig), exp)
+
+
+def pack(sign: int, magnitude: int, exponent: int, mode: RoundingMode,
+         flags=None) -> int:
+    """Round and pack a value ``(-1)**sign * magnitude * 2**exponent``.
+
+    This is the shared normalise/round/encode step used by the FMA and the
+    float64 conversion.  ``magnitude`` must be a positive integer.  If
+    ``flags`` (an :class:`repro.fp.flags.ExceptionFlags`) is supplied, the
+    overflow / underflow / inexact flags are raised on it.
+    """
+    if magnitude <= 0:
+        raise ValueError("pack requires a strictly positive magnitude")
+    negative = bool(sign)
+    length = magnitude.bit_length()
+    unbiased = exponent + length - 1
+
+    inexact = False
+    if unbiased >= EMIN:
+        # Normal-range candidate: keep 11 significand bits.
+        rshift = length - (MAN_BITS + 1)
+        sig, inexact = round_shifted(magnitude, rshift, mode, negative)
+        if sig == (IMPLICIT_ONE << 1):
+            sig >>= 1
+            unbiased += 1
+        if unbiased > EMAX:
+            if flags is not None:
+                flags.overflow = True
+                flags.inexact = True
+            if overflow_result(mode, negative) == "inf":
+                return NEG_INF_BITS if negative else POS_INF_BITS
+            return MAX_FINITE_BITS | (0x8000 if negative else 0)
+        bits = ((sign & 1) << 15) | ((unbiased + BIAS) << MAN_BITS) | (sig - IMPLICIT_ONE)
+    else:
+        # Subnormal range: express as multiples of 2**-24.
+        rshift = SUBNORMAL_EXP - exponent
+        sig, inexact = round_shifted(magnitude, rshift, mode, negative)
+        if sig >= IMPLICIT_ONE:
+            # Rounded up into the smallest normal number.
+            bits = ((sign & 1) << 15) | (1 << MAN_BITS) | (sig - IMPLICIT_ONE)
+        else:
+            bits = ((sign & 1) << 15) | sig
+            if flags is not None and inexact:
+                flags.underflow = True
+    if flags is not None and inexact:
+        flags.inexact = True
+    return bits
+
+
+def float_to_bits(value: float, mode: RoundingMode = RoundingMode.RNE,
+                  flags=None) -> int:
+    """Convert a Python float (binary64) to a binary16 pattern with rounding."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"expected a real number, got {type(value).__name__}")
+    value = float(value)
+    if math.isnan(value):
+        return NAN_BITS
+    if math.isinf(value):
+        return NEG_INF_BITS if value < 0 else POS_INF_BITS
+    if value == 0.0:
+        return NEG_ZERO_BITS if math.copysign(1.0, value) < 0 else POS_ZERO_BITS
+
+    sign = 1 if value < 0 or math.copysign(1.0, value) < 0 else 0
+    # Exact integer decomposition of the binary64 value.
+    (raw,) = struct.unpack("<Q", struct.pack("<d", abs(value)))
+    exp_field = (raw >> 52) & 0x7FF
+    man_field = raw & ((1 << 52) - 1)
+    if exp_field == 0:
+        magnitude = man_field
+        exponent = -1074
+    else:
+        magnitude = man_field | (1 << 52)
+        exponent = exp_field - 1023 - 52
+    return pack(sign, magnitude, exponent, mode, flags)
+
+
+@dataclass(frozen=True)
+class Float16:
+    """A binary16 value carried as its 16-bit pattern.
+
+    The wrapper is hashable and immutable so it can be used as a golden value
+    in tests and stored in containers.  Arithmetic on :class:`Float16` values
+    lives in :mod:`repro.fp.fma` (bit-exact) rather than on the class, keeping
+    the datapath code explicit about which rounding occurs where.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        _check_bits(self.bits)
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_float(cls, value: float,
+                   mode: RoundingMode = RoundingMode.RNE) -> "Float16":
+        """Create a :class:`Float16` by rounding a Python float."""
+        return cls(float_to_bits(value, mode))
+
+    @classmethod
+    def zero(cls, negative: bool = False) -> "Float16":
+        """Return +0 or -0."""
+        return cls(NEG_ZERO_BITS if negative else POS_ZERO_BITS)
+
+    @classmethod
+    def one(cls) -> "Float16":
+        """Return 1.0."""
+        return cls(ONE_BITS)
+
+    @classmethod
+    def inf(cls, negative: bool = False) -> "Float16":
+        """Return +inf or -inf."""
+        return cls(NEG_INF_BITS if negative else POS_INF_BITS)
+
+    @classmethod
+    def nan(cls) -> "Float16":
+        """Return the canonical quiet NaN."""
+        return cls(NAN_BITS)
+
+    @classmethod
+    def max_finite(cls, negative: bool = False) -> "Float16":
+        """Return the largest finite magnitude (+-65504)."""
+        return cls(MAX_FINITE_BITS | (0x8000 if negative else 0))
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def sign(self) -> int:
+        """Sign bit (0 or 1)."""
+        return sign_of(self.bits)
+
+    @property
+    def exponent(self) -> int:
+        """Raw exponent field."""
+        return exponent_field(self.bits)
+
+    @property
+    def mantissa(self) -> int:
+        """Raw mantissa field."""
+        return mantissa_field(self.bits)
+
+    @property
+    def float_class(self) -> FloatClass:
+        """IEEE classification of this value."""
+        return classify(self.bits)
+
+    def is_nan(self) -> bool:
+        return is_nan(self.bits)
+
+    def is_inf(self) -> bool:
+        return is_inf(self.bits)
+
+    def is_zero(self) -> bool:
+        return is_zero(self.bits)
+
+    def is_subnormal(self) -> bool:
+        return is_subnormal(self.bits)
+
+    def is_finite(self) -> bool:
+        return is_finite(self.bits)
+
+    # -- conversion ------------------------------------------------------
+    def to_float(self) -> float:
+        """Return the exact Python float this pattern represents."""
+        return bits_to_float(self.bits)
+
+    def __float__(self) -> float:
+        return self.to_float()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Float16(bits=0x{self.bits:04x}, value={self.to_float()!r})"

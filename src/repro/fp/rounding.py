@@ -1,0 +1,97 @@
+"""Rounding modes and the shared significand rounding helper.
+
+The rounding modes mirror the RISC-V / FPnew encoding.  RedMulE's FMA units
+operate in round-to-nearest-even (RNE), which is also the default everywhere in
+this package, but the full set is implemented so the arithmetic substrate can
+be reused and property-tested against alternative modes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class RoundingMode(enum.Enum):
+    """IEEE 754 rounding modes (RISC-V ``frm`` encoding order)."""
+
+    RNE = 0  #: Round to nearest, ties to even (hardware default).
+    RTZ = 1  #: Round toward zero (truncate).
+    RDN = 2  #: Round down (toward negative infinity).
+    RUP = 3  #: Round up (toward positive infinity).
+    RMM = 4  #: Round to nearest, ties away from zero.
+
+
+def round_shifted(
+    magnitude: int, rshift: int, mode: RoundingMode, negative: bool
+) -> Tuple[int, bool]:
+    """Round ``magnitude / 2**rshift`` to an integer.
+
+    This is the single rounding step shared by the FMA, the float64-to-FP16
+    conversion and the pack/normalise logic.  It operates on the magnitude of
+    the value; ``negative`` carries the sign needed by the directed modes.
+
+    Parameters
+    ----------
+    magnitude:
+        Non-negative integer significand before the shift.
+    rshift:
+        Number of bits to shift right.  Non-positive shifts are exact and
+        simply shift left.
+    mode:
+        Rounding mode to apply.
+    negative:
+        ``True`` when the value being rounded is negative (relevant for the
+        directed rounding modes RDN / RUP).
+
+    Returns
+    -------
+    (rounded, inexact):
+        The rounded integer magnitude and whether any non-zero bits were
+        discarded.
+    """
+    if magnitude < 0:
+        raise ValueError("round_shifted expects a non-negative magnitude")
+    if rshift <= 0:
+        return magnitude << (-rshift), False
+
+    truncated = magnitude >> rshift
+    remainder = magnitude & ((1 << rshift) - 1)
+    if remainder == 0:
+        return truncated, False
+
+    half = 1 << (rshift - 1)
+    increment = False
+    if mode is RoundingMode.RNE:
+        if remainder > half or (remainder == half and (truncated & 1)):
+            increment = True
+    elif mode is RoundingMode.RTZ:
+        increment = False
+    elif mode is RoundingMode.RDN:
+        increment = negative
+    elif mode is RoundingMode.RUP:
+        increment = not negative
+    elif mode is RoundingMode.RMM:
+        increment = remainder >= half
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown rounding mode {mode!r}")
+
+    return truncated + (1 if increment else 0), True
+
+
+def overflow_result(mode: RoundingMode, negative: bool) -> str:
+    """Return ``"inf"`` or ``"max"`` depending on how overflow saturates.
+
+    IEEE 754 directed rounding never crosses toward the rounding direction's
+    opposite infinity: e.g. a positive overflow under RDN (round toward minus
+    infinity) must return the largest finite number instead of +inf.
+    """
+    if mode in (RoundingMode.RNE, RoundingMode.RMM):
+        return "inf"
+    if mode is RoundingMode.RTZ:
+        return "max"
+    if mode is RoundingMode.RUP:
+        return "max" if negative else "inf"
+    if mode is RoundingMode.RDN:
+        return "inf" if negative else "max"
+    raise ValueError(f"unknown rounding mode {mode!r}")  # pragma: no cover

@@ -1,0 +1,83 @@
+"""Matrix <-> FP16 pattern conversion helpers.
+
+RedMulE reads and writes matrices stored row-major in the TCDM as packed
+16-bit little-endian words.  These helpers convert between numpy arrays (the
+convenient representation for workloads and golden models), 2-D lists of
+16-bit patterns (what the cycle-accurate model consumes) and raw byte images
+(what the memory model stores).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def quantize_fp16(matrix: np.ndarray) -> np.ndarray:
+    """Round an arbitrary float array to binary16 and return it as float32.
+
+    The returned array contains values that are exactly representable in
+    binary16, which makes it a convenient "already quantised" operand for both
+    the hardware model and numpy-based golden references.
+    """
+    return np.asarray(matrix, dtype=np.float64).astype(np.float16).astype(np.float32)
+
+
+def matrix_to_bits(matrix: np.ndarray) -> List[List[int]]:
+    """Convert a 2-D array to a list-of-lists of 16-bit patterns."""
+    array = np.asarray(matrix)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {array.shape}")
+    as_u16 = array.astype(np.float16).view(np.uint16)
+    return [[int(v) for v in row] for row in as_u16]
+
+
+def matrix_from_bits(bits: Sequence[Sequence[int]]) -> np.ndarray:
+    """Convert a list-of-lists of 16-bit patterns to a float32 numpy array."""
+    rows = len(bits)
+    cols = len(bits[0]) if rows else 0
+    out = np.empty((rows, cols), dtype=np.uint16)
+    for i, row in enumerate(bits):
+        if len(row) != cols:
+            raise ValueError("ragged bit matrix")
+        out[i, :] = row
+    return out.view(np.float16).astype(np.float32)
+
+
+def pack_fp16_matrix(matrix: np.ndarray) -> bytes:
+    """Pack a 2-D array row-major into little-endian FP16 bytes."""
+    array = np.asarray(matrix, dtype=np.float64).astype("<f2")
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {array.shape}")
+    return array.tobytes(order="C")
+
+
+def unpack_fp16_matrix(data: bytes, rows: int, cols: int) -> np.ndarray:
+    """Unpack little-endian FP16 bytes into a ``rows x cols`` float32 array."""
+    expected = rows * cols * 2
+    if len(data) < expected:
+        raise ValueError(
+            f"byte image too small: need {expected} bytes, got {len(data)}"
+        )
+    flat = np.frombuffer(data[:expected], dtype="<f2")
+    return flat.reshape(rows, cols).astype(np.float32)
+
+
+def random_fp16_matrix(
+    rows: int,
+    cols: int,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Generate a random matrix of binary16-representable values.
+
+    Values are drawn from a normal distribution scaled by ``scale`` (chosen so
+    FP16 accumulation of realistic layer sizes does not overflow) and rounded
+    to binary16.  The result is returned as float32 holding exact FP16 values.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    raw = rng.standard_normal((rows, cols)) * scale
+    return quantize_fp16(raw)

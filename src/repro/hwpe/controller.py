@@ -1,0 +1,93 @@
+"""HWPE job controller FSM.
+
+The ``hwpe-ctrl`` block sequences accelerator jobs: software acquires the
+context, fills the register file, triggers the job, and the controller walks
+IDLE -> RUNNING -> DONE, raising an event toward the cluster event unit when
+the job finishes.  The controller is shared infrastructure between HWPEs
+(RedMulE reuses it), so it lives here rather than inside the RedMulE package.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+
+class HwpeState(enum.Enum):
+    """States of the job controller."""
+
+    IDLE = "idle"
+    ACQUIRED = "acquired"
+    RUNNING = "running"
+    DONE = "done"
+
+
+class HwpeController:
+    """Job lifecycle controller with a done-event callback.
+
+    Parameters
+    ----------
+    on_done:
+        Optional callback invoked when a job completes (models the event line
+        toward the cluster event unit that wakes up the offloading core).
+    """
+
+    def __init__(self, on_done: Optional[Callable[[], None]] = None) -> None:
+        self.state = HwpeState.IDLE
+        self.on_done = on_done
+        #: Number of jobs completed since reset.
+        self.jobs_completed = 0
+        #: Cycle counter of the currently running / last finished job.
+        self.job_cycles = 0
+        #: History of per-job cycle counts.
+        self.job_history: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a job is running."""
+        return self.state is HwpeState.RUNNING
+
+    def acquire(self) -> int:
+        """Acquire the job context (returns 0 like the hardware, or -1 if busy)."""
+        if self.state in (HwpeState.RUNNING,):
+            return -1
+        self.state = HwpeState.ACQUIRED
+        return 0
+
+    def trigger(self) -> None:
+        """Start the configured job."""
+        if self.state is not HwpeState.ACQUIRED:
+            raise RuntimeError(
+                f"trigger while in state {self.state.value!r}; acquire() first"
+            )
+        self.state = HwpeState.RUNNING
+        self.job_cycles = 0
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance the job cycle counter while running."""
+        if self.state is HwpeState.RUNNING:
+            self.job_cycles += cycles
+
+    def finish(self) -> None:
+        """Mark the running job as complete and raise the done event."""
+        if self.state is not HwpeState.RUNNING:
+            raise RuntimeError(f"finish while in state {self.state.value!r}")
+        self.state = HwpeState.DONE
+        self.jobs_completed += 1
+        self.job_history.append(self.job_cycles)
+        if self.on_done is not None:
+            self.on_done()
+
+    def clear(self) -> None:
+        """Return to IDLE (software acknowledges the done event)."""
+        if self.state is HwpeState.RUNNING:
+            raise RuntimeError("cannot clear a running job")
+        self.state = HwpeState.IDLE
+
+    def reset(self) -> None:
+        """Hard reset of the controller."""
+        self.state = HwpeState.IDLE
+        self.jobs_completed = 0
+        self.job_cycles = 0
+        self.job_history.clear()

@@ -1,0 +1,113 @@
+"""Memory-mapped HWPE register file.
+
+Cores program RedMulE by writing a job descriptor into the accelerator's
+register file through the peripheral interconnect, then writing the trigger
+register and waiting for the done event.  The register file model keeps a
+named map of 32-bit registers with byte offsets, supports the
+acquire/trigger/status protocol of the PULP ``hwpe-ctrl`` IP in a simplified
+form, and is the programming interface used by the cluster model and the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class RegisterSpec:
+    """Description of one 32-bit register in the file."""
+
+    name: str
+    offset: int
+    writable: bool = True
+    reset: int = 0
+    doc: str = ""
+
+
+class HwpeRegisterFile:
+    """A bank of named, memory-mapped 32-bit registers.
+
+    Registers are addressed either by name (convenient for models and tests)
+    or by byte offset (what a core store instruction would use).
+    """
+
+    def __init__(self, specs: List[RegisterSpec], name: str = "hwpe-regfile") -> None:
+        self.name = name
+        self._by_name: Dict[str, RegisterSpec] = {}
+        self._by_offset: Dict[int, RegisterSpec] = {}
+        self._values: Dict[str, int] = {}
+        for spec in specs:
+            if spec.name in self._by_name:
+                raise ValueError(f"duplicate register name {spec.name!r}")
+            if spec.offset in self._by_offset:
+                raise ValueError(f"duplicate register offset {spec.offset:#x}")
+            if spec.offset % 4:
+                raise ValueError(f"register {spec.name!r} offset not word-aligned")
+            self._by_name[spec.name] = spec
+            self._by_offset[spec.offset] = spec
+            self._values[spec.name] = spec.reset & 0xFFFFFFFF
+        #: Count of register write accesses (used to model offload cost).
+        self.write_accesses = 0
+        #: Count of register read accesses.
+        self.read_accesses = 0
+
+    # -- name-based access --------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def names(self) -> List[str]:
+        """Return all register names in offset order."""
+        return [spec.name for spec in sorted(self._by_name.values(),
+                                             key=lambda s: s.offset)]
+
+    def spec(self, name: str) -> RegisterSpec:
+        """Return the :class:`RegisterSpec` for a register name."""
+        return self._by_name[name]
+
+    def read(self, name: str) -> int:
+        """Read a register by name."""
+        self.read_accesses += 1
+        return self._values[name]
+
+    def write(self, name: str, value: int) -> None:
+        """Write a register by name (raises on read-only registers)."""
+        spec = self._by_name[name]
+        if not spec.writable:
+            raise PermissionError(f"register {name!r} is read-only")
+        self.write_accesses += 1
+        self._values[name] = value & 0xFFFFFFFF
+
+    def poke(self, name: str, value: int) -> None:
+        """Hardware-side update of a register (ignores the writable flag)."""
+        if name not in self._by_name:
+            raise KeyError(name)
+        self._values[name] = value & 0xFFFFFFFF
+
+    # -- offset-based access ---------------------------------------------------
+    def read_offset(self, offset: int) -> int:
+        """Read a register by byte offset (as a core load would)."""
+        spec = self._by_offset.get(offset)
+        if spec is None:
+            raise KeyError(f"no register at offset {offset:#x}")
+        return self.read(spec.name)
+
+    def write_offset(self, offset: int, value: int) -> None:
+        """Write a register by byte offset (as a core store would)."""
+        spec = self._by_offset.get(offset)
+        if spec is None:
+            raise KeyError(f"no register at offset {offset:#x}")
+        self.write(spec.name, value)
+
+    # -- bulk helpers -----------------------------------------------------------
+    def as_dict(self) -> Dict[str, int]:
+        """Snapshot of all register values by name."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        """Reset every register to its declared reset value."""
+        for name, spec in self._by_name.items():
+            self._values[name] = spec.reset & 0xFFFFFFFF
+        self.write_accesses = 0
+        self.read_accesses = 0

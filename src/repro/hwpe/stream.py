@@ -1,0 +1,132 @@
+"""Ready/valid stream primitives.
+
+The HWPE streamer decouples memory accesses from the datapath through small
+FIFOs on the X, W and Z streams (visible in Fig. 1 of the paper).  The model
+only needs two abstractions:
+
+* :class:`Fifo` -- a bounded queue with full/empty status and occupancy
+  statistics, advanced once per simulated cycle by its producer/consumer;
+* :class:`StreamPort` -- a single-entry ready/valid handshake used where a
+  full FIFO would be overkill (e.g. the store path from the Z buffer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generic, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """Bounded FIFO with handshake-style push/pop.
+
+    ``push`` returns ``False`` when the FIFO is full (the producer must retry
+    next cycle) and ``pop`` returns ``None`` when it is empty, mirroring a
+    ready/valid interface without modelling the wires explicitly.
+    """
+
+    def __init__(self, depth: int, name: str = "fifo") -> None:
+        if depth <= 0:
+            raise ValueError("FIFO depth must be positive")
+        self.depth = depth
+        self.name = name
+        self._entries: Deque[T] = deque()
+        #: Number of successful pushes.
+        self.pushes = 0
+        #: Number of successful pops.
+        self.pops = 0
+        #: Number of pushes refused because the FIFO was full.
+        self.push_stalls = 0
+        #: Peak occupancy observed.
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Current number of entries."""
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when no more entries can be pushed."""
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        """True when there is nothing to pop."""
+        return not self._entries
+
+    def push(self, item: T) -> bool:
+        """Try to push one entry; returns whether it was accepted."""
+        if self.full:
+            self.push_stalls += 1
+            return False
+        self._entries.append(item)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._entries))
+        return True
+
+    def pop(self) -> Optional[T]:
+        """Pop the oldest entry, or return ``None`` when empty."""
+        if not self._entries:
+            return None
+        self.pops += 1
+        return self._entries.popleft()
+
+    def peek(self) -> Optional[T]:
+        """Return the oldest entry without removing it."""
+        if not self._entries:
+            return None
+        return self._entries[0]
+
+    def clear(self) -> None:
+        """Drop all entries (used when a job is aborted/cleared)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Fifo(name={self.name!r}, {len(self._entries)}/{self.depth})"
+
+
+class StreamPort(Generic[T]):
+    """Single-entry ready/valid port.
+
+    The producer calls :meth:`put` when it has data (valid); the consumer
+    calls :meth:`take` when it is ready.  A transaction completes when a put
+    value is taken; both sides can check the handshake status without side
+    effects through :attr:`valid` and :attr:`ready`.
+    """
+
+    def __init__(self, name: str = "port") -> None:
+        self.name = name
+        self._payload: Optional[T] = None
+        #: Completed transactions.
+        self.transfers = 0
+
+    @property
+    def valid(self) -> bool:
+        """True when the producer has presented data not yet consumed."""
+        return self._payload is not None
+
+    @property
+    def ready(self) -> bool:
+        """True when a new value can be presented."""
+        return self._payload is None
+
+    def put(self, payload: T) -> bool:
+        """Present a value; returns False if the previous one is still pending."""
+        if self._payload is not None:
+            return False
+        self._payload = payload
+        return True
+
+    def take(self) -> Optional[T]:
+        """Consume the pending value, completing the handshake."""
+        if self._payload is None:
+            return None
+        payload, self._payload = self._payload, None
+        self.transfers += 1
+        return payload

@@ -1,0 +1,35 @@
+"""Heterogeneous Cluster Interconnect (HCI) models.
+
+The HCI is the fabric between the cluster initiators (cores, DMA, HWPEs) and
+the TCDM banks.  It has two branches:
+
+* the **logarithmic branch**: all-to-all, single-cycle, 32-bit accesses from
+  cores and DMA to each word-interleaved bank, with per-bank round-robin
+  arbitration on conflicts;
+* the **shallow branch**: a single 288-bit port that treats 9 adjacent banks
+  as one wide bank with no arbitration, used by RedMulE's streamer.
+
+A configurable-latency, starvation-free rotation multiplexes each bank between
+the two branches.  These models provide both functional access (data moves
+to/from the TCDM) and the conflict/stall accounting the cycle-accurate
+simulations consume.
+"""
+
+from repro.interco.arbiter import BranchRotator, RoundRobinArbiter
+from repro.interco.log_interco import CoreRequest, LogInterconnect, LogInterconnectStats
+from repro.interco.shallow import ShallowBranch, WIDE_PORT_BITS, WIDE_PORT_BYTES
+from repro.interco.hci import Hci, HciConfig, HciStats
+
+__all__ = [
+    "BranchRotator",
+    "CoreRequest",
+    "Hci",
+    "HciConfig",
+    "HciStats",
+    "LogInterconnect",
+    "LogInterconnectStats",
+    "RoundRobinArbiter",
+    "ShallowBranch",
+    "WIDE_PORT_BITS",
+    "WIDE_PORT_BYTES",
+]

@@ -1,0 +1,115 @@
+"""Arbitration primitives used by the HCI model.
+
+Two pieces of arbitration matter for RedMulE's timing:
+
+* per-bank **round-robin** among 32-bit initiators on the logarithmic branch
+  (cores and DMA colliding on a bank lose cycles);
+* the **branch rotation** that shares each bank between the logarithmic and
+  the shallow branch.  The real hardware uses a configurable-latency,
+  starvation-free rotation: the wide port may hold the banks for at most
+  ``max_wide_streak`` consecutive conflicting cycles before the logarithmic
+  branch is guaranteed a slot (and vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Round-robin arbiter over ``n`` requesters.
+
+    The arbiter remembers the last granted index and, on every arbitration,
+    grants the first requesting index after it (wrapping around).  This
+    matches the per-bank arbitration of the logarithmic interconnect.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("arbiter needs at least one requester")
+        self.n = n
+        self._last_grant = n - 1
+        #: Total number of grants issued.
+        self.grants = 0
+        #: Total number of requests that were denied (had to retry).
+        self.denials = 0
+
+    def arbitrate(self, requests: Sequence[bool]) -> Optional[int]:
+        """Grant one of the active ``requests`` (list of booleans).
+
+        Returns the granted index or ``None`` when nobody requested.  Denied
+        requesters are counted so contention statistics can be reported.
+        """
+        if len(requests) != self.n:
+            raise ValueError(f"expected {self.n} request lines, got {len(requests)}")
+        active = [i for i, req in enumerate(requests) if req]
+        if not active:
+            return None
+        for offset in range(1, self.n + 1):
+            candidate = (self._last_grant + offset) % self.n
+            if requests[candidate]:
+                self._last_grant = candidate
+                self.grants += 1
+                self.denials += len(active) - 1
+                return candidate
+        return None  # pragma: no cover - unreachable, active is non-empty
+
+    def reset(self) -> None:
+        """Reset the pointer and the statistics."""
+        self._last_grant = self.n - 1
+        self.grants = 0
+        self.denials = 0
+
+
+class BranchRotator:
+    """Starvation-free rotation between the logarithmic and shallow branches.
+
+    When both branches want the same banks in the same cycle, the rotor picks
+    a winner.  The shallow (wide) branch is favoured -- it feeds the
+    accelerator -- but it can win at most ``max_wide_streak`` consecutive
+    contended cycles before the logarithmic branch is granted once, which
+    bounds the extra latency seen by the cores (the "configurable latency" of
+    the paper).
+    """
+
+    WIDE = "wide"
+    LOG = "log"
+
+    def __init__(self, max_wide_streak: int = 4) -> None:
+        if max_wide_streak < 1:
+            raise ValueError("max_wide_streak must be >= 1")
+        self.max_wide_streak = max_wide_streak
+        self._wide_streak = 0
+        #: Cycles in which the wide branch won a contended arbitration.
+        self.wide_wins = 0
+        #: Cycles in which the logarithmic branch won a contended arbitration.
+        self.log_wins = 0
+
+    def arbitrate(self, wide_request: bool, log_request: bool) -> Optional[str]:
+        """Return which branch owns the banks this cycle.
+
+        ``None`` means the banks are idle.  Uncontended requests always win
+        and do not advance the rotation state.
+        """
+        if not wide_request and not log_request:
+            return None
+        if wide_request and not log_request:
+            self._wide_streak = 0
+            return self.WIDE
+        if log_request and not wide_request:
+            self._wide_streak = 0
+            return self.LOG
+        # Contended cycle.
+        if self._wide_streak < self.max_wide_streak:
+            self._wide_streak += 1
+            self.wide_wins += 1
+            return self.WIDE
+        self._wide_streak = 0
+        self.log_wins += 1
+        return self.LOG
+
+    def reset(self) -> None:
+        """Reset the streak counter and the statistics."""
+        self._wide_streak = 0
+        self.wide_wins = 0
+        self.log_wins = 0

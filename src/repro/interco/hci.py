@@ -1,0 +1,146 @@
+"""Heterogeneous Cluster Interconnect: top-level model.
+
+The HCI glues together the logarithmic branch (cores / DMA, 32-bit accesses)
+and the shallow branch (RedMulE's 288-bit streamer port), multiplexing each
+TCDM bank between the two with a starvation-free rotation.
+
+The cycle-accurate RedMulE engine drives :meth:`Hci.wide_cycle` once per cycle
+with at most one wide request; a traffic generator (or the core model) can
+inject concurrent 32-bit requests through :meth:`Hci.log_cycle` in the same
+simulated cycle to study contention.  The paper's headline numbers are
+measured with the cores idle while RedMulE runs (they only program the job and
+wait), which corresponds to zero logarithmic traffic; the contention ablation
+benchmark exercises the other regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.interco.arbiter import BranchRotator
+from repro.interco.log_interco import CoreRequest, LogInterconnect
+from repro.interco.shallow import ShallowBranch
+from repro.mem.tcdm import Tcdm
+
+
+@dataclass(frozen=True)
+class HciConfig:
+    """Configuration of the HCI."""
+
+    #: Number of 32-bit initiators on the logarithmic branch (8 cores + DMA).
+    n_log_initiators: int = 9
+    #: Number of 32-bit lanes of the shallow (HWPE) port.
+    n_wide_ports: int = 9
+    #: Maximum consecutive contended cycles granted to the wide port.
+    max_wide_streak: int = 4
+
+
+@dataclass
+class HciStats:
+    """Cycle-level statistics of the HCI."""
+
+    cycles: int = 0
+    wide_requests: int = 0
+    wide_grants: int = 0
+    wide_stalls: int = 0
+
+    @property
+    def wide_stall_rate(self) -> float:
+        """Fraction of wide requests that were stalled by the rotation."""
+        if self.wide_requests == 0:
+            return 0.0
+        return self.wide_stalls / self.wide_requests
+
+
+class Hci:
+    """Two-branch heterogeneous cluster interconnect."""
+
+    def __init__(self, tcdm: Tcdm, config: HciConfig = HciConfig()) -> None:
+        self.tcdm = tcdm
+        self.config = config
+        self.log_branch = LogInterconnect(tcdm, config.n_log_initiators)
+        self.shallow_branch = ShallowBranch(tcdm, config.n_wide_ports)
+        self.rotator = BranchRotator(config.max_wide_streak)
+        self.stats = HciStats()
+        # Log-branch requests registered for the current cycle (consumed by
+        # wide_cycle's arbitration and then cleared).
+        self._pending_log: List[CoreRequest] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def wide_port_bytes(self) -> int:
+        """Bytes movable per wide access."""
+        return self.shallow_branch.width_bytes
+
+    # -- logarithmic branch -------------------------------------------------
+    def submit_log_requests(self, requests: Sequence[CoreRequest]) -> None:
+        """Register core/DMA requests for the current cycle.
+
+        They are arbitrated against the wide port inside :meth:`wide_cycle`
+        (or :meth:`log_cycle` if the accelerator is idle this cycle).
+        """
+        self._pending_log.extend(requests)
+
+    def log_cycle(self) -> List[CoreRequest]:
+        """Advance one cycle with no wide request; serve logarithmic traffic."""
+        self.stats.cycles += 1
+        granted = self.log_branch.cycle(self._pending_log)
+        self._pending_log = []
+        return granted
+
+    # -- shallow branch -------------------------------------------------------
+    def wide_cycle(
+        self,
+        addr: Optional[int],
+        nbytes: int = 0,
+        write: bool = False,
+        data: Optional[bytes] = None,
+    ) -> Optional[bytes]:
+        """Advance one cycle with an optional wide request.
+
+        Returns the loaded bytes for a granted wide load, ``b""`` for a
+        granted wide store, or ``None`` when the wide request was stalled (or
+        absent).  Pending logarithmic requests registered for this cycle are
+        arbitrated against the wide access and served if they win or touch
+        disjoint banks.
+        """
+        self.stats.cycles += 1
+        wide_wants = addr is not None
+        log_wants = bool(self._pending_log)
+
+        if wide_wants:
+            self.stats.wide_requests += 1
+
+        winner = self.rotator.arbitrate(wide_wants, log_wants)
+        result: Optional[bytes] = None
+        wide_banks: List[int] = []
+
+        if wide_wants and winner == BranchRotator.WIDE:
+            size = len(data) if (write and data is not None) else nbytes
+            wide_banks = self.shallow_branch.banks_for(addr, size)
+            if write:
+                self.shallow_branch.store(addr, data or b"")
+                result = b""
+            else:
+                result = self.shallow_branch.load(addr, nbytes)
+            self.stats.wide_grants += 1
+        elif wide_wants:
+            self.stats.wide_stalls += 1
+
+        if log_wants:
+            # Logarithmic requests can proceed in parallel on banks the wide
+            # port does not own this cycle; if the log branch won the
+            # rotation, the wide banks are free anyway.
+            blocked = wide_banks if winner == BranchRotator.WIDE else []
+            self.log_branch.cycle(self._pending_log, banks_blocked=blocked)
+        self._pending_log = []
+        return result
+
+    # -- statistics -----------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Clear all statistics on both branches and the rotation."""
+        self.stats = HciStats()
+        self.log_branch.reset_stats()
+        self.shallow_branch.reset_stats()
+        self.rotator.reset()

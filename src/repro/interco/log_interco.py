@@ -1,0 +1,128 @@
+"""Logarithmic branch of the HCI (32-bit all-to-all interconnect).
+
+Cores and the DMA reach the word-interleaved TCDM banks through a logarithmic
+interconnect: every initiator can reach every bank in a single cycle, and
+conflicts (two initiators addressing the same bank in the same cycle) are
+resolved by granting one initiator per bank per cycle with a round-robin
+policy; losers retry the next cycle.
+
+The model is cycle-based: callers submit the set of requests for a cycle and
+receive the subset that was granted.  Granted requests perform their data
+access immediately (single-cycle TCDM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.interco.arbiter import RoundRobinArbiter
+from repro.mem.tcdm import Tcdm
+
+
+@dataclass
+class CoreRequest:
+    """A 32-bit access request from an initiator on the logarithmic branch."""
+
+    initiator: int
+    addr: int
+    write: bool = False
+    wdata: int = 0
+    #: Filled by the interconnect when the request is granted (reads only).
+    rdata: Optional[int] = None
+    #: Set by the interconnect: whether the request was granted this cycle.
+    granted: bool = False
+
+
+@dataclass
+class LogInterconnectStats:
+    """Aggregate statistics of the logarithmic branch."""
+
+    cycles: int = 0
+    requests: int = 0
+    grants: int = 0
+    conflicts: int = 0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of requests that lost arbitration and had to retry."""
+        if self.requests == 0:
+            return 0.0
+        return self.conflicts / self.requests
+
+
+class LogInterconnect:
+    """Per-bank round-robin arbitration between 32-bit initiators."""
+
+    def __init__(self, tcdm: Tcdm, n_initiators: int) -> None:
+        if n_initiators <= 0:
+            raise ValueError("need at least one initiator")
+        self.tcdm = tcdm
+        self.n_initiators = n_initiators
+        self._arbiters: Dict[int, RoundRobinArbiter] = {
+            bank: RoundRobinArbiter(n_initiators)
+            for bank in range(tcdm.config.n_banks)
+        }
+        self.stats = LogInterconnectStats()
+
+    def cycle(self, requests: Sequence[CoreRequest],
+              banks_blocked: Optional[Sequence[int]] = None) -> List[CoreRequest]:
+        """Arbitrate one cycle of requests.
+
+        Parameters
+        ----------
+        requests:
+            Requests submitted this cycle (at most one per initiator is
+            meaningful; extra requests from the same initiator are arbitrated
+            independently, which callers should avoid).
+        banks_blocked:
+            Banks currently owned by the shallow branch; requests to those
+            banks are denied this cycle.
+
+        Returns
+        -------
+        list[CoreRequest]
+            The granted requests, with ``granted`` set and reads populated.
+        """
+        self.stats.cycles += 1
+        blocked = set(banks_blocked or ())
+        by_bank: Dict[int, List[CoreRequest]] = {}
+        for request in requests:
+            request.granted = False
+            self.stats.requests += 1
+            bank = self.tcdm.bank_of(request.addr)
+            if bank in blocked:
+                self.stats.conflicts += 1
+                continue
+            by_bank.setdefault(bank, []).append(request)
+
+        granted: List[CoreRequest] = []
+        for bank, bank_requests in by_bank.items():
+            lines = [False] * self.n_initiators
+            for request in bank_requests:
+                if not (0 <= request.initiator < self.n_initiators):
+                    raise ValueError(
+                        f"initiator {request.initiator} out of range "
+                        f"0..{self.n_initiators - 1}"
+                    )
+                lines[request.initiator] = True
+            winner = self._arbiters[bank].arbitrate(lines)
+            for request in bank_requests:
+                if request.initiator == winner and not request.granted:
+                    request.granted = True
+                    self._perform(request)
+                    granted.append(request)
+                    self.stats.grants += 1
+                else:
+                    self.stats.conflicts += 1
+        return granted
+
+    def _perform(self, request: CoreRequest) -> None:
+        if request.write:
+            self.tcdm.write_u32(request.addr, request.wdata)
+        else:
+            request.rdata = self.tcdm.read_u32(request.addr)
+
+    def reset_stats(self) -> None:
+        """Clear interconnect statistics (arbiter pointers are preserved)."""
+        self.stats = LogInterconnectStats()

@@ -1,0 +1,85 @@
+"""Shallow branch of the HCI: the 288-bit wide HWPE port.
+
+RedMulE's streamer is connected to the TCDM through a single 288-bit port
+(9 x 32-bit): 256 bits carry a full row of 16 FP16 elements and the extra
+32-bit lane absorbs non-word-aligned accesses.  The port is routed to 9
+adjacent banks which are treated as a single wide bank *without* arbitration,
+so a wide access always completes in a single cycle once the branch rotation
+grants the banks to the shallow side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mem.tcdm import Tcdm
+
+#: Width of the shallow-branch port in bits (9 x 32).
+WIDE_PORT_BITS = 288
+#: Width of the shallow-branch port in bytes.
+WIDE_PORT_BYTES = WIDE_PORT_BITS // 8
+
+
+@dataclass
+class ShallowStats:
+    """Traffic statistics of the shallow branch."""
+
+    loads: int = 0
+    stores: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total wide accesses performed."""
+        return self.loads + self.stores
+
+
+class ShallowBranch:
+    """Single 288-bit port from the HWPE streamer to 9 adjacent TCDM banks."""
+
+    def __init__(self, tcdm: Tcdm, n_ports: int = 9) -> None:
+        if n_ports < 1:
+            raise ValueError("shallow branch needs at least one 32-bit port")
+        self.tcdm = tcdm
+        self.n_ports = n_ports
+        self.stats = ShallowStats()
+
+    @property
+    def width_bytes(self) -> int:
+        """Maximum bytes moved per access (4 bytes per 32-bit port)."""
+        return self.n_ports * 4
+
+    def banks_for(self, addr: int, nbytes: int) -> List[int]:
+        """Banks owned by a wide access (used by the branch rotation)."""
+        return self.tcdm.banks_of_range(addr, nbytes)
+
+    def load(self, addr: int, nbytes: int) -> bytes:
+        """Perform a wide load of up to ``width_bytes`` bytes."""
+        self._check(addr, nbytes)
+        self.stats.loads += 1
+        self.stats.bytes_loaded += nbytes
+        return self.tcdm.wide_read(addr, nbytes)
+
+    def store(self, addr: int, data: bytes) -> None:
+        """Perform a wide store of up to ``width_bytes`` bytes."""
+        self._check(addr, len(data))
+        self.stats.stores += 1
+        self.stats.bytes_stored += len(data)
+        self.tcdm.wide_write(addr, data)
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError("wide access must move at least one byte")
+        if nbytes > self.width_bytes:
+            raise ValueError(
+                f"wide access of {nbytes} bytes exceeds the {self.width_bytes}-byte "
+                f"({self.n_ports} x 32-bit) port"
+            )
+        if addr % 2:
+            raise ValueError("wide accesses must be 16-bit aligned")
+
+    def reset_stats(self) -> None:
+        """Clear traffic statistics."""
+        self.stats = ShallowStats()

@@ -1,0 +1,32 @@
+"""Memory subsystem models.
+
+The PULP cluster stores RedMulE's operands in a word-interleaved,
+multi-banked Tightly-Coupled Data Memory (TCDM); larger tensors live in the
+off-cluster L2 memory and are moved by the DMA.  This package models both
+levels at the granularity the accelerator cares about: byte-accurate
+contents, bank interleaving, and per-access bookkeeping used by the
+interconnect contention model.
+
+Modules
+-------
+* :mod:`repro.mem.memory` -- generic byte-addressable memory.
+* :mod:`repro.mem.tcdm` -- word-interleaved banked TCDM.
+* :mod:`repro.mem.l2` -- background L2 memory with access latency.
+* :mod:`repro.mem.layout` -- FP16 matrix placement helpers on top of a memory.
+"""
+
+from repro.mem.memory import Memory, MemoryError_, MisalignedAccessError
+from repro.mem.tcdm import Tcdm, TcdmConfig
+from repro.mem.l2 import L2Memory
+from repro.mem.layout import MatrixHandle, MemoryAllocator
+
+__all__ = [
+    "L2Memory",
+    "MatrixHandle",
+    "Memory",
+    "MemoryAllocator",
+    "MemoryError_",
+    "MisalignedAccessError",
+    "Tcdm",
+    "TcdmConfig",
+]

@@ -1,0 +1,42 @@
+"""L2 background memory model.
+
+PULP-based SoCs pair the cluster with a larger single-port L2 memory (hundreds
+of KiB up to a few MiB) reached through an AXI bus.  For the RedMulE
+experiments the L2 only matters as the home of tensors that do not fit the
+TCDM (e.g. the batched auto-encoder activations, 184 kB at batch 16) and as
+the endpoint of DMA transfers, so the model is a plain memory plus a simple
+bandwidth/latency descriptor that the DMA model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.memory import Memory
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """L2 memory geometry and timing as seen from the cluster DMA."""
+
+    size: int = 2 * 1024 * 1024
+    base: int = 0x1C00_0000
+    #: Cycles of latency for the first beat of a DMA burst.
+    access_latency: int = 10
+    #: Bytes transferred per cycle once a burst is streaming (64-bit AXI).
+    bytes_per_cycle: int = 8
+
+
+class L2Memory(Memory):
+    """L2 memory: a :class:`Memory` with DMA-visible timing parameters."""
+
+    def __init__(self, config: L2Config = L2Config()) -> None:
+        super().__init__(config.size, base=config.base, name="l2")
+        self.config = config
+
+    def burst_cycles(self, nbytes: int) -> int:
+        """Cycles needed to move ``nbytes`` between L2 and the cluster DMA."""
+        if nbytes <= 0:
+            return 0
+        streaming = (nbytes + self.config.bytes_per_cycle - 1) // self.config.bytes_per_cycle
+        return self.config.access_latency + streaming

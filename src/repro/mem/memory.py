@@ -1,0 +1,138 @@
+"""Generic byte-addressable memory model.
+
+The model is deliberately simple: a contiguous ``bytearray`` with a base
+address, bounds checking, and little-endian word accessors.  Both the TCDM
+banks and the L2 memory are built on top of it.  Access counting is kept per
+instance so experiments can report read/write traffic.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+
+class MemoryError_(Exception):
+    """Raised on out-of-bounds accesses."""
+
+
+class MisalignedAccessError(MemoryError_):
+    """Raised when a word access is not naturally aligned."""
+
+
+class Memory:
+    """A contiguous little-endian byte-addressable memory region.
+
+    Parameters
+    ----------
+    size:
+        Region size in bytes.
+    base:
+        Base address of the region (absolute addresses are used throughout,
+        matching how the cluster address map works).
+    name:
+        Human-readable name used in error messages and statistics.
+    """
+
+    def __init__(self, size: int, base: int = 0, name: str = "mem") -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        if base < 0:
+            raise ValueError("memory base must be non-negative")
+        self.size = size
+        self.base = base
+        self.name = name
+        self._data = bytearray(size)
+        #: Number of read accesses (any width).
+        self.read_count = 0
+        #: Number of write accesses (any width).
+        self.write_count = 0
+        #: Total bytes read.
+        self.bytes_read = 0
+        #: Total bytes written.
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    def contains(self, addr: int, nbytes: int = 1) -> bool:
+        """Return ``True`` if ``[addr, addr+nbytes)`` lies inside the region."""
+        return self.base <= addr and addr + nbytes <= self.base + self.size
+
+    def _offset(self, addr: int, nbytes: int) -> int:
+        if not self.contains(addr, nbytes):
+            raise MemoryError_(
+                f"{self.name}: access of {nbytes} bytes at {addr:#x} outside "
+                f"[{self.base:#x}, {self.base + self.size:#x})"
+            )
+        return addr - self.base
+
+    # -- raw byte access ------------------------------------------------
+    def read_bytes(self, addr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` bytes starting at ``addr``."""
+        off = self._offset(addr, nbytes)
+        self.read_count += 1
+        self.bytes_read += nbytes
+        return bytes(self._data[off : off + nbytes])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr``."""
+        off = self._offset(addr, len(data))
+        self._data[off : off + len(data)] = data
+        self.write_count += 1
+        self.bytes_written += len(data)
+
+    # -- halfword / word access -----------------------------------------
+    def read_u16(self, addr: int) -> int:
+        """Read a little-endian 16-bit value (must be 2-byte aligned)."""
+        if addr % 2:
+            raise MisalignedAccessError(f"{self.name}: misaligned u16 at {addr:#x}")
+        return struct.unpack("<H", self.read_bytes(addr, 2))[0]
+
+    def write_u16(self, addr: int, value: int) -> None:
+        """Write a little-endian 16-bit value (must be 2-byte aligned)."""
+        if addr % 2:
+            raise MisalignedAccessError(f"{self.name}: misaligned u16 at {addr:#x}")
+        self.write_bytes(addr, struct.pack("<H", value & 0xFFFF))
+
+    def read_u32(self, addr: int) -> int:
+        """Read a little-endian 32-bit value (must be 4-byte aligned)."""
+        if addr % 4:
+            raise MisalignedAccessError(f"{self.name}: misaligned u32 at {addr:#x}")
+        return struct.unpack("<I", self.read_bytes(addr, 4))[0]
+
+    def write_u32(self, addr: int, value: int) -> None:
+        """Write a little-endian 32-bit value (must be 4-byte aligned)."""
+        if addr % 4:
+            raise MisalignedAccessError(f"{self.name}: misaligned u32 at {addr:#x}")
+        self.write_bytes(addr, struct.pack("<I", value & 0xFFFFFFFF))
+
+    # -- bulk helpers -----------------------------------------------------
+    def fill(self, value: int = 0) -> None:
+        """Fill the whole region with a byte value."""
+        self._data[:] = bytes([value & 0xFF]) * self.size
+
+    def load_image(self, addr: int, data: bytes) -> None:
+        """Copy a byte image into memory without counting it as traffic.
+
+        Used by testbenches and workload setup, mirroring how a simulation
+        testbench preloads memories.
+        """
+        off = self._offset(addr, len(data))
+        self._data[off : off + len(data)] = data
+
+    def dump_image(self, addr: int, nbytes: int) -> bytes:
+        """Copy a byte image out of memory without counting it as traffic."""
+        off = self._offset(addr, nbytes)
+        return bytes(self._data[off : off + nbytes])
+
+    def reset_stats(self) -> None:
+        """Clear the access counters."""
+        self.read_count = 0
+        self.write_count = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Memory(name={self.name!r}, base={self.base:#x}, size={self.size})"

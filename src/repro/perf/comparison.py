@@ -1,0 +1,136 @@
+"""State-of-the-art comparison data (Table I).
+
+The published rows of Table I (other people's chips) are reproduced verbatim
+as reference data; the "Our work" rows are *computed* from this repository's
+models (area, power, throughput, efficiency) so the benchmark that regenerates
+Table I actually exercises the reproduction rather than echoing constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.power.area import ClusterAreaModel
+from repro.power.energy import EnergyModel
+from repro.power.technology import (
+    OP_22NM_EFFICIENCY,
+    OP_22NM_PERFORMANCE,
+    OP_65NM_NOMINAL,
+    OperatingPoint,
+    TECH_22NM,
+    TECH_65NM,
+    TechnologyParams,
+)
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.perf_model import RedMulEPerfModel
+
+
+@dataclass(frozen=True)
+class SoaEntry:
+    """One row of the state-of-the-art comparison table."""
+
+    category: str
+    design: str
+    technology_nm: int
+    area_mm2: Optional[float]
+    frequency_mhz: Optional[float]
+    voltage_v: Optional[float]
+    power_mw: Optional[float]
+    performance_gops: Optional[float]
+    efficiency_gops_w: Optional[float]
+    mac_units: Optional[int]
+    precision: str
+
+    def as_row(self) -> List[str]:
+        """Render the entry as a list of table cells."""
+        def fmt(value, pattern="{:.3g}"):
+            return "-" if value is None else pattern.format(value)
+
+        return [
+            self.category,
+            self.design,
+            str(self.technology_nm),
+            fmt(self.area_mm2),
+            fmt(self.frequency_mhz),
+            fmt(self.voltage_v),
+            fmt(self.power_mw),
+            fmt(self.performance_gops),
+            fmt(self.efficiency_gops_w),
+            fmt(self.mac_units, "{:d}"),
+            self.precision,
+        ]
+
+
+#: Published rows of Table I (best-efficiency operating point of each design).
+SOA_ENTRIES: List[SoaEntry] = [
+    SoaEntry("GPU", "NVIDIA A100", 7, None, 1410, None, 300000, None, None,
+             256, "FP16"),
+    SoaEntry("Inference", "Eyeriss", 65, 12.25, 250, 1.0, 278, 46, 166,
+             168, "INT16"),
+    SoaEntry("Inference", "EIE", 45, 40.8, 800, None, 590, 102, 173,
+             64, "INT8"),
+    SoaEntry("Inference", "Zeng et al.", 65, 2.14, 250, None, 478, 1152, 2410,
+             256, "INT8"),
+    SoaEntry("Inference", "Simba", 16, 6.0, 161, 0.42, None, None, 9100,
+             1024, "INT8"),
+    SoaEntry("Training", "IBM (Agrawal et al.)", 7, 19.6, 1000, 0.55, 4400,
+             8000, 1800, 4096, "FP16"),
+    SoaEntry("Training", "Cambricon-Q", 45, 888, 1000, 0.6, 1030, 2000, 2240,
+             1024, "INT8"),
+    SoaEntry("HPC", "Manticore", 22, 888, 500, 0.6, 200, 25, 188, 24, "FP64"),
+    SoaEntry("Mat-Mul Acc.", "Anders et al.", 14, 0.024, 2.1, 0.26, 0.023,
+             0.068, 2970, 16, "FP16"),
+]
+
+#: Paper-reported values for the "Our work" rows, used as reproduction targets.
+PAPER_OUR_WORK = {
+    "22nm-efficiency": {"area_mm2": 0.5, "freq_mhz": 476, "voltage_v": 0.65,
+                        "power_mw": 43.5, "performance_gops": 30,
+                        "efficiency_gops_w": 688},
+    "22nm-performance": {"area_mm2": 0.5, "freq_mhz": 666, "voltage_v": 0.80,
+                         "power_mw": 90.7, "performance_gops": 42,
+                         "efficiency_gops_w": 462},
+    "65nm": {"area_mm2": 3.85, "freq_mhz": 200, "voltage_v": 1.2,
+             "power_mw": 89.1, "performance_gops": 12.6,
+             "efficiency_gops_w": 152},
+}
+
+#: GEMM shape used to measure the sustained utilisation entering the
+#: "Our work" rows (large enough to sit on the utilisation plateau).
+_LARGE_GEMM = (512, 512, 512)
+
+
+def _our_entry(config: RedMulEConfig, technology: TechnologyParams,
+               point: OperatingPoint, label: str) -> SoaEntry:
+    perf_model = RedMulEPerfModel(config)
+    estimate = perf_model.estimate_gemm(*_LARGE_GEMM)
+    utilisation = estimate.utilisation
+
+    energy = EnergyModel(config, technology)
+    area = ClusterAreaModel(config, technology)
+    power_w = energy.cluster_power_accel_w(point, utilisation)
+    gflops = energy.throughput_gflops(point, utilisation)
+    return SoaEntry(
+        category="Our work",
+        design=f"PULP + RedMulE ({label})",
+        technology_nm=technology.node_nm,
+        area_mm2=round(area.total(), 3),
+        frequency_mhz=point.frequency_mhz,
+        voltage_v=point.voltage_v,
+        power_mw=power_w * 1e3,
+        performance_gops=gflops,
+        efficiency_gops_w=gflops / power_w,
+        mac_units=config.n_fma,
+        precision="FP16",
+    )
+
+
+def our_entries(config: Optional[RedMulEConfig] = None) -> List[SoaEntry]:
+    """Compute the three "Our work" rows of Table I from the models."""
+    config = config or RedMulEConfig.reference()
+    return [
+        _our_entry(config, TECH_22NM, OP_22NM_EFFICIENCY, "22nm, 0.65V"),
+        _our_entry(config, TECH_22NM, OP_22NM_PERFORMANCE, "22nm, 0.80V"),
+        _our_entry(config, TECH_65NM, OP_65NM_NOMINAL, "65nm, 1.2V"),
+    ]

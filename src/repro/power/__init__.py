@@ -1,0 +1,46 @@
+"""Area, power and energy models.
+
+The paper's silicon results (Synopsys DC synthesis + Cadence Innovus P&R in
+22 nm, plus a 65 nm port) cannot be re-derived in Python, so this package
+provides analytical models calibrated against the published numbers:
+
+* :mod:`repro.power.technology` -- technology nodes and operating points
+  (22 nm @ 0.65 V / 476 MHz and 0.8 V / 666 MHz, 65 nm @ 1.2 V / 200 MHz);
+* :mod:`repro.power.area` -- component-level area model of RedMulE and of the
+  cluster, parametric in (H, L, P), calibrated to 0.07 mm2 / 0.5 mm2;
+* :mod:`repro.power.energy` -- cluster power in accelerator and software mode,
+  energy per MAC, GFLOPS/W;
+* :mod:`repro.power.breakdown` -- named breakdown containers used by the
+  Fig. 3a / 3b reproductions.
+
+Every calibration constant is documented next to its definition and traced
+back to the paper value it reproduces in EXPERIMENTS.md.
+"""
+
+from repro.power.technology import (
+    OperatingPoint,
+    TechnologyParams,
+    TECH_22NM,
+    TECH_65NM,
+    OP_22NM_EFFICIENCY,
+    OP_22NM_PERFORMANCE,
+    OP_65NM_NOMINAL,
+)
+from repro.power.breakdown import Breakdown, BreakdownItem
+from repro.power.area import AreaModel, ClusterAreaModel
+from repro.power.energy import EnergyModel
+
+__all__ = [
+    "AreaModel",
+    "Breakdown",
+    "BreakdownItem",
+    "ClusterAreaModel",
+    "EnergyModel",
+    "OP_22NM_EFFICIENCY",
+    "OP_22NM_PERFORMANCE",
+    "OP_65NM_NOMINAL",
+    "OperatingPoint",
+    "TECH_22NM",
+    "TECH_65NM",
+    "TechnologyParams",
+]

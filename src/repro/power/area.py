@@ -1,0 +1,175 @@
+"""Component-level area model of RedMulE and the PULP cluster.
+
+The model is parametric in the accelerator geometry (H, L, P) so it can
+reproduce the area sweep of Fig. 4b, and it is calibrated so the reference
+instance (H=4, L=8, P=3) matches the published numbers in 22 nm:
+
+* RedMulE standalone: 0.07 mm2 (14 % of the cluster);
+* full cluster: 0.5 mm2;
+* 256 FMAs (H=8, L=32) make RedMulE comparable to the whole cluster and
+  512 FMAs (H=16, L=32) twice as large (Section III-A, "Parametric area
+  swipe");
+* growing H by one adds ``P+1`` pipeline registers per row and two extra
+  32-bit memory ports.
+
+Component constants (22 nm, mm2):
+
+=====================  ==========  ==================================================
+constant               value       rationale
+=====================  ==========  ==================================================
+``FMA_AREA``           0.0016      one FP16 FMA datapath (FPnew transprecision slice)
+``PIPE_REG_AREA``      0.00008     one pipeline register stage of an FMA (3 x 16 bit)
+``BUFFER_BIT_AREA``    8.6e-7      one bit of SCM (latch-based) operand buffer
+``PORT_AREA``          0.00055     one 32-bit streamer port (address gen + mux slice)
+``CONTROL_AREA``       0.0025      scheduler + controller + register file
+=====================  ==========  ==================================================
+
+With these constants the reference instance totals 0.071 mm2, 256 FMAs land
+at 0.52 mm2 (comparable to the 0.5 mm2 cluster) and 512 FMAs at 1.03 mm2
+(about twice the cluster), matching the paper's statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.power.breakdown import Breakdown
+from repro.power.technology import TECH_22NM, TechnologyParams
+from repro.redmule.config import RedMulEConfig
+
+#: Area of one FP16 FMA datapath slice in 22 nm (mm2).
+FMA_AREA = 0.0016
+#: Area of one internal pipeline-register stage of an FMA (mm2).
+PIPE_REG_AREA = 0.00008
+#: Area per storage bit of the latch-based operand buffers (mm2).
+BUFFER_BIT_AREA = 8.6e-7
+#: Area per 32-bit streamer memory port (mm2).
+PORT_AREA = 0.00055
+#: Area of the scheduler, controller and register file (mm2).
+CONTROL_AREA = 0.0025
+
+#: Cluster components other than RedMulE, 22 nm (mm2).  Calibrated so the
+#: total cluster area is 0.5 mm2 with the 0.07 mm2 reference accelerator.
+CLUSTER_COMPONENT_AREAS: Dict[str, float] = {
+    "cores (8x RI5CY)": 0.185,
+    "TCDM banks": 0.160,
+    "shared I-cache": 0.045,
+    "HCI + peripheral interconnect": 0.030,
+    "DMA + event unit": 0.010,
+}
+
+
+@dataclass
+class AreaModel:
+    """Area of one RedMulE instance, parametric in (H, L, P)."""
+
+    config: RedMulEConfig
+    technology: TechnologyParams = TECH_22NM
+
+    # ------------------------------------------------------------------
+    def _scale(self) -> float:
+        """Area scale factor of the selected technology relative to 22 nm."""
+        return self.technology.cluster_area_mm2 / TECH_22NM.cluster_area_mm2
+
+    def datapath_area(self) -> float:
+        """FMA units plus their internal pipeline registers."""
+        per_fma = FMA_AREA + self.config.pipeline_regs * PIPE_REG_AREA
+        return self._scale() * self.config.n_fma * per_fma
+
+    def buffer_area(self) -> float:
+        """X, W and Z operand buffers."""
+        return self._scale() * self.config.total_buffer_bits * BUFFER_BIT_AREA
+
+    def streamer_area(self) -> float:
+        """Streamer: one slice per 32-bit memory port."""
+        return self._scale() * self.config.n_mem_ports * PORT_AREA
+
+    def control_area(self) -> float:
+        """Scheduler, controller and register file."""
+        return self._scale() * CONTROL_AREA
+
+    def total(self) -> float:
+        """Total accelerator area in mm2."""
+        return (
+            self.datapath_area()
+            + self.buffer_area()
+            + self.streamer_area()
+            + self.control_area()
+        )
+
+    def breakdown(self) -> Breakdown:
+        """Fig. 3a: area breakdown of the standalone accelerator."""
+        return Breakdown(
+            title=f"RedMulE area breakdown ({self.config.describe()}, "
+                  f"{self.technology.name})",
+            unit="mm2",
+            items=[
+                ("datapath (FMAs)", self.datapath_area()),
+                ("X/W/Z buffers", self.buffer_area()),
+                ("streamer", self.streamer_area()),
+                ("controller + scheduler", self.control_area()),
+            ],
+        )
+
+    # -- sweeps ------------------------------------------------------------
+    @classmethod
+    def sweep(cls, shapes: List[Tuple[int, int]], pipeline_regs: int = 3,
+              technology: TechnologyParams = TECH_22NM) -> List[Dict[str, float]]:
+        """Area sweep over (H, L) shapes at fixed P (Fig. 4b).
+
+        Returns one record per shape with the total area, the number of FMAs
+        and the number of memory ports (which grows with H).
+        """
+        records = []
+        for height, length in shapes:
+            config = RedMulEConfig(height=height, length=length,
+                                   pipeline_regs=pipeline_regs)
+            model = cls(config, technology)
+            records.append(
+                {
+                    "H": height,
+                    "L": length,
+                    "P": pipeline_regs,
+                    "n_fma": config.n_fma,
+                    "n_mem_ports": config.n_mem_ports,
+                    "area_mm2": model.total(),
+                    "area_vs_cluster": model.total()
+                    / technology.cluster_area_mm2,
+                }
+            )
+        return records
+
+
+@dataclass
+class ClusterAreaModel:
+    """Area of the full PULP cluster hosting a RedMulE instance."""
+
+    config: RedMulEConfig
+    technology: TechnologyParams = TECH_22NM
+
+    def redmule_area(self) -> float:
+        """Accelerator area."""
+        return AreaModel(self.config, self.technology).total()
+
+    def total(self) -> float:
+        """Total cluster area in mm2."""
+        scale = self.technology.cluster_area_mm2 / TECH_22NM.cluster_area_mm2
+        others = sum(CLUSTER_COMPONENT_AREAS.values()) * scale
+        return others + self.redmule_area()
+
+    def redmule_share(self) -> float:
+        """Fraction of the cluster occupied by RedMulE (14 % in the paper)."""
+        return self.redmule_area() / self.total()
+
+    def breakdown(self) -> Breakdown:
+        """Cluster-level area breakdown."""
+        scale = self.technology.cluster_area_mm2 / TECH_22NM.cluster_area_mm2
+        items = [(name, area * scale)
+                 for name, area in CLUSTER_COMPONENT_AREAS.items()]
+        items.append(("RedMulE", self.redmule_area()))
+        return Breakdown(
+            title=f"PULP cluster area breakdown ({self.technology.name})",
+            unit="mm2",
+            items=items,
+        )

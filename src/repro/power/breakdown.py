@@ -1,0 +1,85 @@
+"""Named breakdown containers (area and power).
+
+Fig. 3a and Fig. 3b of the paper show the area and power breakdown of the
+standalone accelerator as pie charts.  The exact per-component percentages are
+not printed in the paper text, so the models in :mod:`repro.power.area` and
+:mod:`repro.power.energy` compute them from component-level constants that are
+calibrated to the published totals (0.07 mm2; 69 % of 43.5 mW) and to the
+qualitative statement that the FMA datapath dominates both.  This module only
+provides the generic container plus text rendering used by the benchmarks and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class BreakdownItem:
+    """One component of a breakdown."""
+
+    name: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"breakdown component {self.name!r} is negative")
+
+
+class Breakdown:
+    """A named collection of components summing to a total."""
+
+    def __init__(self, title: str, unit: str,
+                 items: Iterable[Tuple[str, float]]) -> None:
+        self.title = title
+        self.unit = unit
+        self.items: List[BreakdownItem] = [
+            BreakdownItem(name, float(value)) for name, value in items
+        ]
+        if not self.items:
+            raise ValueError("a breakdown needs at least one component")
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return sum(item.value for item in self.items)
+
+    def share(self, name: str) -> float:
+        """Fraction of the total contributed by ``name``."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.value(name) / total
+
+    def value(self, name: str) -> float:
+        """Absolute value of component ``name``."""
+        for item in self.items:
+            if item.name == name:
+                return item.value
+        raise KeyError(name)
+
+    def names(self) -> List[str]:
+        """Component names in declaration order."""
+        return [item.name for item in self.items]
+
+    def as_rows(self) -> List[Tuple[str, float, float]]:
+        """Rows of ``(name, value, share)`` for tabular rendering."""
+        total = self.total
+        return [
+            (item.name, item.value, item.value / total if total else 0.0)
+            for item in self.items
+        ]
+
+    def render(self) -> str:
+        """Multi-line text table of the breakdown."""
+        lines = [f"{self.title} (total {self.total:.4g} {self.unit})"]
+        width = max(len(item.name) for item in self.items)
+        for name, value, share in self.as_rows():
+            lines.append(f"  {name:<{width}}  {value:10.4g} {self.unit}  "
+                         f"{100.0 * share:5.1f}%")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Breakdown({self.title!r}, total={self.total:.4g} {self.unit})"

@@ -1,0 +1,114 @@
+"""Technology nodes and operating points.
+
+Two implementation technologies appear in the paper:
+
+* **22 nm** (GF22FDX-class): the main prototype, characterised at two
+  operating points -- the peak-efficiency point (0.65 V, 476 MHz, 43.5 mW
+  cluster power) and the peak-performance point (0.80 V, 666 MHz, 90.7 mW);
+* **65 nm**: a port used in the state-of-the-art comparison (1.2 V, 200 MHz,
+  89.1 mW, 3.85 mm2 cluster area).
+
+The voltage/frequency/power numbers of those points are the calibration
+anchors of the energy model; everything else (scaling between points,
+breakdowns, sweeps) is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (voltage, frequency) operating point of the cluster."""
+
+    name: str
+    voltage_v: float
+    frequency_hz: float
+
+    def __post_init__(self) -> None:
+        if self.voltage_v <= 0 or self.frequency_hz <= 0:
+            raise ValueError("voltage and frequency must be positive")
+
+    @property
+    def frequency_mhz(self) -> float:
+        """Clock frequency in MHz."""
+        return self.frequency_hz / 1e6
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """A technology node with its calibrated reference numbers."""
+
+    name: str
+    #: Feature size in nanometres (identification only).
+    node_nm: int
+    #: Cluster area in mm2 (with the reference RedMulE instance).
+    cluster_area_mm2: float
+    #: RedMulE area in mm2 (reference instance H=4, L=8, P=3).
+    redmule_area_mm2: float
+    #: Reference operating point used for power calibration.
+    reference_point: OperatingPoint
+    #: Cluster power at the reference point with RedMulE running (mW).
+    cluster_power_accel_mw: float
+    #: Cluster power at the reference point with the 8 cores running the
+    #: software matmul and RedMulE clock-gated (mW).
+    cluster_power_sw_mw: float
+    #: Dynamic fraction of the accelerator-mode power at the reference point
+    #: (the rest is leakage); used to scale to other operating points.
+    dynamic_fraction: float = 0.96
+
+
+#: 22 nm peak-efficiency operating point (Section III-A).
+OP_22NM_EFFICIENCY = OperatingPoint("22nm-0.65V", voltage_v=0.65,
+                                    frequency_hz=476e6)
+#: 22 nm peak-performance operating point (Section III-A).
+OP_22NM_PERFORMANCE = OperatingPoint("22nm-0.80V", voltage_v=0.80,
+                                     frequency_hz=666e6)
+#: 65 nm nominal operating point (Table I).
+OP_65NM_NOMINAL = OperatingPoint("65nm-1.2V", voltage_v=1.2,
+                                 frequency_hz=200e6)
+
+#: 22 nm prototype.  The software-mode power (9.2 mW) is back-derived from the
+#: paper's 22x speedup and 4.65x energy-efficiency gain: with efficiency =
+#: throughput / power, eff_hw / eff_sw = speedup * P_sw / P_hw, so
+#: P_sw = 4.65 / 22 * 43.5 mW = 9.2 mW -- consistent with ~1.1 mW per RI5CY
+#: core at 0.65 V / 476 MHz.
+TECH_22NM = TechnologyParams(
+    name="GF22FDX",
+    node_nm=22,
+    cluster_area_mm2=0.5,
+    redmule_area_mm2=0.07,
+    reference_point=OP_22NM_EFFICIENCY,
+    cluster_power_accel_mw=43.5,
+    cluster_power_sw_mw=9.2,
+    dynamic_fraction=0.961,
+)
+
+#: 65 nm port.  Only one operating point is published (Table I); the
+#: software-mode power keeps the same ratio to the accelerator-mode power as
+#: in 22 nm.
+TECH_65NM = TechnologyParams(
+    name="65nm",
+    node_nm=65,
+    cluster_area_mm2=3.85,
+    redmule_area_mm2=0.07 * (3.85 / 0.5),
+    reference_point=OP_65NM_NOMINAL,
+    cluster_power_accel_mw=89.1,
+    cluster_power_sw_mw=89.1 * 9.2 / 43.5,
+    dynamic_fraction=0.90,
+)
+
+
+def scale_power(reference_mw: float, dynamic_fraction: float,
+                reference: OperatingPoint, target: OperatingPoint) -> float:
+    """Scale a power number between operating points of the same technology.
+
+    Dynamic power scales with ``f * V^2`` and leakage (the remaining
+    fraction) approximately with ``V``.
+    """
+    voltage_ratio = target.voltage_v / reference.voltage_v
+    frequency_ratio = target.frequency_hz / reference.frequency_hz
+    dynamic = reference_mw * dynamic_fraction * frequency_ratio * voltage_ratio ** 2
+    static = reference_mw * (1.0 - dynamic_fraction) * voltage_ratio
+    return dynamic + static

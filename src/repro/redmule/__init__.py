@@ -1,0 +1,62 @@
+"""RedMulE: the Reduced-precision matrix Multiplication Engine.
+
+This package is the paper's primary contribution: a parametric, tightly
+coupled FP16 matrix-multiplication accelerator.  It contains
+
+* the architectural configuration (:mod:`repro.redmule.config`),
+* the job descriptor programmed by software (:mod:`repro.redmule.job`),
+* structural models of the datapath building blocks -- pipelined FMA units,
+  rows with feedback, the semi-systolic array, and the X/W/Z buffers
+  (:mod:`repro.redmule.fma_unit`, :mod:`repro.redmule.row`,
+  :mod:`repro.redmule.datapath`, :mod:`repro.redmule.buffers`),
+* the streamer that schedules the single 288-bit memory port
+  (:mod:`repro.redmule.streamer`),
+* the tiling scheduler (:mod:`repro.redmule.scheduler`),
+* the register file + controller (:mod:`repro.redmule.controller`),
+* the cycle-accurate engine that ties everything together
+  (:mod:`repro.redmule.engine`),
+* a closed-form performance model validated against the engine
+  (:mod:`repro.redmule.perf_model`), and
+* golden functional references (:mod:`repro.redmule.functional`).
+"""
+
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.job import MatmulJob
+from repro.redmule.fma_unit import PipelinedFma
+from repro.redmule.row import FmaRow
+from repro.redmule.datapath import Datapath
+from repro.redmule.buffers import WLineBuffer, XBlockBuffer, ZStoreBuffer
+from repro.redmule.streamer import Streamer, StreamerStats
+from repro.redmule.scheduler import Tile, TileSchedule
+from repro.redmule.controller import RedMulEController, REDMULE_REGISTERS
+from repro.redmule.engine import RedMulE, RedMulEResult
+from repro.redmule.perf_model import RedMulEPerfModel, PerfEstimate
+from repro.redmule.functional import (
+    matmul_hw_order_exact,
+    matmul_hw_order_fast,
+    matmul_reference_fp32,
+)
+
+__all__ = [
+    "Datapath",
+    "FmaRow",
+    "MatmulJob",
+    "PerfEstimate",
+    "PipelinedFma",
+    "REDMULE_REGISTERS",
+    "RedMulE",
+    "RedMulEConfig",
+    "RedMulEController",
+    "RedMulEPerfModel",
+    "RedMulEResult",
+    "Streamer",
+    "StreamerStats",
+    "Tile",
+    "TileSchedule",
+    "WLineBuffer",
+    "XBlockBuffer",
+    "ZStoreBuffer",
+    "matmul_hw_order_exact",
+    "matmul_hw_order_fast",
+    "matmul_reference_fp32",
+]

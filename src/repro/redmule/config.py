@@ -1,0 +1,146 @@
+"""RedMulE architectural configuration.
+
+The accelerator is parametric in three numbers (Section II-B of the paper):
+
+* ``H`` -- FMA units per row (columns of the array),
+* ``L`` -- rows of FMA units,
+* ``P`` -- internal pipeline registers per FMA.
+
+Each row computes ``H * (P + 1)`` elements of a Z row before storing them,
+which fixes the width of the X/W/Z lines the streamer moves per access and
+therefore the number of 32-bit TCDM ports.  The paper's reference instance is
+``H=4, L=8, P=3``: 32 FMAs, 16-element lines, 9 memory ports (256 bits of
+payload + one extra 32-bit lane for non-word-aligned accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Bits per matrix element (IEEE binary16).
+ELEMENT_BITS = 16
+#: Bytes per matrix element.
+ELEMENT_BYTES = ELEMENT_BITS // 8
+#: Width of one TCDM port in bits.
+PORT_BITS = 32
+
+
+@dataclass(frozen=True)
+class RedMulEConfig:
+    """Static (design-time) parameters of a RedMulE instance.
+
+    Attributes
+    ----------
+    height:
+        ``H``, number of FMA columns per row.
+    length:
+        ``L``, number of FMA rows.
+    pipeline_regs:
+        ``P``, internal pipeline registers per FMA (latency is ``P + 1``).
+    w_prefetch_lines:
+        How many W lines per column the streamer may prefetch ahead of use
+        (1 models the single staging slot in front of each shift register).
+    z_queue_depth:
+        Maximum pending Z line stores buffered before the datapath stalls.
+    """
+
+    height: int = 4
+    length: int = 8
+    pipeline_regs: int = 3
+    w_prefetch_lines: int = 1
+    z_queue_depth: int = 8
+
+    def __post_init__(self) -> None:
+        if self.height < 1:
+            raise ValueError("H (height) must be >= 1")
+        if self.length < 1:
+            raise ValueError("L (length) must be >= 1")
+        if self.pipeline_regs < 0:
+            raise ValueError("P (pipeline_regs) must be >= 0")
+        if self.w_prefetch_lines < 1:
+            raise ValueError("w_prefetch_lines must be >= 1")
+        if self.z_queue_depth < 1:
+            raise ValueError("z_queue_depth must be >= 1")
+
+    # -- derived geometry ---------------------------------------------------
+    @property
+    def latency(self) -> int:
+        """FMA latency in cycles (``P + 1``)."""
+        return self.pipeline_regs + 1
+
+    @property
+    def n_fma(self) -> int:
+        """Total number of FMA units (``H * L``)."""
+        return self.height * self.length
+
+    @property
+    def block_k(self) -> int:
+        """Z elements computed per row before store-back (``H * (P + 1)``).
+
+        This is also the number of FP16 elements in one X, W or Z line moved
+        by the streamer.
+        """
+        return self.height * self.latency
+
+    @property
+    def line_bits(self) -> int:
+        """Payload bits of one streamer line (``block_k * 16``)."""
+        return self.block_k * ELEMENT_BITS
+
+    @property
+    def line_bytes(self) -> int:
+        """Payload bytes of one streamer line."""
+        return self.block_k * ELEMENT_BYTES
+
+    @property
+    def n_mem_ports(self) -> int:
+        """Number of 32-bit TCDM ports of the streamer.
+
+        One port per 32 bits of line payload plus one extra port that absorbs
+        non-word-aligned accesses, as described in Section II-B (9 ports for
+        the reference design).
+        """
+        payload_ports = -(-self.line_bits // PORT_BITS)
+        return payload_ports + 1
+
+    @property
+    def ideal_macs_per_cycle(self) -> int:
+        """Peak MAC throughput: one MAC per FMA per cycle."""
+        return self.n_fma
+
+    # -- buffer sizing (elements) --------------------------------------------
+    @property
+    def x_buffer_elements(self) -> int:
+        """Capacity of the X buffer: one line of ``block_k`` elements per row."""
+        return self.length * self.block_k
+
+    @property
+    def w_buffer_elements(self) -> int:
+        """Capacity of the W buffer: one ``block_k`` shift register per column."""
+        return self.height * self.block_k
+
+    @property
+    def z_buffer_elements(self) -> int:
+        """Capacity of the Z buffer: one output line per row."""
+        return self.length * self.block_k
+
+    @property
+    def total_buffer_bits(self) -> int:
+        """Total storage bits across the X, W and Z buffers."""
+        return ELEMENT_BITS * (
+            self.x_buffer_elements + self.w_buffer_elements + self.z_buffer_elements
+        )
+
+    # -- helpers ---------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable summary of the instance."""
+        return (
+            f"RedMulE H={self.height} L={self.length} P={self.pipeline_regs} "
+            f"({self.n_fma} FMAs, {self.block_k}-element lines, "
+            f"{self.n_mem_ports}x32-bit ports)"
+        )
+
+    @classmethod
+    def reference(cls) -> "RedMulEConfig":
+        """The paper's reference instance: H=4, L=8, P=3 (32 FMAs, 9 ports)."""
+        return cls(height=4, length=8, pipeline_regs=3)

@@ -1,0 +1,155 @@
+"""RedMulE register map and job controller.
+
+Software programs RedMulE through a memory-mapped register file (reached via
+the cluster peripheral interconnect) following the standard ``hwpe-ctrl``
+protocol: acquire the job context, write the job registers, trigger, wait for
+the done event.  This module defines the register map used by the model, the
+translation between register contents and :class:`~repro.redmule.job.
+MatmulJob` descriptors, and the controller wrapper that sequences jobs.
+
+The register offsets mirror the layout of the PULP ``hwpe-ctrl`` IP: a small
+set of mandatory control registers at the bottom of the page followed by the
+job-specific registers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hwpe.controller import HwpeController, HwpeState
+from repro.hwpe.regfile import HwpeRegisterFile, RegisterSpec
+from repro.redmule.job import MatmulJob
+
+#: Mandatory hwpe-ctrl registers.
+REG_TRIGGER = "trigger"
+REG_ACQUIRE = "acquire"
+REG_FINISHED = "finished"
+REG_STATUS = "status"
+REG_RUNNING_JOB = "running_job"
+REG_SOFT_CLEAR = "soft_clear"
+
+#: RedMulE job registers.
+REG_X_ADDR = "x_addr"
+REG_W_ADDR = "w_addr"
+REG_Z_ADDR = "z_addr"
+REG_M_SIZE = "m_size"
+REG_N_SIZE = "n_size"
+REG_K_SIZE = "k_size"
+REG_X_STRIDE = "x_stride"
+REG_W_STRIDE = "w_stride"
+REG_Z_STRIDE = "z_stride"
+REG_FLAGS = "flags"
+
+#: Bit of ``REG_FLAGS`` selecting Z accumulation (``Z += X . W``).
+FLAG_ACCUMULATE = 1 << 0
+
+#: Complete register map (name, byte offset, writability, reset value).
+REDMULE_REGISTERS: List[RegisterSpec] = [
+    RegisterSpec(REG_TRIGGER, 0x00, doc="write any value to start the job"),
+    RegisterSpec(REG_ACQUIRE, 0x04, doc="read to acquire the job context"),
+    RegisterSpec(REG_FINISHED, 0x08, writable=False, doc="jobs completed"),
+    RegisterSpec(REG_STATUS, 0x0C, writable=False, doc="0 = idle, 1 = running"),
+    RegisterSpec(REG_RUNNING_JOB, 0x10, writable=False, doc="id of the running job"),
+    RegisterSpec(REG_SOFT_CLEAR, 0x14, doc="write to clear the accelerator state"),
+    RegisterSpec(REG_X_ADDR, 0x40, doc="byte address of X in TCDM"),
+    RegisterSpec(REG_W_ADDR, 0x44, doc="byte address of W in TCDM"),
+    RegisterSpec(REG_Z_ADDR, 0x48, doc="byte address of Z in TCDM"),
+    RegisterSpec(REG_M_SIZE, 0x4C, doc="rows of X / Z"),
+    RegisterSpec(REG_N_SIZE, 0x50, doc="inner dimension"),
+    RegisterSpec(REG_K_SIZE, 0x54, doc="columns of W / Z"),
+    RegisterSpec(REG_X_STRIDE, 0x58, doc="row stride of X in bytes (0 = dense)"),
+    RegisterSpec(REG_W_STRIDE, 0x5C, doc="row stride of W in bytes (0 = dense)"),
+    RegisterSpec(REG_Z_STRIDE, 0x60, doc="row stride of Z in bytes (0 = dense)"),
+    RegisterSpec(REG_FLAGS, 0x64, doc="bit 0: accumulate into Z (Z += X.W)"),
+]
+
+
+class RedMulEController:
+    """Register file + job FSM of the accelerator.
+
+    The controller does not execute jobs itself -- the engine does -- but it
+    is the programming surface: the cluster model and the examples write the
+    registers exactly like bare-metal code would, and the engine pulls the
+    job descriptor out of it when triggered.
+    """
+
+    def __init__(self) -> None:
+        self.regfile = HwpeRegisterFile(REDMULE_REGISTERS, name="redmule-regfile")
+        self.fsm = HwpeController()
+
+    # -- software-side protocol ---------------------------------------------
+    def acquire(self) -> int:
+        """Acquire the job context (returns 0 on success, -1 if busy)."""
+        result = self.fsm.acquire()
+        self.regfile.poke(REG_ACQUIRE, 0 if result == 0 else 0xFFFFFFFF)
+        return result
+
+    def program_job(self, job: MatmulJob) -> None:
+        """Write the job descriptor into the register file."""
+        self.regfile.write(REG_X_ADDR, job.x_addr)
+        self.regfile.write(REG_W_ADDR, job.w_addr)
+        self.regfile.write(REG_Z_ADDR, job.z_addr)
+        self.regfile.write(REG_M_SIZE, job.m)
+        self.regfile.write(REG_N_SIZE, job.n)
+        self.regfile.write(REG_K_SIZE, job.k)
+        self.regfile.write(REG_X_STRIDE, job.x_stride)
+        self.regfile.write(REG_W_STRIDE, job.w_stride)
+        self.regfile.write(REG_Z_STRIDE, job.z_stride)
+        self.regfile.write(REG_FLAGS, FLAG_ACCUMULATE if job.accumulate else 0)
+
+    def trigger(self) -> MatmulJob:
+        """Start the programmed job and return its descriptor."""
+        job = self.current_job()
+        self.fsm.trigger()
+        self.regfile.poke(REG_STATUS, 1)
+        self.regfile.poke(REG_RUNNING_JOB, self.fsm.jobs_completed)
+        return job
+
+    def finish(self) -> None:
+        """Mark the running job as done (called by the engine)."""
+        self.fsm.finish()
+        self.regfile.poke(REG_STATUS, 0)
+        self.regfile.poke(REG_FINISHED, self.fsm.jobs_completed)
+
+    def clear(self) -> None:
+        """Acknowledge the done event and return to idle."""
+        self.fsm.clear()
+
+    def soft_clear(self) -> None:
+        """Reset the register file and the FSM (``SOFT_CLEAR`` register)."""
+        self.regfile.reset()
+        self.fsm.reset()
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while a job is running."""
+        return self.fsm.busy
+
+    @property
+    def state(self) -> HwpeState:
+        """Controller FSM state."""
+        return self.fsm.state
+
+    def current_job(self) -> MatmulJob:
+        """Decode the register file into a :class:`MatmulJob`."""
+        return MatmulJob(
+            x_addr=self.regfile.read(REG_X_ADDR),
+            w_addr=self.regfile.read(REG_W_ADDR),
+            z_addr=self.regfile.read(REG_Z_ADDR),
+            m=self.regfile.read(REG_M_SIZE),
+            n=self.regfile.read(REG_N_SIZE),
+            k=self.regfile.read(REG_K_SIZE),
+            x_stride=self.regfile.read(REG_X_STRIDE),
+            w_stride=self.regfile.read(REG_W_STRIDE),
+            z_stride=self.regfile.read(REG_Z_STRIDE),
+            accumulate=bool(self.regfile.read(REG_FLAGS) & FLAG_ACCUMULATE),
+        )
+
+    def offload_register_writes(self) -> int:
+        """Number of register writes a core performs to offload one job.
+
+        Used by the cluster model to charge the software offload cost
+        (10 job registers + trigger).
+        """
+        return 11

@@ -1,0 +1,107 @@
+"""The semi-systolic FMA array (column-pipeline implementation).
+
+All ``L`` rows of the array execute the same schedule, so the cycle-accurate
+model keeps one pipeline per *column* whose entries carry a vector of ``L``
+values (one per row).  An entry issued into column ``c`` at cycle ``t``
+completes at ``t + P + 1`` and its result vector becomes the accumulation
+input of column ``c + 1`` (or the feedback / output of the row when ``c`` is
+the last column), exactly reproducing the wiring of Fig. 2b.
+
+The datapath does not know about tiles, memory or stalls -- the engine decides
+when to issue what.  It only enforces structural legality (one issue per
+column per cycle, bounded pipeline depth) and evaluates the FP16 arithmetic
+through a :class:`~repro.redmule.vector_ops.VectorOps` strategy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.vector_ops import VectorOps, make_vector_ops
+
+
+@dataclass
+class ColumnEntry:
+    """An FMA operation (for all L rows at once) in flight in one column."""
+
+    #: Tag identifying the operation: (chunk index, k index within the tile).
+    chunk: int
+    k: int
+    #: Result vector (evaluated at issue; the pipeline models latency only).
+    values: object
+    #: Remaining cycles until the result is available downstream.
+    remaining: int
+
+
+class Datapath:
+    """``H`` column pipelines of ``L``-wide FP16 FMA vectors."""
+
+    def __init__(self, config: RedMulEConfig, exact: bool = True,
+                 vector_ops: Optional[VectorOps] = None) -> None:
+        self.config = config
+        self.ops = vector_ops if vector_ops is not None else make_vector_ops(exact)
+        self._pipes: List[Deque[ColumnEntry]] = [
+            deque() for _ in range(config.height)
+        ]
+        self._issued_this_cycle = [False] * config.height
+        #: Total column issues performed (each is ``L`` FMA operations).
+        self.column_issues = 0
+        #: Total FMA operations issued (``column_issues * L``).
+        self.fma_issues = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while any column still has operations in flight."""
+        return any(self._pipes)
+
+    def occupancy(self, column: int) -> int:
+        """Number of in-flight entries in ``column``."""
+        return len(self._pipes[column])
+
+    def tick(self) -> Dict[int, ColumnEntry]:
+        """Advance one cycle.
+
+        Returns a map ``column -> entry`` of the operations that completed
+        this cycle (at most one per column).  Must be called exactly once per
+        simulated cycle, before any :meth:`issue` of that cycle.
+        """
+        completed: Dict[int, ColumnEntry] = {}
+        for column, pipe in enumerate(self._pipes):
+            self._issued_this_cycle[column] = False
+            for entry in pipe:
+                entry.remaining -= 1
+            if pipe and pipe[0].remaining == 0:
+                completed[column] = pipe.popleft()
+        return completed
+
+    def issue(self, column: int, chunk: int, k: int, x_vector, w_bits: int,
+              acc_vector) -> None:
+        """Issue ``x * w + acc`` into ``column`` for tag ``(chunk, k)``."""
+        if not (0 <= column < self.config.height):
+            raise IndexError(f"column {column} out of range")
+        if self._issued_this_cycle[column]:
+            raise RuntimeError(f"column {column}: second issue in the same cycle")
+        pipe = self._pipes[column]
+        if len(pipe) >= self.config.latency:
+            raise RuntimeError(
+                f"column {column}: pipeline overflow "
+                f"({len(pipe)} entries, latency {self.config.latency})"
+            )
+        values = self.ops.fma(x_vector, w_bits, acc_vector)
+        pipe.append(
+            ColumnEntry(chunk=chunk, k=k, values=values,
+                        remaining=self.config.latency)
+        )
+        self._issued_this_cycle[column] = True
+        self.column_issues += 1
+        self.fma_issues += self.config.length
+
+    def flush(self) -> None:
+        """Drop all in-flight operations (between jobs)."""
+        for pipe in self._pipes:
+            pipe.clear()
+        self._issued_this_cycle = [False] * self.config.height

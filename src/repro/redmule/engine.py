@@ -1,0 +1,465 @@
+"""Cycle-accurate RedMulE engine.
+
+This module ties together the datapath, buffers, streamer, scheduler and
+controller into a cycle-by-cycle simulation of a complete matmul job:
+
+* operands are read from (and results written to) the simulated TCDM through
+  the HCI shallow branch, one wide access per cycle at most;
+* the datapath issues at most one vector FMA per column per cycle, following
+  the semi-systolic schedule of Section II-C (X operands held for
+  ``H*(P+1)`` cycles, W operands broadcast every cycle, feedback after the
+  last column);
+* the whole array stalls when a W line or an X block is not resident when a
+  column crosses a chunk boundary (ready/valid back-pressure);
+* computed Z lines are queued in the Z buffer and drained through spare port
+  slots.
+
+The engine reports cycle counts, stall breakdowns and utilisation, and -- by
+construction -- leaves the bit-exact (or numpy-exact) result of the
+computation in the TCDM, so functional and timing verification use the same
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fp.float16 import POS_ZERO_BITS
+from repro.interco.hci import Hci, HciConfig
+from repro.mem.tcdm import Tcdm, TcdmConfig
+from repro.redmule.buffers import WLineBuffer, XBlockBuffer, ZStoreBuffer, ZStoreRequest
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.controller import RedMulEController
+from repro.redmule.datapath import Datapath
+from repro.redmule.job import MatmulJob
+from repro.redmule.scheduler import Tile, TileSchedule
+from repro.redmule.streamer import Streamer, StreamRequest, StreamerStats
+from repro.redmule.vector_ops import make_vector_ops
+
+
+@dataclass
+class RedMulEResult:
+    """Outcome of one simulated job."""
+
+    job: MatmulJob
+    #: Total cycles from trigger to the last Z store leaving the streamer.
+    cycles: int
+    #: Cycles in which the datapath was frozen waiting for operands.
+    stall_cycles: int
+    #: Cycles in which the datapath issued at least one operation.
+    active_cycles: int
+    #: Useful multiply-accumulates (M*N*K).
+    total_macs: int
+    #: FMA slots actually issued by the array (padding included).
+    issued_macs: int
+    #: Number of tiles processed.
+    n_tiles: int
+    #: Peak throughput of the instance that ran the job (H * L MAC/cycle).
+    peak_macs_per_cycle: int = 32
+    #: Port-level streamer statistics.
+    streamer: StreamerStats = field(default_factory=StreamerStats)
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Useful MACs per cycle (the paper's throughput metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.total_macs / self.cycles
+
+    @property
+    def utilisation(self) -> float:
+        """Useful MACs per cycle divided by the array's peak (H*L)."""
+        if self.cycles == 0 or self.peak_macs_per_cycle == 0:
+            return 0.0
+        return self.macs_per_cycle / self.peak_macs_per_cycle
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.job.describe()}: {self.cycles} cycles, "
+            f"{self.macs_per_cycle:.2f} MAC/cycle, "
+            f"{self.stall_cycles} stalls, {self.n_tiles} tiles"
+        )
+
+
+class RedMulE:
+    """Cycle-accurate model of one RedMulE instance attached to an HCI."""
+
+    def __init__(
+        self,
+        config: Optional[RedMulEConfig] = None,
+        hci: Optional[Hci] = None,
+        exact: bool = False,
+    ) -> None:
+        self.config = config if config is not None else RedMulEConfig.reference()
+        if hci is None:
+            tcdm = Tcdm(TcdmConfig())
+            hci = Hci(tcdm, HciConfig(n_wide_ports=self.config.n_mem_ports))
+        self.hci = hci
+        self.exact = exact
+        self.ops = make_vector_ops(exact)
+        self.datapath = Datapath(self.config, vector_ops=self.ops)
+        self.controller = RedMulEController()
+        self.streamer = Streamer(self.config, hci)
+        #: Results of every job run on this instance.
+        self.history: List[RedMulEResult] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def tcdm(self) -> Tcdm:
+        """The TCDM this instance reads and writes."""
+        return self.hci.tcdm
+
+    def offload(self, job: MatmulJob, max_cycles: Optional[int] = None) -> RedMulEResult:
+        """Full software-style offload: program the register file, run, finish."""
+        if self.controller.acquire() != 0:
+            raise RuntimeError("RedMulE is busy")
+        self.controller.program_job(job)
+        triggered = self.controller.trigger()
+        result = self.run_job(triggered, max_cycles=max_cycles)
+        self.controller.fsm.tick(result.cycles)
+        self.controller.finish()
+        self.controller.clear()
+        return result
+
+    # ------------------------------------------------------------------
+    def run_job(self, job: MatmulJob, max_cycles: Optional[int] = None) -> RedMulEResult:
+        """Simulate one matmul job cycle by cycle.
+
+        The result matrix is written into the TCDM at ``job.z_addr`` and the
+        timing statistics are returned.
+        """
+        cfg = self.config
+        height, length = cfg.height, cfg.length
+        latency, block_k = cfg.latency, cfg.block_k
+        ops = self.ops
+
+        schedule = TileSchedule(job, cfg)
+        n_chunks = schedule.n_chunks
+        n_blocks = schedule.n_blocks
+        issue_end = (height - 1) * latency + n_chunks * block_k
+
+        xbuf = XBlockBuffer(cfg, capacity_blocks=2)
+        wbuf = WLineBuffer(cfg)
+        zbuf = ZStoreBuffer(cfg)
+        self.datapath.flush()
+        self.streamer.reset_stats()
+
+        zero_line_bits = [POS_ZERO_BITS] * block_k
+        zero_vec = ops.zeros(length)
+        fma_issues_at_start = self.datapath.fma_issues
+
+        if max_cycles is None:
+            max_cycles = 20_000 + 4 * schedule.issued_macs() // cfg.n_fma
+
+        total_cycles = 0
+        stall_cycles = 0
+        active_cycles = 0
+
+        # W lines in the order the datapath will need them.
+        w_need_order = sorted(
+            (col * latency + chunk * block_k, col, chunk)
+            for chunk in range(n_chunks)
+            for col in range(height)
+        )
+
+        for tile in schedule:
+            xbuf.reset()
+            wbuf.reset()
+            feedback = [zero_vec] * block_k
+            z_tile: List[Optional[object]] = [None] * block_k
+            z_done = 0
+            x_current = [zero_vec] * height
+            x_enqueued_blocks = 0
+            w_ptr = 0
+            t = 0
+
+            # Accumulation jobs (Z += X . W) pre-load the existing Z lines of
+            # this tile into the row accumulators before the first issue.
+            y_lines: List[Optional[List[int]]] = [None] * length
+            y_pending = 0
+            y_applied = not job.accumulate
+            if job.accumulate:
+                for row in range(length):
+                    if row < tile.rows:
+                        self.streamer.enqueue(
+                            StreamRequest(
+                                kind="y",
+                                addr=job.z_element_addr(tile.m0 + row, tile.k0),
+                                n_elements=tile.cols,
+                                meta=("y", row),
+                            )
+                        )
+                        y_pending += 1
+                    else:
+                        y_lines[row] = list(zero_line_bits)
+
+            while True:
+                total_cycles += 1
+                if total_cycles > max_cycles:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_cycles} cycles "
+                        f"({job.describe()}, tile {tile.index})"
+                    )
+
+                # ---- 1. memory: one wide port cycle --------------------------
+                self._drain_zbuf(zbuf)
+                finished = self.streamer.cycle()
+                if finished is not None and not finished.write:
+                    if finished.kind == "y":
+                        _, row = finished.meta
+                        y_lines[row] = finished.data_bits
+                        y_pending -= 1
+                    else:
+                        self._fill_buffer(finished, xbuf, wbuf, ops)
+
+                # Once every Z pre-load line has arrived, seed the feedback
+                # registers with the existing Z values (column-major view).
+                if not y_applied and y_pending == 0:
+                    for k in range(block_k):
+                        feedback[k] = ops.from_bits(
+                            [y_lines[row][k] for row in range(length)]
+                        )
+                    y_applied = True
+
+                # ---- 2. demand-driven request generation ----------------------
+                x_enqueued_blocks = self._enqueue_x(
+                    job, tile, xbuf, ops, zero_line_bits,
+                    x_enqueued_blocks, n_blocks, t,
+                )
+                w_ptr = self._enqueue_w(
+                    job, tile, wbuf, zero_line_bits, w_need_order, w_ptr, t,
+                )
+
+                # ---- 3. datapath ----------------------------------------------
+                if t < issue_end:
+                    ready = y_applied and self._resources_ready(
+                        job, tile, xbuf, wbuf, t, n_chunks
+                    )
+                else:
+                    ready = True
+
+                if ready:
+                    completions = self.datapath.tick()
+                    last = completions.get(height - 1)
+                    if last is not None:
+                        if last.chunk == n_chunks - 1:
+                            z_tile[last.k] = last.values
+                            z_done += 1
+                        else:
+                            feedback[last.k] = last.values
+                    if t < issue_end:
+                        issued = self._issue_cycle(
+                            job, tile, xbuf, wbuf, x_current, feedback,
+                            completions, t, n_chunks,
+                        )
+                        if issued:
+                            active_cycles += 1
+                    t += 1
+                else:
+                    stall_cycles += 1
+
+                # ---- 4. tile completion ----------------------------------------
+                # The tile ends once every result has drained out of the
+                # array *and* the Z buffer has room for this tile's lines
+                # (otherwise keep cycling so pending stores trickle out).
+                if (
+                    t >= issue_end
+                    and not self.datapath.busy
+                    and zbuf.occupancy + tile.rows <= zbuf.depth
+                ):
+                    break
+
+            if z_done != block_k:
+                raise RuntimeError(
+                    f"tile {tile.index}: expected {block_k} output columns, "
+                    f"got {z_done}"
+                )
+            self._push_z(job, tile, z_tile, zbuf, ops)
+
+        # Drain the remaining Z stores.
+        while not zbuf.empty or self.streamer.busy:
+            total_cycles += 1
+            if total_cycles > max_cycles:
+                raise RuntimeError("simulation exceeded max_cycles during Z drain")
+            self._drain_zbuf(zbuf)
+            self.streamer.cycle()
+
+        result = RedMulEResult(
+            job=job,
+            cycles=total_cycles,
+            stall_cycles=stall_cycles,
+            active_cycles=active_cycles,
+            total_macs=job.total_macs,
+            issued_macs=self.datapath.fma_issues - fma_issues_at_start,
+            n_tiles=schedule.n_tiles,
+            peak_macs_per_cycle=cfg.ideal_macs_per_cycle,
+            streamer=self.streamer.stats,
+        )
+        self.history.append(result)
+        return result
+
+    # -- helpers -----------------------------------------------------------
+    def _drain_zbuf(self, zbuf: ZStoreBuffer) -> None:
+        """Move pending Z lines into the streamer's store queue (one per cycle)."""
+        if not zbuf.empty and self.streamer.pending("z") < 2:
+            request = zbuf.pop()
+            self.streamer.enqueue(
+                StreamRequest(
+                    kind="z",
+                    addr=request.addr,
+                    n_elements=request.valid_elements,
+                    write=True,
+                    payload_bits=request.bits[: request.valid_elements],
+                )
+            )
+
+    def _fill_buffer(self, finished: StreamRequest, xbuf: XBlockBuffer,
+                     wbuf: WLineBuffer, ops) -> None:
+        """Route a completed load into the X or W buffer."""
+        if finished.kind == "w":
+            _, col, chunk = finished.meta
+            wbuf.load_line(col, chunk, finished.data_bits)
+        elif finished.kind == "x":
+            _, block, row = finished.meta
+            xbuf.load_line(block, row, ops.from_bits(finished.data_bits))
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unexpected load kind {finished.kind!r}")
+
+    def _enqueue_x(self, job: MatmulJob, tile: Tile, xbuf: XBlockBuffer, ops,
+                   zero_line_bits: List[int], next_block: int, n_blocks: int,
+                   t: int) -> int:
+        """Enqueue X block loads one block ahead of consumption."""
+        cfg = self.config
+        block_cycles = cfg.latency * cfg.block_k
+        while (
+            next_block < n_blocks
+            and t >= (next_block - 1) * block_cycles
+            and xbuf.can_accept(next_block)
+        ):
+            n_start = next_block * cfg.block_k
+            n_count = min(cfg.block_k, job.n - n_start)
+            for row in range(cfg.length):
+                if row < tile.rows and n_count > 0:
+                    self.streamer.enqueue(
+                        StreamRequest(
+                            kind="x",
+                            addr=job.x_element_addr(tile.m0 + row, n_start),
+                            n_elements=n_count,
+                            meta=("x", next_block, row),
+                        )
+                    )
+                else:
+                    xbuf.load_line(next_block, row, ops.from_bits(zero_line_bits))
+            next_block += 1
+        return next_block
+
+    def _enqueue_w(self, job: MatmulJob, tile: Tile, wbuf: WLineBuffer,
+                   zero_line_bits: List[int], w_need_order, w_ptr: int,
+                   t: int) -> int:
+        """Enqueue W line loads one line-time ahead of their first broadcast."""
+        cfg = self.config
+        horizon = cfg.block_k * cfg.w_prefetch_lines
+        while w_ptr < len(w_need_order) and w_need_order[w_ptr][0] <= t + horizon:
+            _, col, chunk = w_need_order[w_ptr]
+            n = chunk * cfg.height + col
+            if n < job.n:
+                self.streamer.enqueue(
+                    StreamRequest(
+                        kind="w",
+                        addr=job.w_element_addr(n, tile.k0),
+                        n_elements=tile.cols,
+                        meta=("w", col, chunk),
+                    )
+                )
+            else:
+                wbuf.load_line(col, chunk, list(zero_line_bits))
+            w_ptr += 1
+        return w_ptr
+
+    def _resources_ready(self, job: MatmulJob, tile: Tile, xbuf: XBlockBuffer,
+                         wbuf: WLineBuffer, t: int, n_chunks: int) -> bool:
+        """Check whether the column crossing a chunk boundary has its operands."""
+        cfg = self.config
+        for col in range(cfg.height):
+            slot = t - col * cfg.latency
+            if slot < 0:
+                continue
+            chunk, k = divmod(slot, cfg.block_k)
+            if chunk >= n_chunks or k != 0:
+                continue
+            n = chunk * cfg.height + col
+            if n >= job.n:
+                continue
+            if not wbuf.has_line(col, chunk):
+                return False
+            if not xbuf.block_ready(n // cfg.block_k):
+                return False
+        return True
+
+    def _issue_cycle(self, job: MatmulJob, tile: Tile, xbuf: XBlockBuffer,
+                     wbuf: WLineBuffer, x_current: List[object],
+                     feedback: List[object], completions: Dict[int, object],
+                     t: int, n_chunks: int) -> bool:
+        """Issue every active column for tile-time ``t``; returns True if any."""
+        cfg = self.config
+        ops = self.ops
+        issued = False
+        for col in range(cfg.height):
+            slot = t - col * cfg.latency
+            if slot < 0:
+                continue
+            chunk, k = divmod(slot, cfg.block_k)
+            if chunk >= n_chunks:
+                continue
+            n = chunk * cfg.height + col
+
+            if k == 0:
+                if n < job.n:
+                    block, offset = divmod(n, cfg.block_k)
+                    x_current[col] = ops.gather(xbuf.lines(block), offset)
+                else:
+                    x_current[col] = ops.zeros(cfg.length)
+
+            if n < job.n:
+                w_bits = wbuf.line(col, chunk)[k]
+            else:
+                w_bits = POS_ZERO_BITS
+
+            if col == 0:
+                acc = feedback[k]
+            else:
+                previous = completions.get(col - 1)
+                if previous is None or previous.chunk != chunk or previous.k != k:
+                    raise RuntimeError(
+                        f"systolic chaining broken at t={t}, column {col}, "
+                        f"chunk {chunk}, k {k}"
+                    )
+                acc = previous.values
+
+            self.datapath.issue(col, chunk, k, x_current[col], w_bits, acc)
+            issued = True
+
+            if k == cfg.block_k - 1:
+                if n < job.n:
+                    wbuf.evict(col, chunk)
+                if col == cfg.height - 1:
+                    xbuf.evict_before(((chunk + 1) * cfg.height) // cfg.block_k)
+        return issued
+
+    def _push_z(self, job: MatmulJob, tile: Tile, z_tile: List[object],
+                zbuf: ZStoreBuffer, ops) -> None:
+        """Convert the finished tile into Z line store requests."""
+        column_bits = [ops.to_bits(z_tile[k]) for k in range(tile.cols)]
+        for row in range(tile.rows):
+            line = [column_bits[k][row] for k in range(tile.cols)]
+            accepted = zbuf.push(
+                ZStoreRequest(
+                    addr=job.z_element_addr(tile.m0 + row, tile.k0),
+                    bits=line,
+                    valid_elements=tile.cols,
+                )
+            )
+            if not accepted:
+                raise RuntimeError("Z store buffer overflow")

@@ -1,0 +1,120 @@
+"""Pipelined FP16 FMA unit (scalar structural model).
+
+Each RedMulE processing element is an FPnew-derived FP16 FMA with ``P``
+internal pipeline registers: an operation issued at cycle ``t`` produces its
+result at cycle ``t + P + 1``.  The X operand of a unit is held constant while
+the W operand changes every cycle, so the unit processes ``P + 1`` independent
+partial products back-to-back without hazards.
+
+This scalar model is used by the unit tests and by :class:`repro.redmule.row.
+FmaRow` to validate the vectorised datapath implementation; the cycle-accurate
+engine uses the column-vector pipelines in :mod:`repro.redmule.datapath` for
+speed, which are tested to be cycle- and bit-equivalent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.fp.arith import BitExactFp16, Fp16Arithmetic
+
+
+@dataclass
+class FmaOperation:
+    """An FMA operation in flight inside the pipeline."""
+
+    #: 16-bit pattern of the multiplicand held in the X register.
+    x: int
+    #: 16-bit pattern of the streamed W operand.
+    w: int
+    #: 16-bit pattern of the accumulation input.
+    acc: int
+    #: Opaque tag propagated to the output (the engine uses (chunk, k)).
+    tag: object = None
+    #: Remaining cycles before the result is available.
+    remaining: int = 0
+    #: Result pattern, filled when the operation is issued (the arithmetic is
+    #: evaluated eagerly; the pipeline only models latency).
+    result: int = 0
+
+
+class PipelinedFma:
+    """One FP16 FMA unit with ``P`` pipeline registers (latency ``P + 1``).
+
+    The unit accepts at most one issue per cycle and produces at most one
+    result per cycle; the caller drives it with :meth:`issue` followed by
+    :meth:`tick` every simulated cycle.
+    """
+
+    def __init__(self, pipeline_regs: int = 3,
+                 arithmetic: Optional[Fp16Arithmetic] = None) -> None:
+        if pipeline_regs < 0:
+            raise ValueError("pipeline_regs must be >= 0")
+        self.pipeline_regs = pipeline_regs
+        self.latency = pipeline_regs + 1
+        self.arithmetic = arithmetic if arithmetic is not None else BitExactFp16()
+        self._pipeline: Deque[FmaOperation] = deque()
+        #: Currently latched X operand (held for H*(P+1) cycles by the array).
+        self.x_register: int = 0
+        #: Number of operations issued.
+        self.issued = 0
+        #: Number of results retired.
+        self.retired = 0
+        self._issued_this_cycle = False
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """True while operations are still in flight."""
+        return bool(self._pipeline)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of operations currently in the pipeline."""
+        return len(self._pipeline)
+
+    def load_x(self, x_bits: int) -> None:
+        """Latch a new X operand (done once per ``H*(P+1)``-cycle slot)."""
+        self.x_register = x_bits
+
+    def issue(self, w_bits: int, acc_bits: int, tag: object = None) -> None:
+        """Issue ``x_register * w + acc`` into the pipeline.
+
+        At most one issue per cycle is allowed; the engine guarantees this by
+        construction and the model enforces it to catch scheduling bugs.
+        """
+        if self._issued_this_cycle:
+            raise RuntimeError("more than one issue in the same cycle")
+        if len(self._pipeline) >= self.latency:
+            raise RuntimeError("pipeline overflow: issuing faster than latency allows")
+        result = self.arithmetic.fma(self.x_register, w_bits, acc_bits)
+        self._pipeline.append(
+            FmaOperation(
+                x=self.x_register,
+                w=w_bits,
+                acc=acc_bits,
+                tag=tag,
+                remaining=self.latency,
+                result=result,
+            )
+        )
+        self.issued += 1
+        self._issued_this_cycle = True
+
+    def tick(self) -> Optional[FmaOperation]:
+        """Advance one cycle; return the operation completing this cycle, if any."""
+        self._issued_this_cycle = False
+        completed: Optional[FmaOperation] = None
+        for op in self._pipeline:
+            op.remaining -= 1
+        if self._pipeline and self._pipeline[0].remaining == 0:
+            completed = self._pipeline.popleft()
+            self.retired += 1
+        return completed
+
+    def flush(self) -> None:
+        """Drop all in-flight operations (used between jobs in tests)."""
+        self._pipeline.clear()
+        self._issued_this_cycle = False

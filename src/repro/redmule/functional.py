@@ -1,0 +1,118 @@
+"""Golden functional models of the RedMulE computation.
+
+RedMulE accumulates every output element ``Z[r, k]`` by walking the inner
+dimension ``n`` strictly in increasing order, one fused multiply-add at a
+time (chunks of ``H`` columns, then feedback -- see Fig. 2).  Because each
+step is a single-rounded FP16 FMA, the result differs in general from a
+float32 matmul rounded at the end; these golden models reproduce the exact
+hardware result so the cycle-accurate engine can be verified bit-by-bit.
+
+Two implementations are provided:
+
+* :func:`matmul_hw_order_exact` -- scalar, bit-exact (integers all the way);
+  the reference for correctness, used on small matrices.
+* :func:`matmul_hw_order_fast` -- vectorised numpy implementation evaluating
+  each FMA step in float64 with one rounding to binary16; it matches the
+  exact model on all practical inputs and is used for larger tests and the
+  workload-level checks.
+
+plus :func:`matmul_reference_fp32`, a float32 reference used to bound the
+numerical error of FP16 accumulation in the accuracy examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.fp.fma import fma16
+from repro.fp.float16 import POS_ZERO_BITS
+from repro.fp.vector import matrix_from_bits, matrix_to_bits
+
+
+def matmul_hw_order_exact(
+    x_bits: Sequence[Sequence[int]],
+    w_bits: Sequence[Sequence[int]],
+    acc_bits: Optional[Sequence[Sequence[int]]] = None,
+) -> List[List[int]]:
+    """Bit-exact ``Z = acc + X . W`` with the hardware's FMA accumulation order.
+
+    Parameters are matrices of 16-bit patterns (``x_bits`` is ``M x N``,
+    ``w_bits`` is ``N x K``); the result is an ``M x K`` matrix of patterns.
+    ``acc_bits`` (``M x K``) is the initial accumulator contents used by
+    accumulation jobs (``Z += X . W``); it defaults to positive zeros.
+    """
+    m = len(x_bits)
+    n = len(w_bits)
+    if m == 0 or n == 0:
+        raise ValueError("empty operands")
+    if any(len(row) != n for row in x_bits):
+        raise ValueError("X has inconsistent row lengths or wrong inner dimension")
+    k = len(w_bits[0])
+    if any(len(row) != k for row in w_bits):
+        raise ValueError("W has inconsistent row lengths")
+    if acc_bits is not None and (
+        len(acc_bits) != m or any(len(row) != k for row in acc_bits)
+    ):
+        raise ValueError("accumulator matrix must be M x K")
+
+    result: List[List[int]] = []
+    for r in range(m):
+        x_row = x_bits[r]
+        out_row: List[int] = []
+        for c in range(k):
+            acc = acc_bits[r][c] if acc_bits is not None else POS_ZERO_BITS
+            for i in range(n):
+                acc = fma16(x_row[i], w_bits[i][c], acc)
+            out_row.append(acc)
+        result.append(out_row)
+    return result
+
+
+def matmul_hw_order_fast(x: np.ndarray, w: np.ndarray,
+                         acc: Optional[np.ndarray] = None) -> np.ndarray:
+    """Vectorised ``Z = acc + X . W`` with per-step FP16 rounding (hardware order).
+
+    ``x`` and ``w`` must contain binary16-representable values (use
+    :func:`repro.fp.vector.quantize_fp16`); the result is returned as float32
+    holding exact binary16 values.  ``acc`` is the optional initial
+    accumulator matrix (``M x K``) used by accumulation jobs.
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    w64 = np.asarray(w, dtype=np.float64)
+    if x64.ndim != 2 or w64.ndim != 2:
+        raise ValueError("operands must be 2-D")
+    if x64.shape[1] != w64.shape[0]:
+        raise ValueError(
+            f"inner dimensions disagree: {x64.shape} . {w64.shape}"
+        )
+    m, n = x64.shape
+    k = w64.shape[1]
+    if acc is None:
+        acc = np.zeros((m, k), dtype=np.float64)
+    else:
+        acc = np.asarray(acc, dtype=np.float64)
+        if acc.shape != (m, k):
+            raise ValueError(f"accumulator must be {m}x{k}, got {acc.shape}")
+        acc = acc.copy()
+    with np.errstate(over="ignore", invalid="ignore"):
+        for i in range(n):
+            raw = np.outer(x64[:, i], w64[i, :]) + acc
+            acc = raw.astype(np.float16).astype(np.float64)
+    return acc.astype(np.float32)
+
+
+def matmul_hw_order_fast_bits(
+    x_bits: Sequence[Sequence[int]],
+    w_bits: Sequence[Sequence[int]],
+) -> List[List[int]]:
+    """Bit-pattern wrapper around :func:`matmul_hw_order_fast`."""
+    x = matrix_from_bits(x_bits)
+    w = matrix_from_bits(w_bits)
+    return matrix_to_bits(matmul_hw_order_fast(x, w))
+
+
+def matmul_reference_fp32(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Plain float32 matrix multiplication (accuracy yard-stick)."""
+    return (np.asarray(x, dtype=np.float32) @ np.asarray(w, dtype=np.float32))

@@ -1,0 +1,143 @@
+"""RedMulE job descriptor.
+
+A *job* is what software programs into the register file before triggering
+the accelerator: the addresses and strides of the three operand matrices and
+the problem size ``(M, N, K)`` of ``Z[M,K] = X[M,N] . W[N,K]``.  The
+descriptor used here mirrors the register map in
+:mod:`repro.redmule.controller` one-to-one, so a job can be round-tripped
+through the register file without loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.layout import ELEMENT_BYTES, MatrixHandle
+
+
+@dataclass(frozen=True)
+class MatmulJob:
+    """A matrix-multiplication job ``Z = X . W``.
+
+    Attributes
+    ----------
+    x_addr, w_addr, z_addr:
+        Byte addresses of the three matrices in TCDM.
+    m, n, k:
+        Problem size: X is ``m x n``, W is ``n x k``, Z is ``m x k``.
+    x_stride, w_stride, z_stride:
+        Row strides in bytes (dense row-major when left at 0).
+    accumulate:
+        When ``True`` the engine computes ``Z += X . W``: the existing
+        contents of the Z region are pre-loaded into the row accumulators
+        before the first inner-dimension chunk, which is how a tiled GEMM
+        larger than the TCDM (or a bias add) is composed from several jobs.
+    """
+
+    x_addr: int
+    w_addr: int
+    z_addr: int
+    m: int
+    n: int
+    k: int
+    x_stride: int = 0
+    w_stride: int = 0
+    z_stride: int = 0
+    accumulate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0 or self.k <= 0:
+            raise ValueError(f"job dimensions must be positive, got "
+                             f"M={self.m} N={self.n} K={self.k}")
+        for name, addr in (("x", self.x_addr), ("w", self.w_addr), ("z", self.z_addr)):
+            if addr < 0:
+                raise ValueError(f"{name}_addr must be non-negative")
+            if addr % ELEMENT_BYTES:
+                raise ValueError(f"{name}_addr must be 16-bit aligned")
+        object.__setattr__(self, "x_stride",
+                           self.x_stride or self.n * ELEMENT_BYTES)
+        object.__setattr__(self, "w_stride",
+                           self.w_stride or self.k * ELEMENT_BYTES)
+        object.__setattr__(self, "z_stride",
+                           self.z_stride or self.k * ELEMENT_BYTES)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_handles(cls, x: MatrixHandle, w: MatrixHandle,
+                     z: MatrixHandle, accumulate: bool = False) -> "MatmulJob":
+        """Build a job from three :class:`MatrixHandle` descriptors.
+
+        Shapes are checked for consistency (``x.cols == w.rows`` etc.), which
+        catches the most common programming errors before they turn into
+        silent garbage in the simulated memory.
+        """
+        if x.cols != w.rows:
+            raise ValueError(
+                f"inner dimensions disagree: X is {x.rows}x{x.cols}, "
+                f"W is {w.rows}x{w.cols}"
+            )
+        if z.rows != x.rows or z.cols != w.cols:
+            raise ValueError(
+                f"output shape mismatch: Z is {z.rows}x{z.cols}, "
+                f"expected {x.rows}x{w.cols}"
+            )
+        return cls(
+            x_addr=x.base,
+            w_addr=w.base,
+            z_addr=z.base,
+            m=x.rows,
+            n=x.cols,
+            k=w.cols,
+            x_stride=x.row_stride,
+            w_stride=w.row_stride,
+            z_stride=z.row_stride,
+            accumulate=accumulate,
+        )
+
+    # -- derived properties --------------------------------------------------
+    @property
+    def total_macs(self) -> int:
+        """Useful multiply-accumulate operations in the job (``M*N*K``)."""
+        return self.m * self.n * self.k
+
+    @property
+    def total_flops(self) -> int:
+        """Floating-point operations (2 per MAC)."""
+        return 2 * self.total_macs
+
+    @property
+    def x_handle(self) -> MatrixHandle:
+        """Handle describing the X operand."""
+        return MatrixHandle(self.x_addr, self.m, self.n, self.x_stride, name="X")
+
+    @property
+    def w_handle(self) -> MatrixHandle:
+        """Handle describing the W operand."""
+        return MatrixHandle(self.w_addr, self.n, self.k, self.w_stride, name="W")
+
+    @property
+    def z_handle(self) -> MatrixHandle:
+        """Handle describing the Z result."""
+        return MatrixHandle(self.z_addr, self.m, self.k, self.z_stride, name="Z")
+
+    # -- element addressing -----------------------------------------------------
+    def x_element_addr(self, row: int, col: int) -> int:
+        """Byte address of X[row, col]."""
+        return self.x_addr + row * self.x_stride + col * ELEMENT_BYTES
+
+    def w_element_addr(self, row: int, col: int) -> int:
+        """Byte address of W[row, col]."""
+        return self.w_addr + row * self.w_stride + col * ELEMENT_BYTES
+
+    def z_element_addr(self, row: int, col: int) -> int:
+        """Byte address of Z[row, col]."""
+        return self.z_addr + row * self.z_stride + col * ELEMENT_BYTES
+
+    def describe(self) -> str:
+        """One-line summary used by traces and reports."""
+        return (
+            f"matmul M={self.m} N={self.n} K={self.k} "
+            f"({self.total_macs} MACs) X@{self.x_addr:#x} W@{self.w_addr:#x} "
+            f"Z@{self.z_addr:#x}"
+        )

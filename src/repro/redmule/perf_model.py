@@ -1,0 +1,149 @@
+"""Closed-form RedMulE performance model.
+
+The cycle-accurate engine is the ground truth but is too slow (in Python) for
+wide design-space sweeps and for workloads with hundreds of millions of MACs.
+This model reproduces the engine's cycle count analytically by following the
+same execution structure:
+
+* the job is split into ``ceil(M/L) * ceil(K/block_k)`` tiles;
+* each tile issues for ``(H-1)*(P+1) + ceil(N/H)*block_k`` cycles, then takes
+  ``P+1`` extra cycles to drain the last column;
+* before the first issue of a tile the streamer must load the first X block
+  (one line per valid row) and the initial W lines through the single wide
+  port (one access per cycle), which stalls the array;
+* after the last tile the remaining Z lines trickle out.
+
+Mid-tile memory traffic (W refills, X block refills, Z stores of the previous
+tile) fits in the spare slots of the wide port and causes no stalls in the
+uncontended case, matching the engine.  The model is validated against the
+cycle-accurate engine in ``tests/test_redmule_perf_model.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.job import MatmulJob
+from repro.redmule.scheduler import TileSchedule
+
+
+@dataclass(frozen=True)
+class PerfEstimate:
+    """Cycle-level performance estimate for one matmul job."""
+
+    job: MatmulJob
+    config: RedMulEConfig
+    #: Estimated total cycles (trigger to last store).
+    cycles: int
+    #: Cycles an ideal array (H*L MACs every cycle, no overhead) would need.
+    ideal_cycles: int
+    #: Cycles lost to per-tile preload, drain and final store flush.
+    overhead_cycles: int
+    #: Number of tiles.
+    n_tiles: int
+
+    @property
+    def total_macs(self) -> int:
+        """Useful MACs of the job."""
+        return self.job.total_macs
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Useful MAC throughput."""
+        if self.cycles == 0:
+            return 0.0
+        return self.total_macs / self.cycles
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the array's peak throughput actually achieved."""
+        return self.macs_per_cycle / self.config.ideal_macs_per_cycle
+
+    @property
+    def fraction_of_ideal(self) -> float:
+        """Ideal cycles divided by estimated cycles (the paper's Fig. 4a metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.ideal_cycles / self.cycles
+
+    def runtime_s(self, frequency_hz: float) -> float:
+        """Wall-clock runtime at a given clock frequency."""
+        return self.cycles / frequency_hz
+
+    def throughput_gmacs(self, frequency_hz: float) -> float:
+        """Throughput in GMAC/s at a given clock frequency."""
+        return self.macs_per_cycle * frequency_hz / 1e9
+
+    def throughput_gflops(self, frequency_hz: float) -> float:
+        """Throughput in GFLOPS (2 ops per MAC) at a given clock frequency."""
+        return 2.0 * self.throughput_gmacs(frequency_hz)
+
+
+class RedMulEPerfModel:
+    """Analytical cycle model of a RedMulE instance (uncontended TCDM)."""
+
+    def __init__(self, config: Optional[RedMulEConfig] = None) -> None:
+        self.config = config if config is not None else RedMulEConfig.reference()
+
+    # ------------------------------------------------------------------
+    def _initial_w_lines(self, n_chunks: int, n: int) -> int:
+        """W lines enqueued before the first issue of a tile.
+
+        These are the lines whose first broadcast falls within the first
+        ``block_k`` cycles of the tile (the streamer's prefetch horizon), and
+        whose inner index lies inside the real matrix (padding rows are not
+        fetched).
+        """
+        cfg = self.config
+        count = 0
+        for chunk in range(n_chunks):
+            for col in range(cfg.height):
+                need = col * cfg.latency + chunk * cfg.block_k
+                if need > cfg.block_k * cfg.w_prefetch_lines:
+                    continue
+                if chunk * cfg.height + col < n:
+                    count += 1
+        return count
+
+    def estimate(self, job: MatmulJob) -> PerfEstimate:
+        """Estimate the cycle count of ``job`` on this configuration."""
+        cfg = self.config
+        schedule = TileSchedule(job, cfg)
+        n_chunks = schedule.n_chunks
+        issue_cycles = (cfg.height - 1) * cfg.latency + n_chunks * cfg.block_k
+        w_initial = self._initial_w_lines(n_chunks, job.n)
+
+        total = 0
+        for tile in schedule:
+            # Stall cycles before the first issue: the wide port serves the
+            # initial W lines (higher priority), the Z pre-load lines of an
+            # accumulation job, and the first X block, one access per cycle;
+            # the first issue happens on the cycle the last of those lands.
+            x0_lines = tile.rows if job.n > 0 else 0
+            y_lines = tile.rows if job.accumulate else 0
+            preload_stalls = max(w_initial + y_lines + x0_lines - 1, 0)
+            total += preload_stalls + issue_cycles + cfg.latency
+
+        # Final Z drain: the last tile's lines leave the Z queue at one line
+        # per cycle (queue -> streamer -> memory) once compute has finished.
+        last_tile = schedule.tile(schedule.n_tiles - 1)
+        final_drain = last_tile.rows + 2
+        total += final_drain
+
+        ideal = -(-job.total_macs // cfg.ideal_macs_per_cycle)
+        return PerfEstimate(
+            job=job,
+            config=cfg,
+            cycles=total,
+            ideal_cycles=ideal,
+            overhead_cycles=total - ideal,
+            n_tiles=schedule.n_tiles,
+        )
+
+    # -- convenience -------------------------------------------------------
+    def estimate_gemm(self, m: int, n: int, k: int) -> PerfEstimate:
+        """Estimate a dense GEMM of the given shape (addresses are dummies)."""
+        job = MatmulJob(x_addr=0, w_addr=0, z_addr=0, m=m, n=n, k=k)
+        return self.estimate(job)

@@ -1,0 +1,124 @@
+"""A row of ``H`` chained FMA units with accumulation feedback.
+
+Within a RedMulE row (Fig. 2b of the paper) the ``H`` FMAs are wired so that
+the partial product of FMA ``c`` feeds the accumulation input of FMA ``c+1``;
+the output of the last FMA is fed back to the first one, letting the row walk
+the inner (N) dimension in chunks of ``H`` while keeping ``H*(P+1)``
+independent output elements in flight.
+
+This scalar model computes one Z row of a tile end-to-end.  It is
+intentionally a direct transliteration of the micro-architecture -- explicit
+per-cycle issue schedule, per-unit pipelines, feedback register -- and is used
+by the test-suite as a second, independently-written implementation to
+cross-check both the vectorised datapath and the golden functional model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.fp.arith import BitExactFp16, Fp16Arithmetic
+from repro.fp.float16 import POS_ZERO_BITS
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.fma_unit import PipelinedFma
+
+
+class FmaRow:
+    """One row of ``H`` pipelined FMAs with end-to-start feedback."""
+
+    def __init__(self, config: RedMulEConfig,
+                 arithmetic: Optional[Fp16Arithmetic] = None) -> None:
+        self.config = config
+        self.arithmetic = arithmetic if arithmetic is not None else BitExactFp16()
+        self.units: List[PipelinedFma] = [
+            PipelinedFma(config.pipeline_regs, self.arithmetic)
+            for _ in range(config.height)
+        ]
+        #: Feedback storage: one partial accumulator per in-flight Z element.
+        self.feedback: List[int] = [POS_ZERO_BITS] * config.block_k
+        #: Cycles simulated by the last :meth:`compute_row` call.
+        self.cycles = 0
+
+    def compute_row(self, x_row: Sequence[int], w_block: Sequence[Sequence[int]],
+                    n_chunks: Optional[int] = None) -> List[int]:
+        """Compute ``block_k`` Z elements of one row, cycle by cycle.
+
+        Parameters
+        ----------
+        x_row:
+            The row of X operands (16-bit patterns), one per inner index
+            ``n``.  Its length is padded with zeros up to ``n_chunks * H``.
+        w_block:
+            ``w_block[n][k]`` gives the W operand pattern for inner index
+            ``n`` and output column ``k`` (``0 <= k < block_k``); rows beyond
+            ``len(w_block)`` are treated as zero.
+        n_chunks:
+            Number of H-wide chunks of the inner dimension to process
+            (defaults to ``ceil(len(x_row) / H)``).
+
+        Returns
+        -------
+        list[int]
+            The ``block_k`` accumulated Z patterns for this row.
+        """
+        cfg = self.config
+        height, latency, block_k = cfg.height, cfg.latency, cfg.block_k
+        if n_chunks is None:
+            n_chunks = -(-len(x_row) // height)
+        if n_chunks <= 0:
+            raise ValueError("n_chunks must be positive")
+
+        def x_at(n: int) -> int:
+            return x_row[n] if n < len(x_row) else POS_ZERO_BITS
+
+        def w_at(n: int, k: int) -> int:
+            if n >= len(w_block):
+                return POS_ZERO_BITS
+            return w_block[n][k]
+
+        self.feedback = [POS_ZERO_BITS] * block_k
+        for unit in self.units:
+            unit.flush()
+
+        issue_cycles = n_chunks * block_k
+        total_cycles = issue_cycles + height * latency
+        # Output accumulators of the previous column completing this cycle,
+        # indexed by column; column c+1 consumes completed[c].
+        for cycle in range(total_cycles):
+            completed: List[Optional[object]] = [None] * height
+            for col, unit in enumerate(self.units):
+                done = unit.tick()
+                if done is not None:
+                    completed[col] = done
+
+            # The last column's completion closes the loop: it either becomes
+            # feedback for the next chunk or the final result.
+            last_done = completed[height - 1]
+            if last_done is not None:
+                _, k = last_done.tag
+                self.feedback[k] = last_done.result
+
+            for col, unit in enumerate(self.units):
+                slot = cycle - col * latency
+                if slot < 0:
+                    continue
+                chunk, k = divmod(slot, block_k)
+                if chunk >= n_chunks:
+                    continue
+                n = chunk * height + col
+                if k == 0:
+                    unit.load_x(x_at(n))
+                if col == 0:
+                    acc = self.feedback[k]
+                else:
+                    prev_done = completed[col - 1]
+                    if prev_done is None or prev_done.tag != (chunk, k):
+                        raise RuntimeError(
+                            f"systolic timing violated at cycle {cycle}, "
+                            f"column {col}, chunk {chunk}, k {k}"
+                        )
+                    acc = prev_done.result
+                unit.issue(w_at(n, k), acc, tag=(chunk, k))
+
+        self.cycles = total_cycles
+        return list(self.feedback)

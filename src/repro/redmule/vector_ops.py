@@ -1,0 +1,108 @@
+"""Row-vector arithmetic strategies for the datapath simulator.
+
+All ``L`` rows of the RedMulE array execute the same schedule on different
+data, so the cycle-accurate engine processes one *row vector* (one value per
+row) per column per cycle.  Two interchangeable strategies implement the FP16
+arithmetic on those vectors:
+
+* :class:`ExactVectorOps` -- vectors are lists of 16-bit patterns and every
+  FMA is evaluated with the bit-exact scalar implementation
+  (:func:`repro.fp.fma.fma16`).  Slow, used for functional verification.
+* :class:`FastVectorOps` -- vectors are numpy ``float64`` arrays holding
+  exactly representable binary16 values; the FMA is evaluated in ``float64``
+  and rounded once to binary16 per step.  Fast, used for performance sweeps.
+
+The engine is written against the small interface below, so switching
+strategy changes only the cost of simulating a cycle, never the structure of
+the machine.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.fp.fma import fma16
+from repro.fp.float16 import POS_ZERO_BITS, bits_to_float, float_to_bits
+
+
+class VectorOps(abc.ABC):
+    """Arithmetic strategy over per-row vectors of FP16 values."""
+
+    #: Strategy name used in traces and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def from_bits(self, bits: Sequence[int]):
+        """Build a vector from a sequence of 16-bit patterns."""
+
+    @abc.abstractmethod
+    def to_bits(self, vector) -> List[int]:
+        """Convert a vector back to a list of 16-bit patterns."""
+
+    @abc.abstractmethod
+    def zeros(self, n: int):
+        """Return a vector of ``n`` positive zeros."""
+
+    @abc.abstractmethod
+    def fma(self, x_vector, w_bits: int, acc_vector):
+        """Return ``x * w + acc`` element-wise, rounded once to binary16."""
+
+    @abc.abstractmethod
+    def gather(self, lines: Sequence, offset: int):
+        """Build a vector from element ``offset`` of each per-row line."""
+
+
+class ExactVectorOps(VectorOps):
+    """Bit-exact strategy: vectors are lists of 16-bit patterns."""
+
+    name = "exact"
+
+    def from_bits(self, bits: Sequence[int]) -> List[int]:
+        return list(bits)
+
+    def to_bits(self, vector: Sequence[int]) -> List[int]:
+        return list(vector)
+
+    def zeros(self, n: int) -> List[int]:
+        return [POS_ZERO_BITS] * n
+
+    def fma(self, x_vector: Sequence[int], w_bits: int,
+            acc_vector: Sequence[int]) -> List[int]:
+        return [fma16(x, w_bits, acc) for x, acc in zip(x_vector, acc_vector)]
+
+    def gather(self, lines: Sequence[Sequence[int]], offset: int) -> List[int]:
+        return [line[offset] for line in lines]
+
+
+class FastVectorOps(VectorOps):
+    """Numpy strategy: vectors are float64 arrays of exact binary16 values."""
+
+    name = "fast"
+
+    def from_bits(self, bits: Sequence[int]) -> np.ndarray:
+        u16 = np.asarray(bits, dtype=np.uint16)
+        return u16.view(np.float16).astype(np.float64)
+
+    def to_bits(self, vector: np.ndarray) -> List[int]:
+        u16 = np.asarray(vector, dtype=np.float64).astype(np.float16).view(np.uint16)
+        return [int(v) for v in u16]
+
+    def zeros(self, n: int) -> np.ndarray:
+        return np.zeros(n, dtype=np.float64)
+
+    def fma(self, x_vector: np.ndarray, w_bits: int,
+            acc_vector: np.ndarray) -> np.ndarray:
+        w_value = bits_to_float(w_bits)
+        raw = x_vector * w_value + acc_vector
+        return raw.astype(np.float16).astype(np.float64)
+
+    def gather(self, lines: Sequence[np.ndarray], offset: int) -> np.ndarray:
+        return np.array([line[offset] for line in lines], dtype=np.float64)
+
+
+def make_vector_ops(exact: bool) -> VectorOps:
+    """Return the requested strategy (:class:`ExactVectorOps` if ``exact``)."""
+    return ExactVectorOps() if exact else FastVectorOps()

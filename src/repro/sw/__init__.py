@@ -1,0 +1,27 @@
+"""Software baseline: parallel FP16 matmul on the RISC-V cluster cores.
+
+The paper compares RedMulE against the same matrix multiplications executed
+in software on the 8 RISC-V (RI5CY-class) cores of the PULP cluster, using
+their shared FPnew FPUs with FP16 SIMD support.  This package models that
+baseline at the instruction-cost level:
+
+* :mod:`repro.sw.kernel` -- per-core cost model of the optimised inner loop
+  (loads, SIMD FMAs, pointer updates, loop handling);
+* :mod:`repro.sw.parallel` -- work distribution across cores, barrier and
+  fork/join overheads;
+* :mod:`repro.sw.baseline` -- the user-facing facade returning cycle counts
+  comparable with :class:`repro.redmule.engine.RedMulEResult`.
+"""
+
+from repro.sw.kernel import KernelCostModel, KernelParameters
+from repro.sw.parallel import ParallelizationModel, ParallelParameters
+from repro.sw.baseline import SoftwareBaseline, SoftwareResult
+
+__all__ = [
+    "KernelCostModel",
+    "KernelParameters",
+    "ParallelParameters",
+    "ParallelizationModel",
+    "SoftwareBaseline",
+    "SoftwareResult",
+]

@@ -1,0 +1,93 @@
+"""Per-core cost model of the software FP16 matmul kernel.
+
+The software baseline in the paper is a parallel FP16 matmul running on the
+cluster's 8 RI5CY cores, using the shared FPnew FPUs (one FPU per two cores
+in the 8-core configuration).  The paper only reports the baseline's
+*relative* performance -- RedMulE is up to 22x faster -- so the kernel model
+charges cycles per inner-loop iteration with parameters chosen to reproduce
+that calibration point while keeping each contribution physically meaningful:
+
+* one X load and one W load per MAC (the W matrix is walked column-wise, so
+  its access needs explicit address arithmetic: ``w_stride_penalty``);
+* one FP16 FMA issue per MAC, plus an average structural-hazard penalty
+  because two cores share one FPU;
+* amortised loop/pointer bookkeeping per iteration;
+* per-output and per-call overheads (accumulator setup, result store,
+  function prologue) that dominate for tiny matrices.
+
+The defaults give ~5.5 cycles per MAC per core in steady state, i.e. about
+1.44 MAC/cycle for the whole 8-core cluster, which reproduces the ~22x gap
+to RedMulE's 31.6 MAC/cycle reported in Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelParameters:
+    """Tunable instruction costs of the inner loop (cycles)."""
+
+    #: Elements processed per inner-loop iteration (1 = scalar FP16 FMA).
+    simd_width: int = 1
+    #: Cycles per TCDM load feeding the FMA (single-cycle, conflict-free).
+    load_cycles: float = 1.0
+    #: Loads per iteration (one X element + one W element).
+    loads_per_step: int = 2
+    #: Extra address-generation cycles for the column-wise (strided) W access.
+    w_stride_penalty: float = 1.0
+    #: Cycles per FP16 FMA issue.
+    fma_cycles: float = 1.0
+    #: Average extra cycles per FMA due to the shared-FPU structural hazard
+    #: (two cores per FPU in the 8-core cluster).
+    fpu_contention_cycles: float = 1.0
+    #: Loop/pointer bookkeeping cycles per iteration after unrolling.
+    loop_overhead_cycles: float = 0.5
+    #: Cycles to set up one (row, column) accumulator: init, final store,
+    #: pointer setup.
+    per_output_overhead: float = 10.0
+    #: Cycles per kernel call: prologue/epilogue, argument marshalling.
+    per_call_overhead: float = 60.0
+
+    @property
+    def cycles_per_step(self) -> float:
+        """Cycles for one inner-loop iteration."""
+        return (
+            self.loads_per_step * self.load_cycles
+            + self.w_stride_penalty
+            + self.fma_cycles
+            + self.fpu_contention_cycles
+            + self.loop_overhead_cycles
+        )
+
+    @property
+    def cycles_per_mac(self) -> float:
+        """Asymptotic cycles per scalar MAC on one core."""
+        return self.cycles_per_step / self.simd_width
+
+
+class KernelCostModel:
+    """Cycle cost of the single-core FP16 matmul kernel."""
+
+    def __init__(self, params: KernelParameters = KernelParameters()) -> None:
+        self.params = params
+
+    def inner_loop_cycles(self, n: int) -> float:
+        """Cycles to accumulate one output element over an inner dimension ``n``."""
+        if n <= 0:
+            raise ValueError("inner dimension must be positive")
+        params = self.params
+        steps = -(-n // params.simd_width)
+        return steps * params.cycles_per_step + params.per_output_overhead
+
+    def matmul_cycles(self, m: int, n: int, k: int) -> float:
+        """Cycles for a full ``m x n x k`` matmul on a single core."""
+        if m <= 0 or n <= 0 or k <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        outputs = m * k
+        return outputs * self.inner_loop_cycles(n) + self.params.per_call_overhead
+
+    def macs_per_cycle(self, m: int, n: int, k: int) -> float:
+        """Achieved single-core MAC throughput for the given shape."""
+        return (m * n * k) / self.matmul_cycles(m, n, k)

@@ -1,0 +1,74 @@
+"""Work distribution of the software matmul across cluster cores.
+
+The baseline parallelises the matmul over the output rows: each of the
+``n_cores`` cores processes ``ceil(M / n_cores)`` rows, and the cores meet at
+a hardware barrier (the cluster event unit) at the end.  The model charges:
+
+* the fork cost of waking the worker cores from the event unit,
+* the per-core kernel time for its share of rows (the slowest core, i.e. the
+  one with the most rows, determines the parallel runtime),
+* the barrier cost at the join.
+
+With row-wise distribution the speedup saturates at ``min(M, n_cores)``; in
+particular the batch-1 auto-encoder backward pass (``M = 1`` for some GEMMs)
+leaves most cores idle, which is visible in the Fig. 4c reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sw.kernel import KernelCostModel, KernelParameters
+
+
+@dataclass(frozen=True)
+class ParallelParameters:
+    """Multi-core execution parameters."""
+
+    #: Number of worker cores.
+    n_cores: int = 8
+    #: Cycles to wake the workers and dispatch the kernel arguments.
+    fork_cycles: float = 100.0
+    #: Cycles for the final hardware barrier (event-unit based).
+    barrier_cycles: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("need at least one core")
+
+
+class ParallelizationModel:
+    """Row-parallel execution of the matmul kernel on ``n_cores`` cores."""
+
+    def __init__(
+        self,
+        kernel: KernelCostModel = None,
+        params: ParallelParameters = ParallelParameters(),
+    ) -> None:
+        self.kernel = kernel if kernel is not None else KernelCostModel()
+        self.params = params
+
+    def rows_per_core(self, m: int) -> int:
+        """Rows assigned to the most loaded core."""
+        return -(-m // self.params.n_cores)
+
+    def active_cores(self, m: int) -> int:
+        """Cores that actually receive work."""
+        return min(self.params.n_cores, -(-m // self.rows_per_core(m)))
+
+    def matmul_cycles(self, m: int, n: int, k: int) -> float:
+        """Parallel cycles for an ``m x n x k`` matmul on the cluster."""
+        if m <= 0 or n <= 0 or k <= 0:
+            raise ValueError("matrix dimensions must be positive")
+        worst_rows = self.rows_per_core(m)
+        worker = self.kernel.matmul_cycles(worst_rows, n, k)
+        return self.params.fork_cycles + worker + self.params.barrier_cycles
+
+    def macs_per_cycle(self, m: int, n: int, k: int) -> float:
+        """Cluster-level MAC throughput for the given shape."""
+        return (m * n * k) / self.matmul_cycles(m, n, k)
+
+    @property
+    def peak_macs_per_cycle(self) -> float:
+        """Asymptotic cluster throughput (all cores busy, no overheads)."""
+        return self.params.n_cores / self.kernel.params.cycles_per_mac

@@ -1,0 +1,43 @@
+"""Workload models.
+
+The paper evaluates RedMulE on generic square matrix multiplications
+(Figs. 3c, 3d, 4a) and on the TinyMLPerf anomaly-detection AutoEncoder
+trained on-device (Figs. 4c, 4d).  This package describes those workloads as
+sequences of GEMM shapes plus enough functional machinery to run them
+end-to-end on the simulated cluster:
+
+* :mod:`repro.workloads.gemm` -- GEMM shape descriptors, random operand
+  generation and sweep helpers;
+* :mod:`repro.workloads.training` -- decomposition of MLP forward/backward
+  passes into the GEMMs the accelerator executes;
+* :mod:`repro.workloads.autoencoder` -- the MLPerf-Tiny deep auto-encoder
+  topology and a functional FP16 implementation of its training step.
+"""
+
+from repro.workloads.gemm import GemmShape, GemmWorkload, square_sweep
+from repro.workloads.training import (
+    GemmRole,
+    TrainingGemm,
+    backward_gemms,
+    forward_gemms,
+    training_step_gemms,
+)
+from repro.workloads.autoencoder import (
+    AUTOENCODER_LAYER_SIZES,
+    AutoEncoder,
+    autoencoder_training_gemms,
+)
+
+__all__ = [
+    "AUTOENCODER_LAYER_SIZES",
+    "AutoEncoder",
+    "GemmRole",
+    "GemmShape",
+    "GemmWorkload",
+    "TrainingGemm",
+    "autoencoder_training_gemms",
+    "backward_gemms",
+    "forward_gemms",
+    "square_sweep",
+    "training_step_gemms",
+]

@@ -1,0 +1,94 @@
+"""GEMM workload descriptors and generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fp.vector import random_fp16_matrix
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Shape of one matrix multiplication ``Z[M,K] = X[M,N] . W[N,K]``."""
+
+    m: int
+    n: int
+    k: int
+    name: str = "gemm"
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0 or self.k <= 0:
+            raise ValueError(f"{self.name}: GEMM dimensions must be positive")
+
+    @property
+    def macs(self) -> int:
+        """Useful multiply-accumulates."""
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def operand_bytes(self) -> int:
+        """FP16 bytes of X, W and Z together."""
+        return 2 * (self.m * self.n + self.n * self.k + self.m * self.k)
+
+    def random_operands(self, scale: float = 0.25,
+                        seed: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Generate random binary16 operands for this shape."""
+        rng = np.random.default_rng(seed)
+        x = random_fp16_matrix(self.m, self.n, scale=scale, rng=rng)
+        w = random_fp16_matrix(self.n, self.k, scale=scale, rng=rng)
+        return x, w
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return f"{self.name}: M={self.m} N={self.n} K={self.k} ({self.macs} MACs)"
+
+
+class GemmWorkload:
+    """An ordered collection of GEMMs executed back to back."""
+
+    def __init__(self, name: str, shapes: Iterable[GemmShape]) -> None:
+        self.name = name
+        self.shapes: List[GemmShape] = list(shapes)
+        if not self.shapes:
+            raise ValueError("a workload needs at least one GEMM")
+
+    @property
+    def total_macs(self) -> int:
+        """Sum of the MACs of every GEMM."""
+        return sum(shape.macs for shape in self.shapes)
+
+    @property
+    def total_flops(self) -> int:
+        """Sum of the FLOPs of every GEMM."""
+        return 2 * self.total_macs
+
+    @property
+    def operand_bytes(self) -> int:
+        """Total operand footprint if every GEMM keeps its own buffers."""
+        return sum(shape.operand_bytes for shape in self.shapes)
+
+    def __len__(self) -> int:
+        return len(self.shapes)
+
+    def __iter__(self):
+        return iter(self.shapes)
+
+    def describe(self) -> str:
+        """Multi-line summary of the workload."""
+        lines = [f"workload {self.name}: {len(self.shapes)} GEMMs, "
+                 f"{self.total_macs} MACs"]
+        lines.extend(f"  {shape.describe()}" for shape in self.shapes)
+        return "\n".join(lines)
+
+
+def square_sweep(sizes: Iterable[int]) -> List[GemmShape]:
+    """Square GEMMs (M = N = K) used by the Fig. 3c / 3d / 4a sweeps."""
+    return [GemmShape(size, size, size, name=f"square-{size}") for size in sizes]

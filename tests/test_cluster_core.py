@@ -1,0 +1,56 @@
+"""Tests for the RISC-V core timing model."""
+
+import pytest
+
+from repro.cluster.core import InstructionCosts, RiscvCore
+
+
+class TestInstructionCosts:
+    def test_table_is_complete(self):
+        table = InstructionCosts().as_dict()
+        assert {"alu", "load", "store", "fp16_fma", "periph_store"} <= set(table)
+        assert all(cost > 0 for cost in table.values())
+
+
+class TestRiscvCore:
+    def test_execute_accumulates_cycles(self):
+        core = RiscvCore(0)
+        cycles = core.execute([("alu", 4), ("load", 2), ("fp16_fma", 1)])
+        assert cycles == 4 + 2 + 1
+        assert core.cycles == cycles
+        assert core.retired["alu"] == 4
+
+    def test_execute_rejects_unknown_class(self):
+        core = RiscvCore(0)
+        with pytest.raises(KeyError):
+            core.execute([("teleport", 1)])
+
+    def test_execute_rejects_negative_count(self):
+        core = RiscvCore(0)
+        with pytest.raises(ValueError):
+            core.execute([("alu", -1)])
+
+    def test_offload_sequence_shape(self):
+        core = RiscvCore(0)
+        sequence = core.offload_sequence(n_job_registers=9)
+        stores = sum(count for kind, count in sequence if kind == "periph_store")
+        assert stores == 10  # 9 job registers + trigger
+
+    def test_offload_cycles_with_and_without_wait(self):
+        core = RiscvCore(0)
+        with_wait = core.offload_cycles(include_wait=True)
+        core.reset()
+        without_wait = core.offload_cycles(include_wait=False)
+        assert with_wait == without_wait + core.costs.event_wait
+
+    def test_offload_cost_is_negligible_vs_a_real_job(self):
+        """The offload stub costs tens of cycles; RedMulE jobs take thousands,
+        so the tight coupling claim of the paper holds in the model."""
+        core = RiscvCore(0)
+        assert core.offload_cycles() < 100
+
+    def test_reset(self):
+        core = RiscvCore(1)
+        core.execute([("alu", 10)])
+        core.reset()
+        assert core.cycles == 0 and core.retired == {}

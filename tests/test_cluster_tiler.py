@@ -1,0 +1,125 @@
+"""Tests for the tiled execution of GEMMs larger than the TCDM."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import PulpCluster
+from repro.cluster.tiler import (
+    TiledMatmul,
+    estimate_tiled_matmul,
+    plan_tiled_matmul,
+)
+from repro.fp.vector import random_fp16_matrix
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.functional import matmul_hw_order_fast
+
+
+class TestPlanning:
+    def test_small_problem_needs_one_job(self):
+        plan = plan_tiled_matmul(32, 32, 32, tcdm_budget_bytes=96 * 1024)
+        assert plan.n_jobs == 1
+        assert (plan.tile_m, plan.tile_n, plan.tile_k) == (32, 32, 32)
+
+    def test_large_problem_is_split(self):
+        plan = plan_tiled_matmul(512, 512, 512, tcdm_budget_bytes=96 * 1024)
+        assert plan.n_jobs > 1
+        assert plan.tile_footprint_bytes <= 96 * 1024
+        # Tiles respect the accelerator granularities.
+        assert plan.tile_m % 8 == 0 or plan.tile_m == 512
+        assert plan.tile_k % 16 == 0 or plan.tile_k == 512
+
+    def test_budget_is_respected_for_skinny_shapes(self):
+        plan = plan_tiled_matmul(8, 4096, 16, tcdm_budget_bytes=32 * 1024)
+        assert plan.tile_footprint_bytes <= 32 * 1024
+        assert plan.tiles_m == 1 and plan.tiles_k == 1
+        assert plan.tiles_n > 1
+
+    def test_dma_traffic_accounting(self):
+        plan = plan_tiled_matmul(128, 128, 128, tcdm_budget_bytes=24 * 1024)
+        # X is re-read once per K tile, W once per M tile, Z written once.
+        expected = (128 * 128 * 2 * plan.tiles_k
+                    + 128 * 128 * 2 * plan.tiles_m
+                    + 128 * 128 * 2)
+        assert plan.dma_bytes == expected
+
+    def test_describe(self):
+        plan = plan_tiled_matmul(64, 64, 64, tcdm_budget_bytes=16 * 1024)
+        assert "jobs" in plan.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_tiled_matmul(0, 8, 8)
+        with pytest.raises(ValueError):
+            plan_tiled_matmul(8, 8, 8, tcdm_budget_bytes=1024)
+
+
+class TestEstimation:
+    def test_estimate_fields(self):
+        plan = plan_tiled_matmul(256, 256, 256, tcdm_budget_bytes=64 * 1024)
+        estimate = estimate_tiled_matmul(plan)
+        assert estimate.n_jobs == plan.n_jobs
+        assert estimate.compute_cycles > 0
+        assert estimate.total_cycles >= estimate.compute_cycles
+
+    def test_larger_budget_means_fewer_jobs_and_less_dma(self):
+        small = plan_tiled_matmul(256, 256, 256, tcdm_budget_bytes=24 * 1024)
+        large = plan_tiled_matmul(256, 256, 256, tcdm_budget_bytes=96 * 1024)
+        assert large.n_jobs < small.n_jobs
+        assert large.dma_bytes <= small.dma_bytes
+
+
+class TestExecution:
+    def test_tiled_result_matches_single_job(self):
+        """A GEMM forced through a tiny TCDM budget must produce exactly the
+        same FP16 result as the untiled execution (accumulation order is the
+        same because the inner dimension is walked in increasing order)."""
+        m, n, k = 24, 64, 32
+        cluster = PulpCluster()
+        x = random_fp16_matrix(m, n, scale=0.2, seed=1)
+        w = random_fp16_matrix(n, k, scale=0.2, seed=2)
+        hx = cluster.place_matrix(x, "X", in_l2=True)
+        hw = cluster.place_matrix(w, "W", in_l2=True)
+        hz = cluster.l2_allocator().alloc_matrix(m, k, "Z")
+
+        plan = plan_tiled_matmul(m, n, k, tcdm_budget_bytes=8 * 1024)
+        assert plan.n_jobs > 1
+        result = TiledMatmul(cluster, plan).run(hx, hw, hz)
+
+        assert np.array_equal(hz.load(cluster.l2), matmul_hw_order_fast(x, w))
+        assert result.n_jobs == plan.n_jobs
+        assert result.compute_cycles > 0
+        assert result.dma_cycles > 0
+        assert result.total_cycles > result.compute_cycles
+
+    def test_single_tile_plan_matches_direct_offload(self):
+        m, n, k = 16, 32, 16
+        cluster = PulpCluster()
+        x = random_fp16_matrix(m, n, scale=0.2, seed=5)
+        w = random_fp16_matrix(n, k, scale=0.2, seed=6)
+        hx = cluster.place_matrix(x, "X", in_l2=True)
+        hw = cluster.place_matrix(w, "W", in_l2=True)
+        hz = cluster.l2_allocator().alloc_matrix(m, k, "Z")
+        plan = plan_tiled_matmul(m, n, k)
+        result = TiledMatmul(cluster, plan).run(hx, hw, hz)
+        assert result.n_jobs == 1
+        assert np.array_equal(hz.load(cluster.l2), matmul_hw_order_fast(x, w))
+
+    def test_tcdm_allocations_are_released(self):
+        cluster = PulpCluster()
+        used_before = cluster.tcdm_allocator().used
+        x = random_fp16_matrix(16, 32, scale=0.2, seed=7)
+        w = random_fp16_matrix(32, 16, scale=0.2, seed=8)
+        hx = cluster.place_matrix(x, "X", in_l2=True)
+        hw = cluster.place_matrix(w, "W", in_l2=True)
+        hz = cluster.l2_allocator().alloc_matrix(16, 16, "Z")
+        TiledMatmul(cluster, plan_tiled_matmul(16, 32, 16)).run(hx, hw, hz)
+        assert cluster.tcdm_allocator().used == used_before
+
+    def test_handle_shape_validation(self):
+        cluster = PulpCluster()
+        plan = plan_tiled_matmul(16, 16, 16)
+        hx = cluster.l2_allocator().alloc_matrix(8, 16, "X")
+        hw = cluster.l2_allocator().alloc_matrix(16, 16, "W")
+        hz = cluster.l2_allocator().alloc_matrix(16, 16, "Z")
+        with pytest.raises(ValueError):
+            TiledMatmul(cluster, plan).run(hx, hw, hz)

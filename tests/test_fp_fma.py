@@ -1,0 +1,192 @@
+"""Tests for the bit-exact binary16 FMA, multiply and add."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fp.flags import ExceptionFlags
+from repro.fp.float16 import (
+    MAX_FINITE_BITS,
+    NAN_BITS,
+    NEG_INF_BITS,
+    NEG_ZERO_BITS,
+    POS_INF_BITS,
+    POS_ZERO_BITS,
+    bits_to_float,
+    float_to_bits,
+    is_nan,
+)
+from repro.fp.fma import add16, fma16, mul16, neg16, sub16
+from repro.fp.rounding import RoundingMode
+
+
+def f2b(value: float) -> int:
+    return float_to_bits(value)
+
+
+def b2f(bits: int) -> float:
+    return bits_to_float(bits)
+
+
+class TestFmaBasics:
+    def test_simple(self):
+        assert b2f(fma16(f2b(2.0), f2b(3.0), f2b(1.0))) == 7.0
+
+    def test_negative_product(self):
+        assert b2f(fma16(f2b(-2.0), f2b(3.0), f2b(1.0))) == -5.0
+
+    def test_zero_addend_acts_as_multiply(self):
+        assert b2f(fma16(f2b(1.5), f2b(2.5), POS_ZERO_BITS)) == 3.75
+
+    def test_zero_product_passes_addend_through(self):
+        addend = f2b(0.12347412109375)  # arbitrary exact FP16 value
+        assert fma16(POS_ZERO_BITS, f2b(5.0), addend) == addend
+
+    def test_single_rounding_differs_from_two_step(self):
+        """The fused operation must not round the intermediate product.
+
+        1.0009765625 * 1.0009765625 = 1.00195407867...; rounding the product
+        first loses the low bits that the subtraction of 1.002 would expose.
+        """
+        a = f2b(1.0009765625)      # 1 + 2^-10
+        c = f2b(-1.001953125)      # -(1 + 2^-9)
+        fused = fma16(a, a, c)
+        product_first = add16(mul16(a, a), c)
+        assert b2f(fused) == pytest.approx(2.0 ** -20)
+        assert fused != product_first
+
+    def test_exact_accumulation_chain(self):
+        acc = POS_ZERO_BITS
+        for _ in range(16):
+            acc = fma16(f2b(0.5), f2b(0.25), acc)
+        assert b2f(acc) == 2.0
+
+
+class TestFmaSpecialCases:
+    def test_nan_propagation(self):
+        assert fma16(NAN_BITS, f2b(1.0), f2b(1.0)) == NAN_BITS
+        assert fma16(f2b(1.0), NAN_BITS, f2b(1.0)) == NAN_BITS
+        assert fma16(f2b(1.0), f2b(1.0), NAN_BITS) == NAN_BITS
+
+    def test_inf_times_zero_is_invalid(self):
+        flags = ExceptionFlags()
+        assert fma16(POS_INF_BITS, POS_ZERO_BITS, f2b(3.0), flags=flags) == NAN_BITS
+        assert flags.invalid
+
+    def test_inf_product_with_opposite_inf_addend_is_invalid(self):
+        flags = ExceptionFlags()
+        result = fma16(POS_INF_BITS, f2b(2.0), NEG_INF_BITS, flags=flags)
+        assert result == NAN_BITS
+        assert flags.invalid
+
+    def test_inf_product_dominates_finite_addend(self):
+        assert fma16(POS_INF_BITS, f2b(2.0), f2b(-100.0)) == POS_INF_BITS
+        assert fma16(NEG_INF_BITS, f2b(2.0), f2b(100.0)) == NEG_INF_BITS
+
+    def test_inf_addend_dominates_finite_product(self):
+        assert fma16(f2b(2.0), f2b(2.0), NEG_INF_BITS) == NEG_INF_BITS
+
+    def test_zero_plus_zero_signs(self):
+        assert fma16(POS_ZERO_BITS, f2b(1.0), POS_ZERO_BITS) == POS_ZERO_BITS
+        assert fma16(NEG_ZERO_BITS, f2b(1.0), NEG_ZERO_BITS) == NEG_ZERO_BITS
+        # Different signs: +0 except under round-down.
+        assert fma16(NEG_ZERO_BITS, f2b(1.0), POS_ZERO_BITS) == POS_ZERO_BITS
+        assert fma16(NEG_ZERO_BITS, f2b(1.0), POS_ZERO_BITS,
+                     RoundingMode.RDN) == NEG_ZERO_BITS
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        result = fma16(f2b(2.0), f2b(3.0), f2b(-6.0))
+        assert result == POS_ZERO_BITS
+        result_rdn = fma16(f2b(2.0), f2b(3.0), f2b(-6.0), RoundingMode.RDN)
+        assert result_rdn == NEG_ZERO_BITS
+
+    def test_overflow(self):
+        flags = ExceptionFlags()
+        result = fma16(f2b(256.0), f2b(256.0), POS_ZERO_BITS, flags=flags)
+        assert result == POS_INF_BITS
+        assert flags.overflow and flags.inexact
+
+    def test_overflow_saturates_toward_zero(self):
+        result = fma16(f2b(256.0), f2b(256.0), POS_ZERO_BITS, RoundingMode.RTZ)
+        assert result == MAX_FINITE_BITS
+
+    def test_subnormal_result(self):
+        result = fma16(f2b(2.0 ** -12), f2b(2.0 ** -12), POS_ZERO_BITS)
+        assert b2f(result) == 2.0 ** -24
+
+    def test_underflow_to_zero(self):
+        flags = ExceptionFlags()
+        result = fma16(f2b(2.0 ** -13), f2b(2.0 ** -13), POS_ZERO_BITS, flags=flags)
+        assert result == POS_ZERO_BITS
+        assert flags.underflow and flags.inexact
+
+
+class TestAgainstNumpyReference:
+    """Randomised comparison against float64 evaluation + one numpy rounding."""
+
+    def _random_finite(self, rng) -> int:
+        while True:
+            bits = int(rng.integers(0, 0x10000))
+            if np.isfinite(np.uint16(bits).view(np.float16)):
+                return bits
+
+    def test_random_fma_matches(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(4000):
+            a, b, c = (self._random_finite(rng) for _ in range(3))
+            ours = fma16(a, b, c)
+            fa, fb, fc = (float(np.uint16(v).view(np.float16)) for v in (a, b, c))
+            with np.errstate(over="ignore", invalid="ignore"):
+                reference = np.float16(fa * fb + fc)
+            if np.isnan(reference):
+                assert is_nan(ours)
+            else:
+                assert bits_to_float(ours) == float(reference), (
+                    f"a={a:#06x} b={b:#06x} c={c:#06x}"
+                )
+
+    def test_random_mul_and_add_match(self):
+        rng = np.random.default_rng(99)
+        for _ in range(2000):
+            a, b = self._random_finite(rng), self._random_finite(rng)
+            fa, fb = (float(np.uint16(v).view(np.float16)) for v in (a, b))
+            with np.errstate(over="ignore", invalid="ignore"):
+                ref_mul = np.float16(np.float32(fa) * np.float32(fb))
+                ref_add = np.float16(np.float64(fa) + np.float64(fb))
+            mul_ours, add_ours = mul16(a, b), add16(a, b)
+            if np.isnan(ref_mul):
+                assert is_nan(mul_ours)
+            else:
+                assert bits_to_float(mul_ours) == float(ref_mul)
+            if np.isnan(ref_add):
+                assert is_nan(add_ours)
+            else:
+                assert bits_to_float(add_ours) == float(ref_add)
+
+
+class TestDerivedOperations:
+    def test_sub(self):
+        assert b2f(sub16(f2b(5.0), f2b(3.0))) == 2.0
+        assert b2f(sub16(f2b(3.0), f2b(5.0))) == -2.0
+
+    def test_neg(self):
+        assert neg16(f2b(1.5)) == f2b(-1.5)
+        assert neg16(POS_ZERO_BITS) == NEG_ZERO_BITS
+        assert neg16(NAN_BITS) == NAN_BITS
+
+    def test_add_identity(self):
+        for value in (0.5, -3.25, 100.0, 2.0 ** -24):
+            assert add16(f2b(value), POS_ZERO_BITS) == f2b(value)
+
+    def test_mul_sign_of_zero(self):
+        assert mul16(f2b(-2.0), POS_ZERO_BITS) == NEG_ZERO_BITS
+        assert mul16(f2b(2.0), NEG_ZERO_BITS) == NEG_ZERO_BITS
+        assert mul16(NEG_ZERO_BITS, NEG_ZERO_BITS) == POS_ZERO_BITS
+
+    def test_mul_specials(self):
+        flags = ExceptionFlags()
+        assert mul16(POS_INF_BITS, POS_ZERO_BITS, flags=flags) == NAN_BITS
+        assert flags.invalid
+        assert mul16(POS_INF_BITS, f2b(-2.0)) == NEG_INF_BITS
+        assert mul16(NAN_BITS, f2b(1.0)) == NAN_BITS

@@ -1,0 +1,84 @@
+"""Tests for matrix <-> FP16 pattern / byte conversions."""
+
+import numpy as np
+import pytest
+
+from repro.fp.vector import (
+    matrix_from_bits,
+    matrix_to_bits,
+    pack_fp16_matrix,
+    quantize_fp16,
+    random_fp16_matrix,
+    unpack_fp16_matrix,
+)
+
+
+class TestQuantize:
+    def test_values_are_fp16_representable(self):
+        matrix = np.array([[0.1, 0.2], [1.0 / 3.0, 7.77]])
+        quantised = quantize_fp16(matrix)
+        assert np.array_equal(quantised, quantised.astype(np.float16).astype(np.float32))
+
+    def test_idempotent(self):
+        matrix = np.random.default_rng(0).standard_normal((5, 7))
+        once = quantize_fp16(matrix)
+        assert np.array_equal(once, quantize_fp16(once))
+
+
+class TestBitsConversion:
+    def test_roundtrip(self):
+        matrix = random_fp16_matrix(6, 9, seed=3)
+        bits = matrix_to_bits(matrix)
+        assert len(bits) == 6 and len(bits[0]) == 9
+        back = matrix_from_bits(bits)
+        assert np.array_equal(back, matrix)
+
+    def test_known_pattern(self):
+        bits = matrix_to_bits(np.array([[1.0, -2.0]]))
+        assert bits == [[0x3C00, 0xC000]]
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            matrix_to_bits(np.zeros(4))
+
+    def test_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            matrix_from_bits([[1, 2], [3]])
+
+
+class TestByteConversion:
+    def test_roundtrip(self):
+        matrix = random_fp16_matrix(4, 5, seed=11)
+        data = pack_fp16_matrix(matrix)
+        assert len(data) == 4 * 5 * 2
+        back = unpack_fp16_matrix(data, 4, 5)
+        assert np.array_equal(back, matrix)
+
+    def test_little_endian_layout(self):
+        data = pack_fp16_matrix(np.array([[1.0]]))
+        assert data == b"\x00\x3c"
+
+    def test_unpack_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            unpack_fp16_matrix(b"\x00\x3c", 2, 2)
+
+    def test_pack_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pack_fp16_matrix(np.zeros(3))
+
+
+class TestRandomMatrix:
+    def test_shape_and_reproducibility(self):
+        a = random_fp16_matrix(8, 16, seed=42)
+        b = random_fp16_matrix(8, 16, seed=42)
+        assert a.shape == (8, 16)
+        assert np.array_equal(a, b)
+
+    def test_scale_controls_magnitude(self):
+        small = random_fp16_matrix(64, 64, scale=0.01, seed=0)
+        large = random_fp16_matrix(64, 64, scale=10.0, seed=0)
+        assert np.abs(small).mean() < np.abs(large).mean()
+
+    def test_values_are_fp16_exact(self):
+        matrix = random_fp16_matrix(16, 16, seed=5)
+        assert np.array_equal(matrix, quantize_fp16(matrix))

@@ -1,0 +1,88 @@
+"""Tests for the HWPE job controller FSM."""
+
+import pytest
+
+from repro.hwpe.controller import HwpeController, HwpeState
+
+
+class TestHwpeController:
+    def test_initial_state(self):
+        ctrl = HwpeController()
+        assert ctrl.state is HwpeState.IDLE
+        assert not ctrl.busy
+
+    def test_normal_job_lifecycle(self):
+        ctrl = HwpeController()
+        assert ctrl.acquire() == 0
+        ctrl.trigger()
+        assert ctrl.busy
+        ctrl.tick(100)
+        ctrl.finish()
+        assert ctrl.state is HwpeState.DONE
+        assert ctrl.jobs_completed == 1
+        assert ctrl.job_history == [100]
+        ctrl.clear()
+        assert ctrl.state is HwpeState.IDLE
+
+    def test_acquire_while_running_fails(self):
+        ctrl = HwpeController()
+        ctrl.acquire()
+        ctrl.trigger()
+        assert ctrl.acquire() == -1
+
+    def test_trigger_requires_acquire(self):
+        ctrl = HwpeController()
+        with pytest.raises(RuntimeError):
+            ctrl.trigger()
+
+    def test_finish_requires_running(self):
+        ctrl = HwpeController()
+        with pytest.raises(RuntimeError):
+            ctrl.finish()
+
+    def test_clear_rejected_while_running(self):
+        ctrl = HwpeController()
+        ctrl.acquire()
+        ctrl.trigger()
+        with pytest.raises(RuntimeError):
+            ctrl.clear()
+
+    def test_tick_only_counts_while_running(self):
+        ctrl = HwpeController()
+        ctrl.tick(5)
+        assert ctrl.job_cycles == 0
+        ctrl.acquire()
+        ctrl.trigger()
+        ctrl.tick(5)
+        ctrl.tick(3)
+        assert ctrl.job_cycles == 8
+
+    def test_done_callback(self):
+        events = []
+        ctrl = HwpeController(on_done=lambda: events.append("done"))
+        ctrl.acquire()
+        ctrl.trigger()
+        ctrl.finish()
+        assert events == ["done"]
+
+    def test_multiple_jobs(self):
+        ctrl = HwpeController()
+        for cycles in (10, 20, 30):
+            ctrl.acquire()
+            ctrl.trigger()
+            ctrl.tick(cycles)
+            ctrl.finish()
+            ctrl.clear()
+        assert ctrl.jobs_completed == 3
+        assert ctrl.job_history == [10, 20, 30]
+
+    def test_reset(self):
+        ctrl = HwpeController()
+        ctrl.acquire()
+        ctrl.trigger()
+        ctrl.tick(4)
+        ctrl.finish()
+        ctrl.reset()
+        assert ctrl.state is HwpeState.IDLE
+        assert ctrl.jobs_completed == 0
+        assert ctrl.job_history == []

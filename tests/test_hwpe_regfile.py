@@ -1,0 +1,87 @@
+"""Tests for the memory-mapped HWPE register file."""
+
+import pytest
+
+from repro.hwpe.regfile import HwpeRegisterFile, RegisterSpec
+
+
+def make_regfile() -> HwpeRegisterFile:
+    return HwpeRegisterFile(
+        [
+            RegisterSpec("ctrl", 0x00),
+            RegisterSpec("status", 0x04, writable=False, reset=0x1),
+            RegisterSpec("addr", 0x08, reset=0xDEAD0000),
+        ]
+    )
+
+
+class TestRegisterFile:
+    def test_reset_values(self):
+        regs = make_regfile()
+        assert regs.read("ctrl") == 0
+        assert regs.read("status") == 1
+        assert regs.read("addr") == 0xDEAD0000
+
+    def test_name_access(self):
+        regs = make_regfile()
+        regs.write("ctrl", 0x55)
+        assert regs.read("ctrl") == 0x55
+
+    def test_offset_access(self):
+        regs = make_regfile()
+        regs.write_offset(0x08, 0x1000_0040)
+        assert regs.read_offset(0x08) == 0x1000_0040
+        assert regs.read("addr") == 0x1000_0040
+
+    def test_read_only_register(self):
+        regs = make_regfile()
+        with pytest.raises(PermissionError):
+            regs.write("status", 5)
+        regs.poke("status", 5)  # hardware-side update is allowed
+        assert regs.read("status") == 5
+
+    def test_unknown_offset(self):
+        regs = make_regfile()
+        with pytest.raises(KeyError):
+            regs.read_offset(0x40)
+        with pytest.raises(KeyError):
+            regs.write_offset(0x44, 0)
+
+    def test_values_are_masked_to_32_bits(self):
+        regs = make_regfile()
+        regs.write("ctrl", 0x1_2345_6789)
+        assert regs.read("ctrl") == 0x2345_6789
+
+    def test_access_counters(self):
+        regs = make_regfile()
+        regs.write("ctrl", 1)
+        regs.read("ctrl")
+        regs.read("addr")
+        assert regs.write_accesses == 1
+        assert regs.read_accesses == 2
+
+    def test_names_sorted_by_offset(self):
+        regs = make_regfile()
+        assert regs.names() == ["ctrl", "status", "addr"]
+
+    def test_contains_and_spec(self):
+        regs = make_regfile()
+        assert "ctrl" in regs and "bogus" not in regs
+        assert regs.spec("status").writable is False
+
+    def test_as_dict_and_reset(self):
+        regs = make_regfile()
+        regs.write("ctrl", 7)
+        snapshot = regs.as_dict()
+        assert snapshot["ctrl"] == 7
+        regs.reset()
+        assert regs.read("ctrl") == 0
+        assert regs.write_accesses == 0
+
+    def test_duplicate_detection(self):
+        with pytest.raises(ValueError):
+            HwpeRegisterFile([RegisterSpec("a", 0), RegisterSpec("a", 4)])
+        with pytest.raises(ValueError):
+            HwpeRegisterFile([RegisterSpec("a", 0), RegisterSpec("b", 0)])
+        with pytest.raises(ValueError):
+            HwpeRegisterFile([RegisterSpec("a", 2)])  # unaligned

@@ -1,0 +1,72 @@
+"""Tests for the HWPE stream primitives (FIFO and single-entry port)."""
+
+import pytest
+
+from repro.hwpe.stream import Fifo, StreamPort
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        fifo = Fifo(depth=4)
+        for value in (1, 2, 3):
+            assert fifo.push(value)
+        assert [fifo.pop(), fifo.pop(), fifo.pop()] == [1, 2, 3]
+
+    def test_empty_pop_returns_none(self):
+        fifo = Fifo(depth=2)
+        assert fifo.pop() is None
+        assert fifo.empty
+
+    def test_full_push_is_refused(self):
+        fifo = Fifo(depth=2)
+        assert fifo.push("a") and fifo.push("b")
+        assert fifo.full
+        assert not fifo.push("c")
+        assert fifo.push_stalls == 1
+
+    def test_peek_does_not_consume(self):
+        fifo = Fifo(depth=2)
+        fifo.push(42)
+        assert fifo.peek() == 42
+        assert fifo.occupancy == 1
+
+    def test_occupancy_statistics(self):
+        fifo = Fifo(depth=8)
+        for value in range(5):
+            fifo.push(value)
+        fifo.pop()
+        assert fifo.occupancy == 4
+        assert fifo.max_occupancy == 5
+        assert fifo.pushes == 5 and fifo.pops == 1
+
+    def test_clear(self):
+        fifo = Fifo(depth=2)
+        fifo.push(1)
+        fifo.clear()
+        assert fifo.empty and len(fifo) == 0
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            Fifo(depth=0)
+
+
+class TestStreamPort:
+    def test_handshake(self):
+        port = StreamPort()
+        assert port.ready and not port.valid
+        assert port.put("payload")
+        assert port.valid and not port.ready
+        assert port.take() == "payload"
+        assert port.transfers == 1
+        assert port.ready
+
+    def test_put_while_pending_is_refused(self):
+        port = StreamPort()
+        port.put(1)
+        assert not port.put(2)
+        assert port.take() == 1
+
+    def test_take_without_data(self):
+        port = StreamPort()
+        assert port.take() is None
+        assert port.transfers == 0

@@ -1,0 +1,101 @@
+"""Tests for the round-robin arbiter and the branch rotation."""
+
+import pytest
+
+from repro.interco.arbiter import BranchRotator, RoundRobinArbiter
+
+
+class TestRoundRobinArbiter:
+    def test_single_requester(self):
+        arbiter = RoundRobinArbiter(4)
+        assert arbiter.arbitrate([False, True, False, False]) == 1
+
+    def test_no_request(self):
+        arbiter = RoundRobinArbiter(4)
+        assert arbiter.arbitrate([False] * 4) is None
+
+    def test_round_robin_rotation(self):
+        arbiter = RoundRobinArbiter(3)
+        grants = [arbiter.arbitrate([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_idle_requesters(self):
+        arbiter = RoundRobinArbiter(4)
+        grants = [arbiter.arbitrate([True, False, True, False]) for _ in range(4)]
+        assert grants == [0, 2, 0, 2]
+
+    def test_fairness_under_full_load(self):
+        """Every requester gets the same number of grants over a full rotation."""
+        n = 5
+        arbiter = RoundRobinArbiter(n)
+        counts = [0] * n
+        for _ in range(n * 20):
+            counts[arbiter.arbitrate([True] * n)] += 1
+        assert all(count == 20 for count in counts)
+
+    def test_statistics(self):
+        arbiter = RoundRobinArbiter(2)
+        arbiter.arbitrate([True, True])
+        arbiter.arbitrate([True, False])
+        assert arbiter.grants == 2
+        assert arbiter.denials == 1
+        arbiter.reset()
+        assert arbiter.grants == 0
+
+    def test_rejects_wrong_width(self):
+        arbiter = RoundRobinArbiter(2)
+        with pytest.raises(ValueError):
+            arbiter.arbitrate([True])
+
+    def test_rejects_zero_requesters(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+
+class TestBranchRotator:
+    def test_idle(self):
+        rotator = BranchRotator()
+        assert rotator.arbitrate(False, False) is None
+
+    def test_uncontended_requests_always_win(self):
+        rotator = BranchRotator(max_wide_streak=1)
+        for _ in range(10):
+            assert rotator.arbitrate(True, False) == BranchRotator.WIDE
+        for _ in range(10):
+            assert rotator.arbitrate(False, True) == BranchRotator.LOG
+
+    def test_wide_priority_is_bounded(self):
+        """The wide port wins at most max_wide_streak contended cycles in a row."""
+        rotator = BranchRotator(max_wide_streak=4)
+        winners = [rotator.arbitrate(True, True) for _ in range(10)]
+        assert winners[:4] == [BranchRotator.WIDE] * 4
+        assert winners[4] == BranchRotator.LOG
+        assert winners[5:9] == [BranchRotator.WIDE] * 4
+        assert winners[9] == BranchRotator.LOG
+
+    def test_log_branch_never_starves(self):
+        rotator = BranchRotator(max_wide_streak=3)
+        log_wins = sum(
+            1 for _ in range(100)
+            if rotator.arbitrate(True, True) == BranchRotator.LOG
+        )
+        assert log_wins == 25  # one in every (3 + 1) contended cycles
+
+    def test_uncontended_cycle_resets_streak(self):
+        rotator = BranchRotator(max_wide_streak=2)
+        assert rotator.arbitrate(True, True) == BranchRotator.WIDE
+        assert rotator.arbitrate(True, False) == BranchRotator.WIDE  # no contention
+        winners = [rotator.arbitrate(True, True) for _ in range(3)]
+        assert winners == [BranchRotator.WIDE, BranchRotator.WIDE, BranchRotator.LOG]
+
+    def test_statistics_and_reset(self):
+        rotator = BranchRotator(max_wide_streak=1)
+        rotator.arbitrate(True, True)
+        rotator.arbitrate(True, True)
+        assert rotator.wide_wins == 1 and rotator.log_wins == 1
+        rotator.reset()
+        assert rotator.wide_wins == 0 and rotator.log_wins == 0
+
+    def test_rejects_bad_streak(self):
+        with pytest.raises(ValueError):
+            BranchRotator(max_wide_streak=0)

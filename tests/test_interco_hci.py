@@ -1,0 +1,147 @@
+"""Tests for the logarithmic branch, the shallow branch and the HCI top level."""
+
+import pytest
+
+from repro.interco.hci import Hci, HciConfig
+from repro.interco.log_interco import CoreRequest, LogInterconnect
+from repro.interco.shallow import ShallowBranch, WIDE_PORT_BYTES
+from repro.mem.tcdm import Tcdm
+
+
+class TestLogInterconnect:
+    def test_single_access_reads_memory(self):
+        tcdm = Tcdm()
+        tcdm.write_u32(tcdm.base + 8, 0x1234)
+        interco = LogInterconnect(tcdm, n_initiators=4)
+        request = CoreRequest(initiator=0, addr=tcdm.base + 8)
+        granted = interco.cycle([request])
+        assert granted == [request]
+        assert request.granted and request.rdata == 0x1234
+
+    def test_write_access(self):
+        tcdm = Tcdm()
+        interco = LogInterconnect(tcdm, n_initiators=2)
+        interco.cycle([CoreRequest(initiator=1, addr=tcdm.base, write=True,
+                                   wdata=0xABCD)])
+        assert tcdm.read_u32(tcdm.base) == 0xABCD
+
+    def test_conflicting_requests_grant_one(self):
+        tcdm = Tcdm()
+        interco = LogInterconnect(tcdm, n_initiators=2)
+        a = CoreRequest(initiator=0, addr=tcdm.base)
+        b = CoreRequest(initiator=1, addr=tcdm.base)  # same bank
+        granted = interco.cycle([a, b])
+        assert len(granted) == 1
+        assert interco.stats.conflicts == 1
+
+    def test_different_banks_proceed_in_parallel(self):
+        tcdm = Tcdm()
+        interco = LogInterconnect(tcdm, n_initiators=2)
+        a = CoreRequest(initiator=0, addr=tcdm.base)
+        b = CoreRequest(initiator=1, addr=tcdm.base + 4)
+        granted = interco.cycle([a, b])
+        assert len(granted) == 2
+        assert interco.stats.conflict_rate == 0.0
+
+    def test_blocked_banks_are_denied(self):
+        tcdm = Tcdm()
+        interco = LogInterconnect(tcdm, n_initiators=1)
+        request = CoreRequest(initiator=0, addr=tcdm.base)
+        granted = interco.cycle([request], banks_blocked=[0])
+        assert granted == [] and not request.granted
+
+    def test_invalid_initiator(self):
+        tcdm = Tcdm()
+        interco = LogInterconnect(tcdm, n_initiators=1)
+        with pytest.raises(ValueError):
+            interco.cycle([CoreRequest(initiator=3, addr=tcdm.base)])
+
+
+class TestShallowBranch:
+    def test_load_store_roundtrip(self):
+        tcdm = Tcdm()
+        branch = ShallowBranch(tcdm)
+        payload = bytes(range(32))
+        branch.store(tcdm.base + 64, payload)
+        assert branch.load(tcdm.base + 64, 32) == payload
+        assert branch.stats.loads == 1 and branch.stats.stores == 1
+
+    def test_width_limit(self):
+        tcdm = Tcdm()
+        branch = ShallowBranch(tcdm, n_ports=9)
+        assert branch.width_bytes == WIDE_PORT_BYTES
+        with pytest.raises(ValueError):
+            branch.load(tcdm.base, WIDE_PORT_BYTES + 1)
+
+    def test_alignment(self):
+        tcdm = Tcdm()
+        branch = ShallowBranch(tcdm)
+        with pytest.raises(ValueError):
+            branch.load(tcdm.base + 1, 4)
+
+    def test_banks_for(self):
+        tcdm = Tcdm()
+        branch = ShallowBranch(tcdm)
+        assert branch.banks_for(tcdm.base, 36) == list(range(9))
+
+
+class TestHci:
+    def test_wide_load_and_store(self):
+        tcdm = Tcdm()
+        hci = Hci(tcdm)
+        payload = bytes(range(16))
+        assert hci.wide_cycle(tcdm.base, write=True, data=payload) == b""
+        assert hci.wide_cycle(tcdm.base, nbytes=16) == payload
+        assert hci.stats.wide_grants == 2
+        assert hci.stats.wide_stalls == 0
+
+    def test_idle_cycles_are_counted(self):
+        hci = Hci(Tcdm())
+        hci.wide_cycle(None)
+        assert hci.stats.cycles == 1
+        assert hci.stats.wide_requests == 0
+
+    def test_uncontended_core_traffic(self):
+        tcdm = Tcdm()
+        hci = Hci(tcdm)
+        tcdm.write_u32(tcdm.base + 4, 7)
+        request = CoreRequest(initiator=0, addr=tcdm.base + 4)
+        hci.submit_log_requests([request])
+        granted = hci.log_cycle()
+        assert granted[0].rdata == 7
+
+    def test_contention_eventually_stalls_wide_port(self):
+        """With cores hammering the same banks, the rotation periodically
+        grants the log branch and the wide port observes stalls."""
+        tcdm = Tcdm()
+        hci = Hci(tcdm, HciConfig(max_wide_streak=2))
+        stalls = 0
+        for i in range(20):
+            hci.submit_log_requests(
+                [CoreRequest(initiator=0, addr=tcdm.base)]
+            )
+            outcome = hci.wide_cycle(tcdm.base, nbytes=32)
+            if outcome is None:
+                stalls += 1
+        assert stalls > 0
+        assert hci.stats.wide_stalls == stalls
+        assert 0.0 < hci.stats.wide_stall_rate < 1.0
+
+    def test_core_traffic_on_disjoint_banks_is_not_blocked(self):
+        tcdm = Tcdm()
+        hci = Hci(tcdm)
+        # Wide access owns banks 0..7 (32 bytes); the core hits bank 12.
+        core_addr = tcdm.base + 12 * 4
+        tcdm.write_u32(core_addr, 0x55)
+        request = CoreRequest(initiator=2, addr=core_addr)
+        hci.submit_log_requests([request])
+        hci.wide_cycle(tcdm.base, nbytes=32)
+        assert request.granted and request.rdata == 0x55
+
+    def test_reset_stats(self):
+        tcdm = Tcdm()
+        hci = Hci(tcdm)
+        hci.wide_cycle(tcdm.base, nbytes=4)
+        hci.reset_stats()
+        assert hci.stats.cycles == 0
+        assert hci.shallow_branch.stats.accesses == 0

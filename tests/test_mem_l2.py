@@ -1,0 +1,30 @@
+"""Tests for the L2 memory model."""
+
+import pytest
+
+from repro.mem.l2 import L2Config, L2Memory
+
+
+class TestL2Memory:
+    def test_default_geometry(self):
+        l2 = L2Memory()
+        assert len(l2) == 2 * 1024 * 1024
+        assert l2.base == 0x1C00_0000
+
+    def test_functional_access(self):
+        l2 = L2Memory()
+        l2.write_u32(l2.base + 16, 0xDEADBEEF)
+        assert l2.read_u32(l2.base + 16) == 0xDEADBEEF
+
+    def test_burst_cycles(self):
+        l2 = L2Memory(L2Config(access_latency=10, bytes_per_cycle=8))
+        assert l2.burst_cycles(0) == 0
+        assert l2.burst_cycles(8) == 11
+        assert l2.burst_cycles(64) == 18
+        assert l2.burst_cycles(65) == 19  # partial beat rounds up
+
+    def test_burst_scales_linearly_for_large_transfers(self):
+        l2 = L2Memory()
+        small = l2.burst_cycles(1024)
+        large = l2.burst_cycles(4096)
+        assert large > 3 * small / 1.2  # dominated by the streaming part

@@ -1,0 +1,91 @@
+"""Tests for the generic byte-addressable memory model."""
+
+import pytest
+
+from repro.mem.memory import Memory, MemoryError_, MisalignedAccessError
+
+
+class TestConstruction:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            Memory(0)
+        with pytest.raises(ValueError):
+            Memory(16, base=-4)
+
+    def test_len(self):
+        assert len(Memory(128)) == 128
+
+
+class TestByteAccess:
+    def test_write_read_roundtrip(self):
+        mem = Memory(64, base=0x100)
+        mem.write_bytes(0x110, b"\xde\xad\xbe\xef")
+        assert mem.read_bytes(0x110, 4) == b"\xde\xad\xbe\xef"
+
+    def test_initially_zero(self):
+        mem = Memory(16)
+        assert mem.read_bytes(0, 16) == bytes(16)
+
+    def test_bounds_checking(self):
+        mem = Memory(32, base=0x80)
+        with pytest.raises(MemoryError_):
+            mem.read_bytes(0x7F, 1)
+        with pytest.raises(MemoryError_):
+            mem.read_bytes(0x9F, 2)
+        with pytest.raises(MemoryError_):
+            mem.write_bytes(0xA0, b"\x00")
+
+    def test_contains(self):
+        mem = Memory(32, base=0x80)
+        assert mem.contains(0x80) and mem.contains(0x9F)
+        assert not mem.contains(0xA0)
+        assert mem.contains(0x80, 32) and not mem.contains(0x81, 32)
+
+
+class TestWordAccess:
+    def test_u16(self):
+        mem = Memory(16)
+        mem.write_u16(4, 0xABCD)
+        assert mem.read_u16(4) == 0xABCD
+        assert mem.read_bytes(4, 2) == b"\xcd\xab"  # little-endian
+
+    def test_u32(self):
+        mem = Memory(16)
+        mem.write_u32(8, 0x12345678)
+        assert mem.read_u32(8) == 0x12345678
+        assert mem.read_bytes(8, 4) == b"\x78\x56\x34\x12"
+
+    def test_alignment_enforced(self):
+        mem = Memory(16)
+        with pytest.raises(MisalignedAccessError):
+            mem.read_u16(1)
+        with pytest.raises(MisalignedAccessError):
+            mem.write_u32(2, 0)
+
+    def test_masking(self):
+        mem = Memory(16)
+        mem.write_u16(0, 0x1FFFF)
+        assert mem.read_u16(0) == 0xFFFF
+
+
+class TestImagesAndStats:
+    def test_images_do_not_count_as_traffic(self):
+        mem = Memory(32)
+        mem.load_image(0, b"\x01\x02\x03\x04")
+        assert mem.dump_image(0, 4) == b"\x01\x02\x03\x04"
+        assert mem.read_count == 0 and mem.write_count == 0
+
+    def test_traffic_counters(self):
+        mem = Memory(32)
+        mem.write_bytes(0, b"\x00" * 8)
+        mem.read_bytes(0, 4)
+        mem.read_u16(8)
+        assert mem.write_count == 1 and mem.bytes_written == 8
+        assert mem.read_count == 2 and mem.bytes_read == 6
+        mem.reset_stats()
+        assert mem.read_count == 0 and mem.bytes_read == 0
+
+    def test_fill(self):
+        mem = Memory(8)
+        mem.fill(0xAA)
+        assert mem.dump_image(0, 8) == b"\xaa" * 8

@@ -1,0 +1,105 @@
+"""Tests for the banked, word-interleaved TCDM model."""
+
+import pytest
+
+from repro.mem.memory import MemoryError_
+from repro.mem.tcdm import Tcdm, TcdmConfig
+
+
+class TestGeometry:
+    def test_default_size(self):
+        config = TcdmConfig()
+        assert config.n_banks == 16
+        assert config.size == 16 * 2048 * 4  # 128 KiB
+        assert config.bank_bytes == 8192
+
+    def test_custom_geometry(self):
+        config = TcdmConfig(n_banks=8, bank_words=1024)
+        assert config.size == 8 * 1024 * 4
+
+
+class TestBankMapping:
+    def test_word_interleaving(self):
+        tcdm = Tcdm()
+        base = tcdm.base
+        assert tcdm.bank_of(base) == 0
+        assert tcdm.bank_of(base + 4) == 1
+        assert tcdm.bank_of(base + 15 * 4) == 15
+        assert tcdm.bank_of(base + 16 * 4) == 0  # wraps around
+
+    def test_halfwords_share_their_word_bank(self):
+        tcdm = Tcdm()
+        assert tcdm.bank_of(tcdm.base + 2) == 0
+        assert tcdm.bank_of(tcdm.base + 6) == 1
+
+    def test_out_of_range(self):
+        tcdm = Tcdm()
+        with pytest.raises(MemoryError_):
+            tcdm.bank_of(tcdm.base - 4)
+        with pytest.raises(MemoryError_):
+            tcdm.bank_of(tcdm.base + tcdm.size)
+
+    def test_banks_of_range_wide_access(self):
+        tcdm = Tcdm()
+        banks = tcdm.banks_of_range(tcdm.base, 36)  # 288-bit access
+        assert banks == list(range(9))
+
+    def test_banks_of_range_unaligned(self):
+        tcdm = Tcdm()
+        banks = tcdm.banks_of_range(tcdm.base + 2, 32)
+        assert banks == list(range(9))  # straddles into a ninth bank
+
+
+class TestFunctionalAccess:
+    def test_u16_roundtrip(self):
+        tcdm = Tcdm()
+        addr = tcdm.base + 0x40
+        tcdm.write_u16(addr, 0x3C00)
+        assert tcdm.read_u16(addr) == 0x3C00
+
+    def test_u32_roundtrip(self):
+        tcdm = Tcdm()
+        addr = tcdm.base + 0x100
+        tcdm.write_u32(addr, 0xCAFEBABE)
+        assert tcdm.read_u32(addr) == 0xCAFEBABE
+
+    def test_wide_access_roundtrip(self):
+        tcdm = Tcdm()
+        addr = tcdm.base + 0x200
+        payload = bytes(range(32))
+        tcdm.wide_write(addr, payload)
+        assert tcdm.wide_read(addr, 32) == payload
+
+    def test_images(self):
+        tcdm = Tcdm()
+        tcdm.load_image(tcdm.base, b"\x11\x22")
+        assert tcdm.dump_image(tcdm.base, 2) == b"\x11\x22"
+        assert tcdm.total_accesses == 0
+
+
+class TestStatistics:
+    def test_per_bank_counting(self):
+        tcdm = Tcdm()
+        tcdm.read_u32(tcdm.base)          # bank 0
+        tcdm.read_u32(tcdm.base + 4)      # bank 1
+        tcdm.read_u32(tcdm.base + 64)     # bank 0 again
+        assert tcdm.bank_accesses[0] == 2
+        assert tcdm.bank_accesses[1] == 1
+        assert tcdm.total_accesses == 3
+
+    def test_wide_access_charges_every_bank(self):
+        tcdm = Tcdm()
+        tcdm.wide_read(tcdm.base, 36)
+        assert all(count == 1 for count in tcdm.bank_accesses[:9])
+        assert all(count == 0 for count in tcdm.bank_accesses[9:])
+
+    def test_utilisation_and_reset(self):
+        tcdm = Tcdm()
+        for i in range(16):
+            tcdm.read_u32(tcdm.base + 4 * i)
+        mean, peak = tcdm.bank_utilisation()
+        assert mean == pytest.approx(1.0 / 16)
+        assert peak == pytest.approx(1.0 / 16)
+        tcdm.reset_stats()
+        assert tcdm.total_accesses == 0
+        assert tcdm.bank_utilisation() == (0.0, 0.0)

@@ -1,0 +1,78 @@
+"""Tests for the shared performance metrics and workload timing helpers."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.perf.metrics import (
+    fraction_of_ideal,
+    gflops,
+    gmacs,
+    speedup,
+    time_workload_hw,
+    time_workload_sw,
+)
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.perf_model import RedMulEPerfModel
+from repro.sw.baseline import SoftwareBaseline
+from repro.workloads.gemm import GemmShape
+
+
+class TestUnitConversions:
+    def test_gmacs_and_gflops(self):
+        assert gmacs(32, 1e9) == 32.0
+        assert gflops(32, 1e9) == 64.0
+        assert gflops(31.6, 666e6) == pytest.approx(42.1, rel=0.01)
+
+    def test_speedup(self):
+        assert speedup(220, 10) == 22.0
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+    def test_fraction_of_ideal(self):
+        config = RedMulEConfig.reference()
+        assert fraction_of_ideal(16.0, config) == 0.5
+        assert fraction_of_ideal(32.0, config) == 1.0
+
+
+class TestWorkloadTiming:
+    SHAPES = [GemmShape(64, 64, 64, "a"), GemmShape(32, 128, 16, "b")]
+
+    def test_hw_timing_sums_per_gemm(self):
+        timing = time_workload_hw(self.SHAPES)
+        assert set(timing.per_gemm) == {"a", "b"}
+        assert timing.cycles == pytest.approx(sum(timing.per_gemm.values()))
+        assert timing.macs == sum(s.macs for s in self.SHAPES)
+        assert timing.macs_per_cycle > 0
+
+    def test_hw_timing_matches_perf_model(self):
+        timing = time_workload_hw(self.SHAPES)
+        model = RedMulEPerfModel()
+        expected = sum(model.estimate_gemm(s.m, s.n, s.k).cycles
+                       for s in self.SHAPES)
+        assert timing.cycles == pytest.approx(expected)
+
+    def test_offload_overhead_is_added_per_job(self):
+        overhead = ClusterConfig().offload_cycles
+        without = time_workload_hw(self.SHAPES)
+        with_overhead = time_workload_hw(self.SHAPES,
+                                         offload_cycles_per_job=overhead)
+        assert with_overhead.cycles == pytest.approx(
+            without.cycles + overhead * len(self.SHAPES)
+        )
+
+    def test_sw_timing(self):
+        timing = time_workload_sw(self.SHAPES)
+        baseline = SoftwareBaseline()
+        expected = sum(baseline.run_gemm(s.m, s.n, s.k).cycles
+                       for s in self.SHAPES)
+        assert timing.cycles == pytest.approx(expected)
+        assert timing.target == "software"
+
+    def test_hw_beats_sw_on_large_gemms(self):
+        hw = time_workload_hw(self.SHAPES)
+        sw = time_workload_sw(self.SHAPES)
+        assert sw.cycles / hw.cycles > 10
+
+    def test_runtime_conversion(self):
+        timing = time_workload_hw(self.SHAPES)
+        assert timing.runtime_s(476e6) == pytest.approx(timing.cycles / 476e6)

@@ -1,0 +1,42 @@
+"""Tests for the generic breakdown container."""
+
+import pytest
+
+from repro.power.breakdown import Breakdown, BreakdownItem
+
+
+class TestBreakdown:
+    def test_total_and_shares(self):
+        breakdown = Breakdown("test", "mW", [("a", 30.0), ("b", 10.0)])
+        assert breakdown.total == 40.0
+        assert breakdown.share("a") == pytest.approx(0.75)
+        assert breakdown.value("b") == 10.0
+
+    def test_names_in_order(self):
+        breakdown = Breakdown("test", "mm2", [("z", 1.0), ("a", 2.0)])
+        assert breakdown.names() == ["z", "a"]
+
+    def test_unknown_component(self):
+        breakdown = Breakdown("test", "mW", [("a", 1.0)])
+        with pytest.raises(KeyError):
+            breakdown.value("missing")
+
+    def test_as_rows(self):
+        breakdown = Breakdown("test", "mW", [("a", 1.0), ("b", 3.0)])
+        rows = breakdown.as_rows()
+        assert rows[0] == ("a", 1.0, 0.25)
+        assert rows[1][2] == pytest.approx(0.75)
+
+    def test_render_contains_percentages(self):
+        text = Breakdown("power", "mW", [("x", 50.0), ("y", 50.0)]).render()
+        assert "50.0%" in text and "power" in text
+
+    def test_rejects_negative_and_empty(self):
+        with pytest.raises(ValueError):
+            BreakdownItem("bad", -1.0)
+        with pytest.raises(ValueError):
+            Breakdown("empty", "mW", [])
+
+    def test_zero_total_share(self):
+        breakdown = Breakdown("zeros", "mW", [("a", 0.0)])
+        assert breakdown.share("a") == 0.0

@@ -1,0 +1,143 @@
+"""Tests for the power / energy / efficiency models against the paper."""
+
+import pytest
+
+from repro.power.energy import EnergyModel
+from repro.power.technology import (
+    OP_22NM_EFFICIENCY,
+    OP_22NM_PERFORMANCE,
+    OP_65NM_NOMINAL,
+    OperatingPoint,
+    TECH_22NM,
+    TECH_65NM,
+    scale_power,
+)
+from repro.redmule.config import RedMulEConfig
+
+
+@pytest.fixture
+def model():
+    return EnergyModel(RedMulEConfig.reference(), TECH_22NM)
+
+
+class TestOperatingPoints:
+    def test_published_points(self):
+        assert OP_22NM_EFFICIENCY.voltage_v == 0.65
+        assert OP_22NM_EFFICIENCY.frequency_mhz == pytest.approx(476)
+        assert OP_22NM_PERFORMANCE.voltage_v == 0.80
+        assert OP_22NM_PERFORMANCE.frequency_mhz == pytest.approx(666)
+        assert OP_65NM_NOMINAL.frequency_mhz == pytest.approx(200)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint("bad", voltage_v=0, frequency_hz=1e6)
+
+    def test_scale_power_between_published_points(self):
+        """The dynamic/leakage split reproduces both published cluster powers."""
+        scaled = scale_power(TECH_22NM.cluster_power_accel_mw,
+                             TECH_22NM.dynamic_fraction,
+                             OP_22NM_EFFICIENCY, OP_22NM_PERFORMANCE)
+        assert scaled == pytest.approx(90.7, rel=0.01)
+
+
+class TestClusterPower:
+    def test_efficiency_point_power(self, model):
+        """43.5 mW at 0.65 V / 476 MHz (Section III-A)."""
+        power = model.cluster_power_accel_w(OP_22NM_EFFICIENCY)
+        assert power * 1e3 == pytest.approx(43.5, rel=0.01)
+
+    def test_performance_point_power(self, model):
+        """90.7 mW at 0.80 V / 666 MHz (Table I)."""
+        power = model.cluster_power_accel_w(OP_22NM_PERFORMANCE)
+        assert power * 1e3 == pytest.approx(90.7, rel=0.02)
+
+    def test_power_decreases_with_utilisation(self, model):
+        busy = model.cluster_power_accel_w(OP_22NM_EFFICIENCY, utilisation=1.0)
+        idle = model.cluster_power_accel_w(OP_22NM_EFFICIENCY, utilisation=0.1)
+        assert idle < busy
+        assert idle > 0.25 * busy  # clock tree and leakage never go away
+
+    def test_software_mode_power_is_much_lower(self, model):
+        sw = model.cluster_power_sw_w(OP_22NM_EFFICIENCY)
+        accel = model.cluster_power_accel_w(OP_22NM_EFFICIENCY)
+        assert sw * 1e3 == pytest.approx(9.2, rel=0.01)
+        assert sw < accel / 3
+
+    def test_utilisation_bounds_checked(self, model):
+        with pytest.raises(ValueError):
+            model.cluster_power_accel_w(utilisation=1.5)
+
+    def test_65nm_reference_power(self):
+        model = EnergyModel(RedMulEConfig.reference(), TECH_65NM)
+        power = model.cluster_power_accel_w(OP_65NM_NOMINAL)
+        assert power * 1e3 == pytest.approx(89.1, rel=0.01)
+
+
+class TestBreakdowns:
+    def test_cluster_power_breakdown_shares(self, model):
+        """RedMulE burns 69 % of the cluster power, TCDM+HCI 17.1 %."""
+        breakdown = model.cluster_power_breakdown(OP_22NM_EFFICIENCY)
+        assert breakdown.share("RedMulE") == pytest.approx(0.69, abs=0.005)
+        assert breakdown.share("TCDM + HCI") == pytest.approx(0.171, abs=0.005)
+        assert breakdown.total == pytest.approx(43.5, rel=0.01)
+
+    def test_redmule_internal_breakdown(self, model):
+        """Fig. 3b: the datapath dominates the accelerator's own power."""
+        breakdown = model.redmule_power_breakdown(OP_22NM_EFFICIENCY)
+        assert breakdown.share("datapath (FMAs)") > 0.5
+        assert breakdown.total == pytest.approx(0.69 * 43.5, rel=0.01)
+
+
+class TestEfficiencyMetrics:
+    def test_peak_efficiency_at_0_65v(self, model):
+        """688 GFLOPS/W at the efficiency point (Section III-A)."""
+        efficiency = model.efficiency_gflops_per_w(utilisation=0.988,
+                                                   point=OP_22NM_EFFICIENCY)
+        assert efficiency == pytest.approx(688, rel=0.03)
+
+    def test_efficiency_at_peak_performance_point(self, model):
+        """462 GFLOPS/W at 0.80 V / 666 MHz (Table I)."""
+        efficiency = model.efficiency_gflops_per_w(utilisation=0.988,
+                                                   point=OP_22NM_PERFORMANCE)
+        assert efficiency == pytest.approx(462, rel=0.03)
+
+    def test_65nm_efficiency(self):
+        """Table I reports 152 GOPS/W in 65 nm; the model lands within 10 %."""
+        model = EnergyModel(RedMulEConfig.reference(), TECH_65NM)
+        efficiency = model.efficiency_gflops_per_w(utilisation=0.988,
+                                                   point=OP_65NM_NOMINAL)
+        assert efficiency == pytest.approx(152, rel=0.10)
+
+    def test_energy_per_mac_at_high_utilisation(self, model):
+        """43.5 mW / (31.6 MAC/cycle * 476 MHz) is about 2.9 pJ per MAC."""
+        energy = model.energy_per_mac_pj(utilisation=0.988,
+                                         point=OP_22NM_EFFICIENCY)
+        assert energy == pytest.approx(2.9, rel=0.05)
+
+    def test_energy_per_mac_rises_for_low_utilisation(self, model):
+        """Fig. 3c: small matrices waste energy on idle cycles."""
+        high = model.energy_per_mac_pj(utilisation=0.95)
+        low = model.energy_per_mac_pj(utilisation=0.2)
+        assert low > 2 * high
+        with pytest.raises(ValueError):
+            model.energy_per_mac_pj(utilisation=0.0)
+
+    def test_throughput_at_both_points(self, model):
+        """30 GOPS at 476 MHz and 42 GOPS at 666 MHz (Table I)."""
+        assert model.throughput_gflops(OP_22NM_EFFICIENCY, 0.988) == pytest.approx(
+            30, rel=0.03)
+        assert model.throughput_gflops(OP_22NM_PERFORMANCE, 0.988) == pytest.approx(
+            42, rel=0.03)
+
+    def test_energy_efficiency_gain_over_software(self, model):
+        """The headline claim: up to 4.65x higher energy efficiency than the
+        8-core software execution."""
+        hw_eff = model.efficiency_gflops_per_w(utilisation=0.988,
+                                               point=OP_22NM_EFFICIENCY)
+        # Software baseline: ~1.44 MAC/cycle on the whole cluster.
+        sw_eff = model.sw_efficiency_gflops_per_w(sw_macs_per_cycle=1.44,
+                                                  point=OP_22NM_EFFICIENCY)
+        assert hw_eff / sw_eff == pytest.approx(4.65, rel=0.07)
+
+    def test_area_model_companion(self, model):
+        assert model.area_model().total() == pytest.approx(0.07, rel=0.05)

@@ -1,0 +1,80 @@
+"""Tests for the RedMulE architectural configuration."""
+
+import pytest
+
+from repro.redmule.config import RedMulEConfig
+
+
+class TestReferenceInstance:
+    """The paper's reference design: H=4, L=8, P=3."""
+
+    def test_geometry(self):
+        config = RedMulEConfig.reference()
+        assert config.height == 4
+        assert config.length == 8
+        assert config.pipeline_regs == 3
+        assert config.n_fma == 32
+        assert config.latency == 4
+
+    def test_block_width_is_16_elements(self):
+        """Each row keeps H*(P+1) = 16 Z elements in flight (Section II-B)."""
+        config = RedMulEConfig.reference()
+        assert config.block_k == 16
+        assert config.line_bits == 256
+        assert config.line_bytes == 32
+
+    def test_nine_memory_ports(self):
+        """256-bit payload + one extra 32-bit port = 9 ports (Section II-B)."""
+        assert RedMulEConfig.reference().n_mem_ports == 9
+
+    def test_peak_throughput(self):
+        assert RedMulEConfig.reference().ideal_macs_per_cycle == 32
+
+
+class TestParametricScaling:
+    def test_h5_needs_two_more_ports(self):
+        """Growing H from 4 to 5 adds 4x16 bit of bandwidth = 2 ports
+        (Section III-A, parametric area sweep)."""
+        h4 = RedMulEConfig(height=4, length=8, pipeline_regs=3)
+        h5 = RedMulEConfig(height=5, length=8, pipeline_regs=3)
+        assert h5.n_mem_ports - h4.n_mem_ports == 2
+
+    def test_256_and_512_fma_instances(self):
+        assert RedMulEConfig(height=8, length=32, pipeline_regs=3).n_fma == 256
+        assert RedMulEConfig(height=16, length=32, pipeline_regs=3).n_fma == 512
+
+    def test_block_k_scales_with_h_and_p(self):
+        assert RedMulEConfig(height=2, length=4, pipeline_regs=1).block_k == 4
+        assert RedMulEConfig(height=8, length=4, pipeline_regs=3).block_k == 32
+
+    def test_buffer_sizing(self):
+        config = RedMulEConfig.reference()
+        assert config.x_buffer_elements == 8 * 16
+        assert config.w_buffer_elements == 4 * 16
+        assert config.z_buffer_elements == 8 * 16
+        assert config.total_buffer_bits == 16 * (128 + 64 + 128)
+
+    def test_describe_mentions_key_parameters(self):
+        text = RedMulEConfig.reference().describe()
+        assert "H=4" in text and "L=8" in text and "32 FMAs" in text
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"height": 0},
+            {"length": 0},
+            {"pipeline_regs": -1},
+            {"w_prefetch_lines": 0},
+            {"z_queue_depth": 0},
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RedMulEConfig(**kwargs)
+
+    def test_config_is_immutable(self):
+        config = RedMulEConfig.reference()
+        with pytest.raises(Exception):
+            config.height = 8  # frozen dataclass

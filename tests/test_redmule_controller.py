@@ -1,0 +1,93 @@
+"""Tests for the RedMulE register map and job controller."""
+
+import pytest
+
+from repro.hwpe.controller import HwpeState
+from repro.redmule.controller import (
+    REDMULE_REGISTERS,
+    REG_M_SIZE,
+    REG_STATUS,
+    REG_TRIGGER,
+    REG_X_ADDR,
+    RedMulEController,
+)
+from repro.redmule.job import MatmulJob
+
+
+def sample_job() -> MatmulJob:
+    return MatmulJob(x_addr=0x1000_0000, w_addr=0x1000_0800, z_addr=0x1000_1000,
+                     m=24, n=100, k=40)
+
+
+class TestRegisterMap:
+    def test_contains_the_hwpe_ctrl_and_job_registers(self):
+        names = {spec.name for spec in REDMULE_REGISTERS}
+        assert {REG_TRIGGER, REG_STATUS, REG_X_ADDR, REG_M_SIZE} <= names
+        assert len(REDMULE_REGISTERS) == 16
+
+    def test_offsets_are_unique_and_aligned(self):
+        offsets = [spec.offset for spec in REDMULE_REGISTERS]
+        assert len(set(offsets)) == len(offsets)
+        assert all(offset % 4 == 0 for offset in offsets)
+
+
+class TestJobProgramming:
+    def test_job_roundtrip_through_registers(self):
+        ctrl = RedMulEController()
+        job = sample_job()
+        ctrl.program_job(job)
+        assert ctrl.current_job() == job
+
+    def test_offload_protocol(self):
+        ctrl = RedMulEController()
+        assert ctrl.acquire() == 0
+        ctrl.program_job(sample_job())
+        triggered = ctrl.trigger()
+        assert triggered == sample_job()
+        assert ctrl.busy
+        assert ctrl.regfile.read(REG_STATUS) == 1
+        ctrl.finish()
+        assert not ctrl.busy
+        assert ctrl.regfile.read(REG_STATUS) == 0
+        assert ctrl.regfile.read("finished") == 1
+        ctrl.clear()
+        assert ctrl.state is HwpeState.IDLE
+
+    def test_acquire_while_busy(self):
+        ctrl = RedMulEController()
+        ctrl.acquire()
+        ctrl.program_job(sample_job())
+        ctrl.trigger()
+        assert ctrl.acquire() == -1
+
+    def test_soft_clear_resets_everything(self):
+        ctrl = RedMulEController()
+        ctrl.acquire()
+        ctrl.program_job(sample_job())
+        ctrl.trigger()
+        ctrl.finish()
+        ctrl.soft_clear()
+        assert ctrl.state is HwpeState.IDLE
+        assert ctrl.regfile.read(REG_X_ADDR) == 0
+
+    def test_register_write_count_matches_offload_cost(self):
+        ctrl = RedMulEController()
+        ctrl.regfile.reset()
+        ctrl.program_job(sample_job())
+        # 9 job registers; the trigger write is accounted separately.
+        assert ctrl.regfile.write_accesses == ctrl.offload_register_writes() - 1
+
+    def test_offset_programming_like_a_core(self):
+        """Programming through byte offsets (as core stores would) also works."""
+        ctrl = RedMulEController()
+        job = sample_job()
+        ctrl.regfile.write_offset(0x40, job.x_addr)
+        ctrl.regfile.write_offset(0x44, job.w_addr)
+        ctrl.regfile.write_offset(0x48, job.z_addr)
+        ctrl.regfile.write_offset(0x4C, job.m)
+        ctrl.regfile.write_offset(0x50, job.n)
+        ctrl.regfile.write_offset(0x54, job.k)
+        ctrl.regfile.write_offset(0x58, job.x_stride)
+        ctrl.regfile.write_offset(0x5C, job.w_stride)
+        ctrl.regfile.write_offset(0x60, job.z_stride)
+        assert ctrl.current_job() == job

@@ -1,0 +1,203 @@
+"""Tests for the cycle-accurate RedMulE engine.
+
+The engine is verified on two axes:
+
+* **functional** -- the Z matrix written to the TCDM must equal the golden
+  FP16 model (bit-exact in exact mode, numpy-exact in fast mode) for a wide
+  range of shapes including edge tiles and padding;
+* **timing** -- cycle counts must behave like the paper describes: utilisation
+  grows with the matrix size, approaches the 32 MAC/cycle ideal for large
+  inner dimensions, and degrades under TCDM contention.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fp.vector import matrix_from_bits, matrix_to_bits, random_fp16_matrix
+from repro.interco.hci import Hci, HciConfig
+from repro.interco.log_interco import CoreRequest
+from repro.mem.tcdm import Tcdm
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.engine import RedMulE
+from repro.redmule.functional import matmul_hw_order_exact, matmul_hw_order_fast
+from tests.conftest import MatmulHarness
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize(
+        "m,n,k",
+        [
+            (8, 16, 16),    # exactly one tile
+            (8, 4, 16),     # single chunk
+            (16, 16, 16),   # two tile rows
+            (8, 64, 16),    # several X blocks
+            (13, 7, 5),     # everything ragged
+            (1, 40, 1),     # degenerate vector shapes
+            (3, 3, 40),     # K wider than one tile
+            (24, 100, 40),  # multi-tile with ragged inner dimension
+        ],
+    )
+    def test_matches_golden_model(self, harness, m, n, k):
+        x, w, z, _ = harness.run_random(m, n, k, seed=m * 100 + n + k)
+        golden = matmul_hw_order_fast(x, w)
+        assert np.array_equal(z, golden)
+
+    def test_bit_exact_mode_matches_exact_golden(self, exact_harness):
+        x, w, z, _ = exact_harness.run_random(9, 10, 11, seed=5)
+        golden = matrix_from_bits(
+            matmul_hw_order_exact(matrix_to_bits(x), matrix_to_bits(w))
+        )
+        assert np.array_equal(z, golden)
+
+    def test_exact_and_fast_modes_agree(self, harness, exact_harness):
+        x = random_fp16_matrix(10, 13, scale=0.3, seed=21)
+        w = random_fp16_matrix(13, 9, scale=0.3, seed=22)
+        z_fast, _ = harness.run(x, w)
+        z_exact, _ = exact_harness.run(x, w)
+        assert np.array_equal(z_fast, z_exact)
+
+    def test_does_not_clobber_neighbouring_memory(self, engine):
+        """The engine must only write the Z region (plus nothing else)."""
+        harness = MatmulHarness(engine)
+        tcdm = engine.tcdm
+        guard_addr = tcdm.base + 64 * 1024
+        tcdm.load_image(guard_addr, b"\xa5" * 64)
+        harness.run_random(8, 16, 16, seed=3)
+        assert tcdm.dump_image(guard_addr, 64) == b"\xa5" * 64
+
+    def test_back_to_back_jobs_on_same_engine(self, harness):
+        for seed, shape in enumerate([(8, 16, 16), (5, 9, 7), (16, 8, 24)]):
+            x, w, z, _ = harness.run_random(*shape, seed=seed)
+            assert np.array_equal(z, matmul_hw_order_fast(x, w))
+
+    def test_non_reference_geometry(self):
+        config = RedMulEConfig(height=2, length=4, pipeline_regs=1)
+        tcdm = Tcdm()
+        hci = Hci(tcdm, HciConfig(n_wide_ports=config.n_mem_ports))
+        harness = MatmulHarness(RedMulE(config, hci, exact=False))
+        x, w, z, result = harness.run_random(9, 11, 6, seed=1)
+        assert np.array_equal(z, matmul_hw_order_fast(x, w))
+        assert result.peak_macs_per_cycle == config.n_fma
+
+
+class TestTiming:
+    def test_result_accounting(self, harness):
+        _, _, _, result = harness.run_random(16, 32, 32, seed=0)
+        assert result.total_macs == 16 * 32 * 32
+        assert result.n_tiles == 2 * 2
+        assert result.cycles > result.total_macs / 32
+        assert result.stall_cycles > 0
+        assert 0.0 < result.utilisation < 1.0
+        assert result.issued_macs >= result.total_macs
+        assert "cycles" in result.summary()
+
+    def test_utilisation_grows_with_inner_dimension(self, harness):
+        utilisations = []
+        for n in (16, 64, 256):
+            _, _, _, result = harness.run_random(8, n, 16, seed=n)
+            utilisations.append(result.utilisation)
+        assert utilisations == sorted(utilisations)
+
+    def test_large_inner_dimension_approaches_ideal(self, harness):
+        """The paper reports 31.6/32 MAC/cycle (98.8 %) for large workloads."""
+        _, _, _, result = harness.run_random(8, 512, 16, seed=9)
+        assert result.utilisation > 0.95
+        assert result.macs_per_cycle > 30.0
+
+    def test_tiny_matrix_has_low_utilisation(self, harness):
+        """Fig. 3c/3d: small problems are dominated by control overhead."""
+        _, _, _, result = harness.run_random(4, 4, 4, seed=2)
+        assert result.utilisation < 0.25
+
+    def test_streamer_traffic_matches_expectation(self, harness):
+        m, n, k = 8, 64, 16
+        _, _, _, result = harness.run_random(m, n, k, seed=4)
+        stats = result.streamer
+        assert stats.w_loads == n          # one line per W row (one K tile)
+        assert stats.x_loads == m * (n // 16)
+        assert stats.z_stores == m
+        assert stats.accesses <= stats.cycles
+
+    def test_ideal_cycles_lower_bound(self, harness):
+        _, _, _, result = harness.run_random(16, 48, 32, seed=6)
+        ideal = result.total_macs / 32
+        assert result.cycles >= ideal
+
+    def test_offload_wrapper_updates_controller(self, engine):
+        harness = MatmulHarness(engine)
+        x, w, _, _ = harness.run_random(8, 16, 16, seed=0)
+        # Re-run the same job through the software-style offload path.
+        hx = harness.allocator.alloc_matrix(8, 16, "X2")
+        hw = harness.allocator.alloc_matrix(16, 16, "W2")
+        hz = harness.allocator.alloc_matrix(8, 16, "Z2")
+        hx.store(engine.tcdm, x)
+        hw.store(engine.tcdm, w)
+        from repro.redmule.job import MatmulJob
+
+        result = engine.offload(MatmulJob.from_handles(hx, hw, hz))
+        assert engine.controller.fsm.jobs_completed == 1
+        assert engine.controller.fsm.job_history == [result.cycles]
+        assert np.array_equal(hz.load(engine.tcdm), matmul_hw_order_fast(x, w))
+
+    def test_max_cycles_guard(self, harness):
+        with pytest.raises(RuntimeError):
+            harness.engine.run_job(
+                __import__("repro.redmule.job", fromlist=["MatmulJob"]).MatmulJob(
+                    x_addr=harness.tcdm.base,
+                    w_addr=harness.tcdm.base + 0x800,
+                    z_addr=harness.tcdm.base + 0x1000,
+                    m=8, n=64, k=16,
+                ),
+                max_cycles=10,
+            )
+
+
+class TestContention:
+    def test_core_traffic_slows_the_accelerator_down(self):
+        """With cores hammering the TCDM banks the wide port loses slots and
+        the job takes longer (the HCI rotation bounds the slowdown)."""
+        def run(with_traffic: bool) -> int:
+            tcdm = Tcdm()
+            hci = Hci(tcdm, HciConfig(max_wide_streak=2))
+            engine = RedMulE(RedMulEConfig.reference(), hci, exact=False)
+            harness = MatmulHarness(engine)
+            x = random_fp16_matrix(8, 64, scale=0.3, seed=1)
+            w = random_fp16_matrix(64, 16, scale=0.3, seed=2)
+            if with_traffic:
+                original_cycle = hci.wide_cycle
+
+                def noisy_wide_cycle(*args, **kwargs):
+                    hci.submit_log_requests(
+                        [CoreRequest(initiator=i, addr=tcdm.base + 4 * i)
+                         for i in range(4)]
+                    )
+                    return original_cycle(*args, **kwargs)
+
+                hci.wide_cycle = noisy_wide_cycle
+            _, result = harness.run(x, w)
+            golden = matmul_hw_order_fast(x, w)
+            z = harness.allocator  # silence linters; correctness checked below
+            return result.cycles
+
+        quiet = run(with_traffic=False)
+        noisy = run(with_traffic=True)
+        assert noisy > quiet
+
+    def test_contention_does_not_corrupt_results(self):
+        tcdm = Tcdm()
+        hci = Hci(tcdm, HciConfig(max_wide_streak=1))
+        engine = RedMulE(RedMulEConfig.reference(), hci, exact=False)
+        harness = MatmulHarness(engine)
+        x = random_fp16_matrix(8, 32, scale=0.3, seed=11)
+        w = random_fp16_matrix(32, 16, scale=0.3, seed=12)
+
+        original_cycle = hci.wide_cycle
+
+        def noisy_wide_cycle(*args, **kwargs):
+            hci.submit_log_requests([CoreRequest(initiator=0, addr=tcdm.base)])
+            return original_cycle(*args, **kwargs)
+
+        hci.wide_cycle = noisy_wide_cycle
+        z, result = harness.run(x, w)
+        assert np.array_equal(z, matmul_hw_order_fast(x, w))
+        assert result.streamer.stall_cycles > 0

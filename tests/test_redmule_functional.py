@@ -1,0 +1,86 @@
+"""Tests for the golden functional models (FP16 accumulation order)."""
+
+import numpy as np
+import pytest
+
+from repro.fp.vector import matrix_from_bits, matrix_to_bits, quantize_fp16, random_fp16_matrix
+from repro.redmule.functional import (
+    matmul_hw_order_exact,
+    matmul_hw_order_fast,
+    matmul_hw_order_fast_bits,
+    matmul_reference_fp32,
+)
+
+
+class TestExactModel:
+    def test_identity(self):
+        x = matrix_to_bits(np.eye(4))
+        w = matrix_to_bits(np.arange(16, dtype=np.float64).reshape(4, 4) / 8.0)
+        z = matmul_hw_order_exact(x, w)
+        assert z == w
+
+    def test_small_known_result(self):
+        x = matrix_to_bits(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        w = matrix_to_bits(np.array([[5.0, 6.0], [7.0, 8.0]]))
+        z = matrix_from_bits(matmul_hw_order_exact(x, w))
+        assert np.array_equal(z, np.array([[19.0, 22.0], [43.0, 50.0]],
+                                          dtype=np.float32))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            matmul_hw_order_exact([], [[0]])
+        with pytest.raises(ValueError):
+            matmul_hw_order_exact([[0, 1], [2]], [[0], [1]])
+        with pytest.raises(ValueError):
+            matmul_hw_order_exact([[0, 1]], [[0], [1, 2]])
+
+
+class TestFastModel:
+    def test_matches_exact_on_random_matrices(self):
+        x = random_fp16_matrix(7, 11, scale=0.3, seed=0)
+        w = random_fp16_matrix(11, 9, scale=0.3, seed=1)
+        exact = matrix_from_bits(
+            matmul_hw_order_exact(matrix_to_bits(x), matrix_to_bits(w))
+        )
+        fast = matmul_hw_order_fast(x, w)
+        assert np.array_equal(exact, fast)
+
+    def test_bits_wrapper(self):
+        x = random_fp16_matrix(3, 5, seed=2)
+        w = random_fp16_matrix(5, 4, seed=3)
+        via_bits = matrix_from_bits(
+            matmul_hw_order_fast_bits(matrix_to_bits(x), matrix_to_bits(w))
+        )
+        assert np.array_equal(via_bits, matmul_hw_order_fast(x, w))
+
+    def test_accumulation_order_matters(self):
+        """FP16 step-wise accumulation differs from an fp32 matmul rounded once,
+        which is exactly why a bit-true golden model is needed."""
+        rng = np.random.default_rng(5)
+        x = quantize_fp16(rng.standard_normal((8, 256)))
+        w = quantize_fp16(rng.standard_normal((256, 8)))
+        fp16_result = matmul_hw_order_fast(x, w)
+        fp32_result = quantize_fp16(matmul_reference_fp32(x, w))
+        assert not np.array_equal(fp16_result, fp32_result)
+
+    def test_error_vs_fp32_is_bounded(self):
+        """The FP16 accumulation error stays small for well-scaled operands."""
+        x = random_fp16_matrix(16, 64, scale=0.1, seed=7)
+        w = random_fp16_matrix(64, 16, scale=0.1, seed=8)
+        fp16_result = matmul_hw_order_fast(x, w)
+        fp32_result = matmul_reference_fp32(x, w)
+        scale = float(np.mean(np.abs(fp32_result)))
+        normalised = np.abs(fp16_result - fp32_result) / scale
+        assert float(np.max(normalised)) < 0.05
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            matmul_hw_order_fast(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            matmul_hw_order_fast(np.zeros(3), np.zeros((3, 2)))
+
+    def test_overflow_saturates_to_infinity(self):
+        x = quantize_fp16(np.full((1, 4), 200.0))
+        w = quantize_fp16(np.full((4, 1), 200.0))
+        result = matmul_hw_order_fast(x, w)
+        assert np.isinf(result[0, 0])

@@ -1,0 +1,81 @@
+"""Tests for the matmul job descriptor."""
+
+import pytest
+
+from repro.mem.layout import MatrixHandle
+from repro.redmule.job import MatmulJob
+
+
+class TestJobConstruction:
+    def test_default_strides_are_dense(self):
+        job = MatmulJob(x_addr=0x100, w_addr=0x200, z_addr=0x300, m=4, n=8, k=6)
+        assert job.x_stride == 16
+        assert job.w_stride == 12
+        assert job.z_stride == 12
+
+    def test_explicit_strides_preserved(self):
+        job = MatmulJob(x_addr=0, w_addr=0x100, z_addr=0x200, m=2, n=2, k=2,
+                        x_stride=64, w_stride=128, z_stride=256)
+        assert (job.x_stride, job.w_stride, job.z_stride) == (64, 128, 256)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            MatmulJob(x_addr=0, w_addr=0, z_addr=0, m=0, n=1, k=1)
+
+    def test_rejects_misaligned_addresses(self):
+        with pytest.raises(ValueError):
+            MatmulJob(x_addr=1, w_addr=0, z_addr=0, m=1, n=1, k=1)
+
+    def test_rejects_negative_addresses(self):
+        with pytest.raises(ValueError):
+            MatmulJob(x_addr=-2, w_addr=0, z_addr=0, m=1, n=1, k=1)
+
+
+class TestDerivedProperties:
+    def test_macs_and_flops(self):
+        job = MatmulJob(x_addr=0, w_addr=0x100, z_addr=0x200, m=3, n=5, k=7)
+        assert job.total_macs == 105
+        assert job.total_flops == 210
+
+    def test_element_addressing(self):
+        job = MatmulJob(x_addr=0x1000, w_addr=0x2000, z_addr=0x3000,
+                        m=4, n=8, k=6)
+        assert job.x_element_addr(0, 0) == 0x1000
+        assert job.x_element_addr(1, 2) == 0x1000 + 16 + 4
+        assert job.w_element_addr(2, 1) == 0x2000 + 2 * 12 + 2
+        assert job.z_element_addr(3, 5) == 0x3000 + 3 * 12 + 10
+
+    def test_handles_roundtrip(self):
+        job = MatmulJob(x_addr=0x1000, w_addr=0x2000, z_addr=0x3000,
+                        m=4, n=8, k=6)
+        assert job.x_handle.rows == 4 and job.x_handle.cols == 8
+        assert job.w_handle.rows == 8 and job.w_handle.cols == 6
+        assert job.z_handle.rows == 4 and job.z_handle.cols == 6
+
+    def test_describe(self):
+        job = MatmulJob(x_addr=0, w_addr=0x10, z_addr=0x20, m=2, n=3, k=4)
+        assert "M=2 N=3 K=4" in job.describe()
+
+
+class TestFromHandles:
+    def test_valid_handles(self):
+        x = MatrixHandle(base=0x100, rows=8, cols=16, name="X")
+        w = MatrixHandle(base=0x400, rows=16, cols=4, name="W")
+        z = MatrixHandle(base=0x800, rows=8, cols=4, name="Z")
+        job = MatmulJob.from_handles(x, w, z)
+        assert (job.m, job.n, job.k) == (8, 16, 4)
+        assert job.x_stride == x.row_stride
+
+    def test_inner_dimension_mismatch(self):
+        x = MatrixHandle(base=0, rows=8, cols=16)
+        w = MatrixHandle(base=0x400, rows=8, cols=4)
+        z = MatrixHandle(base=0x800, rows=8, cols=4)
+        with pytest.raises(ValueError):
+            MatmulJob.from_handles(x, w, z)
+
+    def test_output_shape_mismatch(self):
+        x = MatrixHandle(base=0, rows=8, cols=16)
+        w = MatrixHandle(base=0x400, rows=16, cols=4)
+        z = MatrixHandle(base=0x800, rows=8, cols=8)
+        with pytest.raises(ValueError):
+            MatmulJob.from_handles(x, w, z)

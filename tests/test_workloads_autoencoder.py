@@ -1,0 +1,106 @@
+"""Tests for the TinyMLPerf auto-encoder workload model."""
+
+import numpy as np
+import pytest
+
+from repro.fp.vector import quantize_fp16
+from repro.workloads.autoencoder import (
+    AUTOENCODER_LAYER_SIZES,
+    AutoEncoder,
+    autoencoder_training_gemms,
+    autoencoder_workload,
+)
+from repro.workloads.training import GemmRole
+
+
+class TestTopology:
+    def test_mlperf_tiny_layer_sizes(self):
+        """640-in/out deep auto-encoder with an 8-unit bottleneck."""
+        assert AUTOENCODER_LAYER_SIZES[0] == 640
+        assert AUTOENCODER_LAYER_SIZES[-1] == 640
+        assert min(AUTOENCODER_LAYER_SIZES) == 8
+        assert len(AUTOENCODER_LAYER_SIZES) == 11  # ten dense layers
+
+    def test_parameter_count(self):
+        model = AutoEncoder()
+        expected = sum(
+            a * b for a, b in zip(AUTOENCODER_LAYER_SIZES[:-1],
+                                  AUTOENCODER_LAYER_SIZES[1:])
+        )
+        assert model.n_parameters == expected
+        assert model.n_layers == 10
+
+    def test_training_gemms(self):
+        gemms = autoencoder_training_gemms(batch=1)
+        forward = [g for g in gemms if g.role is GemmRole.FORWARD]
+        assert len(forward) == 10
+        # Forward GEMMs all have K = batch = 1 (the Fig. 4c bottleneck).
+        assert all(g.shape.k == 1 for g in forward)
+
+    def test_workload_wrapper(self):
+        workload = autoencoder_workload(batch=2)
+        assert workload.total_macs == sum(
+            g.shape.macs for g in autoencoder_training_gemms(2)
+        )
+
+    def test_footprint_grows_with_batch(self):
+        model = AutoEncoder()
+        b1 = model.footprint_bytes(batch=1, include_weights=False)
+        b16 = model.footprint_bytes(batch=16, include_weights=False)
+        assert b16 == 16 * b1
+        assert model.footprint_bytes(batch=1) > b1  # weights included
+
+
+class TestFunctionalModel:
+    def _batch(self, model, batch, seed=0):
+        rng = np.random.default_rng(seed)
+        return quantize_fp16(rng.standard_normal((model.layer_sizes[0], batch)) * 0.1)
+
+    def test_forward_shapes(self):
+        model = AutoEncoder(layer_sizes=(32, 16, 4, 16, 32), seed=1)
+        data = self._batch(model, batch=3)
+        output, activations = model.forward(data)
+        assert output.shape == (32, 3)
+        assert len(activations) == model.n_layers + 1
+        assert activations[0].shape == (32, 3)
+
+    def test_forward_rejects_wrong_input_size(self):
+        model = AutoEncoder(layer_sizes=(32, 16, 32), seed=1)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((16, 1)))
+
+    def test_values_are_fp16_representable(self):
+        model = AutoEncoder(layer_sizes=(32, 16, 32), seed=2)
+        output, _ = model.forward(self._batch(model, 2, seed=3))
+        assert np.array_equal(output, quantize_fp16(output))
+        assert all(np.array_equal(w, quantize_fp16(w)) for w in model.weights)
+
+    def test_backward_gradient_shapes(self):
+        model = AutoEncoder(layer_sizes=(24, 12, 4, 12, 24), seed=4)
+        data = self._batch(model, batch=2, seed=5)
+        _, activations = model.forward(data)
+        gradients = model.backward(activations, data)
+        assert len(gradients) == model.n_layers
+        for gradient, weight in zip(gradients, model.weights):
+            assert gradient.shape == weight.shape
+
+    def test_training_reduces_reconstruction_loss(self):
+        """A few SGD steps on a fixed batch must reduce the MSE loss, which
+        demonstrates that FP16 training of the auto-encoder works end to end
+        (the paper's 'adaptive deep learning' use case).
+
+        Inputs, weights and learning rate are scaled so gradients stay above
+        the FP16 resolution of the weights -- the same loss-scaling concern
+        mixed-precision training has on the real system.
+        """
+        model = AutoEncoder(layer_sizes=(32, 16, 8, 16, 32), seed=6,
+                            weight_scale=0.2)
+        rng = np.random.default_rng(7)
+        data = quantize_fp16(rng.standard_normal((32, 8)))
+        losses = [model.training_step(data, learning_rate=0.05)["loss"]
+                  for _ in range(20)]
+        assert losses[-1] < losses[0] * 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AutoEncoder(layer_sizes=(64,))

@@ -1,0 +1,84 @@
+"""Tests for the training-step GEMM decomposition."""
+
+import pytest
+
+from repro.workloads.training import (
+    GemmRole,
+    as_workload,
+    backward_gemms,
+    forward_gemms,
+    training_step_gemms,
+)
+
+
+LAYERS = (640, 128, 8, 640)
+
+
+class TestForwardGemms:
+    def test_shapes_follow_the_paper_mapping(self):
+        """Forward: M = out features, N = in features, K = batch."""
+        gemms = forward_gemms(LAYERS, batch=1)
+        assert len(gemms) == 3
+        first = gemms[0].shape
+        assert (first.m, first.n, first.k) == (128, 640, 1)
+        assert all(g.role is GemmRole.FORWARD for g in gemms)
+        assert [g.layer for g in gemms] == [0, 1, 2]
+
+    def test_batch_size_is_the_k_dimension(self):
+        gemms = forward_gemms(LAYERS, batch=16)
+        assert all(g.shape.k == 16 for g in gemms)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            forward_gemms((640,), batch=1)
+        with pytest.raises(ValueError):
+            forward_gemms(LAYERS, batch=0)
+        with pytest.raises(ValueError):
+            forward_gemms((640, 0, 8), batch=1)
+
+
+class TestBackwardGemms:
+    def test_weight_gradient_shapes(self):
+        """dW: M = out, N = batch, K = in -- the GEMM that stays efficient
+        at batch 1 because its K dimension is the layer width."""
+        gemms = backward_gemms(LAYERS, batch=1)
+        dw = [g for g in gemms if g.role is GemmRole.WEIGHT_GRADIENT]
+        assert len(dw) == 3
+        last_layer_dw = dw[0].shape  # backward walks layers in reverse
+        assert (last_layer_dw.m, last_layer_dw.n, last_layer_dw.k) == (640, 1, 8)
+
+    def test_input_gradient_skips_first_layer_by_default(self):
+        gemms = backward_gemms(LAYERS, batch=1)
+        dx = [g for g in gemms if g.role is GemmRole.INPUT_GRADIENT]
+        assert len(dx) == 2  # layers 1 and 2, not layer 0
+        assert all(g.layer > 0 for g in dx)
+
+    def test_input_gradient_can_be_included(self):
+        gemms = backward_gemms(LAYERS, batch=1,
+                               include_input_gradient_for_first_layer=True)
+        dx = [g for g in gemms if g.role is GemmRole.INPUT_GRADIENT]
+        assert len(dx) == 3
+
+    def test_backward_has_more_macs_than_forward(self):
+        forward = sum(g.shape.macs for g in forward_gemms(LAYERS, 1))
+        backward = sum(g.shape.macs for g in backward_gemms(LAYERS, 1))
+        assert backward > forward
+
+
+class TestTrainingStep:
+    def test_composition(self):
+        gemms = training_step_gemms(LAYERS, batch=4)
+        n_layers = len(LAYERS) - 1
+        assert len(gemms) == n_layers + n_layers + (n_layers - 1)
+        assert gemms[0].is_forward and gemms[-1].is_backward
+
+    def test_macs_scale_linearly_with_batch(self):
+        macs_b1 = sum(g.shape.macs for g in training_step_gemms(LAYERS, 1))
+        macs_b16 = sum(g.shape.macs for g in training_step_gemms(LAYERS, 16))
+        assert macs_b16 == 16 * macs_b1
+
+    def test_as_workload(self):
+        workload = as_workload("step", training_step_gemms(LAYERS, 2))
+        assert workload.total_macs == sum(
+            g.shape.macs for g in training_step_gemms(LAYERS, 2)
+        )
