@@ -41,6 +41,13 @@ Quickstart
 """
 
 from repro.cluster import ClusterConfig, OffloadResult, PulpCluster
+from repro.farm import (
+    FarmResult,
+    SimulationFarm,
+    TimingCache,
+    TimingRecord,
+    default_farm,
+)
 from repro.fp import Float16, RoundingMode, fma16, quantize_fp16, random_fp16_matrix
 from repro.mem import MatrixHandle, MemoryAllocator, Tcdm, TcdmConfig
 from repro.redmule import (
@@ -62,6 +69,7 @@ __all__ = [
     "ClusterAreaModel",
     "ClusterConfig",
     "EnergyModel",
+    "FarmResult",
     "Float16",
     "GemmShape",
     "GemmWorkload",
@@ -75,10 +83,14 @@ __all__ = [
     "RedMulEPerfModel",
     "RedMulEResult",
     "RoundingMode",
+    "SimulationFarm",
     "SoftwareBaseline",
     "Tcdm",
     "TcdmConfig",
+    "TimingCache",
+    "TimingRecord",
     "__version__",
+    "default_farm",
     "fma16",
     "quantize_fp16",
     "random_fp16_matrix",

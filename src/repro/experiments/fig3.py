@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.farm import SimulationFarm, farm_for_config
 from repro.power.area import AreaModel, ClusterAreaModel
 from repro.power.breakdown import Breakdown
 from repro.power.energy import EnergyModel
@@ -22,7 +23,6 @@ from repro.power.technology import (
     TECH_22NM,
 )
 from repro.redmule.config import RedMulEConfig
-from repro.redmule.perf_model import RedMulEPerfModel
 
 #: Default square matrix sizes for the Fig. 3c / 3d sweeps.  Sizes are kept
 #: multiples of the 16-element output block (plus one deliberately tiny point)
@@ -61,14 +61,20 @@ def energy_per_mac_sweep(
     sizes: Sequence[int] = DEFAULT_SWEEP_SIZES,
     config: Optional[RedMulEConfig] = None,
     point: OperatingPoint = OP_22NM_EFFICIENCY,
+    farm: Optional[SimulationFarm] = None,
 ) -> List[Dict[str, float]]:
-    """Fig. 3c: cluster energy per MAC vs. square matrix size."""
+    """Fig. 3c: cluster energy per MAC vs. square matrix size.
+
+    The sweep runs through the simulation farm (analytical backend, same
+    numbers as the former direct ``RedMulEPerfModel`` path), so shapes shared
+    with the other sweeps are served from the timing cache.
+    """
     config = config or RedMulEConfig.reference()
-    perf = RedMulEPerfModel(config)
+    farm = farm_for_config(config, farm)
     energy = EnergyModel(config, TECH_22NM)
     records = []
     for size in sizes:
-        estimate = perf.estimate_gemm(size, size, size)
+        estimate = farm.estimate_gemm(size, size, size)
         utilisation = estimate.utilisation
         records.append(
             {
@@ -89,13 +95,14 @@ def throughput_sweep(
     sizes: Sequence[int] = DEFAULT_SWEEP_SIZES,
     config: Optional[RedMulEConfig] = None,
     point: OperatingPoint = OP_22NM_PERFORMANCE,
+    farm: Optional[SimulationFarm] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 3d: throughput at the maximum cluster frequency vs. matrix size."""
     config = config or RedMulEConfig.reference()
-    perf = RedMulEPerfModel(config)
+    farm = farm_for_config(config, farm)
     records = []
     for size in sizes:
-        estimate = perf.estimate_gemm(size, size, size)
+        estimate = farm.estimate_gemm(size, size, size)
         records.append(
             {
                 "size": size,

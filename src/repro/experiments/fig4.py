@@ -17,10 +17,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import ClusterConfig
-from repro.perf.metrics import time_workload_hw, time_workload_sw
+from repro.farm import SimulationFarm, farm_for_config
+from repro.perf.metrics import time_workload_sw
 from repro.power.area import AreaModel
 from repro.redmule.config import RedMulEConfig
-from repro.redmule.perf_model import RedMulEPerfModel
 from repro.sw.baseline import SoftwareBaseline
 from repro.workloads.autoencoder import AUTOENCODER_LAYER_SIZES, autoencoder_training_gemms
 from repro.workloads.training import TrainingGemm
@@ -39,14 +39,19 @@ def hw_vs_sw_sweep(
     sizes: Sequence[int] = DEFAULT_HW_SW_SIZES,
     config: Optional[RedMulEConfig] = None,
     n_cores: int = 8,
+    farm: Optional[SimulationFarm] = None,
 ) -> List[Dict[str, float]]:
-    """Fig. 4a: HW and SW throughput vs. the ideal machine, plus speedup."""
+    """Fig. 4a: HW and SW throughput vs. the ideal machine, plus speedup.
+
+    The hardware side runs through the simulation farm (analytical backend),
+    sharing its timing cache with the Fig. 3c/3d sweeps over the same shapes.
+    """
     config = config or RedMulEConfig.reference()
-    perf = RedMulEPerfModel(config)
+    farm = farm_for_config(config, farm)
     software = SoftwareBaseline(n_cores=n_cores)
     records = []
     for size in sizes:
-        hw = perf.estimate_gemm(size, size, size)
+        hw = farm.estimate_gemm(size, size, size)
         sw = software.run_gemm(size, size, size)
         records.append(
             {
@@ -84,20 +89,24 @@ def autoencoder_training(
     batch: int = 1,
     config: Optional[RedMulEConfig] = None,
     cluster_config: Optional[ClusterConfig] = None,
+    farm: Optional[SimulationFarm] = None,
 ) -> Dict[str, object]:
     """Fig. 4c: one AutoEncoder training step on RedMulE vs. software.
 
     Returns aggregate and per-pass (forward / backward) cycle counts and
-    speedups, plus the per-GEMM breakdown for detailed inspection.
+    speedups, plus the per-GEMM breakdown for detailed inspection.  The
+    hardware side is timed through the simulation farm, so layer shapes that
+    repeat across passes and batch sizes are simulated once.
     """
     config = config or RedMulEConfig.reference()
     cluster_config = cluster_config or ClusterConfig(redmule=config)
+    farm = farm_for_config(config, farm)
     gemms = autoencoder_training_gemms(batch)
     forward_shapes, backward_shapes = _split_by_pass(gemms)
 
     offload = cluster_config.offload_cycles
-    hw_forward = time_workload_hw(forward_shapes, config, offload)
-    hw_backward = time_workload_hw(backward_shapes, config, offload)
+    hw_forward = farm.time_workload(forward_shapes, offload)
+    hw_backward = farm.time_workload(backward_shapes, offload)
     sw_forward = time_workload_sw(forward_shapes)
     sw_backward = time_workload_sw(backward_shapes)
 
@@ -131,13 +140,15 @@ def autoencoder_training(
 def autoencoder_batching(
     batches: Sequence[int] = (1, 16),
     config: Optional[RedMulEConfig] = None,
+    farm: Optional[SimulationFarm] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 4d: effect of the batch size on HW and SW training throughput."""
     config = config or RedMulEConfig.reference()
+    farm = farm_for_config(config, farm)
     records = []
     reference_hw_throughput = None
     for batch in batches:
-        outcome = autoencoder_training(batch, config)
+        outcome = autoencoder_training(batch, config, farm=farm)
         hw_throughput = outcome["total_macs"] / outcome["hw_cycles"]
         sw_throughput = outcome["total_macs"] / outcome["sw_cycles"]
         if reference_hw_throughput is None:

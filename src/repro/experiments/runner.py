@@ -2,12 +2,15 @@
 
 Maps the paper's table/figure identifiers to their driver functions so the
 examples and the command line (``python -m repro.experiments.runner``) can
-regenerate everything in one go.
+regenerate everything in one go.  Every driver times its matmul jobs through
+the shared :func:`repro.farm.default_farm`, so a batch run reuses one timing
+cache across figures (the Fig. 3c/3d/4a sweeps share their square shapes).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import argparse
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import fig3, fig4, table1
 
@@ -25,12 +28,29 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
 }
 
 
+def list_experiments() -> List[str]:
+    """Sorted experiment identifiers (the ``--list`` payload)."""
+    return sorted(EXPERIMENTS)
+
+
+def validate_names(names: Sequence[str]) -> None:
+    """Reject unknown experiment names *before* anything runs.
+
+    The runner used to validate lazily, one experiment at a time, so a typo
+    at the end of the list aborted a batch mid-run after earlier experiments
+    had already executed.
+    """
+    unknown = sorted(set(name for name in names if name not in EXPERIMENTS))
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {', '.join(repr(n) for n in unknown)}; "
+            f"available: {list_experiments()}"
+        )
+
+
 def run_experiment(name: str) -> object:
     """Run one experiment by its identifier (e.g. ``"fig4a"``)."""
-    if name not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
-        )
+    validate_names([name])
     return EXPERIMENTS[name]()
 
 
@@ -51,16 +71,59 @@ def _render(name: str, result: object) -> str:
     return f"{name}: {result}"
 
 
-def main(names: List[str] = None) -> None:  # pragma: no cover - CLI helper
-    """Print the selected experiments (all of them by default)."""
-    names = names or sorted(EXPERIMENTS)
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiment identifiers to run (default: all of them)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available experiment identifiers and exit",
+    )
+    parser.add_argument(
+        "--farm-stats",
+        action="store_true",
+        help="print the shared simulation-farm statistics after running",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """Command-line entry point: run the selected experiments and print them.
+
+    ``argv`` defaults to ``sys.argv[1:]``; every requested name is validated
+    up front so a typo cannot abort a batch halfway through.
+    """
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for name in list_experiments():
+            print(name)
+        return
+
+    names = args.names or list_experiments()
+    try:
+        validate_names(names)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}")
+
     for name in names:
         print("=" * 72)
         print(_render(name, run_experiment(name)))
         print()
 
+    if args.farm_stats:
+        from repro.farm import default_farm
+
+        print("=" * 72)
+        print(default_farm().describe())
+
 
 if __name__ == "__main__":  # pragma: no cover
-    import sys
-
-    main(sys.argv[1:] or None)
+    main()

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.farm import SimulationFarm
 from repro.perf.comparison import PAPER_OUR_WORK, SOA_ENTRIES, SoaEntry, our_entries
 from repro.perf.report import TextTable
 from repro.redmule.config import RedMulEConfig
@@ -20,15 +21,16 @@ TABLE1_HEADERS = [
 ]
 
 
-def build_table1(config: Optional[RedMulEConfig] = None) -> Dict[str, object]:
+def build_table1(config: Optional[RedMulEConfig] = None,
+                 farm: Optional[SimulationFarm] = None) -> Dict[str, object]:
     """Build Table I: published SoA rows plus our computed rows.
 
     Returns a dictionary with the published reference rows, the computed
     "our work" rows, and the paper's reported values for the same rows so the
     benchmark output (and EXPERIMENTS.md) can show measured vs. paper side by
-    side.
+    side.  The performance entries are timed through the simulation farm.
     """
-    ours = our_entries(config)
+    ours = our_entries(config, farm=farm)
     return {
         "headers": TABLE1_HEADERS,
         "soa_rows": SOA_ENTRIES,
@@ -46,10 +48,11 @@ def render_table1(table: Optional[Dict[str, object]] = None) -> str:
     return text.render()
 
 
-def our_rows_as_dicts(config: Optional[RedMulEConfig] = None) -> List[Dict[str, float]]:
+def our_rows_as_dicts(config: Optional[RedMulEConfig] = None,
+                      farm: Optional[SimulationFarm] = None) -> List[Dict[str, float]]:
     """The computed "Our work" rows as flat dictionaries (benchmark payload)."""
     rows = []
-    for entry in our_entries(config):
+    for entry in our_entries(config, farm=farm):
         rows.append(
             {
                 "design": entry.design,

@@ -1,0 +1,221 @@
+"""Shape-keyed timing cache for the simulation farm.
+
+The cycle-accurate engine and the analytical model are both *data-independent*:
+for a fixed architectural configuration, the cycle count of a matmul job
+depends only on the problem shape ``(M, N, K)``, on whether the job
+accumulates into Z, and on the arithmetic mode -- never on the operand values
+or their placement (the streamer performs one wide access per line per cycle
+regardless of the address, see :mod:`repro.redmule.streamer`).  Timing results
+are therefore exactly reusable across a sweep, which is what makes the
+repeated-shape experiments (Fig. 3c/3d, Fig. 4a, the autoencoder batching
+study) cheap to regenerate: the farm simulates each distinct shape once and
+serves every repeat from this cache.
+
+The cache is keyed by ``(config key, m, n, k, accumulate, exact, backend)``
+and stores :class:`TimingRecord` values -- :class:`~repro.redmule.engine.
+RedMulEResult`-shaped records stripped of the job-specific fields (addresses,
+streamer port statistics) that do not survive memoisation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.job import MatmulJob
+
+#: Backend tags used in cache keys and records.
+BACKEND_ENGINE = "engine"
+BACKEND_MODEL = "model"
+
+
+def config_key(config: RedMulEConfig) -> Tuple[int, int, int, int, int]:
+    """Hashable, picklable key identifying an architectural configuration."""
+    return (
+        config.height,
+        config.length,
+        config.pipeline_regs,
+        config.w_prefetch_lines,
+        config.z_queue_depth,
+    )
+
+
+@dataclass(frozen=True)
+class TimingKey:
+    """Cache key: everything the timing of a job can depend on.
+
+    ``exact`` only matters for the engine backend (the bit-exact and numpy
+    vector ops follow identical schedules, but keeping it in the key makes the
+    cache trivially correct should that ever change), and ``backend``
+    separates engine-measured records from model estimates so a validation
+    run never serves one in place of the other.
+    """
+
+    config: Tuple[int, int, int, int, int]
+    m: int
+    n: int
+    k: int
+    accumulate: bool
+    exact: bool
+    backend: str
+
+    @classmethod
+    def for_job(cls, config: RedMulEConfig, job: MatmulJob, exact: bool,
+                backend: str) -> "TimingKey":
+        """Build the key of ``job`` on ``config`` under ``backend``."""
+        return cls(
+            config=config_key(config),
+            m=job.m,
+            n=job.n,
+            k=job.k,
+            accumulate=job.accumulate,
+            exact=exact,
+            backend=backend,
+        )
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """Memoised timing of one job shape (``RedMulEResult``-shaped).
+
+    The fields mirror :class:`~repro.redmule.engine.RedMulEResult` minus the
+    job descriptor and the streamer statistics; model-backed records fill the
+    engine-only counters (stalls, issued MACs) with the model's equivalents
+    where they exist and zero where they do not.
+    """
+
+    #: Total cycles from trigger to the last Z store leaving the streamer.
+    cycles: int
+    #: Cycles the datapath was frozen waiting for operands (engine backend).
+    stall_cycles: int
+    #: Cycles the datapath issued at least one operation (engine backend).
+    active_cycles: int
+    #: Useful multiply-accumulates (M*N*K).
+    total_macs: int
+    #: FMA slots actually issued, padding included (engine backend).
+    issued_macs: int
+    #: Number of tiles processed.
+    n_tiles: int
+    #: Peak throughput of the simulated instance (H * L MAC/cycle).
+    peak_macs_per_cycle: int
+    #: Cycles an ideal array (peak MACs every cycle) would need.
+    ideal_cycles: int
+    #: Which backend produced the record ("engine" or "model").
+    backend: str
+
+    # -- derived metrics (same definitions as RedMulEResult/PerfEstimate) ----
+    @property
+    def macs_per_cycle(self) -> float:
+        """Useful MACs per cycle (the paper's throughput metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.total_macs / self.cycles
+
+    @property
+    def utilisation(self) -> float:
+        """Useful MACs per cycle divided by the array's peak."""
+        if self.cycles == 0 or self.peak_macs_per_cycle == 0:
+            return 0.0
+        return self.macs_per_cycle / self.peak_macs_per_cycle
+
+    @property
+    def fraction_of_ideal(self) -> float:
+        """Ideal cycles divided by measured cycles (Fig. 4a metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.ideal_cycles / self.cycles
+
+    @property
+    def overhead_cycles(self) -> int:
+        """Cycles beyond the ideal-machine lower bound."""
+        return self.cycles - self.ideal_cycles
+
+    def runtime_s(self, frequency_hz: float) -> float:
+        """Wall-clock runtime at a given clock frequency."""
+        return self.cycles / frequency_hz
+
+    def throughput_gmacs(self, frequency_hz: float) -> float:
+        """Throughput in GMAC/s at a given clock frequency."""
+        return self.macs_per_cycle * frequency_hz / 1e9
+
+    def throughput_gflops(self, frequency_hz: float) -> float:
+        """Throughput in GFLOPS (2 ops per MAC) at a given clock frequency."""
+        return 2.0 * self.throughput_gmacs(frequency_hz)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of a :class:`TimingCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class TimingCache:
+    """Shape-keyed memoisation of timing records with hit/miss statistics.
+
+    The cache is an LRU bounded by ``max_entries`` (``None`` disables
+    eviction; sweeps have small working sets, so the default is unbounded).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[TimingKey, TimingRecord]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: TimingKey) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: TimingKey) -> Optional[TimingRecord]:
+        """Return the cached record for ``key`` (and count a hit or miss)."""
+        record = self._entries.get(key)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._entries.move_to_end(key)
+        return record
+
+    def peek(self, key: TimingKey) -> Optional[TimingRecord]:
+        """Return the cached record without touching the statistics."""
+        return self._entries.get(key)
+
+    def store(self, key: TimingKey, record: TimingRecord) -> None:
+        """Insert (or refresh) a record, evicting the LRU entry when full."""
+        self._entries[key] = record
+        self._entries.move_to_end(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        self._entries.clear()
+
+    def describe(self) -> str:
+        """One-line summary used by the runner's ``--farm-stats`` flag."""
+        return (
+            f"timing cache: {len(self)} entries, {self.stats.hits} hits / "
+            f"{self.stats.misses} misses ({100 * self.stats.hit_rate:.1f}% "
+            f"hit rate)"
+        )

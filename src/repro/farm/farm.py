@@ -1,0 +1,562 @@
+"""Batched simulation farm with a shape-keyed timing cache.
+
+The paper's sweeps (Fig. 3c/3d, Fig. 4a, the autoencoder training/batching
+studies) each time dozens of matmul jobs, and many of those jobs share a
+shape.  Running them one ``RedMulE`` invocation at a time wastes almost all
+of the wall clock on repeated identical simulations.  The farm turns job
+execution into a batch-level service:
+
+* **batching** -- :meth:`SimulationFarm.run` accepts a whole list of jobs,
+  deduplicates them by timing key, and returns per-job results in order;
+* **caching** -- distinct shapes are simulated once and memoised in a
+  :class:`~repro.farm.cache.TimingCache` (hit/miss statistics included);
+* **parallelism** -- cache misses on the cycle-accurate backend are fanned
+  out over a ``concurrent.futures`` process pool, with a transparent serial
+  fallback when a pool cannot be created (or is not worth creating);
+* **backend auto-selection** -- each request is routed to the cycle-accurate
+  engine (small jobs: exact timing) or the validated analytical model (large
+  jobs: closed form) unless the caller forces a backend;
+* **validation** -- in validation mode every engine-simulated shape is also
+  estimated with the model and the two must agree within a stated tolerance,
+  continuously re-validating the model against the ground truth.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.farm.cache import (
+    BACKEND_ENGINE,
+    BACKEND_MODEL,
+    TimingCache,
+    TimingKey,
+    TimingRecord,
+    config_key,
+)
+from repro.farm.workers import simulate_key
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.job import MatmulJob
+from repro.workloads.gemm import GemmShape
+
+#: Jobs at or below this many MACs default to the cycle-accurate engine.
+DEFAULT_ENGINE_MACS_THRESHOLD = 1 << 18
+
+#: Engine misses below this count are not worth a process pool round-trip.
+MIN_JOBS_FOR_POOL = 2
+
+#: Relative cycle disagreement tolerated in validation mode (the engine
+#: validation benchmark holds the model within 5 % on every tracked shape).
+DEFAULT_VALIDATION_TOLERANCE = 0.05
+
+
+class FarmValidationError(AssertionError):
+    """Engine and model disagreed beyond the farm's validation tolerance."""
+
+
+class PoolUnavailableError(Exception):
+    """The process pool could not be created or its workers died.
+
+    Raised internally to separate pool *infrastructure* failures (which
+    trigger the serial fallback) from exceptions raised by the simulation
+    itself (which must propagate to the caller).
+    """
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one engine-vs-model cross-check."""
+
+    key: TimingKey
+    engine_cycles: int
+    model_cycles: int
+    tolerance: float
+
+    @property
+    def relative_error(self) -> float:
+        """Model error relative to the engine's measured cycles."""
+        return abs(self.model_cycles - self.engine_cycles) / self.engine_cycles
+
+    @property
+    def within_tolerance(self) -> bool:
+        """True when the two backends agree within the stated tolerance."""
+        return self.relative_error <= self.tolerance
+
+
+@dataclass
+class FarmStats:
+    """Aggregate accounting of everything the farm has executed."""
+
+    jobs: int = 0
+    engine_runs: int = 0
+    model_runs: int = 0
+    validations: int = 0
+    batches: int = 0
+    pool_batches: int = 0
+    pool_failures: int = 0
+
+
+@dataclass(frozen=True)
+class FarmResult:
+    """Per-job outcome: the job, its timing record, and cache provenance.
+
+    The timing metrics of the underlying :class:`~repro.farm.cache.
+    TimingRecord` are re-exposed so experiment code can consume a
+    ``FarmResult`` exactly like a ``RedMulEResult`` or ``PerfEstimate``.
+    """
+
+    job: MatmulJob
+    record: TimingRecord
+    cache_hit: bool
+
+    # -- delegated metrics ---------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Backend that produced the record ("engine" or "model")."""
+        return self.record.backend
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles of the job."""
+        return self.record.cycles
+
+    @property
+    def stall_cycles(self) -> int:
+        """Datapath stall cycles (engine) / overhead cycles (model)."""
+        return self.record.stall_cycles
+
+    @property
+    def total_macs(self) -> int:
+        """Useful MACs of the job."""
+        return self.record.total_macs
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of tiles the job was split into."""
+        return self.record.n_tiles
+
+    @property
+    def ideal_cycles(self) -> int:
+        """Ideal-machine lower bound on the cycle count."""
+        return self.record.ideal_cycles
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Useful MAC throughput."""
+        return self.record.macs_per_cycle
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of the array's peak throughput achieved."""
+        return self.record.utilisation
+
+    @property
+    def fraction_of_ideal(self) -> float:
+        """Ideal cycles over measured cycles (Fig. 4a metric)."""
+        return self.record.fraction_of_ideal
+
+    def runtime_s(self, frequency_hz: float) -> float:
+        """Wall-clock runtime at a clock frequency."""
+        return self.record.runtime_s(frequency_hz)
+
+    def throughput_gmacs(self, frequency_hz: float) -> float:
+        """Throughput in GMAC/s at a clock frequency."""
+        return self.record.throughput_gmacs(frequency_hz)
+
+    def throughput_gflops(self, frequency_hz: float) -> float:
+        """Throughput in GFLOPS at a clock frequency."""
+        return self.record.throughput_gflops(frequency_hz)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        tag = "hit" if self.cache_hit else self.backend
+        return (
+            f"{self.job.describe()}: {self.cycles} cycles "
+            f"({self.macs_per_cycle:.2f} MAC/cycle, {tag})"
+        )
+
+
+class SimulationFarm:
+    """Batched, cached, optionally parallel matmul-job simulation service.
+
+    Parameters
+    ----------
+    config:
+        Architectural configuration of the simulated instances (the paper's
+        reference instance when omitted).
+    exact:
+        Use bit-exact FP16 arithmetic in the engine backend (timing is
+        unaffected; the flag participates in the cache key regardless).
+    backend:
+        ``"auto"`` (default) routes each job by size, ``"engine"`` or
+        ``"model"`` forces one backend for every request.
+    engine_macs_threshold:
+        Auto mode sends jobs with at most this many MACs to the
+        cycle-accurate engine and the rest to the analytical model.
+    max_workers:
+        Process-pool width for engine misses (default: CPU count, capped at
+        8).  ``1`` disables the pool entirely.
+    validate:
+        Cross-check every engine-simulated shape against the model and raise
+        :class:`FarmValidationError` when they disagree beyond ``tolerance``.
+    tolerance:
+        Relative cycle disagreement accepted in validation mode.
+    cache:
+        Share a :class:`TimingCache` between farms (a private unbounded cache
+        is created when omitted).
+    max_cycles:
+        Optional watchdog forwarded to the engine backend.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RedMulEConfig] = None,
+        exact: bool = False,
+        backend: str = "auto",
+        engine_macs_threshold: int = DEFAULT_ENGINE_MACS_THRESHOLD,
+        max_workers: Optional[int] = None,
+        validate: bool = False,
+        tolerance: float = DEFAULT_VALIDATION_TOLERANCE,
+        cache: Optional[TimingCache] = None,
+        max_cycles: Optional[int] = None,
+    ) -> None:
+        if backend not in ("auto", BACKEND_ENGINE, BACKEND_MODEL):
+            raise ValueError(
+                f"backend must be 'auto', '{BACKEND_ENGINE}' or "
+                f"'{BACKEND_MODEL}', got {backend!r}"
+            )
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.config = config if config is not None else RedMulEConfig.reference()
+        self.exact = exact
+        self.backend = backend
+        self.engine_macs_threshold = engine_macs_threshold
+        if max_workers is None:
+            max_workers = min(os.cpu_count() or 1, 8)
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.validate = validate
+        self.tolerance = tolerance
+        self.cache = cache if cache is not None else TimingCache()
+        self.max_cycles = max_cycles
+        self.stats = FarmStats()
+        #: Reports of every cross-check performed in validation mode.
+        self.validation_reports: List[ValidationReport] = []
+        # Lazily-created process pool, reused across batches; set to
+        # unavailable after the first failure so later batches skip the
+        # doomed creation attempt and go straight to the serial path.
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_unavailable = False
+
+    # -- backend routing -----------------------------------------------------
+    def resolve_backend(self, job: MatmulJob,
+                        backend: Optional[str] = None) -> str:
+        """Pick the backend for one job (caller override > farm policy)."""
+        choice = backend or self.backend
+        if choice != "auto":
+            return choice
+        if job.total_macs <= self.engine_macs_threshold:
+            return BACKEND_ENGINE
+        return BACKEND_MODEL
+
+    def _key(self, job: MatmulJob, backend: str) -> TimingKey:
+        return TimingKey.for_job(self.config, job, self.exact, backend)
+
+    # -- batch execution -----------------------------------------------------
+    def run(self, jobs: Iterable[MatmulJob],
+            backend: Optional[str] = None) -> List[FarmResult]:
+        """Simulate a batch of jobs; results come back in submission order.
+
+        Every job is first looked up in the timing cache; the distinct
+        missing keys are simulated (engine misses in parallel when a pool is
+        available and worthwhile) and memoised before the per-job results are
+        assembled.
+        """
+        jobs = list(jobs)
+        self.stats.batches += 1
+        self.stats.jobs += len(jobs)
+
+        keys = [self._key(job, self.resolve_backend(job, backend))
+                for job in jobs]
+        # One cache lookup per *distinct* key; batch-internal repeats of a
+        # shape count as cache hits (once the batch completes they are
+        # served from the memoised record, never from a simulation), so the
+        # per-result flags and the cache statistics tell the same story.
+        known: Dict[TimingKey, Optional[TimingRecord]] = {}
+        hit_flags: List[bool] = []
+        for key in keys:
+            if key in known:
+                hit_flags.append(True)
+                self.cache.stats.hits += 1
+            else:
+                known[key] = self.cache.lookup(key)
+                hit_flags.append(known[key] is not None)
+
+        missing = [key for key, record in known.items() if record is None]
+        known.update(self._simulate_missing(missing))
+
+        results: List[FarmResult] = []
+        for job, key, hit in zip(jobs, keys, hit_flags):
+            record = known[key]
+            assert record is not None  # every miss was just simulated
+            results.append(FarmResult(job=job, record=record, cache_hit=hit))
+        return results
+
+    def run_job(self, job: MatmulJob,
+                backend: Optional[str] = None) -> FarmResult:
+        """Simulate a single job through the batch path."""
+        return self.run([job], backend=backend)[0]
+
+    def run_gemm(self, m: int, n: int, k: int, accumulate: bool = False,
+                 backend: Optional[str] = None) -> FarmResult:
+        """Simulate a dense GEMM of the given shape (canonical placement)."""
+        job = MatmulJob(x_addr=0, w_addr=0, z_addr=0, m=m, n=n, k=k,
+                        accumulate=accumulate)
+        return self.run_job(job, backend=backend)
+
+    def run_shapes(self, shapes: Sequence[GemmShape],
+                   backend: Optional[str] = None) -> List[FarmResult]:
+        """Simulate a list of :class:`GemmShape` descriptors in order."""
+        jobs = [
+            MatmulJob(x_addr=0, w_addr=0, z_addr=0,
+                      m=shape.m, n=shape.n, k=shape.k)
+            for shape in shapes
+        ]
+        return self.run(jobs, backend=backend)
+
+    # -- model-backed conveniences (drop-in for RedMulEPerfModel) ------------
+    def estimate(self, job: MatmulJob) -> FarmResult:
+        """Analytical estimate of one job, served through the cache.
+
+        Always uses the model backend, so sweeps migrated from
+        ``RedMulEPerfModel.estimate`` keep byte-identical numbers.
+        """
+        return self.run_job(job, backend=BACKEND_MODEL)
+
+    def estimate_gemm(self, m: int, n: int, k: int) -> FarmResult:
+        """Analytical estimate of a dense GEMM shape (cached)."""
+        return self.run_gemm(m, n, k, backend=BACKEND_MODEL)
+
+    def time_workload(
+        self,
+        shapes: Iterable[GemmShape],
+        offload_cycles_per_job: float = 0.0,
+        backend: str = BACKEND_MODEL,
+    ) -> "WorkloadTiming":
+        """Time a multi-GEMM workload (drop-in for ``time_workload_hw``).
+
+        The model backend (the default -- ``None`` is normalised to it, so
+        the serial-path parity guarantee cannot be lost by threading an
+        optional through) reproduces the pre-farm path exactly; repeated
+        layer shapes inside the workload hit the cache.  Pass ``"auto"`` or
+        ``"engine"`` explicitly to time through the cycle-accurate engine.
+        """
+        backend = backend or BACKEND_MODEL
+        # Imported here: repro.perf.comparison routes Table I through the
+        # farm, so a module-level import would be circular.
+        from repro.perf.metrics import WorkloadTiming
+
+        shapes = list(shapes)
+        results = self.run_shapes(shapes, backend=backend)
+        per_gemm: Dict[str, float] = {}
+        total_cycles = 0.0
+        total_macs = 0
+        for shape, result in zip(shapes, results):
+            cycles = result.cycles + offload_cycles_per_job
+            per_gemm[shape.name] = cycles
+            total_cycles += cycles
+            total_macs += shape.macs
+        return WorkloadTiming(target="redmule", cycles=total_cycles,
+                              macs=total_macs, per_gemm=per_gemm)
+
+    # -- miss simulation -----------------------------------------------------
+    def _simulate_missing(
+        self, keys: List[TimingKey]
+    ) -> Dict[TimingKey, TimingRecord]:
+        """Simulate every distinct missing key, preferring the process pool."""
+        engine_keys = [key for key in keys if key.backend == BACKEND_ENGINE]
+        model_keys = [key for key in keys if key.backend != BACKEND_ENGINE]
+
+        records: Dict[TimingKey, TimingRecord] = {}
+        # Model estimates are closed-form and cheaper than any pickling.
+        for key in model_keys:
+            records[key] = simulate_key(key)
+            self.stats.model_runs += 1
+
+        if engine_keys:
+            records.update(self._simulate_engine_keys(engine_keys))
+            self.stats.engine_runs += len(engine_keys)
+        # Memoise before cross-checking: the engine records are ground truth
+        # either way, and a validation failure must not throw away a batch
+        # of expensive simulations (a retry would redo all of them).
+        for key, record in records.items():
+            self.cache.store(key, record)
+        if self.validate and engine_keys:
+            self._cross_check(engine_keys, records)
+        return records
+
+    def _simulate_engine_keys(
+        self, keys: List[TimingKey]
+    ) -> Dict[TimingKey, TimingRecord]:
+        if (len(keys) >= MIN_JOBS_FOR_POOL and self.max_workers > 1
+                and not self._pool_unavailable):
+            try:
+                return self._simulate_with_pool(keys)
+            except PoolUnavailableError:
+                # No usable pool on this host (sandbox, missing /dev/shm,
+                # exhausted fds, ...): degrade to the serial path and stop
+                # re-attempting pool creation on later batches.
+                self.stats.pool_failures += 1
+                self._pool_unavailable = True
+                self._close_pool()
+        return {key: simulate_key(key, self.max_cycles) for key in keys}
+
+    def _simulate_with_pool(
+        self, keys: List[TimingKey]
+    ) -> Dict[TimingKey, TimingRecord]:
+        # One pool per farm lifetime: worker-process spawn and module import
+        # would otherwise dominate small batches submitted in a loop.
+        try:
+            if self._pool is None:
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            futures = {
+                key: self._pool.submit(simulate_key, key, self.max_cycles)
+                for key in keys
+            }
+        except (OSError, ValueError) as error:
+            raise PoolUnavailableError(str(error)) from error
+        try:
+            records = {key: future.result() for key, future in futures.items()}
+        except concurrent.futures.BrokenExecutor as error:
+            # Workers died (covers BrokenProcessPool); simulation exceptions
+            # raised *inside* a worker propagate to the caller unchanged.
+            raise PoolUnavailableError(str(error)) from error
+        self.stats.pool_batches += 1
+        return records
+
+    def _close_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Release the worker pool.
+
+        The farm stays usable afterwards: a later batch that warrants
+        parallelism lazily re-creates the pool.
+        """
+        self._close_pool()
+
+    def __enter__(self) -> "SimulationFarm":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self._close_pool()
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
+
+    # -- validation ----------------------------------------------------------
+    def _cross_check(self, engine_keys: List[TimingKey],
+                     records: Dict[TimingKey, TimingRecord]) -> None:
+        for key in engine_keys:
+            model_key = TimingKey(
+                config=key.config, m=key.m, n=key.n, k=key.k,
+                accumulate=key.accumulate, exact=key.exact,
+                backend=BACKEND_MODEL,
+            )
+            model_record = self.cache.peek(model_key)
+            if model_record is None:
+                model_record = simulate_key(model_key)
+                self.stats.model_runs += 1
+                self.cache.store(model_key, model_record)
+            report = ValidationReport(
+                key=key,
+                engine_cycles=records[key].cycles,
+                model_cycles=model_record.cycles,
+                tolerance=self.tolerance,
+            )
+            self.validation_reports.append(report)
+            self.stats.validations += 1
+            if not report.within_tolerance:
+                raise FarmValidationError(
+                    f"engine/model cycle mismatch for shape "
+                    f"{key.m}x{key.n}x{key.k} (accumulate={key.accumulate}): "
+                    f"engine {report.engine_cycles} vs model "
+                    f"{report.model_cycles} "
+                    f"({100 * report.relative_error:.2f}% > "
+                    f"{100 * report.tolerance:.2f}%)"
+                )
+
+    # -- reporting -----------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line summary of configuration, cache and run statistics."""
+        stats = self.stats
+        lines = [
+            f"simulation farm: {self.config.describe()}",
+            f"  backend policy : {self.backend} "
+            f"(engine up to {self.engine_macs_threshold} MACs)",
+            f"  workers        : {self.max_workers} "
+            f"({stats.pool_batches} pooled batches, "
+            f"{stats.pool_failures} pool fallbacks)",
+            f"  jobs served    : {stats.jobs} in {stats.batches} batches "
+            f"({stats.engine_runs} engine runs, {stats.model_runs} model runs)",
+            f"  validation     : "
+            + (f"{stats.validations} cross-checks at {self.tolerance:.0%}"
+               if self.validate else "off"),
+            f"  {self.cache.describe()}",
+        ]
+        return "\n".join(lines)
+
+
+# -- shared default farms ----------------------------------------------------
+_DEFAULT_FARMS: Dict[Tuple[Tuple[int, int, int, int, int], bool], SimulationFarm] = {}
+
+
+def default_farm(config: Optional[RedMulEConfig] = None,
+                 exact: bool = False) -> SimulationFarm:
+    """Process-wide shared farm for a configuration.
+
+    The experiment drivers all fetch their farm here, so a full
+    ``run_all()`` shares one timing cache across every figure (the Fig. 3c,
+    3d and 4a sweeps reuse the same square shapes, as do the Table I rows).
+    """
+    config = config if config is not None else RedMulEConfig.reference()
+    key = (config_key(config), exact)
+    farm = _DEFAULT_FARMS.get(key)
+    if farm is None:
+        farm = SimulationFarm(config=config, exact=exact)
+        _DEFAULT_FARMS[key] = farm
+    return farm
+
+
+def reset_default_farms() -> None:
+    """Drop every shared farm (mainly for test isolation)."""
+    _DEFAULT_FARMS.clear()
+
+
+def farm_for_config(config: RedMulEConfig,
+                    farm: Optional[SimulationFarm] = None) -> SimulationFarm:
+    """Resolve the farm an experiment driver should time its jobs on.
+
+    Returns the shared default farm for ``config`` when ``farm`` is omitted;
+    an explicitly-passed farm must simulate the same configuration, otherwise
+    the caller would silently combine timing from one instance with
+    energy/area models of another.
+    """
+    if farm is None:
+        return default_farm(config)
+    if farm.config != config:
+        raise ValueError(
+            f"farm/config mismatch: farm simulates {farm.config.describe()} "
+            f"but the experiment models {config.describe()}"
+        )
+    return farm

@@ -85,6 +85,16 @@ class HwpeController:
             raise RuntimeError("cannot clear a running job")
         self.state = HwpeState.IDLE
 
+    def abort(self) -> None:
+        """Abandon the current context or job without counting a completion.
+
+        Models the recovery path after a hung or failed job: the context is
+        released and the cycle counter dropped, but ``jobs_completed`` and
+        the history only ever record jobs that actually finished.
+        """
+        self.state = HwpeState.IDLE
+        self.job_cycles = 0
+
     def reset(self) -> None:
         """Hard reset of the controller."""
         self.state = HwpeState.IDLE

@@ -22,8 +22,8 @@ from repro.power.technology import (
     TECH_65NM,
     TechnologyParams,
 )
+from repro.farm import SimulationFarm, farm_for_config
 from repro.redmule.config import RedMulEConfig
-from repro.redmule.perf_model import RedMulEPerfModel
 
 
 @dataclass(frozen=True)
@@ -102,9 +102,9 @@ _LARGE_GEMM = (512, 512, 512)
 
 
 def _our_entry(config: RedMulEConfig, technology: TechnologyParams,
-               point: OperatingPoint, label: str) -> SoaEntry:
-    perf_model = RedMulEPerfModel(config)
-    estimate = perf_model.estimate_gemm(*_LARGE_GEMM)
+               point: OperatingPoint, label: str,
+               farm: SimulationFarm) -> SoaEntry:
+    estimate = farm.estimate_gemm(*_LARGE_GEMM)
     utilisation = estimate.utilisation
 
     energy = EnergyModel(config, technology)
@@ -126,11 +126,17 @@ def _our_entry(config: RedMulEConfig, technology: TechnologyParams,
     )
 
 
-def our_entries(config: Optional[RedMulEConfig] = None) -> List[SoaEntry]:
-    """Compute the three "Our work" rows of Table I from the models."""
+def our_entries(config: Optional[RedMulEConfig] = None,
+                farm: Optional[SimulationFarm] = None) -> List[SoaEntry]:
+    """Compute the three "Our work" rows of Table I from the models.
+
+    All three rows share the sustained-utilisation GEMM, so the simulation
+    farm serves two of the three estimates from its timing cache.
+    """
     config = config or RedMulEConfig.reference()
+    farm = farm_for_config(config, farm)
     return [
-        _our_entry(config, TECH_22NM, OP_22NM_EFFICIENCY, "22nm, 0.65V"),
-        _our_entry(config, TECH_22NM, OP_22NM_PERFORMANCE, "22nm, 0.80V"),
-        _our_entry(config, TECH_65NM, OP_65NM_NOMINAL, "65nm, 1.2V"),
+        _our_entry(config, TECH_22NM, OP_22NM_EFFICIENCY, "22nm, 0.65V", farm),
+        _our_entry(config, TECH_22NM, OP_22NM_PERFORMANCE, "22nm, 0.80V", farm),
+        _our_entry(config, TECH_65NM, OP_65NM_NOMINAL, "65nm, 1.2V", farm),
     ]

@@ -68,7 +68,12 @@ def time_workload_hw(
     config: Optional[RedMulEConfig] = None,
     offload_cycles_per_job: float = 0.0,
 ) -> WorkloadTiming:
-    """Time a workload on RedMulE using the analytical performance model."""
+    """Time a workload on RedMulE using the analytical performance model.
+
+    :meth:`repro.farm.SimulationFarm.time_workload` is the batch-level,
+    cached front door that produces identical numbers; this direct path is
+    kept as the model-only reference implementation.
+    """
     config = config or RedMulEConfig.reference()
     model = RedMulEPerfModel(config)
     per_gemm: Dict[str, float] = {}

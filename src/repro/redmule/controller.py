@@ -115,6 +115,16 @@ class RedMulEController:
         """Acknowledge the done event and return to idle."""
         self.fsm.clear()
 
+    def abort(self) -> None:
+        """Release the job context after a failed run (no completion counted).
+
+        Used by the engine when a simulation raises mid-job: the status
+        register is cleared and the FSM returns to idle so the next
+        ``acquire`` succeeds instead of reporting the accelerator busy.
+        """
+        self.fsm.abort()
+        self.regfile.poke(REG_STATUS, 0)
+
     def soft_clear(self) -> None:
         """Reset the register file and the FSM (``SOFT_CLEAR`` register)."""
         self.regfile.reset()

@@ -56,7 +56,10 @@ class RedMulEResult:
     #: Number of tiles processed.
     n_tiles: int
     #: Peak throughput of the instance that ran the job (H * L MAC/cycle).
-    peak_macs_per_cycle: int = 32
+    #: Required so manually-built results cannot silently desync from
+    #: non-reference H/L configurations; the engine fills it from
+    #: ``config.ideal_macs_per_cycle``.
+    peak_macs_per_cycle: int
     #: Port-level streamer statistics.
     streamer: StreamerStats = field(default_factory=StreamerStats)
 
@@ -112,24 +115,49 @@ class RedMulE:
         return self.hci.tcdm
 
     def offload(self, job: MatmulJob, max_cycles: Optional[int] = None) -> RedMulEResult:
-        """Full software-style offload: program the register file, run, finish."""
+        """Full software-style offload: program the register file, run, finish.
+
+        If the simulation aborts mid-job (e.g. the ``max_cycles`` watchdog
+        fires), the controller context is released before the exception
+        propagates, so the instance stays usable -- otherwise every later
+        ``offload`` would fail with "RedMulE is busy".
+        """
         if self.controller.acquire() != 0:
             raise RuntimeError("RedMulE is busy")
-        self.controller.program_job(job)
-        triggered = self.controller.trigger()
-        result = self.run_job(triggered, max_cycles=max_cycles)
-        self.controller.fsm.tick(result.cycles)
-        self.controller.finish()
-        self.controller.clear()
-        return result
+        completed = False
+        try:
+            self.controller.program_job(job)
+            triggered = self.controller.trigger()
+            result = self.run_job(triggered, max_cycles=max_cycles)
+            self.controller.fsm.tick(result.cycles)
+            self.controller.finish()
+            completed = True
+            return result
+        finally:
+            if completed:
+                self.controller.clear()
+            else:
+                self.controller.abort()
 
     # ------------------------------------------------------------------
     def run_job(self, job: MatmulJob, max_cycles: Optional[int] = None) -> RedMulEResult:
         """Simulate one matmul job cycle by cycle.
 
         The result matrix is written into the TCDM at ``job.z_addr`` and the
-        timing statistics are returned.
+        timing statistics are returned.  If the simulation aborts (e.g. the
+        ``max_cycles`` watchdog fires), the transient engine state -- queued
+        streamer requests and in-flight datapath operations -- is flushed
+        before the exception propagates, so the instance can run further
+        jobs without the dead job's residue corrupting them.
         """
+        try:
+            return self._run_job(job, max_cycles)
+        except BaseException:
+            self.streamer.flush()
+            self.datapath.flush()
+            raise
+
+    def _run_job(self, job: MatmulJob, max_cycles: Optional[int]) -> RedMulEResult:
         cfg = self.config
         height, length = cfg.height, cfg.length
         latency, block_k = cfg.latency, cfg.block_k

@@ -172,6 +172,17 @@ class Streamer:
         """Clear the port statistics (queues are left untouched)."""
         self.stats = StreamerStats()
 
+    def flush(self) -> None:
+        """Drop every queued request (recovery path after an aborted job).
+
+        A job that dies mid-simulation (e.g. on the ``max_cycles`` watchdog)
+        leaves its pending loads and stores queued; completing them into the
+        *next* job's buffers would corrupt it, so the engine flushes the
+        queues before re-raising.
+        """
+        for queue in self._queues.values():
+            queue.clear()
+
 
 def _pack_bits(bits: List[int]) -> bytes:
     """Pack 16-bit patterns into little-endian bytes."""

@@ -151,6 +151,39 @@ class TestTiming:
                 max_cycles=10,
             )
 
+    def test_offload_stays_usable_after_forced_timeout(self, engine):
+        """Regression: a failed run must release the controller context.
+
+        ``offload`` used to leave the controller acquired when ``run_job``
+        raised (e.g. the ``max_cycles`` watchdog), so every later offload
+        failed with "RedMulE is busy" even though nothing was running.
+        """
+        from repro.redmule.job import MatmulJob
+
+        harness = MatmulHarness(engine)
+        x = random_fp16_matrix(8, 16, scale=0.25, seed=31)
+        w = random_fp16_matrix(16, 16, scale=0.25, seed=32)
+        hx = harness.allocator.alloc_matrix(8, 16, "X")
+        hw = harness.allocator.alloc_matrix(16, 16, "W")
+        hz = harness.allocator.alloc_matrix(8, 16, "Z")
+        hx.store(engine.tcdm, x)
+        hw.store(engine.tcdm, w)
+        job = MatmulJob.from_handles(hx, hw, hz)
+
+        with pytest.raises(RuntimeError, match="exceeded"):
+            engine.offload(job, max_cycles=5)
+
+        # The aborted job neither completed nor left the controller busy.
+        assert not engine.controller.busy
+        assert engine.controller.fsm.jobs_completed == 0
+
+        # The same instance accepts and completes the next offload.
+        result = engine.offload(job)
+        assert engine.controller.fsm.jobs_completed == 1
+        assert np.array_equal(hz.load(engine.tcdm), matmul_hw_order_fast(x, w))
+        assert result.cycles > 0
+        assert not engine.controller.busy
+
 
 class TestContention:
     def test_core_traffic_slows_the_accelerator_down(self):

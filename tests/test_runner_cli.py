@@ -1,0 +1,69 @@
+"""Tests of the experiment runner command line.
+
+The CLI used to validate experiment names lazily, so a typo at the end of a
+batch aborted mid-run after earlier experiments had already executed; these
+tests pin the fixed behaviour (up-front validation, ``--list``) without
+running the heavyweight experiments themselves.
+"""
+
+import pytest
+
+from repro.experiments import runner
+
+
+class TestValidation:
+    def test_validate_names_accepts_known_names(self):
+        runner.validate_names(["fig3a", "table1"])
+
+    def test_validate_names_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="fig9z"):
+            runner.validate_names(["fig3a", "fig9z"])
+
+    def test_run_experiment_rejects_unknown_name(self):
+        with pytest.raises(KeyError):
+            runner.run_experiment("fig9z")
+
+    def test_typo_aborts_before_anything_runs(self, monkeypatch, capsys):
+        """A bad name at the END of the list must prevent the first
+        experiment from executing at all."""
+        executed = []
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a",
+                            lambda: executed.append("fig3a"))
+        with pytest.raises(SystemExit):
+            runner.main(["fig3a", "fig9z"])
+        assert executed == []
+
+    def test_valid_names_all_run(self, monkeypatch, capsys):
+        executed = []
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a",
+                            lambda: executed.append("a") or "ran-a")
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3b",
+                            lambda: executed.append("b") or "ran-b")
+        runner.main(["fig3a", "fig3b"])
+        assert executed == ["a", "b"]
+        out = capsys.readouterr().out
+        assert "ran-a" in out and "ran-b" in out
+
+
+class TestListFlag:
+    def test_list_prints_every_identifier(self, capsys):
+        runner.main(["--list"])
+        out = capsys.readouterr().out.split()
+        assert out == runner.list_experiments()
+        assert set(out) == set(runner.EXPERIMENTS)
+
+    def test_list_runs_nothing(self, monkeypatch, capsys):
+        executed = []
+        for name in list(runner.EXPERIMENTS):
+            monkeypatch.setitem(runner.EXPERIMENTS, name,
+                                lambda: executed.append(name))
+        runner.main(["--list"])
+        assert executed == []
+
+
+class TestFarmStats:
+    def test_farm_stats_flag_prints_cache_summary(self, monkeypatch, capsys):
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a", lambda: "stub")
+        runner.main(["fig3a", "--farm-stats"])
+        out = capsys.readouterr().out
+        assert "timing cache" in out
