@@ -34,7 +34,7 @@ def _run_with_traffic(n_noisy_cores: int, max_wide_streak: int) -> dict:
     hw.store(tcdm, w)
 
     if n_noisy_cores:
-        original = hci.wide_cycle
+        original = hci.wide_line_cycle
 
         def noisy_wide_cycle(*args, **kwargs):
             hci.submit_log_requests(
@@ -43,7 +43,7 @@ def _run_with_traffic(n_noisy_cores: int, max_wide_streak: int) -> dict:
             )
             return original(*args, **kwargs)
 
-        hci.wide_cycle = noisy_wide_cycle
+        hci.wide_line_cycle = noisy_wide_cycle
 
     result = engine.run_job(MatmulJob.from_handles(hx, hw, hz))
     return {

@@ -9,6 +9,7 @@ is the practical limit on how large a workload can be run cycle by cycle.
 """
 
 from benchmarks.conftest import print_series, record_info
+from repro.farm import config_key, run_functional_job
 from repro.fp.vector import random_fp16_matrix
 from repro.interco.hci import Hci, HciConfig
 from repro.mem.layout import MemoryAllocator
@@ -70,3 +71,30 @@ def test_engine_simulation_speed(benchmark):
         "simulated_macs": result.total_macs,
     })
     assert result.total_macs == 32 ** 3
+
+
+def test_arithmetic_backends_bit_match(benchmark):
+    """Quick-bench smoke: on a small shape, every arithmetic backend must
+    leave the same cycle count and the bit-exact backends the same TCDM
+    image.  Fails loudly on any bit mismatch between `exact` and
+    `exact-simd` (CI runs this as the backend smoke step)."""
+    shape = (13, 20, 17)
+    key = config_key(RedMulEConfig.reference())
+
+    def run_all():
+        return {
+            backend: run_functional_job(key, *shape, False, backend, seed=5)
+            for backend in ("exact", "exact-simd", "fast")
+        }
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    exact_cycles, exact_bits = outcomes["exact"]
+    simd_cycles, simd_bits = outcomes["exact-simd"]
+    fast_cycles, fast_bits = outcomes["fast"]
+    assert simd_bits == exact_bits, "exact-simd diverged from the exact oracle"
+    assert simd_cycles == exact_cycles == fast_cycles
+    record_info(benchmark, {
+        "shape": str(shape),
+        "cycles": exact_cycles,
+        "fast_matches_exact": fast_bits == exact_bits,
+    })

@@ -63,7 +63,8 @@ class PulpCluster:
     """The 8-core PULP cluster with RedMulE attached as an HWPE."""
 
     def __init__(self, config: Optional[ClusterConfig] = None,
-                 exact_arithmetic: bool = False) -> None:
+                 exact_arithmetic: Optional[bool] = None,
+                 arithmetic: Optional[str] = None) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.tcdm = Tcdm(self.config.tcdm)
         self.hci = Hci(
@@ -78,8 +79,11 @@ class PulpCluster:
         self.dma = DmaEngine(self.l2, self.tcdm)
         self.event_unit = EventUnit(n_cores=self.config.n_cores)
         self.cores = [RiscvCore(i) for i in range(self.config.n_cores)]
+        # Backend precedence: explicit `arithmetic` name > legacy
+        # `exact_arithmetic` boolean > the configuration's arithmetic field.
         self.redmule = RedMulE(self.config.redmule, self.hci,
-                               exact=exact_arithmetic)
+                               exact=exact_arithmetic,
+                               backend=arithmetic)
         self.software = SoftwareBaseline(n_cores=self.config.n_cores)
         self.perf_model = RedMulEPerfModel(self.config.redmule)
         self._allocator = MemoryAllocator(self.tcdm.base, self.tcdm.size)

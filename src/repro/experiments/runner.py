@@ -92,6 +92,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the shared simulation-farm statistics after running",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["exact", "exact-simd", "fast"],
+        default=None,
+        help="FP16 arithmetic backend of the farm's cycle-accurate engine "
+        "runs (exact: scalar bit-exact oracle; exact-simd: vectorised "
+        "bit-exact; fast: float64 with per-step rounding)",
+    )
     return parser
 
 
@@ -106,6 +114,11 @@ def main(argv: Optional[List[str]] = None) -> None:
         for name in list_experiments():
             print(name)
         return
+
+    if args.backend is not None:
+        from repro.farm import set_default_arithmetic
+
+        set_default_arithmetic(args.backend)
 
     names = args.names or list_experiments()
     try:

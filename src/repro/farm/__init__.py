@@ -22,6 +22,7 @@ from repro.farm.cache import (
 from repro.farm.farm import (
     DEFAULT_ENGINE_MACS_THRESHOLD,
     DEFAULT_VALIDATION_TOLERANCE,
+    BackendValidationReport,
     FarmResult,
     FarmStats,
     FarmValidationError,
@@ -31,10 +32,12 @@ from repro.farm.farm import (
     default_farm,
     farm_for_config,
     reset_default_farms,
+    set_default_arithmetic,
 )
 from repro.farm.workers import (
     config_from_key,
     estimate_model_timing,
+    run_functional_job,
     simulate_engine_timing,
     simulate_key,
 )
@@ -42,6 +45,7 @@ from repro.farm.workers import (
 __all__ = [
     "BACKEND_ENGINE",
     "BACKEND_MODEL",
+    "BackendValidationReport",
     "CacheStats",
     "DEFAULT_ENGINE_MACS_THRESHOLD",
     "DEFAULT_VALIDATION_TOLERANCE",
@@ -60,6 +64,8 @@ __all__ = [
     "estimate_model_timing",
     "farm_for_config",
     "reset_default_farms",
+    "run_functional_job",
+    "set_default_arithmetic",
     "simulate_engine_timing",
     "simulate_key",
 ]

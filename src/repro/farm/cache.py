@@ -19,12 +19,17 @@ streamer port statistics) that do not survive memoisation.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple, Union
 
 from repro.redmule.config import RedMulEConfig
 from repro.redmule.job import MatmulJob
+
+#: Format tag of the persisted cache files (see :meth:`TimingCache.save`).
+CACHE_FILE_VERSION = 1
 
 #: Backend tags used in cache keys and records.
 BACKEND_ENGINE = "engine"
@@ -211,6 +216,49 @@ class TimingCache:
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._entries.clear()
+
+    # -- persistence --------------------------------------------------------
+    def save(self, path: Union[str, os.PathLike]) -> int:
+        """Persist every entry to a JSON file; returns the entry count.
+
+        The file carries a format version so stale caches from incompatible
+        revisions are rejected instead of silently misread.  Timing records
+        are deterministic per (config, shape, backend), so sharing a cache
+        file across processes and benchmark invocations is safe.
+        """
+        entries = [
+            {"key": asdict(key), "record": asdict(record)}
+            for key, record in self._entries.items()
+        ]
+        payload = {"version": CACHE_FILE_VERSION, "entries": entries}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return len(entries)
+
+    def load(self, path: Union[str, os.PathLike], merge: bool = True) -> int:
+        """Load entries from a JSON file written by :meth:`save`.
+
+        Returns the number of entries loaded.  With ``merge`` (the default)
+        existing entries are kept (file entries win on key collisions);
+        otherwise the cache is cleared first.  Loading counts neither hits
+        nor misses.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != CACHE_FILE_VERSION:
+            raise ValueError(
+                f"unsupported timing-cache file version {version!r} "
+                f"(expected {CACHE_FILE_VERSION})"
+            )
+        if not merge:
+            self.clear()
+        entries = payload["entries"]
+        for entry in entries:
+            raw_key = dict(entry["key"])
+            raw_key["config"] = tuple(raw_key["config"])
+            self.store(TimingKey(**raw_key), TimingRecord(**entry["record"]))
+        return len(entries)
 
     def describe(self) -> str:
         """One-line summary used by the runner's ``--farm-stats`` flag."""

@@ -36,9 +36,10 @@ from repro.farm.cache import (
     TimingRecord,
     config_key,
 )
-from repro.farm.workers import simulate_key
+from repro.farm.workers import run_functional_job, simulate_key
 from repro.redmule.config import RedMulEConfig
 from repro.redmule.job import MatmulJob
+from repro.redmule.vector_ops import validate_backend_name
 from repro.workloads.gemm import GemmShape
 
 #: Jobs at or below this many MACs default to the cycle-accurate engine.
@@ -52,6 +53,19 @@ MIN_JOBS_FOR_POOL = 2
 DEFAULT_VALIDATION_TOLERANCE = 0.05
 
 
+def _resolve_arithmetic(arithmetic, exact):
+    """Resolve the (arithmetic, exact) pair to its effective backend + flag.
+
+    The single home of the legacy-boolean mapping: bit-exact requests default
+    to the fast bit-exact ``exact-simd`` backend, and an explicit backend
+    name overrides (and re-derives) the exact flag.
+    """
+    if arithmetic is None:
+        return ("exact-simd" if exact else "fast"), exact
+    validate_backend_name(arithmetic)
+    return arithmetic, arithmetic != "fast"
+
+
 class FarmValidationError(AssertionError):
     """Engine and model disagreed beyond the farm's validation tolerance."""
 
@@ -63,6 +77,26 @@ class PoolUnavailableError(Exception):
     trigger the serial fallback) from exceptions raised by the simulation
     itself (which must propagate to the caller).
     """
+
+
+@dataclass(frozen=True)
+class BackendValidationReport:
+    """Outcome of one arithmetic-backend cross-check (bit-level)."""
+
+    m: int
+    n: int
+    k: int
+    accumulate: bool
+    reference: str
+    candidate: str
+    reference_cycles: int
+    candidate_cycles: int
+    bitwise_match: bool
+
+    @property
+    def ok(self) -> bool:
+        """True when cycles and TCDM contents agree exactly."""
+        return self.bitwise_match and self.reference_cycles == self.candidate_cycles
 
 
 @dataclass(frozen=True)
@@ -93,6 +127,7 @@ class FarmStats:
     engine_runs: int = 0
     model_runs: int = 0
     validations: int = 0
+    backend_validations: int = 0
     batches: int = 0
     pool_batches: int = 0
     pool_failures: int = 0
@@ -189,6 +224,11 @@ class SimulationFarm:
     exact:
         Use bit-exact FP16 arithmetic in the engine backend (timing is
         unaffected; the flag participates in the cache key regardless).
+    arithmetic:
+        Vector-ops backend the engine simulates with (``"exact"``,
+        ``"exact-simd"`` or ``"fast"``).  Overrides ``exact`` when given;
+        when omitted, bit-exact farms default to the fast bit-exact
+        ``"exact-simd"`` backend and the rest to ``"fast"``.
     backend:
         ``"auto"`` (default) routes each job by size, ``"engine"`` or
         ``"model"`` forces one backend for every request.
@@ -221,6 +261,7 @@ class SimulationFarm:
         tolerance: float = DEFAULT_VALIDATION_TOLERANCE,
         cache: Optional[TimingCache] = None,
         max_cycles: Optional[int] = None,
+        arithmetic: Optional[str] = None,
     ) -> None:
         if backend not in ("auto", BACKEND_ENGINE, BACKEND_MODEL):
             raise ValueError(
@@ -230,7 +271,7 @@ class SimulationFarm:
         if tolerance < 0:
             raise ValueError("tolerance must be non-negative")
         self.config = config if config is not None else RedMulEConfig.reference()
-        self.exact = exact
+        self.arithmetic, self.exact = _resolve_arithmetic(arithmetic, exact)
         self.backend = backend
         self.engine_macs_threshold = engine_macs_threshold
         if max_workers is None:
@@ -412,7 +453,8 @@ class SimulationFarm:
                 self.stats.pool_failures += 1
                 self._pool_unavailable = True
                 self._close_pool()
-        return {key: simulate_key(key, self.max_cycles) for key in keys}
+        return {key: simulate_key(key, self.max_cycles, self.arithmetic)
+                for key in keys}
 
     def _simulate_with_pool(
         self, keys: List[TimingKey]
@@ -425,7 +467,9 @@ class SimulationFarm:
                     max_workers=self.max_workers
                 )
             futures = {
-                key: self._pool.submit(simulate_key, key, self.max_cycles)
+                key: self._pool.submit(
+                    simulate_key, key, self.max_cycles, self.arithmetic
+                )
                 for key in keys
             }
         except (OSError, ValueError) as error:
@@ -464,7 +508,70 @@ class SimulationFarm:
         except Exception:  # pragma: no cover - interpreter-shutdown races
             pass
 
+    # -- cache persistence ---------------------------------------------------
+    def save_cache(self, path) -> int:
+        """Persist the timing cache to a JSON file; returns the entry count.
+
+        Together with :meth:`load_cache` this lets repeated benchmark
+        invocations reuse timing across processes: the records are
+        deterministic per (configuration, shape, backend), so a reloaded
+        entry is indistinguishable from a fresh simulation.
+        """
+        return self.cache.save(path)
+
+    def load_cache(self, path, merge: bool = True) -> int:
+        """Load a persisted timing cache (see :meth:`TimingCache.load`)."""
+        return self.cache.load(path, merge=merge)
+
     # -- validation ----------------------------------------------------------
+    def validate_backends(
+        self,
+        shapes: Sequence[GemmShape],
+        reference: str = "exact",
+        candidate: str = "exact-simd",
+        accumulate: bool = False,
+        seed: int = 0,
+        raise_on_mismatch: bool = True,
+    ) -> List[BackendValidationReport]:
+        """Cross-check two arithmetic backends bit for bit on real data.
+
+        Every shape is run end to end on the cycle-accurate engine under both
+        backends with identical random operands; the TCDM result images and
+        cycle counts must agree exactly.  This is the functional counterpart
+        of the engine-vs-model timing validation: it continuously re-proves
+        that the vectorised bit-exact backend matches the scalar oracle.
+        """
+        for name in (reference, candidate):
+            validate_backend_name(name)
+        key = config_key(self.config)
+        reports: List[BackendValidationReport] = []
+        for shape in shapes:
+            m, n, k = (
+                (shape.m, shape.n, shape.k) if hasattr(shape, "m") else shape
+            )
+            ref_cycles, ref_bits = run_functional_job(
+                key, m, n, k, accumulate, reference, seed
+            )
+            cand_cycles, cand_bits = run_functional_job(
+                key, m, n, k, accumulate, candidate, seed
+            )
+            report = BackendValidationReport(
+                m=m, n=n, k=k, accumulate=accumulate,
+                reference=reference, candidate=candidate,
+                reference_cycles=ref_cycles, candidate_cycles=cand_cycles,
+                bitwise_match=ref_bits == cand_bits,
+            )
+            reports.append(report)
+            self.stats.backend_validations += 1
+            if raise_on_mismatch and not report.ok:
+                raise FarmValidationError(
+                    f"arithmetic backends disagree on shape {m}x{n}x{k}: "
+                    f"{reference} ({report.reference_cycles} cycles) vs "
+                    f"{candidate} ({report.candidate_cycles} cycles, bitwise "
+                    f"match: {report.bitwise_match})"
+                )
+        return reports
+
     def _cross_check(self, engine_keys: List[TimingKey],
                      records: Dict[TimingKey, TimingRecord]) -> None:
         for key in engine_keys:
@@ -503,7 +610,8 @@ class SimulationFarm:
         lines = [
             f"simulation farm: {self.config.describe()}",
             f"  backend policy : {self.backend} "
-            f"(engine up to {self.engine_macs_threshold} MACs)",
+            f"(engine up to {self.engine_macs_threshold} MACs, "
+            f"{self.arithmetic} arithmetic)",
             f"  workers        : {self.max_workers} "
             f"({stats.pool_batches} pooled batches, "
             f"{stats.pool_failures} pool fallbacks)",
@@ -511,18 +619,37 @@ class SimulationFarm:
             f"({stats.engine_runs} engine runs, {stats.model_runs} model runs)",
             f"  validation     : "
             + (f"{stats.validations} cross-checks at {self.tolerance:.0%}"
-               if self.validate else "off"),
+               if self.validate else "off")
+            + (f", {stats.backend_validations} backend bit-checks"
+               if stats.backend_validations else ""),
             f"  {self.cache.describe()}",
         ]
         return "\n".join(lines)
 
 
 # -- shared default farms ----------------------------------------------------
-_DEFAULT_FARMS: Dict[Tuple[Tuple[int, int, int, int, int], bool], SimulationFarm] = {}
+_DEFAULT_FARMS: Dict[Tuple[Tuple[int, int, int, int, int], bool, str], SimulationFarm] = {}
+
+#: Arithmetic backend newly created default farms use (None = per-farm default).
+_DEFAULT_ARITHMETIC: Optional[str] = None
+
+
+def set_default_arithmetic(arithmetic: Optional[str]) -> None:
+    """Set the arithmetic backend future default farms are created with.
+
+    This is how the runner CLI's ``--backend`` choice reaches the experiment
+    drivers, which fetch their farms through :func:`default_farm`.  Pass
+    ``None`` to restore the built-in per-farm default.
+    """
+    if arithmetic is not None:
+        validate_backend_name(arithmetic)
+    global _DEFAULT_ARITHMETIC
+    _DEFAULT_ARITHMETIC = arithmetic
 
 
 def default_farm(config: Optional[RedMulEConfig] = None,
-                 exact: bool = False) -> SimulationFarm:
+                 exact: bool = False,
+                 arithmetic: Optional[str] = None) -> SimulationFarm:
     """Process-wide shared farm for a configuration.
 
     The experiment drivers all fetch their farm here, so a full
@@ -530,10 +657,13 @@ def default_farm(config: Optional[RedMulEConfig] = None,
     3d and 4a sweeps reuse the same square shapes, as do the Table I rows).
     """
     config = config if config is not None else RedMulEConfig.reference()
-    key = (config_key(config), exact)
+    if arithmetic is None:
+        arithmetic = _DEFAULT_ARITHMETIC
+    resolved, exact = _resolve_arithmetic(arithmetic, exact)
+    key = (config_key(config), exact, resolved)
     farm = _DEFAULT_FARMS.get(key)
     if farm is None:
-        farm = SimulationFarm(config=config, exact=exact)
+        farm = SimulationFarm(config=config, exact=exact, arithmetic=arithmetic)
         _DEFAULT_FARMS[key] = farm
     return farm
 

@@ -57,6 +57,32 @@ def _tcdm_for_shape(m: int, n: int, k: int) -> Tcdm:
     return Tcdm(config)
 
 
+def _build_job(
+    key: Tuple[int, int, int, int, int],
+    m: int,
+    n: int,
+    k: int,
+    accumulate: bool,
+    backend: str,
+):
+    """Build an engine + canonically placed job for one shape.
+
+    Shared by the timing and functional-validation entry points, so both run
+    the exact same engine configuration and operand placement.  Returns
+    ``(engine, job, z_handle)``.
+    """
+    config = config_from_key(key)
+    tcdm = _tcdm_for_shape(m, n, k)
+    hci = Hci(tcdm, HciConfig(n_wide_ports=config.n_mem_ports))
+    engine = RedMulE(config, hci, backend=backend)
+    allocator = MemoryAllocator(tcdm.base, tcdm.size)
+    hx = allocator.alloc_matrix(m, n, "X")
+    hw = allocator.alloc_matrix(n, k, "W")
+    hz = allocator.alloc_matrix(m, k, "Z")
+    job = MatmulJob.from_handles(hx, hw, hz, accumulate=accumulate)
+    return engine, job, (hx, hw, hz)
+
+
 def simulate_engine_timing(
     key: Tuple[int, int, int, int, int],
     m: int,
@@ -65,19 +91,21 @@ def simulate_engine_timing(
     accumulate: bool,
     exact: bool,
     max_cycles: Optional[int] = None,
+    arithmetic: Optional[str] = None,
 ) -> TimingRecord:
-    """Run one shape through the cycle-accurate engine and record its timing."""
-    config = config_from_key(key)
-    tcdm = _tcdm_for_shape(m, n, k)
-    hci = Hci(tcdm, HciConfig(n_wide_ports=config.n_mem_ports))
-    engine = RedMulE(config, hci, exact=exact)
-    allocator = MemoryAllocator(tcdm.base, tcdm.size)
-    hx = allocator.alloc_matrix(m, n, "X")
-    hw = allocator.alloc_matrix(n, k, "W")
-    hz = allocator.alloc_matrix(m, k, "Z")
-    job = MatmulJob.from_handles(hx, hw, hz, accumulate=accumulate)
+    """Run one shape through the cycle-accurate engine and record its timing.
+
+    ``arithmetic`` names the vector-ops backend to simulate with; it defaults
+    to the legacy mapping of the ``exact`` flag.  The choice never changes
+    the record (timing is arithmetic-independent), only the wall-clock cost
+    of producing it -- the farm passes ``"exact-simd"`` for bit-exact runs so
+    cache misses stay cheap.
+    """
+    if arithmetic is None:
+        arithmetic = "exact" if exact else "fast"
+    engine, job, _ = _build_job(key, m, n, k, accumulate, arithmetic)
     result = engine.run_job(job, max_cycles=max_cycles)
-    ideal = -(-job.total_macs // config.ideal_macs_per_cycle)
+    ideal = -(-job.total_macs // engine.config.ideal_macs_per_cycle)
     return TimingRecord(
         cycles=result.cycles,
         stall_cycles=result.stall_cycles,
@@ -117,12 +145,14 @@ def estimate_model_timing(
 
 
 def simulate_key(timing_key: TimingKey,
-                 max_cycles: Optional[int] = None) -> TimingRecord:
+                 max_cycles: Optional[int] = None,
+                 arithmetic: Optional[str] = None) -> TimingRecord:
     """Dispatch a cache key to the backend it names (pool entry point)."""
     if timing_key.backend == BACKEND_ENGINE:
         return simulate_engine_timing(
             timing_key.config, timing_key.m, timing_key.n, timing_key.k,
             timing_key.accumulate, timing_key.exact, max_cycles=max_cycles,
+            arithmetic=arithmetic,
         )
     if timing_key.backend == BACKEND_MODEL:
         return estimate_model_timing(
@@ -130,3 +160,30 @@ def simulate_key(timing_key: TimingKey,
             timing_key.accumulate,
         )
     raise ValueError(f"unknown backend {timing_key.backend!r}")
+
+
+def run_functional_job(
+    key: Tuple[int, int, int, int, int],
+    m: int,
+    n: int,
+    k: int,
+    accumulate: bool,
+    arithmetic: str,
+    seed: int = 0,
+) -> Tuple[int, bytes]:
+    """Run one randomly seeded job end to end on a named arithmetic backend.
+
+    Returns ``(cycles, z_image)`` where ``z_image`` is the raw byte image of
+    the result matrix left in the TCDM -- the payload the farm's backend
+    cross-validation compares bit for bit between two arithmetic backends.
+    """
+    from repro.fp.vector import random_fp16_matrix
+
+    engine, job, (hx, hw, hz) = _build_job(key, m, n, k, accumulate, arithmetic)
+    tcdm = engine.tcdm
+    hx.store(tcdm, random_fp16_matrix(m, n, scale=0.25, seed=seed))
+    hw.store(tcdm, random_fp16_matrix(n, k, scale=0.25, seed=seed + 1))
+    if accumulate:
+        hz.store(tcdm, random_fp16_matrix(m, k, scale=0.25, seed=seed + 2))
+    result = engine.run_job(job)
+    return result.cycles, tcdm.dump_image(hz.base, m * k * 2)

@@ -11,6 +11,9 @@ cycle-accurate model:
 * :mod:`repro.fp.fma` -- a bit-exact fused multiply-add (single rounding),
   addition and multiplication, operating on 16-bit patterns.
 * :mod:`repro.fp.flags` -- IEEE exception flags raised by an operation.
+* :mod:`repro.fp.simd` -- vectorised bit-exact kernels over ``uint16``
+  arrays (array transliteration of :mod:`repro.fp.fma`), used by the
+  array-oriented simulator backends.
 * :mod:`repro.fp.arith` -- pluggable arithmetic backends (bit-exact or
   numpy-accelerated) used by the datapath simulator.
 * :mod:`repro.fp.vector` -- helpers to move matrices between numpy arrays and
@@ -39,6 +42,18 @@ from repro.fp.float16 import (
 )
 from repro.fp.fma import add16, fma16, mul16, neg16
 from repro.fp.rounding import RoundingMode
+from repro.fp.simd import (
+    add16_many,
+    classify_many,
+    decompose_many,
+    fma16_guarded_f64,
+    fma16_many,
+    mul16_many,
+    neg16_many,
+    pack_many,
+    round_shifted_many,
+    sub16_many,
+)
 from repro.fp.arith import BitExactFp16, Fp16Arithmetic, NumpyFp16
 from repro.fp.vector import (
     matrix_from_bits,
@@ -65,10 +80,15 @@ __all__ = [
     "NumpyFp16",
     "RoundingMode",
     "add16",
+    "add16_many",
     "bits_to_float",
     "classify",
+    "classify_many",
+    "decompose_many",
     "float_to_bits",
     "fma16",
+    "fma16_guarded_f64",
+    "fma16_many",
     "is_finite",
     "is_inf",
     "is_nan",
@@ -77,7 +97,12 @@ __all__ = [
     "matrix_from_bits",
     "matrix_to_bits",
     "mul16",
+    "mul16_many",
     "neg16",
+    "neg16_many",
+    "pack_many",
+    "round_shifted_many",
+    "sub16_many",
     "pack_fp16_matrix",
     "quantize_fp16",
     "random_fp16_matrix",

@@ -90,6 +90,38 @@ class Hci:
         return granted
 
     # -- shallow branch -------------------------------------------------------
+    def _grant_wide(self, addr: Optional[int], size: int) -> bool:
+        """Run one cycle of branch arbitration for an optional wide request.
+
+        Advances the cycle statistics, serves pending logarithmic traffic on
+        the banks the wide port does not own this cycle, and returns whether
+        the wide request (if any) was granted.
+        """
+        self.stats.cycles += 1
+        wide_wants = addr is not None
+        log_wants = bool(self._pending_log)
+
+        if wide_wants:
+            self.stats.wide_requests += 1
+
+        winner = self.rotator.arbitrate(wide_wants, log_wants)
+        granted = wide_wants and winner == BranchRotator.WIDE
+        wide_banks: List[int] = []
+        if granted:
+            wide_banks = self.shallow_branch.banks_for(addr, size)
+            self.stats.wide_grants += 1
+        elif wide_wants:
+            self.stats.wide_stalls += 1
+
+        if log_wants:
+            # Logarithmic requests can proceed in parallel on banks the wide
+            # port does not own this cycle; if the log branch won the
+            # rotation, the wide banks are free anyway.
+            blocked = wide_banks if winner == BranchRotator.WIDE else []
+            self.log_branch.cycle(self._pending_log, banks_blocked=blocked)
+        self._pending_log = []
+        return granted
+
     def wide_cycle(
         self,
         addr: Optional[int],
@@ -105,37 +137,35 @@ class Hci:
         arbitrated against the wide access and served if they win or touch
         disjoint banks.
         """
-        self.stats.cycles += 1
-        wide_wants = addr is not None
-        log_wants = bool(self._pending_log)
+        size = len(data) if (write and data is not None) else nbytes
+        if not self._grant_wide(addr, size):
+            return None
+        if write:
+            self.shallow_branch.store(addr, data or b"")
+            return b""
+        return self.shallow_branch.load(addr, nbytes)
 
-        if wide_wants:
-            self.stats.wide_requests += 1
+    def wide_line_cycle(
+        self,
+        addr: Optional[int],
+        n_elements: int = 0,
+        write: bool = False,
+        line=None,
+    ):
+        """Advance one cycle with an optional wide *line* request.
 
-        winner = self.rotator.arbitrate(wide_wants, log_wants)
-        result: Optional[bytes] = None
-        wide_banks: List[int] = []
-
-        if wide_wants and winner == BranchRotator.WIDE:
-            size = len(data) if (write and data is not None) else nbytes
-            wide_banks = self.shallow_branch.banks_for(addr, size)
-            if write:
-                self.shallow_branch.store(addr, data or b"")
-                result = b""
-            else:
-                result = self.shallow_branch.load(addr, nbytes)
-            self.stats.wide_grants += 1
-        elif wide_wants:
-            self.stats.wide_stalls += 1
-
-        if log_wants:
-            # Logarithmic requests can proceed in parallel on banks the wide
-            # port does not own this cycle; if the log branch won the
-            # rotation, the wide banks are free anyway.
-            blocked = wide_banks if winner == BranchRotator.WIDE else []
-            self.log_branch.cycle(self._pending_log, banks_blocked=blocked)
-        self._pending_log = []
-        return result
+        Same arbitration as :meth:`wide_cycle`, but the payload is a line of
+        FP16 half-words moved as a ``uint16`` array through the TCDM's bulk
+        line accessors.  Returns the loaded array for a granted load, ``True``
+        for a granted store, ``None`` when stalled (or absent).
+        """
+        size = 2 * (len(line) if (write and line is not None) else n_elements)
+        if not self._grant_wide(addr, size):
+            return None
+        if write:
+            self.shallow_branch.store_line(addr, line)
+            return True
+        return self.shallow_branch.load_line(addr, n_elements)
 
     # -- statistics -----------------------------------------------------------
     def reset_stats(self) -> None:

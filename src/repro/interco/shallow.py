@@ -69,6 +69,22 @@ class ShallowBranch:
         self.stats.bytes_stored += len(data)
         self.tcdm.wide_write(addr, data)
 
+    def load_line(self, addr: int, n_elements: int):
+        """Wide load of ``n_elements`` FP16 half-words as a ``uint16`` array."""
+        nbytes = 2 * n_elements
+        self._check(addr, nbytes)
+        self.stats.loads += 1
+        self.stats.bytes_loaded += nbytes
+        return self.tcdm.read_u16_line(addr, n_elements)
+
+    def store_line(self, addr: int, values) -> None:
+        """Wide store of a line of FP16 half-words (array or int sequence)."""
+        nbytes = 2 * len(values)
+        self._check(addr, nbytes)
+        self.stats.stores += 1
+        self.stats.bytes_stored += nbytes
+        self.tcdm.write_u16_line(addr, values)
+
     def _check(self, addr: int, nbytes: int) -> None:
         if nbytes <= 0:
             raise ValueError("wide access must move at least one byte")

@@ -11,6 +11,8 @@ from __future__ import annotations
 import struct
 from typing import Iterable
 
+import numpy as np
+
 
 class MemoryError_(Exception):
     """Raised on out-of-bounds accesses."""
@@ -104,6 +106,41 @@ class Memory:
         if addr % 4:
             raise MisalignedAccessError(f"{self.name}: misaligned u32 at {addr:#x}")
         self.write_bytes(addr, struct.pack("<I", value & 0xFFFFFFFF))
+
+    # -- halfword line access ---------------------------------------------
+    def read_u16_line(self, addr: int, n_elements: int) -> np.ndarray:
+        """Read ``n_elements`` little-endian 16-bit values as one access.
+
+        The line is returned as a fresh ``uint16`` array through a
+        ``numpy.frombuffer`` view of the backing store, so the whole transfer
+        costs one slice copy instead of one Python round-trip per element.
+        Counts as a single read of ``2 * n_elements`` bytes, exactly like the
+        equivalent :meth:`read_bytes` call.
+        """
+        if addr % 2:
+            raise MisalignedAccessError(f"{self.name}: misaligned u16 at {addr:#x}")
+        off = self._offset(addr, 2 * n_elements)
+        self.read_count += 1
+        self.bytes_read += 2 * n_elements
+        return np.frombuffer(
+            self._data, dtype="<u2", count=n_elements, offset=off
+        ).copy()
+
+    def write_u16_line(self, addr: int, values) -> None:
+        """Write a line of little-endian 16-bit values as one access.
+
+        ``values`` may be a ``uint16`` array or any integer sequence; the
+        store lands through a ``numpy.frombuffer`` view in one slice
+        assignment and counts as a single write, exactly like the equivalent
+        :meth:`write_bytes` call.
+        """
+        if addr % 2:
+            raise MisalignedAccessError(f"{self.name}: misaligned u16 at {addr:#x}")
+        line = np.asarray(values, dtype="<u2")
+        off = self._offset(addr, 2 * line.size)
+        np.frombuffer(self._data, dtype="<u2", count=line.size, offset=off)[:] = line
+        self.write_count += 1
+        self.bytes_written += 2 * line.size
 
     # -- bulk helpers -----------------------------------------------------
     def fill(self, value: int = 0) -> None:

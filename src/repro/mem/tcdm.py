@@ -81,16 +81,17 @@ class Tcdm:
         return (offset // self.config.word_bytes) % self.config.n_banks
 
     def banks_of_range(self, addr: int, nbytes: int) -> List[int]:
-        """Return the ordered list of distinct banks touched by a burst."""
-        banks = []
+        """Return the ordered list of distinct banks touched by a burst.
+
+        Consecutive words map to consecutive banks, so the distinct banks are
+        the first ``min(n_words, n_banks)`` banks starting at the first
+        word's bank -- computed directly instead of scanning the burst.
+        """
         word = self.config.word_bytes
+        n_banks = self.config.n_banks
         first = (addr - self.config.base) // word
-        last = (addr - self.config.base + max(nbytes, 1) - 1) // word
-        for w in range(first, last + 1):
-            bank = w % self.config.n_banks
-            if bank not in banks:
-                banks.append(bank)
-        return banks
+        n_words = (addr - self.config.base + max(nbytes, 1) - 1) // word - first + 1
+        return [(first + i) % n_banks for i in range(min(n_words, n_banks))]
 
     # -- flat accessors (delegate to the flat memory, count per bank) -------
     def read_bytes(self, addr: int, nbytes: int) -> bytes:
@@ -124,6 +125,19 @@ class Tcdm:
         """Write a 32-bit word."""
         self.bank_accesses[self.bank_of(addr)] += 1
         self._mem.write_u32(addr, value)
+
+    # -- halfword line access -----------------------------------------------
+    def read_u16_line(self, addr: int, n_elements: int):
+        """Read a line of FP16 elements in one access (bank charges per range)."""
+        for bank in self.banks_of_range(addr, 2 * n_elements):
+            self.bank_accesses[bank] += 1
+        return self._mem.read_u16_line(addr, n_elements)
+
+    def write_u16_line(self, addr: int, values) -> None:
+        """Write a line of FP16 elements in one access (bank charges per range)."""
+        for bank in self.banks_of_range(addr, 2 * len(values)):
+            self.bank_accesses[bank] += 1
+        self._mem.write_u16_line(addr, values)
 
     # -- wide (shallow-branch) access ---------------------------------------
     def wide_read(self, addr: int, nbytes: int) -> bytes:

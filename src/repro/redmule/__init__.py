@@ -34,11 +34,22 @@ from repro.redmule.perf_model import RedMulEPerfModel, PerfEstimate
 from repro.redmule.functional import (
     matmul_hw_order_exact,
     matmul_hw_order_fast,
+    matmul_hw_order_simd,
     matmul_reference_fp32,
+)
+from repro.redmule.vector_ops import (
+    VECTOR_OPS_BACKENDS,
+    ExactSimdVectorOps,
+    ExactVectorOps,
+    FastVectorOps,
+    make_vector_ops,
 )
 
 __all__ = [
     "Datapath",
+    "ExactSimdVectorOps",
+    "ExactVectorOps",
+    "FastVectorOps",
     "FmaRow",
     "MatmulJob",
     "PerfEstimate",
@@ -53,10 +64,13 @@ __all__ = [
     "StreamerStats",
     "Tile",
     "TileSchedule",
+    "VECTOR_OPS_BACKENDS",
     "WLineBuffer",
     "XBlockBuffer",
     "ZStoreBuffer",
+    "make_vector_ops",
     "matmul_hw_order_exact",
     "matmul_hw_order_fast",
+    "matmul_hw_order_simd",
     "matmul_reference_fp32",
 ]

@@ -155,7 +155,8 @@ class ZStoreRequest:
     """One pending Z line store."""
 
     addr: int
-    bits: List[int]
+    #: Pattern line to store: a ``uint16`` array or 16-bit integer sequence.
+    bits: Sequence[int]
     #: Number of leading elements of ``bits`` that are architecturally valid
     #: (edge tiles store fewer than ``block_k`` elements).
     valid_elements: int

@@ -16,6 +16,7 @@ payload + one extra 32-bit lane for non-word-aligned accesses).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 #: Bits per matrix element (IEEE binary16).
 ELEMENT_BITS = 16
@@ -42,6 +43,11 @@ class RedMulEConfig:
         (1 models the single staging slot in front of each shift register).
     z_queue_depth:
         Maximum pending Z line stores buffered before the datapath stalls.
+    arithmetic:
+        Default FP16 arithmetic backend of engines built from this
+        configuration (``"exact"``, ``"exact-simd"`` or ``"fast"``).  A pure
+        simulation concern: it never affects timing, geometry, configuration
+        equality or the farm's shape-keyed cache identity.
     """
 
     height: int = 4
@@ -49,6 +55,7 @@ class RedMulEConfig:
     pipeline_regs: int = 3
     w_prefetch_lines: int = 1
     z_queue_depth: int = 8
+    arithmetic: str = field(default="fast", compare=False)
 
     def __post_init__(self) -> None:
         if self.height < 1:
@@ -61,19 +68,23 @@ class RedMulEConfig:
             raise ValueError("w_prefetch_lines must be >= 1")
         if self.z_queue_depth < 1:
             raise ValueError("z_queue_depth must be >= 1")
+        # Imported here to keep the config module free of simulator imports.
+        from repro.redmule.vector_ops import validate_backend_name
+
+        validate_backend_name(self.arithmetic)
 
     # -- derived geometry ---------------------------------------------------
-    @property
+    @cached_property
     def latency(self) -> int:
         """FMA latency in cycles (``P + 1``)."""
         return self.pipeline_regs + 1
 
-    @property
+    @cached_property
     def n_fma(self) -> int:
         """Total number of FMA units (``H * L``)."""
         return self.height * self.length
 
-    @property
+    @cached_property
     def block_k(self) -> int:
         """Z elements computed per row before store-back (``H * (P + 1)``).
 
@@ -82,17 +93,17 @@ class RedMulEConfig:
         """
         return self.height * self.latency
 
-    @property
+    @cached_property
     def line_bits(self) -> int:
         """Payload bits of one streamer line (``block_k * 16``)."""
         return self.block_k * ELEMENT_BITS
 
-    @property
+    @cached_property
     def line_bytes(self) -> int:
         """Payload bytes of one streamer line."""
         return self.block_k * ELEMENT_BYTES
 
-    @property
+    @cached_property
     def n_mem_ports(self) -> int:
         """Number of 32-bit TCDM ports of the streamer.
 
@@ -103,7 +114,7 @@ class RedMulEConfig:
         payload_ports = -(-self.line_bits // PORT_BITS)
         return payload_ports + 1
 
-    @property
+    @cached_property
     def ideal_macs_per_cycle(self) -> int:
         """Peak MAC throughput: one MAC per FMA per cycle."""
         return self.n_fma

@@ -37,9 +37,14 @@ class ColumnEntry:
 
 
 class Datapath:
-    """``H`` column pipelines of ``L``-wide FP16 FMA vectors."""
+    """``H`` column pipelines of ``L``-wide FP16 FMA vectors.
 
-    def __init__(self, config: RedMulEConfig, exact: bool = True,
+    ``exact`` selects the arithmetic strategy from the vector-ops registry:
+    it accepts a backend name (``"exact"``, ``"exact-simd"``, ``"fast"``) or
+    the legacy boolean (``True`` = scalar bit-exact, ``False`` = float64).
+    """
+
+    def __init__(self, config: RedMulEConfig, exact=True,
                  vector_ops: Optional[VectorOps] = None) -> None:
         self.config = config
         self.ops = vector_ops if vector_ops is not None else make_vector_ops(exact)
@@ -81,24 +86,25 @@ class Datapath:
     def issue(self, column: int, chunk: int, k: int, x_vector, w_bits: int,
               acc_vector) -> None:
         """Issue ``x * w + acc`` into ``column`` for tag ``(chunk, k)``."""
-        if not (0 <= column < self.config.height):
+        config = self.config
+        if not (0 <= column < config.height):
             raise IndexError(f"column {column} out of range")
         if self._issued_this_cycle[column]:
             raise RuntimeError(f"column {column}: second issue in the same cycle")
         pipe = self._pipes[column]
-        if len(pipe) >= self.config.latency:
+        latency = config.latency
+        if len(pipe) >= latency:
             raise RuntimeError(
                 f"column {column}: pipeline overflow "
-                f"({len(pipe)} entries, latency {self.config.latency})"
+                f"({len(pipe)} entries, latency {latency})"
             )
         values = self.ops.fma(x_vector, w_bits, acc_vector)
         pipe.append(
-            ColumnEntry(chunk=chunk, k=k, values=values,
-                        remaining=self.config.latency)
+            ColumnEntry(chunk=chunk, k=k, values=values, remaining=latency)
         )
         self._issued_this_cycle[column] = True
         self.column_issues += 1
-        self.fma_issues += self.config.length
+        self.fma_issues += config.length
 
     def flush(self) -> None:
         """Drop all in-flight operations (between jobs)."""

@@ -87,21 +87,36 @@ class RedMulEResult:
 
 
 class RedMulE:
-    """Cycle-accurate model of one RedMulE instance attached to an HCI."""
+    """Cycle-accurate model of one RedMulE instance attached to an HCI.
+
+    The FP16 arithmetic backend is selected by ``backend`` (a name from the
+    vector-ops registry: ``"exact"``, ``"exact-simd"`` or ``"fast"``), or by
+    the legacy ``exact`` boolean, or -- when neither is given -- by the
+    configuration's ``arithmetic`` field.
+    """
 
     def __init__(
         self,
         config: Optional[RedMulEConfig] = None,
         hci: Optional[Hci] = None,
-        exact: bool = False,
+        exact: Optional[bool] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config if config is not None else RedMulEConfig.reference()
         if hci is None:
             tcdm = Tcdm(TcdmConfig())
             hci = Hci(tcdm, HciConfig(n_wide_ports=self.config.n_mem_ports))
         self.hci = hci
-        self.exact = exact
-        self.ops = make_vector_ops(exact)
+        if backend is None:
+            if exact is not None:
+                backend = "exact" if exact else "fast"
+            else:
+                backend = self.config.arithmetic
+        self.ops = make_vector_ops(backend)
+        #: Name of the arithmetic backend driving the datapath.
+        self.backend = self.ops.name
+        #: True when the backend reproduces the hardware bits exactly.
+        self.exact = self.ops.bit_exact
         self.datapath = Datapath(self.config, vector_ops=self.ops)
         self.controller = RedMulEController()
         self.streamer = Streamer(self.config, hci)
@@ -174,7 +189,10 @@ class RedMulE:
         self.datapath.flush()
         self.streamer.reset_stats()
 
-        zero_line_bits = [POS_ZERO_BITS] * block_k
+        # Shared read-only zero lines in the strategy's own representations:
+        # a vector-shaped line for X/Y padding and a W-line for padded chunks.
+        zero_line_vec = ops.zeros(block_k)
+        zero_w_line = ops.zero_line(block_k)
         zero_vec = ops.zeros(length)
         fma_issues_at_start = self.datapath.fma_issues
 
@@ -205,7 +223,7 @@ class RedMulE:
 
             # Accumulation jobs (Z += X . W) pre-load the existing Z lines of
             # this tile into the row accumulators before the first issue.
-            y_lines: List[Optional[List[int]]] = [None] * length
+            y_lines: List[Optional[object]] = [None] * length
             y_pending = 0
             y_applied = not job.accumulate
             if job.accumulate:
@@ -221,7 +239,7 @@ class RedMulE:
                         )
                         y_pending += 1
                     else:
-                        y_lines[row] = list(zero_line_bits)
+                        y_lines[row] = zero_line_vec
 
             while True:
                 total_cycles += 1
@@ -237,7 +255,7 @@ class RedMulE:
                 if finished is not None and not finished.write:
                     if finished.kind == "y":
                         _, row = finished.meta
-                        y_lines[row] = finished.data_bits
+                        y_lines[row] = ops.from_bits(finished.data_bits)
                         y_pending -= 1
                     else:
                         self._fill_buffer(finished, xbuf, wbuf, ops)
@@ -246,18 +264,16 @@ class RedMulE:
                 # registers with the existing Z values (column-major view).
                 if not y_applied and y_pending == 0:
                     for k in range(block_k):
-                        feedback[k] = ops.from_bits(
-                            [y_lines[row][k] for row in range(length)]
-                        )
+                        feedback[k] = ops.gather(y_lines, k)
                     y_applied = True
 
                 # ---- 2. demand-driven request generation ----------------------
                 x_enqueued_blocks = self._enqueue_x(
-                    job, tile, xbuf, ops, zero_line_bits,
+                    job, tile, xbuf, zero_line_vec,
                     x_enqueued_blocks, n_blocks, t,
                 )
                 w_ptr = self._enqueue_w(
-                    job, tile, wbuf, zero_line_bits, w_need_order, w_ptr, t,
+                    job, tile, wbuf, zero_w_line, w_need_order, w_ptr, t,
                 )
 
                 # ---- 3. datapath ----------------------------------------------
@@ -348,15 +364,15 @@ class RedMulE:
         """Route a completed load into the X or W buffer."""
         if finished.kind == "w":
             _, col, chunk = finished.meta
-            wbuf.load_line(col, chunk, finished.data_bits)
+            wbuf.load_line(col, chunk, ops.from_line(finished.data_bits))
         elif finished.kind == "x":
             _, block, row = finished.meta
             xbuf.load_line(block, row, ops.from_bits(finished.data_bits))
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unexpected load kind {finished.kind!r}")
 
-    def _enqueue_x(self, job: MatmulJob, tile: Tile, xbuf: XBlockBuffer, ops,
-                   zero_line_bits: List[int], next_block: int, n_blocks: int,
+    def _enqueue_x(self, job: MatmulJob, tile: Tile, xbuf: XBlockBuffer,
+                   zero_line_vec, next_block: int, n_blocks: int,
                    t: int) -> int:
         """Enqueue X block loads one block ahead of consumption."""
         cfg = self.config
@@ -379,12 +395,12 @@ class RedMulE:
                         )
                     )
                 else:
-                    xbuf.load_line(next_block, row, ops.from_bits(zero_line_bits))
+                    xbuf.load_line(next_block, row, zero_line_vec)
             next_block += 1
         return next_block
 
     def _enqueue_w(self, job: MatmulJob, tile: Tile, wbuf: WLineBuffer,
-                   zero_line_bits: List[int], w_need_order, w_ptr: int,
+                   zero_w_line, w_need_order, w_ptr: int,
                    t: int) -> int:
         """Enqueue W line loads one line-time ahead of their first broadcast."""
         cfg = self.config
@@ -402,7 +418,7 @@ class RedMulE:
                     )
                 )
             else:
-                wbuf.load_line(col, chunk, list(zero_line_bits))
+                wbuf.load_line(col, chunk, zero_w_line)
             w_ptr += 1
         return w_ptr
 
@@ -478,14 +494,18 @@ class RedMulE:
 
     def _push_z(self, job: MatmulJob, tile: Tile, z_tile: List[object],
                 zbuf: ZStoreBuffer, ops) -> None:
-        """Convert the finished tile into Z line store requests."""
-        column_bits = [ops.to_bits(z_tile[k]) for k in range(tile.cols)]
+        """Convert the finished tile into Z line store requests.
+
+        The whole tile is transposed to per-row lines in one strategy call,
+        which is also where a lazily evaluating strategy materialises all of
+        the tile's accumulator chains in a single batch.
+        """
+        lines = ops.to_lines(z_tile[: tile.cols])
         for row in range(tile.rows):
-            line = [column_bits[k][row] for k in range(tile.cols)]
             accepted = zbuf.push(
                 ZStoreRequest(
                     addr=job.z_element_addr(tile.m0 + row, tile.k0),
-                    bits=line,
+                    bits=lines[row],
                     valid_elements=tile.cols,
                 )
             )

@@ -76,19 +76,26 @@ class PipelinedFma:
         return len(self._pipeline)
 
     def load_x(self, x_bits: int) -> None:
-        """Latch a new X operand (done once per ``H*(P+1)``-cycle slot)."""
-        self.x_register = x_bits
+        """Latch a new X operand (done once per ``H*(P+1)``-cycle slot).
+
+        Accepts any 16-bit integer scalar (Python int or a numpy ``uint16``
+        element picked out of a line array).
+        """
+        self.x_register = int(x_bits)
 
     def issue(self, w_bits: int, acc_bits: int, tag: object = None) -> None:
         """Issue ``x_register * w + acc`` into the pipeline.
 
         At most one issue per cycle is allowed; the engine guarantees this by
         construction and the model enforces it to catch scheduling bugs.
+        Operands may be Python ints or numpy integer scalars.
         """
         if self._issued_this_cycle:
             raise RuntimeError("more than one issue in the same cycle")
         if len(self._pipeline) >= self.latency:
             raise RuntimeError("pipeline overflow: issuing faster than latency allows")
+        w_bits = int(w_bits)
+        acc_bits = int(acc_bits)
         result = self.arithmetic.fma(self.x_register, w_bits, acc_bits)
         self._pipeline.append(
             FmaOperation(

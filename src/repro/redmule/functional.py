@@ -7,14 +7,19 @@ step is a single-rounded FP16 FMA, the result differs in general from a
 float32 matmul rounded at the end; these golden models reproduce the exact
 hardware result so the cycle-accurate engine can be verified bit-by-bit.
 
-Two implementations are provided:
+Three implementations are provided:
 
 * :func:`matmul_hw_order_exact` -- scalar, bit-exact (integers all the way);
-  the reference for correctness, used on small matrices.
+  the oracle for correctness, used on small matrices.
+* :func:`matmul_hw_order_simd` -- vectorised *and* bit-exact: each FMA step
+  is evaluated over the whole output matrix with the guarded SIMD kernel
+  (:func:`repro.fp.simd.fma16_guarded_f64`), so it matches the scalar oracle
+  bit for bit at array speed.  The default reference for workload-level
+  checks.
 * :func:`matmul_hw_order_fast` -- vectorised numpy implementation evaluating
   each FMA step in float64 with one rounding to binary16; it matches the
-  exact model on all practical inputs and is used for larger tests and the
-  workload-level checks.
+  exact model on all practical inputs (double-rounding corner cases
+  excepted).
 
 plus :func:`matmul_reference_fp32`, a float32 reference used to bound the
 numerical error of FP16 accumulation in the accuracy examples.
@@ -28,6 +33,7 @@ import numpy as np
 
 from repro.fp.fma import fma16
 from repro.fp.float16 import POS_ZERO_BITS
+from repro.fp.simd import fma16_guarded_f64
 from repro.fp.vector import matrix_from_bits, matrix_to_bits
 
 
@@ -68,6 +74,51 @@ def matmul_hw_order_exact(
             out_row.append(acc)
         result.append(out_row)
     return result
+
+
+def matmul_hw_order_simd(x: np.ndarray, w: np.ndarray,
+                         acc: Optional[np.ndarray] = None) -> np.ndarray:
+    """Vectorised, bit-exact ``Z = acc + X . W`` in the hardware's FMA order.
+
+    ``x`` and ``w`` must contain binary16-representable values (use
+    :func:`repro.fp.vector.quantize_fp16`); each of the ``N`` accumulation
+    steps is one guarded SIMD FMA over the whole ``M x K`` output, so the
+    result is bit-identical to :func:`matmul_hw_order_exact` at numpy speed.
+    The result is returned as float32 holding exact binary16 values.
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    w64 = np.asarray(w, dtype=np.float64)
+    if x64.ndim != 2 or w64.ndim != 2:
+        raise ValueError("operands must be 2-D")
+    if x64.shape[1] != w64.shape[0]:
+        raise ValueError(
+            f"inner dimensions disagree: {x64.shape} . {w64.shape}"
+        )
+    m, n = x64.shape
+    k = w64.shape[1]
+    if acc is None:
+        acc = np.zeros((m, k), dtype=np.float64)
+    else:
+        acc = np.asarray(acc, dtype=np.float64)
+        if acc.shape != (m, k):
+            raise ValueError(f"accumulator must be {m}x{k}, got {acc.shape}")
+    for i in range(n):
+        acc = fma16_guarded_f64(
+            x64[:, i, None], w64[i, None, :], acc
+        ).astype(np.float64)
+    return acc.astype(np.float32)
+
+
+def matmul_hw_order_simd_bits(
+    x_bits: Sequence[Sequence[int]],
+    w_bits: Sequence[Sequence[int]],
+    acc_bits: Optional[Sequence[Sequence[int]]] = None,
+) -> List[List[int]]:
+    """Bit-pattern wrapper around :func:`matmul_hw_order_simd`."""
+    acc = matrix_from_bits(acc_bits) if acc_bits is not None else None
+    return matrix_to_bits(
+        matmul_hw_order_simd(matrix_from_bits(x_bits), matrix_from_bits(w_bits), acc)
+    )
 
 
 def matmul_hw_order_fast(x: np.ndarray, w: np.ndarray,

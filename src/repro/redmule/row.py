@@ -48,10 +48,12 @@ class FmaRow:
         x_row:
             The row of X operands (16-bit patterns), one per inner index
             ``n``.  Its length is padded with zeros up to ``n_chunks * H``.
+            Any integer sequence works, including ``uint16`` line arrays.
         w_block:
             ``w_block[n][k]`` gives the W operand pattern for inner index
             ``n`` and output column ``k`` (``0 <= k < block_k``); rows beyond
-            ``len(w_block)`` are treated as zero.
+            ``len(w_block)`` are treated as zero.  Rows may be lists or
+            ``uint16`` line arrays.
         n_chunks:
             Number of H-wide chunks of the inner dimension to process
             (defaults to ``ceil(len(x_row) / H)``).
@@ -69,12 +71,12 @@ class FmaRow:
             raise ValueError("n_chunks must be positive")
 
         def x_at(n: int) -> int:
-            return x_row[n] if n < len(x_row) else POS_ZERO_BITS
+            return int(x_row[n]) if n < len(x_row) else POS_ZERO_BITS
 
         def w_at(n: int, k: int) -> int:
             if n >= len(w_block):
                 return POS_ZERO_BITS
-            return w_block[n][k]
+            return int(w_block[n][k])
 
         self.feedback = [POS_ZERO_BITS] * block_k
         for unit in self.units:

@@ -11,18 +11,21 @@ between three traffic classes:
 
 The engine enqueues :class:`StreamRequest` descriptors as it discovers the
 demand; every simulated cycle the streamer picks the highest-priority pending
-request, performs it through :meth:`repro.interco.hci.Hci.wide_cycle` (which
-may stall it when the branch rotation favours the cores), and hands the
-completed request back to the engine.
+request, performs it through :meth:`repro.interco.hci.Hci.wide_line_cycle`
+(which may stall it when the branch rotation favours the cores), and hands
+the completed request back to the engine.  Lines travel as ``uint16``
+pattern arrays end to end -- one bulk TCDM access per line, no per-element
+marshalling at this boundary.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Sequence
 
-from repro.fp.float16 import POS_ZERO_BITS
+import numpy as np
+
 from repro.interco.hci import Hci
 from repro.redmule.config import RedMulEConfig
 
@@ -39,19 +42,21 @@ class StreamRequest:
 
     For loads, ``n_elements`` FP16 values are read starting at ``addr`` and
     padded with zeros up to the configured line width; for stores,
-    ``payload_bits`` (already truncated to the valid elements) are written.
-    ``meta`` is an opaque tag the engine uses to route the completed data
-    (e.g. ``("w", column, chunk)`` or ``("x", block, row)``).
+    ``payload_bits`` (already truncated to the valid elements; a ``uint16``
+    array or any 16-bit integer sequence) are written.  ``meta`` is an opaque
+    tag the engine uses to route the completed data (e.g. ``("w", column,
+    chunk)`` or ``("x", block, row)``).
     """
 
     kind: str  # "w", "x" or "z"
     addr: int
     n_elements: int
     write: bool = False
-    payload_bits: Optional[List[int]] = None
+    payload_bits: Optional[Sequence[int]] = None
     meta: tuple = ()
-    #: Filled in by the streamer for completed loads (padded to line width).
-    data_bits: Optional[List[int]] = None
+    #: Filled in by the streamer for completed loads: a ``uint16`` pattern
+    #: array padded to the line width.
+    data_bits: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -140,16 +145,17 @@ class Streamer:
         self.stats.cycles += 1
         request = self._select()
         if request is None:
-            self.hci.wide_cycle(None)
+            self.hci.wide_line_cycle(None)
             self.stats.idle_cycles += 1
             return None
 
         if request.write:
-            payload = _pack_bits(request.payload_bits)
-            outcome = self.hci.wide_cycle(request.addr, write=True, data=payload)
+            outcome = self.hci.wide_line_cycle(
+                request.addr, write=True, line=request.payload_bits
+            )
         else:
-            outcome = self.hci.wide_cycle(request.addr,
-                                          nbytes=request.n_elements * 2)
+            outcome = self.hci.wide_line_cycle(request.addr,
+                                               n_elements=request.n_elements)
         if outcome is None:
             # The branch rotation stalled the wide port this cycle; retry.
             self.stats.stall_cycles += 1
@@ -159,7 +165,7 @@ class Streamer:
         if request.write:
             self.stats.z_stores += 1
         else:
-            request.data_bits = _unpack_bits(outcome, self.config.block_k)
+            request.data_bits = pad_line(outcome, self.config.block_k)
             if request.kind == "w":
                 self.stats.w_loads += 1
             elif request.kind == "y":
@@ -184,20 +190,10 @@ class Streamer:
             queue.clear()
 
 
-def _pack_bits(bits: List[int]) -> bytes:
-    """Pack 16-bit patterns into little-endian bytes."""
-    out = bytearray()
-    for value in bits:
-        out.append(value & 0xFF)
-        out.append((value >> 8) & 0xFF)
-    return bytes(out)
-
-
-def _unpack_bits(data: bytes, pad_to: int) -> List[int]:
-    """Unpack little-endian bytes into 16-bit patterns, zero-padded to ``pad_to``."""
-    bits = [
-        data[i] | (data[i + 1] << 8) for i in range(0, len(data) - 1, 2)
-    ]
-    while len(bits) < pad_to:
-        bits.append(POS_ZERO_BITS)
-    return bits
+def pad_line(line: np.ndarray, pad_to: int) -> np.ndarray:
+    """Zero-pad a loaded ``uint16`` line up to the streamer line width."""
+    if len(line) >= pad_to:
+        return line
+    padded = np.zeros(pad_to, dtype=np.uint16)
+    padded[: len(line)] = line
+    return padded

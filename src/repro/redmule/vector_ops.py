@@ -2,41 +2,53 @@
 
 All ``L`` rows of the RedMulE array execute the same schedule on different
 data, so the cycle-accurate engine processes one *row vector* (one value per
-row) per column per cycle.  Two interchangeable strategies implement the FP16
-arithmetic on those vectors:
+row) per column per cycle.  Three interchangeable strategies implement the
+FP16 arithmetic on those vectors:
 
 * :class:`ExactVectorOps` -- vectors are lists of 16-bit patterns and every
   FMA is evaluated with the bit-exact scalar implementation
-  (:func:`repro.fp.fma.fma16`).  Slow, used for functional verification.
+  (:func:`repro.fp.fma.fma16`).  Slow; the ground-truth oracle.
+* :class:`ExactSimdVectorOps` -- bit-identical to :class:`ExactVectorOps`,
+  array-backed: FMAs are evaluated with the vectorised bit-exact kernels of
+  :mod:`repro.fp.simd`.  Issued FMAs are recorded as a lazy dependency chain
+  and evaluated in batches (all of a tile's independent accumulator chains
+  side by side) when results are observed, so the per-element kernel cost is
+  amortised over whole rows.
 * :class:`FastVectorOps` -- vectors are numpy ``float64`` arrays holding
   exactly representable binary16 values; the FMA is evaluated in ``float64``
   and rounded once to binary16 per step.  Fast, used for performance sweeps.
 
 The engine is written against the small interface below, so switching
 strategy changes only the cost of simulating a cycle, never the structure of
-the machine.
+the machine.  Besides per-row vectors the interface also covers *lines* (the
+``block_k``-element rows the streamer moves to and from the TCDM), so a
+strategy can keep whole lines in its preferred representation instead of
+converting to per-element Python lists at every layer boundary.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from typing import Callable, Dict, List, Sequence, Union
 
 import numpy as np
 
 from repro.fp.fma import fma16
-from repro.fp.float16 import POS_ZERO_BITS, bits_to_float, float_to_bits
+from repro.fp.float16 import POS_ZERO_BITS, bits_to_float
+from repro.fp.simd import as_u16, fma16_guarded_f64
 
 
 class VectorOps(abc.ABC):
     """Arithmetic strategy over per-row vectors of FP16 values."""
 
-    #: Strategy name used in traces and reports.
+    #: Strategy name used in traces, reports and the backend registry.
     name: str = "abstract"
+    #: True when the strategy reproduces the hardware bit patterns exactly.
+    bit_exact: bool = False
 
     @abc.abstractmethod
     def from_bits(self, bits: Sequence[int]):
-        """Build a vector from a sequence of 16-bit patterns."""
+        """Build a vector from a sequence (or ``uint16`` array) of patterns."""
 
     @abc.abstractmethod
     def to_bits(self, vector) -> List[int]:
@@ -47,24 +59,49 @@ class VectorOps(abc.ABC):
         """Return a vector of ``n`` positive zeros."""
 
     @abc.abstractmethod
-    def fma(self, x_vector, w_bits: int, acc_vector):
+    def fma(self, x_vector, w_bits, acc_vector):
         """Return ``x * w + acc`` element-wise, rounded once to binary16."""
 
     @abc.abstractmethod
     def gather(self, lines: Sequence, offset: int):
         """Build a vector from element ``offset`` of each per-row line."""
 
+    # -- line-level interface (streamer <-> buffers boundary) ---------------
+    def from_line(self, line) -> object:
+        """Convert a raw ``uint16`` line into the strategy's W-line storage.
+
+        Indexing the result at ``k`` must yield a scalar :meth:`fma` accepts
+        as ``w_bits``.  The default keeps Python ints (what the scalar exact
+        path consumes).
+        """
+        return [int(v) for v in line]
+
+    def zero_line(self, n: int) -> object:
+        """A line of ``n`` positive zeros in the strategy's W-line storage."""
+        return self.from_line([POS_ZERO_BITS] * n)
+
+    def to_lines(self, columns: Sequence) -> Sequence:
+        """Transpose per-column result vectors into per-row pattern lines.
+
+        ``columns[k][row]`` becomes ``lines[row][k]``; the returned rows are
+        indexable/sliceable pattern sequences ready for a line store.  This is
+        the point where lazily accumulated results are materialised, so
+        strategies should force *all* columns in one batch.
+        """
+        return [list(row) for row in zip(*(self.to_bits(c) for c in columns))]
+
 
 class ExactVectorOps(VectorOps):
-    """Bit-exact strategy: vectors are lists of 16-bit patterns."""
+    """Bit-exact scalar strategy: vectors are lists of 16-bit patterns."""
 
     name = "exact"
+    bit_exact = True
 
     def from_bits(self, bits: Sequence[int]) -> List[int]:
-        return list(bits)
+        return [int(v) for v in bits]
 
     def to_bits(self, vector: Sequence[int]) -> List[int]:
-        return list(vector)
+        return [int(v) for v in vector]
 
     def zeros(self, n: int) -> List[int]:
         return [POS_ZERO_BITS] * n
@@ -77,12 +114,25 @@ class ExactVectorOps(VectorOps):
         return [line[offset] for line in lines]
 
 
+class _PendingFma:
+    """One recorded (not yet evaluated) vector FMA of the lazy exact strategy."""
+
+    __slots__ = ("x", "w", "acc", "values")
+
+    def __init__(self, x: np.ndarray, w, acc) -> None:
+        self.x = x
+        self.w = w
+        self.acc = acc
+        self.values = None
+
+
 class FastVectorOps(VectorOps):
     """Numpy strategy: vectors are float64 arrays of exact binary16 values."""
 
     name = "fast"
+    bit_exact = False
 
-    def from_bits(self, bits: Sequence[int]) -> np.ndarray:
+    def from_bits(self, bits) -> np.ndarray:
         u16 = np.asarray(bits, dtype=np.uint16)
         return u16.view(np.float16).astype(np.float64)
 
@@ -93,16 +143,147 @@ class FastVectorOps(VectorOps):
     def zeros(self, n: int) -> np.ndarray:
         return np.zeros(n, dtype=np.float64)
 
-    def fma(self, x_vector: np.ndarray, w_bits: int,
+    def fma(self, x_vector: np.ndarray, w_bits,
             acc_vector: np.ndarray) -> np.ndarray:
-        w_value = bits_to_float(w_bits)
+        if isinstance(w_bits, (int, np.integer)):
+            w_value = bits_to_float(int(w_bits))
+        else:
+            w_value = float(w_bits)
         raw = x_vector * w_value + acc_vector
         return raw.astype(np.float16).astype(np.float64)
 
     def gather(self, lines: Sequence[np.ndarray], offset: int) -> np.ndarray:
         return np.array([line[offset] for line in lines], dtype=np.float64)
 
+    # -- line-level interface ----------------------------------------------
+    def from_line(self, line) -> np.ndarray:
+        # W lines are decoded to float64 values once per line, so the per
+        # issue hot path no longer decodes the broadcast scalar from bits.
+        return np.asarray(line, dtype=np.uint16).view(np.float16).astype(np.float64)
 
-def make_vector_ops(exact: bool) -> VectorOps:
-    """Return the requested strategy (:class:`ExactVectorOps` if ``exact``)."""
-    return ExactVectorOps() if exact else FastVectorOps()
+    def zero_line(self, n: int) -> np.ndarray:
+        return np.zeros(n, dtype=np.float64)
+
+    def to_lines(self, columns: Sequence) -> np.ndarray:
+        stacked = np.stack([np.asarray(c, dtype=np.float64) for c in columns], axis=1)
+        return stacked.astype(np.float16).view(np.uint16)
+
+
+class ExactSimdVectorOps(FastVectorOps):
+    """Bit-exact array strategy built on the vectorised SIMD kernels.
+
+    Shares :class:`FastVectorOps`' representation -- ``float64`` arrays
+    holding exact binary16 values (patterns only appear at the memory
+    boundaries) -- but replaces its arithmetic: :meth:`fma` records a lazy
+    node instead of evaluating immediately, and when a result is observed
+    (via :meth:`to_bits` / :meth:`to_lines` / :meth:`gather`) every chain the
+    requested values depend on is evaluated level by level with one
+    :func:`repro.fp.simd.fma16_guarded_f64` call per dependency depth,
+    stacking all same-depth nodes (e.g. the ``block_k`` independent
+    accumulator chains of a tile) into a single kernel batch.  The guarded
+    kernel routes any lane where float64 evaluation could double-round
+    through the integer kernel :func:`repro.fp.simd.fma16_many`, so deferral
+    and the float hot path never change the produced bits -- only how many
+    elements each kernel invocation covers.
+    """
+
+    name = "exact-simd"
+    bit_exact = True
+
+    def to_bits(self, vector) -> List[int]:
+        return super().to_bits(self._materialise(vector))
+
+    def fma(self, x_vector, w_bits, acc_vector) -> _PendingFma:
+        if isinstance(x_vector, _PendingFma):
+            x_vector = self._materialise(x_vector)
+        if isinstance(w_bits, (int, np.integer)):
+            w_bits = bits_to_float(int(w_bits))
+        return _PendingFma(x_vector, w_bits, acc_vector)
+
+    def gather(self, lines: Sequence, offset: int) -> np.ndarray:
+        return super().gather([self._materialise(line) for line in lines],
+                              offset)
+
+    def to_lines(self, columns: Sequence) -> np.ndarray:
+        return super().to_lines(self._force(list(columns)))
+
+    # -- lazy-chain evaluation ---------------------------------------------
+    def _materialise(self, vector) -> np.ndarray:
+        if isinstance(vector, _PendingFma):
+            if vector.values is None:
+                self._force([vector])
+            return vector.values
+        return np.asarray(vector, dtype=np.float64)
+
+    def _force(self, vectors: Sequence) -> List[np.ndarray]:
+        """Evaluate every pending chain the requested vectors depend on.
+
+        Nodes are bucketed by their distance from a concrete leaf and each
+        bucket is evaluated with a single batched kernel call; dependency
+        order is preserved because a node is always one level above its
+        accumulator input.
+        """
+        levels: List[List[_PendingFma]] = []
+        depth_of: Dict[int, int] = {}
+        for root in vectors:
+            chain: List[_PendingFma] = []
+            node = root
+            while (
+                isinstance(node, _PendingFma)
+                and node.values is None
+                and id(node) not in depth_of
+            ):
+                chain.append(node)
+                node = node.acc
+            base = 0
+            if isinstance(node, _PendingFma) and node.values is None:
+                base = depth_of[id(node)] + 1
+            for depth, pending in enumerate(reversed(chain), start=base):
+                depth_of[id(pending)] = depth
+                if depth == len(levels):
+                    levels.append([])
+                levels[depth].append(pending)
+
+        for level in levels:
+            x = np.stack([node.x for node in level])
+            w = np.array([node.w for node in level], dtype=np.float64)[:, None]
+            acc = np.stack([
+                node.acc.values if isinstance(node.acc, _PendingFma) else node.acc
+                for node in level
+            ])
+            values = fma16_guarded_f64(x, w, acc).astype(np.float64)
+            for row, node in enumerate(level):
+                node.values = values[row]
+        return [self._materialise(v) for v in vectors]
+
+
+#: Registry of vector-ops strategies keyed by backend name.
+VECTOR_OPS_REGISTRY: Dict[str, Callable[[], VectorOps]] = {
+    ExactVectorOps.name: ExactVectorOps,
+    ExactSimdVectorOps.name: ExactSimdVectorOps,
+    FastVectorOps.name: FastVectorOps,
+}
+
+#: Valid backend names, in oracle-first order (CLI choices, docs).
+VECTOR_OPS_BACKENDS = tuple(VECTOR_OPS_REGISTRY)
+
+
+def validate_backend_name(backend: str) -> str:
+    """Check a backend name against the registry; returns it unchanged."""
+    if backend not in VECTOR_OPS_REGISTRY:
+        raise ValueError(
+            f"unknown vector-ops backend {backend!r}; "
+            f"available: {', '.join(VECTOR_OPS_BACKENDS)}"
+        )
+    return backend
+
+
+def make_vector_ops(backend: Union[str, bool] = "exact") -> VectorOps:
+    """Build the strategy registered under ``backend``.
+
+    Booleans are accepted for backward compatibility: ``True`` selects the
+    scalar bit-exact oracle, ``False`` the float64 fast path.
+    """
+    if isinstance(backend, bool):
+        backend = "exact" if backend else "fast"
+    return VECTOR_OPS_REGISTRY[validate_backend_name(backend)]()

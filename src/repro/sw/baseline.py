@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.redmule.functional import matmul_hw_order_fast
+from repro.redmule.functional import matmul_hw_order_simd
 from repro.sw.kernel import KernelCostModel, KernelParameters
 from repro.sw.parallel import ParallelizationModel, ParallelParameters
 
@@ -79,8 +79,12 @@ class SoftwareBaseline:
         return SoftwareResult(m=m, n=n, k=k, cycles=cycles, n_cores=self.n_cores)
 
     def compute(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
-        """Numerical result of the software kernel (identical to the HW result)."""
-        return matmul_hw_order_fast(x, w)
+        """Numerical result of the software kernel (bit-identical to the HW result).
+
+        Evaluated with the guarded SIMD kernels, so it reproduces the
+        accelerator's single-rounded FP16 accumulation exactly.
+        """
+        return matmul_hw_order_simd(x, w)
 
     @property
     def peak_macs_per_cycle(self) -> float:

@@ -1,0 +1,93 @@
+"""Tests for timing-cache persistence (`TimingCache.save` / `load`)."""
+
+import json
+
+import pytest
+
+from repro.farm import SimulationFarm, TimingCache, TimingKey, TimingRecord
+
+
+def _record(cycles=100, backend="engine"):
+    return TimingRecord(
+        cycles=cycles, stall_cycles=7, active_cycles=80, total_macs=2048,
+        issued_macs=4096, n_tiles=2, peak_macs_per_cycle=32,
+        ideal_cycles=64, backend=backend,
+    )
+
+
+def _key(m=8, n=16, k=16, backend="engine", exact=False):
+    return TimingKey(config=(4, 8, 3, 1, 8), m=m, n=n, k=k,
+                     accumulate=False, exact=exact, backend=backend)
+
+
+class TestTimingCachePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = TimingCache()
+        cache.store(_key(), _record())
+        cache.store(_key(m=16, backend="model"), _record(55, "model"))
+        path = tmp_path / "cache.json"
+        assert cache.save(path) == 2
+
+        loaded = TimingCache()
+        assert loaded.load(path) == 2
+        assert len(loaded) == 2
+        assert loaded.peek(_key()) == _record()
+        assert loaded.peek(_key(m=16, backend="model")) == _record(55, "model")
+
+    def test_load_merge_and_replace(self, tmp_path):
+        path = tmp_path / "cache.json"
+        saved = TimingCache()
+        saved.store(_key(), _record(111))
+        saved.save(path)
+
+        cache = TimingCache()
+        cache.store(_key(m=99), _record(999))
+        cache.load(path)                       # merge (default)
+        assert len(cache) == 2
+        cache.load(path, merge=False)          # replace
+        assert len(cache) == 1
+        assert cache.peek(_key()).cycles == 111
+
+    def test_load_overwrites_colliding_keys(self, tmp_path):
+        path = tmp_path / "cache.json"
+        saved = TimingCache()
+        saved.store(_key(), _record(222))
+        saved.save(path)
+        cache = TimingCache()
+        cache.store(_key(), _record(1))
+        cache.load(path)
+        assert cache.peek(_key()).cycles == 222
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            TimingCache().load(path)
+
+    def test_load_does_not_count_lookups(self, tmp_path):
+        path = tmp_path / "cache.json"
+        saved = TimingCache()
+        saved.store(_key(), _record())
+        saved.save(path)
+        cache = TimingCache()
+        cache.load(path)
+        assert cache.stats.lookups == 0
+
+
+class TestFarmPersistence:
+    def test_repeat_invocation_reuses_timing_across_farms(self, tmp_path):
+        """A second farm (a stand-in for a second benchmark process) serves
+        everything from the persisted cache: zero engine runs."""
+        path = tmp_path / "farm-cache.json"
+        first = SimulationFarm(max_workers=1)
+        first.run_gemm(8, 16, 16)
+        first.run_gemm(16, 16, 16)
+        assert first.save_cache(path) == 2
+        assert first.stats.engine_runs == 2
+
+        second = SimulationFarm(max_workers=1)
+        assert second.load_cache(path) == 2
+        result = second.run_gemm(8, 16, 16)
+        assert result.cache_hit
+        assert second.stats.engine_runs == 0
+        assert result.cycles == first.run_gemm(8, 16, 16).cycles

@@ -1,0 +1,285 @@
+"""Tests for the vectorised bit-exact FP16 kernels (:mod:`repro.fp.simd`).
+
+The scalar substrate (:mod:`repro.fp.fma` et al.) is the oracle: every kernel
+must match it bit for bit, element by element, over directed special-value
+grids and large random sweeps, for every rounding mode.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.fp.flags import ExceptionFlags
+from repro.fp.float16 import (
+    FloatClass,
+    classify,
+    decompose,
+    is_finite,
+    is_inf,
+    is_nan,
+    is_subnormal,
+    is_zero,
+    pack,
+)
+from repro.fp.fma import add16, fma16, mul16, neg16, sub16
+from repro.fp.rounding import RoundingMode, round_shifted
+from repro.fp.simd import (
+    add16_many,
+    as_u16,
+    classify_many,
+    decompose_many,
+    fma16_guarded_f64,
+    fma16_many,
+    is_finite_many,
+    is_inf_many,
+    is_nan_many,
+    is_subnormal_many,
+    is_zero_many,
+    mul16_many,
+    neg16_many,
+    pack_many,
+    round_shifted_many,
+    sub16_many,
+)
+
+#: Directed patterns covering every interesting encoding class: signed zeros,
+#: smallest/largest subnormals, smallest/largest normals, one, infinities,
+#: canonical and payload NaNs, plus a few mid-range values.
+SPECIAL_PATTERNS = [
+    0x0000, 0x8000,              # +-0
+    0x0001, 0x8001,              # +-min subnormal
+    0x03FF, 0x83FF,              # +-max subnormal
+    0x0400, 0x8400,              # +-min normal
+    0x7BFF, 0xFBFF,              # +-max finite
+    0x7C00, 0xFC00,              # +-inf
+    0x7E00, 0x7C01, 0xFE00,      # NaNs (canonical, payload, negative)
+    0x3C00, 0xBC00,              # +-1.0
+    0x3800, 0x0002, 0x7800, 0xF800,
+]
+
+ALL_MODES = list(RoundingMode)
+
+
+def _triples_as_arrays(triples):
+    a = np.array([t[0] for t in triples], dtype=np.uint16)
+    b = np.array([t[1] for t in triples], dtype=np.uint16)
+    c = np.array([t[2] for t in triples], dtype=np.uint16)
+    return a, b, c
+
+
+def _assert_fma_matches_scalar(triples, mode):
+    a, b, c = _triples_as_arrays(triples)
+    got = fma16_many(a, b, c, mode)
+    for i, (x, y, z) in enumerate(triples):
+        want = fma16(x, y, z, mode)
+        assert int(got[i]) == want, (
+            f"fma16_many mismatch at {mode}: "
+            f"a={x:#06x} b={y:#06x} c={z:#06x} "
+            f"want={want:#06x} got={int(got[i]):#06x}"
+        )
+
+
+class TestFmaDirected:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_special_value_grid(self, mode):
+        """Full cube of special patterns: NaN propagation, +-inf, +-0,
+        subnormal operands, invalid operations."""
+        triples = list(itertools.product(SPECIAL_PATTERNS, repeat=3))
+        _assert_fma_matches_scalar(triples, mode)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_extreme_alignment(self, mode):
+        """Tiny (often subnormal) products against huge addends exercise the
+        alignment clamp / sticky-reduction path."""
+        rng = np.random.default_rng(1234)
+        triples = []
+        for _ in range(2000):
+            a = int(rng.integers(0, 0x400)) | (int(rng.integers(0, 2)) << 15)
+            b = int(rng.integers(0, 0x400)) | (int(rng.integers(0, 2)) << 15)
+            c = int(rng.integers(0x4C00, 0x7C00)) | (int(rng.integers(0, 2)) << 15)
+            triples.append((a, b, c))
+            triples.append((c, a, b))
+        _assert_fma_matches_scalar(triples, mode)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_overflow_to_inf_per_mode(self, mode):
+        """Overflowing products saturate to inf or max-finite depending on
+        the rounding direction and the result sign."""
+        big = [0x7BFF, 0xFBFF, 0x7800, 0xF800, 0x7A00, 0xFA00]
+        triples = list(itertools.product(big, big, SPECIAL_PATTERNS))
+        _assert_fma_matches_scalar(triples, mode)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_subnormal_outputs(self, mode):
+        """Products landing in (or rounding out of) the subnormal range."""
+        tiny = [0x0001, 0x8001, 0x0400, 0x8400, 0x0800, 0x8800, 0x03FF, 0x83FF]
+        triples = list(itertools.product(tiny, tiny, tiny))
+        _assert_fma_matches_scalar(triples, mode)
+
+    def test_broadcasting_and_shape(self):
+        a = np.array([[0x3C00, 0x4000]], dtype=np.uint16)
+        c = np.array([[0x0000], [0x3C00]], dtype=np.uint16)
+        out = fma16_many(a, np.uint16(0x3C00), c)
+        assert out.shape == (2, 2)
+        assert int(out[1, 0]) == fma16(0x3C00, 0x3C00, 0x3C00)
+
+    def test_rejects_out_of_range_patterns(self):
+        with pytest.raises(ValueError):
+            fma16_many([0x10000], [0], [0])
+        with pytest.raises(TypeError):
+            fma16_many([1.5], [0], [0])
+
+
+class TestFmaRandom:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_random_triples_match_scalar_bit_for_bit(self, mode):
+        """>= 10k random (a, b, c) triples per rounding mode."""
+        rng = np.random.default_rng(9000 + mode.value)
+        triples = [
+            tuple(int(v) for v in rng.integers(0, 0x10000, 3))
+            for _ in range(10_500)
+        ]
+        _assert_fma_matches_scalar(triples, mode)
+
+
+class TestOtherKernels:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_mul_matches_scalar(self, mode):
+        rng = np.random.default_rng(7)
+        pairs = list(itertools.product(SPECIAL_PATTERNS, repeat=2))
+        pairs += [tuple(int(v) for v in rng.integers(0, 0x10000, 2))
+                  for _ in range(4000)]
+        a = np.array([p[0] for p in pairs], dtype=np.uint16)
+        b = np.array([p[1] for p in pairs], dtype=np.uint16)
+        got = mul16_many(a, b, mode)
+        for i, (x, y) in enumerate(pairs):
+            assert int(got[i]) == mul16(x, y, mode)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_add_sub_match_scalar(self, mode):
+        rng = np.random.default_rng(11)
+        pairs = list(itertools.product(SPECIAL_PATTERNS, repeat=2))
+        pairs += [tuple(int(v) for v in rng.integers(0, 0x10000, 2))
+                  for _ in range(2000)]
+        a = np.array([p[0] for p in pairs], dtype=np.uint16)
+        b = np.array([p[1] for p in pairs], dtype=np.uint16)
+        added = add16_many(a, b, mode)
+        subbed = sub16_many(a, b, mode)
+        for i, (x, y) in enumerate(pairs):
+            assert int(added[i]) == add16(x, y, mode)
+            assert int(subbed[i]) == sub16(x, y, mode)
+
+    def test_neg_matches_scalar(self):
+        bits = np.array(SPECIAL_PATTERNS, dtype=np.uint16)
+        got = neg16_many(bits)
+        for i, value in enumerate(SPECIAL_PATTERNS):
+            assert int(got[i]) == neg16(value)
+
+
+class TestFlags:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_flags_aggregate_the_scalar_flags(self, mode):
+        rng = np.random.default_rng(3)
+        triples = list(itertools.product(SPECIAL_PATTERNS[:12], repeat=3))[:3000]
+        triples += [tuple(int(v) for v in rng.integers(0, 0x10000, 3))
+                    for _ in range(1000)]
+        vector_flags = ExceptionFlags()
+        a, b, c = _triples_as_arrays(triples)
+        fma16_many(a, b, c, mode, vector_flags)
+        scalar_flags = ExceptionFlags()
+        for x, y, z in triples:
+            fma16(x, y, z, mode, scalar_flags)
+        assert vector_flags == scalar_flags
+
+    def test_flags_quiet_on_exact_lanes(self):
+        flags = ExceptionFlags()
+        fma16_many([0x3C00], [0x4000], [0x3C00], RoundingMode.RNE, flags)
+        assert not flags.any()
+
+
+class TestHelpers:
+    def test_classification_matches_scalar(self):
+        bits = np.array(SPECIAL_PATTERNS, dtype=np.uint16)
+        classes = classify_many(bits)
+        for i, value in enumerate(SPECIAL_PATTERNS):
+            assert is_nan_many(bits)[i] == is_nan(value)
+            assert is_inf_many(bits)[i] == is_inf(value)
+            assert is_zero_many(bits)[i] == is_zero(value)
+            assert is_subnormal_many(bits)[i] == is_subnormal(value)
+            assert is_finite_many(bits)[i] == is_finite(value)
+            assert classes[i] is classify(value)
+
+    def test_decompose_matches_scalar(self):
+        finite = [b for b in SPECIAL_PATTERNS if is_finite(b) and not is_zero(b)]
+        sign, sig, exp = decompose_many(np.array(finite, dtype=np.uint16))
+        for i, value in enumerate(finite):
+            assert (int(sign[i]), int(sig[i]), int(exp[i])) == decompose(value)
+
+    def test_decompose_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            decompose_many([0x7C00])
+        with pytest.raises(ValueError):
+            decompose_many([0x0000])
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_round_shifted_matches_scalar(self, mode):
+        rng = np.random.default_rng(5)
+        cases = [(int(m), int(s), bool(n)) for m, s, n in zip(
+            rng.integers(0, 1 << 40, 800),
+            rng.integers(-8, 45, 800),
+            rng.integers(0, 2, 800),
+        )]
+        magnitude = np.array([c[0] for c in cases], dtype=np.int64)
+        rshift = np.array([c[1] for c in cases], dtype=np.int64)
+        negative = np.array([c[2] for c in cases], dtype=bool)
+        rounded, inexact = round_shifted_many(magnitude, rshift, mode, negative)
+        for i, (m, s, n) in enumerate(cases):
+            want_r, want_i = round_shifted(m, s, mode, n)
+            assert (int(rounded[i]), bool(inexact[i])) == (want_r, want_i)
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_pack_matches_scalar(self, mode):
+        rng = np.random.default_rng(6)
+        cases = [(int(s), int(m) + 1, int(e)) for s, m, e in zip(
+            rng.integers(0, 2, 800),
+            rng.integers(0, 1 << 44, 800),
+            rng.integers(-60, 20, 800),
+        )]
+        sign = np.array([c[0] for c in cases], dtype=np.int64)
+        magnitude = np.array([c[1] for c in cases], dtype=np.int64)
+        exponent = np.array([c[2] for c in cases], dtype=np.int64)
+        vector_flags = ExceptionFlags()
+        bits = pack_many(sign, magnitude, exponent, mode, vector_flags)
+        scalar_flags = ExceptionFlags()
+        for i, (s, m, e) in enumerate(cases):
+            assert int(bits[i]) == pack(s, m, e, mode, scalar_flags)
+        assert vector_flags == scalar_flags
+
+    def test_as_u16_accepts_and_validates(self):
+        assert as_u16(np.array([1, 2], dtype=np.uint16)).dtype == np.uint16
+        assert list(as_u16([0, 0xFFFF])) == [0, 0xFFFF]
+        with pytest.raises(ValueError):
+            as_u16([-1])
+
+
+class TestGuardedF64:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar_on_random_fp16_values(self, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 0x10000, (3, 4096)).astype(np.uint16)
+        x64, w64, c64 = (bits[i].view(np.float16).astype(np.float64)
+                         for i in range(3))
+        got = fma16_guarded_f64(x64, w64, c64).view(np.uint16)
+        for i in range(bits.shape[1]):
+            want = fma16(int(bits[0, i]), int(bits[1, i]), int(bits[2, i]))
+            assert int(got[i]) == want
+
+    def test_double_rounding_lanes_are_diverted(self):
+        # max-finite addend + tiny product: the float64 sum is inexact, so the
+        # lane must go through the integer kernel instead of double rounding.
+        x = np.array([2.0 ** -24], dtype=np.float64)
+        w = np.array([2.0 ** -14], dtype=np.float64)
+        c = np.array([65504.0], dtype=np.float64)
+        got = int(fma16_guarded_f64(x, w, c).view(np.uint16)[0])
+        assert got == fma16(0x0001, 0x0400, 0x7BFF)

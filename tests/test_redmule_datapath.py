@@ -6,7 +6,12 @@ import pytest
 from repro.fp.float16 import POS_ZERO_BITS, bits_to_float, float_to_bits
 from repro.redmule.config import RedMulEConfig
 from repro.redmule.datapath import Datapath
-from repro.redmule.vector_ops import ExactVectorOps, FastVectorOps, make_vector_ops
+from repro.redmule.vector_ops import (
+    ExactSimdVectorOps,
+    ExactVectorOps,
+    FastVectorOps,
+    make_vector_ops,
+)
 
 
 def f2b(value: float) -> int:
@@ -14,16 +19,22 @@ def f2b(value: float) -> int:
 
 
 class TestVectorOps:
-    @pytest.mark.parametrize("ops", [ExactVectorOps(), FastVectorOps()])
+    @pytest.mark.parametrize(
+        "ops", [ExactVectorOps(), ExactSimdVectorOps(), FastVectorOps()],
+        ids=["exact", "exact-simd", "fast"])
     def test_bits_roundtrip(self, ops):
         bits = [f2b(v) for v in (0.5, -1.25, 3.0, 0.0)]
         assert ops.to_bits(ops.from_bits(bits)) == bits
 
-    @pytest.mark.parametrize("ops", [ExactVectorOps(), FastVectorOps()])
+    @pytest.mark.parametrize(
+        "ops", [ExactVectorOps(), ExactSimdVectorOps(), FastVectorOps()],
+        ids=["exact", "exact-simd", "fast"])
     def test_zeros(self, ops):
         assert ops.to_bits(ops.zeros(3)) == [POS_ZERO_BITS] * 3
 
-    @pytest.mark.parametrize("ops", [ExactVectorOps(), FastVectorOps()])
+    @pytest.mark.parametrize(
+        "ops", [ExactVectorOps(), ExactSimdVectorOps(), FastVectorOps()],
+        ids=["exact", "exact-simd", "fast"])
     def test_gather(self, ops):
         lines = [ops.from_bits([f2b(float(r * 10 + c)) for c in range(4)])
                  for r in range(3)]
@@ -43,9 +54,28 @@ class TestVectorOps:
                                                 fast.from_bits(acc_bits)))
             assert exact_result == fast_result
 
+    def test_exact_simd_fma_is_bit_identical(self):
+        rng = np.random.default_rng(11)
+        exact, simd = ExactVectorOps(), ExactSimdVectorOps()
+        for _ in range(20):
+            x_bits = [int(v) for v in rng.integers(0, 0x10000, 8)]
+            acc_bits = [int(v) for v in rng.integers(0, 0x10000, 8)]
+            w = int(rng.integers(0, 0x10000))
+            exact_result = exact.fma(exact.from_bits(x_bits), w,
+                                     exact.from_bits(acc_bits))
+            simd_result = simd.to_bits(simd.fma(simd.from_bits(x_bits), w,
+                                                simd.from_bits(acc_bits)))
+            assert simd_result == exact_result
+
     def test_factory(self):
+        # Legacy boolean selection keeps working next to the name registry.
         assert isinstance(make_vector_ops(True), ExactVectorOps)
         assert isinstance(make_vector_ops(False), FastVectorOps)
+        assert isinstance(make_vector_ops("exact"), ExactVectorOps)
+        assert isinstance(make_vector_ops("exact-simd"), ExactSimdVectorOps)
+        assert isinstance(make_vector_ops("fast"), FastVectorOps)
+        with pytest.raises(ValueError):
+            make_vector_ops("nope")
 
 
 class TestDatapath:

@@ -197,7 +197,7 @@ class TestContention:
             x = random_fp16_matrix(8, 64, scale=0.3, seed=1)
             w = random_fp16_matrix(64, 16, scale=0.3, seed=2)
             if with_traffic:
-                original_cycle = hci.wide_cycle
+                original_cycle = hci.wide_line_cycle
 
                 def noisy_wide_cycle(*args, **kwargs):
                     hci.submit_log_requests(
@@ -206,7 +206,7 @@ class TestContention:
                     )
                     return original_cycle(*args, **kwargs)
 
-                hci.wide_cycle = noisy_wide_cycle
+                hci.wide_line_cycle = noisy_wide_cycle
             _, result = harness.run(x, w)
             golden = matmul_hw_order_fast(x, w)
             z = harness.allocator  # silence linters; correctness checked below
@@ -224,13 +224,13 @@ class TestContention:
         x = random_fp16_matrix(8, 32, scale=0.3, seed=11)
         w = random_fp16_matrix(32, 16, scale=0.3, seed=12)
 
-        original_cycle = hci.wide_cycle
+        original_cycle = hci.wide_line_cycle
 
         def noisy_wide_cycle(*args, **kwargs):
             hci.submit_log_requests([CoreRequest(initiator=0, addr=tcdm.base)])
             return original_cycle(*args, **kwargs)
 
-        hci.wide_cycle = noisy_wide_cycle
+        hci.wide_line_cycle = noisy_wide_cycle
         z, result = harness.run(x, w)
         assert np.array_equal(z, matmul_hw_order_fast(x, w))
         assert result.streamer.stall_cycles > 0

@@ -1,5 +1,6 @@
 """Tests for the streamer (wide-port scheduling and data marshalling)."""
 
+import numpy as np
 import pytest
 
 from repro.fp.float16 import float_to_bits
@@ -7,7 +8,7 @@ from repro.interco.hci import Hci, HciConfig
 from repro.interco.log_interco import CoreRequest
 from repro.mem.tcdm import Tcdm
 from repro.redmule.config import RedMulEConfig
-from repro.redmule.streamer import StreamRequest, Streamer, _pack_bits, _unpack_bits
+from repro.redmule.streamer import StreamRequest, Streamer, pad_line
 
 
 @pytest.fixture
@@ -19,14 +20,18 @@ def setup():
 
 
 class TestPacking:
-    def test_pack_unpack_roundtrip(self):
+    def test_line_roundtrip_through_memory(self):
         bits = [float_to_bits(v) for v in (1.0, -2.0, 0.5, 1024.0)]
-        packed = _pack_bits(bits)
-        assert len(packed) == 8
-        assert _unpack_bits(packed, 4) == bits
+        tcdm = Tcdm()
+        tcdm.write_u16_line(tcdm.base, bits)
+        assert tcdm.dump_image(tcdm.base, 8) == np.asarray(bits, "<u2").tobytes()
+        assert list(tcdm.read_u16_line(tcdm.base, 4)) == bits
 
-    def test_unpack_pads_with_zeros(self):
-        assert _unpack_bits(b"\x00\x3c", 4) == [0x3C00, 0, 0, 0]
+    def test_pad_line_pads_with_zeros(self):
+        padded = pad_line(np.asarray([0x3C00], dtype=np.uint16), 4)
+        assert list(padded) == [0x3C00, 0, 0, 0]
+        full = np.asarray([1, 2], dtype=np.uint16)
+        assert pad_line(full, 2) is full
 
 
 class TestStreamerQueues:
@@ -50,7 +55,7 @@ class TestStreamerQueues:
         streamer.enqueue(StreamRequest("w", tcdm.base, 2, meta=("w", 0, 0)))
         done = streamer.cycle()
         assert done is not None
-        assert done.data_bits[:2] == [0x3C00, 0xC000]
+        assert list(done.data_bits[:2]) == [0x3C00, 0xC000]
         assert len(done.data_bits) == 16  # padded to the line width
         assert done.meta == ("w", 0, 0)
 

@@ -1,0 +1,248 @@
+"""End-to-end equivalence of the `exact-simd` backend against the oracle.
+
+The acceptance bar of the array-oriented backend: on the experiment job set
+(the engine-eligible fig3/fig4 sweep shapes and the fig4c/fig4d AutoEncoder
+training GEMMs), `ExactSimdVectorOps` must leave bit-identical TCDM contents
+and report identical cycle counts to the scalar `ExactVectorOps` oracle.
+Larger shapes of the same sweeps are covered at the kernel level
+(`test_fp_simd`) and by the golden-model equivalence below, which evaluates
+the exact accumulation order without the cycle-accurate machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.farm import (
+    DEFAULT_ENGINE_MACS_THRESHOLD,
+    BackendValidationReport,
+    FarmValidationError,
+    SimulationFarm,
+)
+from repro.fp.vector import matrix_to_bits, quantize_fp16, random_fp16_matrix
+from repro.interco.hci import Hci, HciConfig
+from repro.mem.layout import MemoryAllocator
+from repro.mem.tcdm import Tcdm, TcdmConfig
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.engine import RedMulE
+from repro.redmule.functional import (
+    matmul_hw_order_exact,
+    matmul_hw_order_simd,
+    matmul_hw_order_simd_bits,
+)
+from repro.redmule.job import MatmulJob
+from repro.redmule.vector_ops import (
+    ExactSimdVectorOps,
+    ExactVectorOps,
+    make_vector_ops,
+)
+from repro.experiments.fig3 import DEFAULT_SWEEP_SIZES
+from repro.experiments.fig4 import DEFAULT_HW_SW_SIZES
+from repro.workloads.autoencoder import autoencoder_training_gemms
+
+
+def _experiment_engine_shapes():
+    """Engine-eligible (M, N, K) shapes of the fig3/fig4 experiment set."""
+    shapes = []
+    for size in sorted(set(DEFAULT_SWEEP_SIZES) | set(DEFAULT_HW_SW_SIZES)):
+        if size ** 3 <= DEFAULT_ENGINE_MACS_THRESHOLD:
+            shapes.append((size, size, size))
+    for gemm in autoencoder_training_gemms(batch=1):
+        shape = (gemm.shape.m, gemm.shape.n, gemm.shape.k)
+        if gemm.shape.macs <= DEFAULT_ENGINE_MACS_THRESHOLD and shape not in shapes:
+            shapes.append(shape)
+    return shapes
+
+
+def _run_engine(backend, m, n, k, accumulate=False, x=None, w=None, z0=None):
+    config = TcdmConfig()
+    needed = 2 * (m * n + n * k + m * k) + 3 * 32
+    if needed > config.size:
+        words = -(-needed // (config.n_banks * config.word_bytes))
+        config = TcdmConfig(bank_words=max(config.bank_words, words))
+    tcdm = Tcdm(config)
+    hci = Hci(tcdm, HciConfig())
+    engine = RedMulE(RedMulEConfig.reference(), hci, backend=backend)
+    allocator = MemoryAllocator(tcdm.base, tcdm.size)
+    hx = allocator.alloc_matrix(m, n, "X")
+    hw = allocator.alloc_matrix(n, k, "W")
+    hz = allocator.alloc_matrix(m, k, "Z")
+    hx.store(tcdm, x if x is not None
+             else random_fp16_matrix(m, n, scale=0.25, seed=m + n))
+    hw.store(tcdm, w if w is not None
+             else random_fp16_matrix(n, k, scale=0.25, seed=n + k))
+    if accumulate:
+        hz.store(tcdm, z0 if z0 is not None
+                 else random_fp16_matrix(m, k, scale=0.25, seed=m + k))
+    result = engine.run_job(MatmulJob.from_handles(hx, hw, hz,
+                                                   accumulate=accumulate))
+    return result, tcdm.dump_image(hz.base, m * k * 2)
+
+
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("shape", _experiment_engine_shapes(),
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_experiment_job_set(self, shape):
+        """Bit-identical TCDM contents and identical cycle counts on the
+        engine-eligible fig3/fig4/autoencoder job set."""
+        exact_result, exact_bits = _run_engine("exact", *shape)
+        simd_result, simd_bits = _run_engine("exact-simd", *shape)
+        assert simd_bits == exact_bits
+        assert simd_result.cycles == exact_result.cycles
+        assert simd_result.stall_cycles == exact_result.stall_cycles
+        assert simd_result.issued_macs == exact_result.issued_macs
+
+    def test_accumulate_jobs(self):
+        for shape in [(8, 16, 16), (13, 7, 5), (16, 40, 24)]:
+            exact_result, exact_bits = _run_engine("exact", *shape,
+                                                   accumulate=True)
+            simd_result, simd_bits = _run_engine("exact-simd", *shape,
+                                                 accumulate=True)
+            assert simd_bits == exact_bits
+            assert simd_result.cycles == exact_result.cycles
+
+    def test_special_values_route_through_integer_kernels(self):
+        """NaNs, infinities and subnormal operands in the input matrices must
+        not break bit-identity (they exercise the guarded fallback path)."""
+        m, n, k = 16, 24, 16
+        x = random_fp16_matrix(m, n, scale=0.25, seed=3).astype(np.float32)
+        w = random_fp16_matrix(n, k, scale=0.25, seed=4).astype(np.float32)
+        x[0, 0], x[1, 2], x[2, 1] = np.inf, np.nan, 6e-8
+        w[0, 0], w[1, 1], w[2, 0] = -np.inf, 65504.0, -5.9e-8
+        exact_result, exact_bits = _run_engine("exact", m, n, k, x=x, w=w)
+        simd_result, simd_bits = _run_engine("exact-simd", m, n, k, x=x, w=w)
+        assert simd_bits == exact_bits
+        assert simd_result.cycles == exact_result.cycles
+
+
+class TestGoldenModelEquivalence:
+    def test_simd_matmul_matches_scalar_oracle(self):
+        rng = np.random.default_rng(0)
+        x = quantize_fp16(rng.standard_normal((12, 37)) * 0.3)
+        w = quantize_fp16(rng.standard_normal((37, 9)) * 0.3)
+        assert (matmul_hw_order_simd_bits(matrix_to_bits(x), matrix_to_bits(w))
+                == matmul_hw_order_exact(matrix_to_bits(x), matrix_to_bits(w)))
+
+    def test_simd_matmul_with_accumulator(self):
+        rng = np.random.default_rng(1)
+        x = quantize_fp16(rng.standard_normal((5, 16)) * 0.3)
+        w = quantize_fp16(rng.standard_normal((16, 7)) * 0.3)
+        acc = quantize_fp16(rng.standard_normal((5, 7)))
+        want = matmul_hw_order_exact(
+            matrix_to_bits(x), matrix_to_bits(w), matrix_to_bits(acc)
+        )
+        got = matmul_hw_order_simd_bits(
+            matrix_to_bits(x), matrix_to_bits(w), matrix_to_bits(acc)
+        )
+        assert got == want
+
+    def test_simd_matmul_shape_checks(self):
+        with pytest.raises(ValueError):
+            matmul_hw_order_simd(np.zeros((2, 3)), np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            matmul_hw_order_simd(np.zeros((2, 3)), np.zeros((3, 2)),
+                                 acc=np.zeros((3, 3)))
+
+
+class TestVectorOpsLevel:
+    def test_registry(self):
+        assert isinstance(make_vector_ops("exact"), ExactVectorOps)
+        assert isinstance(make_vector_ops("exact-simd"), ExactSimdVectorOps)
+        assert make_vector_ops("fast").name == "fast"
+        with pytest.raises(ValueError):
+            make_vector_ops("bogus")
+
+    def test_lazy_chain_matches_scalar_chain(self):
+        rng = np.random.default_rng(2)
+        exact, simd = ExactVectorOps(), ExactSimdVectorOps()
+        bits = [int(v) for v in rng.integers(0, 0x8000, 8)]
+        exact_vec = exact.from_bits(bits)
+        simd_vec = simd.from_bits(bits)
+        for step in range(40):
+            w = int(rng.integers(0, 0x8000))
+            x_bits = [int(v) for v in rng.integers(0, 0x8000, 8)]
+            exact_vec = exact.fma(exact.from_bits(x_bits), w, exact_vec)
+            simd_vec = simd.fma(simd.from_bits(x_bits), w, simd_vec)
+        assert simd.to_bits(simd_vec) == exact.to_bits(exact_vec)
+
+    def test_to_lines_forces_all_columns(self):
+        simd = ExactSimdVectorOps()
+        columns = []
+        for k in range(4):
+            acc = simd.zeros(8)
+            acc = simd.fma(simd.from_bits([0x3C00 + k] * 8), 0x3C00, acc)
+            acc = simd.fma(simd.from_bits([0x4000] * 8), 0x3800, acc)
+            columns.append(acc)
+        lines = simd.to_lines(columns)
+        exact = ExactVectorOps()
+        for k in range(4):
+            acc = exact.zeros(8)
+            acc = exact.fma(exact.from_bits([0x3C00 + k] * 8), 0x3C00, acc)
+            acc = exact.fma(exact.from_bits([0x4000] * 8), 0x3800, acc)
+            for row in range(8):
+                assert int(lines[row][k]) == acc[row]
+
+
+class TestBackendSelection:
+    def test_cluster_respects_config_arithmetic(self):
+        from repro.cluster import PulpCluster
+        from repro.cluster.config import ClusterConfig
+
+        config = ClusterConfig(redmule=RedMulEConfig(arithmetic="exact-simd"))
+        assert PulpCluster(config).redmule.backend == "exact-simd"
+        assert PulpCluster(arithmetic="exact").redmule.backend == "exact"
+        assert PulpCluster(exact_arithmetic=True).redmule.backend == "exact"
+        assert PulpCluster().redmule.backend == "fast"
+
+    def test_engine_backend_resolution_order(self):
+        config = RedMulEConfig(arithmetic="exact-simd")
+        assert RedMulE(config).backend == "exact-simd"
+        assert RedMulE(config, exact=False).backend == "fast"
+        assert RedMulE(config, backend="exact").backend == "exact"
+
+
+class TestFarmBackendValidation:
+    def test_validate_backends_passes_on_equivalent_backends(self):
+        farm = SimulationFarm(exact=True)
+        reports = farm.validate_backends([(8, 16, 16), (13, 7, 5)])
+        assert all(isinstance(r, BackendValidationReport) and r.ok
+                   for r in reports)
+        assert farm.stats.backend_validations == len(reports)
+        assert farm.stats.validations == 0  # timing cross-checks untouched
+
+    def test_validate_backends_detects_divergence(self):
+        farm = SimulationFarm(exact=True)
+        # The float64 fast path is *not* bit-exact in general; a shape whose
+        # data hits a double-rounding case is not guaranteed, so assert on
+        # the report plumbing instead: identical backends always match.
+        reports = farm.validate_backends([(8, 16, 16)], reference="exact",
+                                         candidate="exact")
+        assert reports[0].ok
+        with pytest.raises(ValueError):
+            farm.validate_backends([(8, 16, 16)], candidate="bogus")
+
+    def test_farm_exact_runs_use_simd_arithmetic_by_default(self):
+        farm = SimulationFarm(exact=True)
+        assert farm.arithmetic == "exact-simd"
+        assert farm.exact
+        fast_farm = SimulationFarm()
+        assert fast_farm.arithmetic == "fast"
+        oracle_farm = SimulationFarm(arithmetic="exact")
+        assert oracle_farm.exact
+
+    def test_farm_timing_identical_across_arithmetic_backends(self):
+        shapes = [(8, 16, 16), (16, 16, 16)]
+        records = {}
+        for arithmetic in ("exact", "exact-simd", "fast"):
+            farm = SimulationFarm(arithmetic=arithmetic, max_workers=1)
+            records[arithmetic] = [
+                (r.cycles, r.stall_cycles, r.total_macs, r.n_tiles)
+                for r in farm.run_shapes(
+                    [_Shape(*s) for s in shapes], backend="engine"
+                )
+            ]
+        assert records["exact"] == records["exact-simd"] == records["fast"]
+
+
+class _Shape:
+    def __init__(self, m, n, k):
+        self.m, self.n, self.k = m, n, k
