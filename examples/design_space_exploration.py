@@ -11,11 +11,11 @@ falls out of this exploration as the sweet spot for a ~0.1 mm2 budget.
 Run with:  python examples/design_space_exploration.py
 """
 
-from repro import AreaModel, EnergyModel, RedMulEConfig, RedMulEPerfModel
+from repro import AreaModel, EnergyModel, RedMulEConfig
+from repro.farm import default_farm
 from repro.perf.report import TextTable
 from repro.power.technology import OP_22NM_EFFICIENCY, TECH_22NM
 from repro.workloads.autoencoder import autoencoder_training_gemms
-from repro.perf.metrics import time_workload_hw
 
 #: Candidate geometries: (H, L, P).
 CANDIDATES = [
@@ -31,16 +31,23 @@ AREA_BUDGET_MM2 = 0.10
 
 
 def explore():
-    """Return one record per candidate geometry."""
+    """Return one record per candidate geometry.
+
+    Per-candidate timing goes through that geometry's shared simulation
+    farm (the same front door the figure drivers use), so the sustained
+    GEMM and the auto-encoder layer shapes are memoised per configuration
+    and re-running the exploration is nearly free.
+    """
     records = []
     autoencoder = [g.shape for g in autoencoder_training_gemms(batch=16)]
     for height, length, pipeline in CANDIDATES:
         config = RedMulEConfig(height=height, length=length,
                                pipeline_regs=pipeline)
+        farm = default_farm(config)
         area = AreaModel(config, TECH_22NM).total()
-        perf = RedMulEPerfModel(config).estimate_gemm(*SUSTAINED_GEMM)
+        perf = farm.estimate_gemm(*SUSTAINED_GEMM)
         energy = EnergyModel(config, TECH_22NM)
-        workload = time_workload_hw(autoencoder, config)
+        workload = farm.time_workload(autoencoder)
         records.append(
             {
                 "config": config,

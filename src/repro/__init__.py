@@ -26,6 +26,13 @@ Subpackages
     Area / power / energy models calibrated to the published silicon numbers.
 ``repro.workloads``
     GEMM sweeps and the TinyMLPerf AutoEncoder training workload.
+``repro.graph``
+    GEMM-level dataflow IR: workload graphs, the model zoo (MLP, the
+    auto-encoder, transformer encoder, im2col conv, LSTM/GRU) and the
+    lowering pass to dependency-annotated job streams.
+``repro.serve``
+    Multi-tenant serving simulator: Poisson request generation and a
+    dependency-aware list scheduler over a pool of simulated clusters.
 ``repro.perf`` / ``repro.experiments``
     Metrics, the Table I comparison and one driver per paper table/figure.
 
@@ -57,7 +64,21 @@ from repro.redmule import (
     RedMulEPerfModel,
     RedMulEResult,
 )
+from repro.graph import (
+    ElementwiseNode,
+    GemmNode,
+    LoweredProgram,
+    WorkloadGraph,
+    build_model,
+)
 from repro.power import AreaModel, ClusterAreaModel, EnergyModel
+from repro.serve import (
+    ModelSpec,
+    RequestGenerator,
+    ServeReport,
+    ServingSimulator,
+    TenantSpec,
+)
 from repro.sw import SoftwareBaseline
 from repro.workloads import AutoEncoder, GemmShape, GemmWorkload
 
@@ -68,28 +89,38 @@ __all__ = [
     "AutoEncoder",
     "ClusterAreaModel",
     "ClusterConfig",
+    "ElementwiseNode",
     "EnergyModel",
     "FarmResult",
     "Float16",
+    "GemmNode",
     "GemmShape",
     "GemmWorkload",
+    "LoweredProgram",
     "MatmulJob",
     "MatrixHandle",
     "MemoryAllocator",
+    "ModelSpec",
     "OffloadResult",
     "PulpCluster",
     "RedMulE",
     "RedMulEConfig",
     "RedMulEPerfModel",
     "RedMulEResult",
+    "RequestGenerator",
     "RoundingMode",
+    "ServeReport",
+    "ServingSimulator",
     "SimulationFarm",
     "SoftwareBaseline",
     "Tcdm",
     "TcdmConfig",
+    "TenantSpec",
     "TimingCache",
     "TimingRecord",
+    "WorkloadGraph",
     "__version__",
+    "build_model",
     "default_farm",
     "fma16",
     "quantize_fp16",

@@ -18,6 +18,11 @@ driver         paper result
 ``fig4c``      TinyMLPerf AutoEncoder training, batch = 1
 ``fig4d``      effect of batching (B = 1 vs. B = 16)
 =============  =======================================================
+
+Beyond the paper, the ``serve-mlp`` / ``serve-mix`` scenarios run
+multi-tenant request traffic through the dependency-aware serving
+scheduler (:mod:`repro.experiments.serve`), parameterised from the CLI via
+``--clusters`` and ``--rps``.
 """
 
 from repro.experiments.table1 import build_table1, render_table1
@@ -34,6 +39,7 @@ from repro.experiments.fig4 import (
     autoencoder_training,
     hw_vs_sw_sweep,
 )
+from repro.experiments.serve import serve_mix, serve_mlp, set_serve_defaults
 from repro.experiments.runner import EXPERIMENTS, run_experiment, run_all
 
 __all__ = [
@@ -50,5 +56,8 @@ __all__ = [
     "render_table1",
     "run_all",
     "run_experiment",
+    "serve_mix",
+    "serve_mlp",
+    "set_serve_defaults",
     "throughput_sweep",
 ]

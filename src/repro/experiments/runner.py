@@ -10,11 +10,13 @@ cache across figures (the Fig. 3c/3d/4a sweeps share their square shapes).
 from __future__ import annotations
 
 import argparse
+import os
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.experiments import fig3, fig4, table1
+from repro.experiments import fig3, fig4, serve, table1
 
-#: Registry of experiment drivers keyed by the paper's identifier.
+#: Registry of experiment drivers keyed by the paper's identifier, plus the
+#: serving scenarios that go beyond the paper (``serve-*``).
 EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "table1": table1.build_table1,
     "fig3a": fig3.area_breakdown,
@@ -25,6 +27,8 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "fig4b": fig4.area_sweep,
     "fig4c": fig4.autoencoder_training,
     "fig4d": fig4.autoencoder_batching,
+    "serve-mlp": serve.serve_mlp,
+    "serve-mix": serve.serve_mix,
 }
 
 
@@ -100,6 +104,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "runs (exact: scalar bit-exact oracle; exact-simd: vectorised "
         "bit-exact; fast: float64 with per-step rounding)",
     )
+    parser.add_argument(
+        "--clusters",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cluster-pool size of the serve-* scenarios",
+    )
+    parser.add_argument(
+        "--rps",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="aggregate request rate (requests/s) of the serve-* scenarios",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="persist the shared farm's timing cache: loaded before the "
+        "batch (when the file exists), saved after, so repeated CLI "
+        "invocations stop re-simulating known shapes",
+    )
     return parser
 
 
@@ -119,6 +145,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         from repro.farm import set_default_arithmetic
 
         set_default_arithmetic(args.backend)
+    if args.clusters is not None or args.rps is not None:
+        serve.set_serve_defaults(clusters=args.clusters, rps=args.rps)
 
     names = args.names or list_experiments()
     try:
@@ -126,10 +154,26 @@ def main(argv: Optional[List[str]] = None) -> None:
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}")
 
+    farm = None
+    if args.cache_file is not None:
+        from repro.farm import default_farm
+
+        farm = default_farm()
+        if os.path.exists(args.cache_file):
+            loaded = farm.load_cache(args.cache_file)
+            print(f"loaded {loaded} timing-cache entries "
+                  f"from {args.cache_file}")
+
     for name in names:
         print("=" * 72)
         print(_render(name, run_experiment(name)))
         print()
+
+    if args.cache_file is not None:
+        os.makedirs(os.path.dirname(os.path.abspath(args.cache_file)),
+                    exist_ok=True)
+        saved = farm.save_cache(args.cache_file)
+        print(f"saved {saved} timing-cache entries to {args.cache_file}")
 
     if args.farm_stats:
         from repro.farm import default_farm

@@ -1,0 +1,143 @@
+"""Serving scenarios: the farm under multi-tenant request traffic.
+
+Two registered scenarios extend the paper's single-model study toward the
+roadmap's serving ambitions:
+
+* ``serve-mlp`` -- a single tenant fine-tuning the paper's auto-encoder
+  on-device (batch-1 and batch-16 training steps mixed 3:1, the Fig. 4d
+  contrast as live traffic);
+* ``serve-mix`` -- three tenants with different model families (the
+  auto-encoder tenant, a transformer+conv tenant, a recurrent tenant),
+  exercising the scheduler's per-tenant accounting and the cache across
+  heterogeneous graphs.
+
+Both run Poisson arrivals through the dependency-aware list scheduler on a
+pool of simulated clusters and return a :class:`~repro.serve.report.
+ServeReport`.  The runner CLI parameterises them through
+:func:`set_serve_defaults` (``--clusters`` / ``--rps``), mirroring how
+``--backend`` reaches the farm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.farm import BACKEND_MODEL, SimulationFarm, default_farm
+from repro.graph.zoo import build_model
+from repro.serve import (
+    ModelSpec,
+    RequestGenerator,
+    ServeReport,
+    ServingSimulator,
+    TenantSpec,
+)
+
+#: Pool size / aggregate request rate used when the CLI does not override.
+DEFAULT_CLUSTERS = 4
+DEFAULT_RPS = 200.0
+
+#: Simulated traffic window (seconds of cluster time).
+DEFAULT_DURATION_S = 0.05
+
+_DEFAULT_CLUSTERS_OVERRIDE: Optional[int] = None
+_DEFAULT_RPS_OVERRIDE: Optional[float] = None
+
+
+def set_serve_defaults(clusters: Optional[int] = None,
+                       rps: Optional[float] = None) -> None:
+    """Set the pool size / request rate future scenario runs default to.
+
+    This is how the runner CLI's ``--clusters`` and ``--rps`` flags reach
+    the zero-argument drivers in the experiment registry.  Pass ``None`` to
+    restore the built-in defaults.
+    """
+    if clusters is not None and clusters < 1:
+        raise ValueError("clusters must be >= 1")
+    if rps is not None and rps <= 0:
+        raise ValueError("rps must be positive")
+    global _DEFAULT_CLUSTERS_OVERRIDE, _DEFAULT_RPS_OVERRIDE
+    _DEFAULT_CLUSTERS_OVERRIDE = clusters
+    _DEFAULT_RPS_OVERRIDE = rps
+
+
+def _resolve(clusters: Optional[int], rps: Optional[float]):
+    if clusters is None:
+        clusters = _DEFAULT_CLUSTERS_OVERRIDE or DEFAULT_CLUSTERS
+    if rps is None:
+        rps = _DEFAULT_RPS_OVERRIDE or DEFAULT_RPS
+    return clusters, rps
+
+
+def _simulate(tenants, clusters: int, duration_s: float, seed: int,
+              scenario: str, farm: Optional[SimulationFarm]) -> ServeReport:
+    farm = farm if farm is not None else default_farm()
+    generator = RequestGenerator(tenants, seed=seed)
+    requests = generator.generate(duration_s)
+    # The analytical backend keeps the scenarios closed-form fast; every
+    # distinct shape is still memoised in the shared farm cache.
+    simulator = ServingSimulator(n_clusters=clusters, farm=farm,
+                                 backend=BACKEND_MODEL,
+                                 frequency_hz=generator.frequency_hz)
+    return simulator.simulate(requests, scenario=scenario)
+
+
+def serve_mlp(
+    clusters: Optional[int] = None,
+    rps: Optional[float] = None,
+    duration_s: float = DEFAULT_DURATION_S,
+    seed: int = 0,
+    farm: Optional[SimulationFarm] = None,
+) -> ServeReport:
+    """Single-tenant auto-encoder serving (batch-1 : batch-16 mixed 3:1)."""
+    clusters, rps = _resolve(clusters, rps)
+    tenant = TenantSpec(
+        name="anomaly-detection",
+        models=(
+            ModelSpec("autoencoder-b1", build_model("autoencoder-b1"),
+                      weight=3.0),
+            ModelSpec("autoencoder-b16", build_model("autoencoder-b16"),
+                      weight=1.0),
+        ),
+        rps=rps,
+    )
+    return _simulate((tenant,), clusters, duration_s, seed, "serve-mlp", farm)
+
+
+def serve_mix(
+    clusters: Optional[int] = None,
+    rps: Optional[float] = None,
+    duration_s: float = DEFAULT_DURATION_S,
+    seed: int = 0,
+    farm: Optional[SimulationFarm] = None,
+) -> ServeReport:
+    """Three tenants, heterogeneous model mix, shared pool and cache."""
+    clusters, rps = _resolve(clusters, rps)
+    tenants = (
+        TenantSpec(
+            name="anomaly-detection",
+            models=(
+                ModelSpec("autoencoder-b1", build_model("autoencoder-b1"),
+                          weight=2.0),
+                ModelSpec("mlp-tiny", build_model("mlp-tiny"), weight=1.0),
+            ),
+            rps=rps * 0.5,
+        ),
+        TenantSpec(
+            name="vision-nlp",
+            models=(
+                ModelSpec("transformer-tiny", build_model("transformer-tiny"),
+                          weight=1.0),
+                ModelSpec("conv-tiny", build_model("conv-tiny"), weight=1.0),
+            ),
+            rps=rps * 0.3,
+        ),
+        TenantSpec(
+            name="time-series",
+            models=(
+                ModelSpec("lstm-tiny", build_model("lstm-tiny"), weight=1.0),
+                ModelSpec("gru-tiny", build_model("gru-tiny"), weight=1.0),
+            ),
+            rps=rps * 0.2,
+        ),
+    )
+    return _simulate(tenants, clusters, duration_s, seed, "serve-mix", farm)

@@ -413,6 +413,39 @@ class SimulationFarm:
         return WorkloadTiming(target="redmule", cycles=total_cycles,
                               macs=total_macs, per_gemm=per_gemm)
 
+    def time_program(
+        self,
+        program,
+        offload_cycles_per_job: float = 0.0,
+        backend: Optional[str] = None,
+    ) -> "WorkloadTiming":
+        """Serially time a lowered graph program (one batched ``run()`` call).
+
+        ``program`` is a :class:`~repro.graph.lower.LoweredProgram` (duck
+        typed -- anything with ``nodes`` carrying ``jobs`` works).  Every
+        accelerator job of every node goes through the farm in a single
+        batch; the returned timing sums the node costs as if one cluster
+        executed the program back to back, which is the serial reference the
+        serving scheduler's single-cluster makespan must reproduce.
+        ``per_gemm`` is keyed by *node* name (a tiled node's jobs are
+        aggregated).
+        """
+        from repro.perf.metrics import WorkloadTiming
+
+        jobs = [(node.name, job) for node in program.nodes
+                for job in node.jobs]
+        results = self.run([job for _, job in jobs], backend=backend)
+        per_node: Dict[str, float] = {}
+        total_cycles = 0.0
+        total_macs = 0
+        for (name, job), result in zip(jobs, results):
+            cycles = result.cycles + offload_cycles_per_job
+            per_node[name] = per_node.get(name, 0.0) + cycles
+            total_cycles += cycles
+            total_macs += job.total_macs
+        return WorkloadTiming(target="redmule", cycles=total_cycles,
+                              macs=total_macs, per_gemm=per_node)
+
     # -- miss simulation -----------------------------------------------------
     def _simulate_missing(
         self, keys: List[TimingKey]

@@ -1,0 +1,68 @@
+"""Workload-graph compiler: GEMM-level dataflow IR, model zoo, lowering.
+
+``repro.graph`` replaces the flat, hand-ordered GEMM lists of
+:mod:`repro.workloads` with a real intermediate representation:
+
+* :mod:`repro.graph.ir` -- tensors, :class:`GemmNode` /
+  :class:`ElementwiseNode`, the validated :class:`WorkloadGraph` DAG with
+  deterministic topological sort, critical-path and wavefront analysis;
+* :mod:`repro.graph.zoo` -- builders for MLP forward/training steps, the
+  paper's auto-encoder, a transformer encoder block, im2col convolutions
+  and LSTM/GRU stacks, plus the named ``MODEL_ZOO`` instances;
+* :mod:`repro.graph.lower` -- the pass producing dependency-annotated
+  :class:`~repro.redmule.job.MatmulJob` streams (whole-GEMM or tiled via
+  :func:`repro.cluster.tiler.plan_tiled_matmul`) that the simulation farm
+  and the serving scheduler consume.
+"""
+
+from repro.graph.ir import (
+    CriticalPath,
+    ElementwiseNode,
+    GemmNode,
+    GraphNode,
+    GraphValidationError,
+    TensorRef,
+    WorkloadGraph,
+)
+from repro.graph.lower import (
+    DEFAULT_TCDM_BUDGET_BYTES,
+    LoweredNode,
+    LoweredProgram,
+    lower,
+)
+from repro.graph.zoo import (
+    MODEL_ZOO,
+    autoencoder_training_graph,
+    build_model,
+    conv2d_im2col_graph,
+    gru_cell_graph,
+    lstm_cell_graph,
+    mlp_forward_graph,
+    mlp_training_graph,
+    transformer_encoder_graph,
+    zoo_models,
+)
+
+__all__ = [
+    "CriticalPath",
+    "DEFAULT_TCDM_BUDGET_BYTES",
+    "ElementwiseNode",
+    "GemmNode",
+    "GraphNode",
+    "GraphValidationError",
+    "LoweredNode",
+    "LoweredProgram",
+    "MODEL_ZOO",
+    "TensorRef",
+    "WorkloadGraph",
+    "autoencoder_training_graph",
+    "build_model",
+    "conv2d_im2col_graph",
+    "gru_cell_graph",
+    "lower",
+    "lstm_cell_graph",
+    "mlp_forward_graph",
+    "mlp_training_graph",
+    "transformer_encoder_graph",
+    "zoo_models",
+]

@@ -1,0 +1,438 @@
+"""GEMM-level dataflow IR for accelerator workloads.
+
+The paper evaluates RedMulE on a single hand-decomposed model: the
+MLPerf-Tiny auto-encoder, written down as a flat, ordered list of GEMMs.
+That representation cannot express *why* the GEMMs are ordered the way they
+are, which is exactly the information a scheduler needs to overlap
+independent work.  This module provides the missing layer: a small dataflow
+IR where
+
+* a :class:`WorkloadGraph` owns a set of named 2-D :class:`TensorRef`
+  operands and a DAG of compute nodes over them;
+* a :class:`GemmNode` is one accelerator-shaped matrix multiplication
+  (``Z[m,k] = X[m,n] . W[n,k]``, optionally with logically transposed
+  operands -- the transposes are metadata describing how the GEMM was
+  derived, the accelerator always sees a plain dense job);
+* an :class:`ElementwiseNode` is a cheap non-GEMM step (activation,
+  residual add, softmax, loss gradient) that carries dependencies but no
+  accelerator work;
+* edges are implicit in tensor production/consumption: a node depends on
+  the producers of its input tensors (SSA-style -- each tensor has at most
+  one producer; producer-less tensors are graph inputs such as weights and
+  activations arriving from outside).
+
+The graph validates itself structurally (shapes must agree with the tensors,
+every input must be declared, cycles are rejected), provides a
+*deterministic* topological sort (Kahn's algorithm breaking ties by node
+insertion index, so a graph built in a valid execution order sorts to exactly
+that order) and critical-path analysis, and lowers to dependency-annotated
+:class:`~repro.redmule.job.MatmulJob` streams via :mod:`repro.graph.lower`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.workloads.gemm import VALID_TRANSPOSES, GemmShape
+
+#: Bytes per FP16 tensor element.
+ELEMENT_BYTES = 2
+
+
+class GraphValidationError(ValueError):
+    """A structural problem in a :class:`WorkloadGraph`."""
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A named 2-D FP16 tensor flowing between graph nodes."""
+
+    name: str
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphValidationError("a tensor needs a non-empty name")
+        if self.rows <= 0 or self.cols <= 0:
+            raise GraphValidationError(
+                f"tensor {self.name!r}: dimensions must be positive "
+                f"(got {self.rows}x{self.cols})"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols) pair."""
+        return (self.rows, self.cols)
+
+    @property
+    def elements(self) -> int:
+        """Number of scalar elements."""
+        return self.rows * self.cols
+
+    @property
+    def bytes(self) -> int:
+        """FP16 storage footprint in bytes."""
+        return self.elements * ELEMENT_BYTES
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return f"{self.name}[{self.rows}x{self.cols}]"
+
+
+@dataclass
+class GraphNode:
+    """Base class: a compute node consuming and producing named tensors."""
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    #: Free-form string metadata (e.g. training role / layer index) that
+    #: survives lowering and lets flat-list consumers reconstruct context.
+    tags: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphValidationError("a node needs a non-empty name")
+        self.inputs = tuple(self.inputs)
+
+    @property
+    def is_gemm(self) -> bool:
+        """True for accelerator GEMM nodes."""
+        return isinstance(self, GemmNode)
+
+    @property
+    def macs(self) -> int:
+        """Useful multiply-accumulates issued by the node."""
+        return 0
+
+
+@dataclass
+class GemmNode(GraphNode):
+    """One accelerator GEMM ``Z[m,k] = X[m,n] . W[n,k]``.
+
+    ``inputs`` is the ``(x, w)`` tensor pair, ``output`` the Z tensor.
+    ``transpose`` records which *logical* operands arrive transposed relative
+    to their stored tensors (e.g. the input-gradient GEMM of a dense layer
+    reads the stored ``W[out,in]`` as ``W^T[in,out]``): ``""``, ``"x"``,
+    ``"w"`` or ``"xw"``.  The accelerator job itself is always a plain dense
+    matmul of ``shape``; the annotation exists for shape validation and
+    lowering diagnostics.
+    """
+
+    shape: GemmShape = None  # type: ignore[assignment]
+    transpose: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.shape is None:
+            raise GraphValidationError(f"gemm node {self.name!r} needs a shape")
+        if self.transpose not in VALID_TRANSPOSES:
+            raise GraphValidationError(
+                f"gemm node {self.name!r}: transpose must be one of "
+                f"{VALID_TRANSPOSES}, got {self.transpose!r}"
+            )
+        if len(self.inputs) != 2:
+            raise GraphValidationError(
+                f"gemm node {self.name!r} needs exactly the (x, w) input "
+                f"pair, got {len(self.inputs)} inputs"
+            )
+
+    @property
+    def macs(self) -> int:
+        """Useful multiply-accumulates (``m * n * k``)."""
+        return self.shape.macs
+
+    def expected_input_shapes(self) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Stored (rows, cols) the X and W input tensors must have."""
+        x_shape = (self.shape.m, self.shape.n)
+        w_shape = (self.shape.n, self.shape.k)
+        if "x" in self.transpose:
+            x_shape = (x_shape[1], x_shape[0])
+        if "w" in self.transpose:
+            w_shape = (w_shape[1], w_shape[0])
+        return x_shape, w_shape
+
+    def expected_output_shape(self) -> Tuple[int, int]:
+        """Stored (rows, cols) of the Z output tensor."""
+        return (self.shape.m, self.shape.k)
+
+    def describe(self) -> str:
+        """Transpose-aware equation of the node (lowering diagnostics)."""
+        return self.shape.describe(transpose=self.transpose)
+
+
+@dataclass
+class ElementwiseNode(GraphNode):
+    """A non-GEMM step (activation, residual, softmax, loss gradient, ...).
+
+    Elementwise work is negligible next to the GEMMs on this class of
+    hardware (it runs on the cluster cores while the accelerator owns the
+    matrix math), so these nodes carry dependencies and an element count but
+    no accelerator jobs; the serving scheduler can optionally charge a
+    per-element core cost.
+    """
+
+    op: str = "elementwise"
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return f"{self.name}: {self.op}({', '.join(self.inputs)}) -> {self.output}"
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Longest weighted dependency chain through a graph."""
+
+    cost: float
+    nodes: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class WorkloadGraph:
+    """A validated DAG of GEMM / elementwise nodes over named tensors."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise GraphValidationError("a workload graph needs a name")
+        self.name = name
+        self.tensors: Dict[str, TensorRef] = {}
+        self.nodes: List[GraphNode] = []
+        self._node_index: Dict[str, int] = {}
+        #: tensor name -> producing node name (absent = graph input).
+        self._producer: Dict[str, str] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_tensor(self, name: str, rows: int, cols: int) -> str:
+        """Declare a tensor; returns its name for chaining."""
+        if name in self.tensors:
+            raise GraphValidationError(
+                f"graph {self.name!r}: tensor {name!r} declared twice"
+            )
+        self.tensors[name] = TensorRef(name=name, rows=rows, cols=cols)
+        return name
+
+    def add(self, node: GraphNode) -> GraphNode:
+        """Add a node, checking names, tensor existence and shapes."""
+        if node.name in self._node_index:
+            raise GraphValidationError(
+                f"graph {self.name!r}: node {node.name!r} added twice"
+            )
+        for tensor in (*node.inputs, node.output):
+            if tensor not in self.tensors:
+                raise GraphValidationError(
+                    f"graph {self.name!r}: node {node.name!r} references "
+                    f"undeclared tensor {tensor!r}"
+                )
+        if node.output in self._producer:
+            raise GraphValidationError(
+                f"graph {self.name!r}: tensor {node.output!r} produced by "
+                f"both {self._producer[node.output]!r} and {node.name!r}"
+            )
+        if isinstance(node, GemmNode):
+            self._check_gemm_shapes(node)
+        self._node_index[node.name] = len(self.nodes)
+        self.nodes.append(node)
+        self._producer[node.output] = node.name
+        return node
+
+    def add_gemm(self, name: str, shape: GemmShape, x: str, w: str, z: str,
+                 transpose: str = "",
+                 tags: Optional[Dict[str, str]] = None) -> GemmNode:
+        """Convenience wrapper building and adding a :class:`GemmNode`."""
+        node = GemmNode(name=name, inputs=(x, w), output=z, shape=shape,
+                        transpose=transpose, tags=dict(tags or {}))
+        self.add(node)
+        return node
+
+    def add_elementwise(self, name: str, op: str, inputs: Sequence[str],
+                        output: str,
+                        tags: Optional[Dict[str, str]] = None) -> ElementwiseNode:
+        """Convenience wrapper building and adding an :class:`ElementwiseNode`."""
+        node = ElementwiseNode(name=name, inputs=tuple(inputs), output=output,
+                               op=op, tags=dict(tags or {}))
+        self.add(node)
+        return node
+
+    def _check_gemm_shapes(self, node: GemmNode) -> None:
+        expected_x, expected_w = node.expected_input_shapes()
+        x_tensor = self.tensors[node.inputs[0]]
+        w_tensor = self.tensors[node.inputs[1]]
+        z_tensor = self.tensors[node.output]
+        for tensor, expected, role in (
+            (x_tensor, expected_x, "X"),
+            (w_tensor, expected_w, "W"),
+            (z_tensor, node.expected_output_shape(), "Z"),
+        ):
+            if tensor.shape != expected:
+                raise GraphValidationError(
+                    f"graph {self.name!r}: node {node.name!r} expects "
+                    f"{role} tensor of {expected[0]}x{expected[1]}, but "
+                    f"{tensor.describe()} was given "
+                    f"({node.describe()})"
+                )
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, name: str) -> GraphNode:
+        """Look a node up by name."""
+        return self.nodes[self._node_index[name]]
+
+    def node_index(self, name: str) -> int:
+        """Insertion index of a node (the deterministic tie-break key)."""
+        return self._node_index[name]
+
+    def producer(self, tensor: str) -> Optional[GraphNode]:
+        """The node producing ``tensor`` (None for graph inputs)."""
+        producer = self._producer.get(tensor)
+        return None if producer is None else self.node(producer)
+
+    def dependencies(self, node: Union[str, GraphNode]) -> List[str]:
+        """Names of the nodes that must complete before ``node`` can run."""
+        if isinstance(node, str):
+            node = self.node(node)
+        deps = []
+        for tensor in node.inputs:
+            producer = self._producer.get(tensor)
+            if producer is not None and producer not in deps:
+                deps.append(producer)
+        return deps
+
+    def graph_inputs(self) -> List[TensorRef]:
+        """Tensors no node produces (weights / activations from outside)."""
+        return [tensor for name, tensor in self.tensors.items()
+                if name not in self._producer]
+
+    def gemm_nodes(self) -> List[GemmNode]:
+        """Every GEMM node, in insertion order."""
+        return [node for node in self.nodes if isinstance(node, GemmNode)]
+
+    @property
+    def total_macs(self) -> int:
+        """Useful MACs summed over every node."""
+        return sum(node.macs for node in self.nodes)
+
+    # -- analysis ------------------------------------------------------------
+    def topo_sort(self) -> List[GraphNode]:
+        """Deterministic topological order of the nodes.
+
+        Kahn's algorithm with a min-heap over node *insertion indices*: among
+        all ready nodes the earliest-added runs first.  When the insertion
+        order is itself a valid execution order (which is how the zoo
+        builders construct their graphs), the sort returns exactly that
+        order -- this is what makes the lowered job stream of the
+        auto-encoder graph reproduce the legacy hand-written flat list
+        job for job.
+
+        Raises :class:`GraphValidationError` on dependency cycles.
+        """
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[str]] = {node.name: [] for node in self.nodes}
+        for node in self.nodes:
+            deps = self.dependencies(node)
+            indegree[node.name] = len(deps)
+            for dep in deps:
+                dependents[dep].append(node.name)
+
+        ready = [index for index, node in enumerate(self.nodes)
+                 if indegree[node.name] == 0]
+        heapq.heapify(ready)
+        order: List[GraphNode] = []
+        while ready:
+            node = self.nodes[heapq.heappop(ready)]
+            order.append(node)
+            for dependent in dependents[node.name]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    heapq.heappush(ready, self._node_index[dependent])
+        if len(order) != len(self.nodes):
+            stuck = sorted(name for name, degree in indegree.items()
+                           if degree > 0)
+            raise GraphValidationError(
+                f"graph {self.name!r} has a dependency cycle through "
+                f"{', '.join(stuck)}"
+            )
+        return order
+
+    def validate(self) -> None:
+        """Full structural check (construction checks + acyclicity)."""
+        self.topo_sort()
+
+    def critical_path(
+        self, cost: Optional[Callable[[GraphNode], float]] = None
+    ) -> CriticalPath:
+        """Longest weighted dependency chain (the serial floor of the graph).
+
+        ``cost`` defaults to the node's MAC count, making the result the
+        amount of accelerator work that cannot be parallelised no matter how
+        many clusters serve the graph.
+        """
+        if cost is None:
+            cost = lambda node: float(node.macs)  # noqa: E731
+        best: Dict[str, float] = {}
+        best_pred: Dict[str, Optional[str]] = {}
+        for node in self.topo_sort():
+            deps = self.dependencies(node)
+            pred, base = None, 0.0
+            for dep in deps:
+                if best[dep] > base or pred is None:
+                    pred, base = dep, best[dep]
+            best[node.name] = base + cost(node)
+            best_pred[node.name] = pred
+        if not best:
+            return CriticalPath(cost=0.0, nodes=())
+        tail = max(best, key=lambda name: (best[name], -self._node_index[name]))
+        path: List[str] = []
+        cursor: Optional[str] = tail
+        while cursor is not None:
+            path.append(cursor)
+            cursor = best_pred[cursor]
+        return CriticalPath(cost=best[tail], nodes=tuple(reversed(path)))
+
+    def wavefronts(self) -> List[List[str]]:
+        """Dependency levels: nodes in one wave can run concurrently."""
+        level: Dict[str, int] = {}
+        waves: Dict[int, List[str]] = {}
+        for node in self.topo_sort():
+            deps = self.dependencies(node)
+            depth = 1 + max((level[dep] for dep in deps), default=-1)
+            level[node.name] = depth
+            waves.setdefault(depth, []).append(node.name)
+        return [waves[depth] for depth in sorted(waves)]
+
+    # -- lowering ------------------------------------------------------------
+    def lower(self, config=None, tile: bool = False,
+              tcdm_budget_bytes: Optional[int] = None):
+        """Lower to a dependency-annotated job stream (see :mod:`repro.graph.lower`)."""
+        from repro.graph.lower import lower as lower_graph
+
+        kwargs = {}
+        if tcdm_budget_bytes is not None:
+            kwargs["tcdm_budget_bytes"] = tcdm_budget_bytes
+        return lower_graph(self, config=config, tile=tile, **kwargs)
+
+    # -- reporting -----------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line summary: totals, inputs, and one line per node."""
+        gemms = self.gemm_nodes()
+        waves = self.wavefronts() if self.nodes else []
+        lines = [
+            f"graph {self.name}: {len(self.nodes)} nodes "
+            f"({len(gemms)} GEMMs, {self.total_macs} MACs, "
+            f"{len(waves)} wavefronts)"
+        ]
+        inputs = self.graph_inputs()
+        if inputs:
+            lines.append("  inputs: "
+                         + ", ".join(t.describe() for t in inputs))
+        for node in self.nodes:
+            deps = self.dependencies(node)
+            suffix = f"  <- {', '.join(deps)}" if deps else ""
+            lines.append(f"  {node.describe()}{suffix}")
+        return "\n".join(lines)

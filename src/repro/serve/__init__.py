@@ -1,0 +1,43 @@
+"""Multi-tenant serving simulator over the simulation farm.
+
+``repro.serve`` turns the batched simulation farm into a *serving* study:
+how many requests per second can a pool of RedMulE clusters sustain, at what
+latency, for which tenant mix?
+
+* :mod:`repro.serve.requests` -- tenants, per-tenant model mixes, and the
+  deterministic Poisson request generator;
+* :mod:`repro.serve.scheduler` -- the event-driven, dependency-aware list
+  scheduler dispatching ready graph nodes onto free clusters, timing every
+  dispatch wave through one batched :meth:`SimulationFarm.run` call;
+* :mod:`repro.serve.report` -- latency percentiles (p50/p95/p99),
+  throughput, per-cluster utilisation and per-tenant breakdowns.
+"""
+
+from repro.serve.report import (
+    LatencyStats,
+    ServeReport,
+    TenantReport,
+    percentile,
+)
+from repro.serve.requests import (
+    DEFAULT_FREQUENCY_HZ,
+    ModelSpec,
+    Request,
+    RequestGenerator,
+    TenantSpec,
+)
+from repro.serve.scheduler import ScheduledNode, ServingSimulator
+
+__all__ = [
+    "DEFAULT_FREQUENCY_HZ",
+    "LatencyStats",
+    "ModelSpec",
+    "Request",
+    "RequestGenerator",
+    "ScheduledNode",
+    "ServeReport",
+    "ServingSimulator",
+    "TenantReport",
+    "TenantSpec",
+    "percentile",
+]

@@ -1,0 +1,171 @@
+"""Serving metrics: latency percentiles, throughput, utilisation, tenants.
+
+All raw quantities are in cluster clock cycles (the serving simulator's time
+base); rates are additionally reported in wall-clock terms through the
+scenario's operating frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.perf.report import TextTable
+
+
+def percentile(values: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of a sample (0 < quantile <= 1)."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {quantile}")
+    ordered = sorted(values)
+    # Nearest-rank: ceil(q * n), clamped into the sample.
+    rank = min(len(ordered), max(1, math.ceil(quantile * len(ordered))))
+    return float(ordered[rank - 1])
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution of a set of completed requests (cycles)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_latencies(cls, latencies: Sequence[float]) -> "LatencyStats":
+        """Summarise a latency sample (empty samples become all-zero)."""
+        if not latencies:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+        return cls(
+            count=len(latencies),
+            mean=sum(latencies) / len(latencies),
+            p50=percentile(latencies, 0.50),
+            p95=percentile(latencies, 0.95),
+            p99=percentile(latencies, 0.99),
+            max=float(max(latencies)),
+        )
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant serving outcome."""
+
+    tenant: str
+    completed: int
+    total_cycles: int
+    latency: LatencyStats
+
+    def throughput_rps(self, makespan_cycles: float,
+                       frequency_hz: float) -> float:
+        """Requests per wall-clock second over the run's makespan."""
+        if makespan_cycles <= 0:
+            return 0.0
+        return self.completed / (makespan_cycles / frequency_hz)
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one serving simulation."""
+
+    scenario: str
+    n_clusters: int
+    frequency_hz: float
+    #: Last completion cycle (0 when nothing ran).
+    makespan_cycles: int
+    completed: int
+    latency: LatencyStats
+    tenants: Dict[str, TenantReport]
+    #: Busy cycles per cluster, index-aligned with the pool.
+    busy_cycles: List[int]
+    #: Accelerator jobs dispatched / served from the timing cache.
+    jobs_timed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Per-model completion counts.
+    models: Dict[str, int] = field(default_factory=dict)
+
+    # -- derived -------------------------------------------------------------
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per wall-clock second over the makespan."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.completed / (self.makespan_cycles / self.frequency_hz)
+
+    @property
+    def throughput_per_mcycle(self) -> float:
+        """Completed requests per million cycles (frequency-independent)."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return self.completed * 1e6 / self.makespan_cycles
+
+    @property
+    def utilisation(self) -> List[float]:
+        """Per-cluster busy fraction of the makespan."""
+        if self.makespan_cycles <= 0:
+            return [0.0 for _ in self.busy_cycles]
+        return [busy / self.makespan_cycles for busy in self.busy_cycles]
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Pool-wide mean busy fraction."""
+        utilisation = self.utilisation
+        if not utilisation:
+            return 0.0
+        return sum(utilisation) / len(utilisation)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Timing-cache hit rate over this simulation's lookups."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    # -- rendering -----------------------------------------------------------
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"serving scenario {self.scenario}: {self.completed} requests on "
+            f"{self.n_clusters} cluster(s), makespan "
+            f"{self.makespan_cycles} cycles "
+            f"({self.makespan_cycles / self.frequency_hz * 1e3:.2f} ms at "
+            f"{self.frequency_hz / 1e6:.0f} MHz)",
+            f"  throughput : {self.throughput_rps:.1f} req/s "
+            f"({self.throughput_per_mcycle:.3f} req/Mcycle)",
+            f"  latency    : p50 {self.latency.p50:.0f}  "
+            f"p95 {self.latency.p95:.0f}  p99 {self.latency.p99:.0f}  "
+            f"max {self.latency.max:.0f} cycles",
+            f"  utilisation: "
+            + "  ".join(f"c{index}={100 * value:.1f}%"
+                        for index, value in enumerate(self.utilisation))
+            + f"  (mean {100 * self.mean_utilisation:.1f}%)",
+            f"  farm       : {self.jobs_timed} jobs timed, "
+            f"{self.cache_hits} hits / {self.cache_misses} misses "
+            f"({100 * self.cache_hit_rate:.1f}% hit rate)",
+        ]
+        if self.models:
+            mix = ", ".join(f"{name}: {count}"
+                            for name, count in sorted(self.models.items()))
+            lines.append(f"  models     : {mix}")
+        if self.tenants:
+            table = TextTable(["tenant", "requests", "p50", "p95", "p99",
+                               "mean", "req/s"])
+            for name in sorted(self.tenants):
+                tenant = self.tenants[name]
+                table.add_row([
+                    name, tenant.completed, tenant.latency.p50,
+                    tenant.latency.p95, tenant.latency.p99,
+                    tenant.latency.mean,
+                    tenant.throughput_rps(self.makespan_cycles,
+                                          self.frequency_hz),
+                ])
+            lines.append("  per tenant (latency in cycles):")
+            lines.extend("    " + line for line in table.render().splitlines())
+        return "\n".join(lines)

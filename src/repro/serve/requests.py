@@ -1,0 +1,156 @@
+"""Serving workload description: tenants, model mixes, request generation.
+
+A serving scenario is a set of *tenants*, each owning a mix of zoo models
+and a mean request rate.  The generator draws Poisson arrivals per tenant
+(exponential inter-arrival times, the standard open-loop serving model) and
+picks a model per request according to the tenant's mix weights, then merges
+all tenants into one arrival-ordered request stream.  Everything is
+deterministic under a seed, so serving experiments are exactly repeatable.
+
+Time is measured in *cluster clock cycles* throughout the serving simulator;
+wall-clock rates (requests/s) are converted through the operating-point
+frequency (default: the 22 nm performance point of the paper's cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ir import WorkloadGraph
+from repro.power.technology import OP_22NM_PERFORMANCE
+
+#: Clock frequency used to convert requests/s into cycles (22 nm, 0.8 V).
+DEFAULT_FREQUENCY_HZ = OP_22NM_PERFORMANCE.frequency_hz
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One model in a tenant's mix: a workload graph plus a mix weight."""
+
+    name: str
+    graph: WorkloadGraph
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a model spec needs a non-empty name")
+        if self.weight <= 0:
+            raise ValueError(f"model {self.name!r}: mix weight must be positive")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """A tenant: a named model mix arriving at a mean request rate."""
+
+    name: str
+    models: Tuple[ModelSpec, ...]
+    rps: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a tenant needs a non-empty name")
+        if not self.models:
+            raise ValueError(f"tenant {self.name!r} needs at least one model")
+        if self.rps <= 0:
+            raise ValueError(f"tenant {self.name!r}: rps must be positive")
+        object.__setattr__(self, "models", tuple(self.models))
+
+    @property
+    def mix_weights(self) -> List[float]:
+        """Normalised model-mix probabilities."""
+        total = sum(model.weight for model in self.models)
+        return [model.weight / total for model in self.models]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference/training request entering the serving system."""
+
+    request_id: int
+    tenant: str
+    model: str
+    graph: WorkloadGraph
+    arrival_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_cycle < 0:
+            raise ValueError("arrival_cycle must be non-negative")
+
+
+class RequestGenerator:
+    """Deterministic Poisson request generator over a set of tenants."""
+
+    def __init__(self, tenants: Sequence[TenantSpec],
+                 frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+                 seed: int = 0) -> None:
+        if not tenants:
+            raise ValueError("the generator needs at least one tenant")
+        names = [tenant.name for tenant in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.tenants = tuple(tenants)
+        self.frequency_hz = frequency_hz
+        self.seed = seed
+
+    @property
+    def total_rps(self) -> float:
+        """Aggregate mean request rate over every tenant."""
+        return sum(tenant.rps for tenant in self.tenants)
+
+    def generate(self, duration_s: float) -> List[Request]:
+        """Poisson arrivals over a time window, merged across tenants.
+
+        Per tenant, inter-arrival gaps are exponential with mean
+        ``1 / rps`` and each request picks a model from the tenant's
+        weighted mix; the merged stream is sorted by arrival cycle (ties
+        broken by tenant order) and re-numbered.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        rng = np.random.default_rng(self.seed)
+        horizon = duration_s * self.frequency_hz
+        raw: List[Tuple[int, int, str, str, WorkloadGraph]] = []
+        for tenant_index, tenant in enumerate(self.tenants):
+            weights = tenant.mix_weights
+            clock_s = 0.0
+            while True:
+                clock_s += rng.exponential(1.0 / tenant.rps)
+                arrival = int(clock_s * self.frequency_hz)
+                if arrival >= horizon:
+                    break
+                model = tenant.models[rng.choice(len(tenant.models), p=weights)]
+                raw.append((arrival, tenant_index, tenant.name, model.name,
+                            model.graph))
+        raw.sort(key=lambda item: (item[0], item[1]))
+        return [
+            Request(request_id=index, tenant=tenant, model=model,
+                    graph=graph, arrival_cycle=arrival)
+            for index, (arrival, _, tenant, model, graph) in enumerate(raw)
+        ]
+
+    def burst(self, per_tenant: int) -> List[Request]:
+        """A closed-loop saturation burst: every request arrives at cycle 0.
+
+        Models still follow each tenant's mix (deterministically under the
+        seed).  This is what the scaling benchmark uses: with the queue full
+        from the start, throughput is limited by cluster count and critical
+        paths rather than by the arrival process.
+        """
+        if per_tenant <= 0:
+            raise ValueError("per_tenant must be positive")
+        rng = np.random.default_rng(self.seed)
+        requests: List[Request] = []
+        for tenant in self.tenants:
+            weights = tenant.mix_weights
+            for _ in range(per_tenant):
+                model = tenant.models[rng.choice(len(tenant.models), p=weights)]
+                requests.append(Request(
+                    request_id=len(requests), tenant=tenant.name,
+                    model=model.name, graph=model.graph, arrival_cycle=0,
+                ))
+        return requests

@@ -1,0 +1,340 @@
+"""Multi-tenant serving simulator: dependency-aware list scheduling.
+
+The simulator models a pool of ``n_clusters`` identical accelerator clusters
+serving a stream of requests, each request being one lowered workload graph
+(:class:`~repro.graph.lower.LoweredProgram`).  Scheduling is event-driven
+list scheduling at *node* granularity:
+
+* a node becomes **ready** when the request has arrived and all its graph
+  dependencies have completed;
+* whenever clusters are idle, the oldest ready nodes are dispatched onto
+  them (FIFO over (arrival, request, topological index) -- deterministic);
+* a dispatched wave's accelerator jobs are timed through the
+  :class:`~repro.farm.SimulationFarm` in **one** ``run()`` call, so the
+  shape-keyed timing cache makes repeated requests of the same models
+  nearly free to simulate;
+* a GEMM node occupies its cluster for the sum of its jobs' cycles (plus
+  the configurable per-job offload cost); elementwise nodes run on the
+  host cores -- they never occupy a cluster, cost
+  ``elements * elementwise_cycles_per_element`` (0 by default --
+  negligible next to the GEMMs) and appear in the trace with cluster
+  ``-1``.
+
+With one cluster and one request this degenerates to serial execution, so
+the makespan equals the serial farm timing of the same graph
+(:meth:`SimulationFarm.time_program`) -- the subsystem's conservation law,
+pinned by the test suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.farm import SimulationFarm, default_farm
+from repro.graph.ir import WorkloadGraph
+from repro.graph.lower import LoweredProgram
+from repro.redmule.config import RedMulEConfig
+from repro.serve.report import LatencyStats, ServeReport, TenantReport
+from repro.serve.requests import DEFAULT_FREQUENCY_HZ, Request
+
+#: Event kinds, ordered so completions at a time t free their cluster before
+#: the dispatcher runs and arrivals are seen in the same pass.
+_EVENT_COMPLETION = 0
+_EVENT_ARRIVAL = 1
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """Trace record: one node's placement on the pool.
+
+    ``cluster`` is ``-1`` for elementwise nodes, which run on the host
+    cores rather than on an accelerator cluster.
+    """
+
+    request_id: int
+    node: str
+    cluster: int
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def duration(self) -> int:
+        """Busy cycles on the cluster."""
+        return self.end_cycle - self.start_cycle
+
+
+class _RequestState:
+    """Progress of one in-flight request."""
+
+    __slots__ = ("request", "program", "remaining_deps", "dependents",
+                 "unfinished", "finish_cycle")
+
+    def __init__(self, request: Request, program: LoweredProgram) -> None:
+        self.request = request
+        self.program = program
+        index_of = {node.name: i for i, node in enumerate(program.nodes)}
+        self.remaining_deps = [len(node.deps) for node in program.nodes]
+        self.dependents: List[List[int]] = [[] for _ in program.nodes]
+        for node_index, node in enumerate(program.nodes):
+            for dep in node.deps:
+                self.dependents[index_of[dep]].append(node_index)
+        self.unfinished = len(program.nodes)
+        self.finish_cycle: Optional[int] = None
+
+
+class ServingSimulator:
+    """Serve lowered workload graphs on a pool of simulated clusters.
+
+    Parameters
+    ----------
+    n_clusters:
+        Pool size.  Every cluster is an instance of ``config`` (the farm's
+        configuration when a farm is passed).
+    farm:
+        Timing service shared by the pool (default: the process-wide
+        :func:`repro.farm.default_farm`); repeated shapes across requests,
+        models and simulations hit its cache.
+    backend:
+        Per-call farm backend override (``"engine"``/``"model"``); ``None``
+        keeps the farm's own routing policy.
+    offload_cycles_per_job:
+        Core-side cost charged per accelerator job (register programming),
+        matching :meth:`SimulationFarm.time_program`'s parameter.
+    elementwise_cycles_per_element:
+        Host-core cost of elementwise nodes (which never occupy a
+        cluster); the default 0 models them as hidden behind accelerator
+        work.
+    tile:
+        Lower request graphs in tiled mode (GEMMs split through the TCDM
+        tiling planner) instead of whole-GEMM jobs.
+    keep_trace:
+        Record a :class:`ScheduledNode` per dispatched node (tests and
+        debugging; large runs should leave this off).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 1,
+        farm: Optional[SimulationFarm] = None,
+        config: Optional[RedMulEConfig] = None,
+        backend: Optional[str] = None,
+        frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+        offload_cycles_per_job: float = 0.0,
+        elementwise_cycles_per_element: float = 0.0,
+        tile: bool = False,
+        keep_trace: bool = False,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("the pool needs at least one cluster")
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if offload_cycles_per_job < 0 or elementwise_cycles_per_element < 0:
+            raise ValueError("per-job and per-element costs must be >= 0")
+        self.n_clusters = n_clusters
+        self.farm = farm if farm is not None else default_farm(config)
+        self.backend = backend
+        self.frequency_hz = frequency_hz
+        self.offload_cycles_per_job = offload_cycles_per_job
+        self.elementwise_cycles_per_element = elementwise_cycles_per_element
+        self.tile = tile
+        self.keep_trace = keep_trace
+        self.trace: List[ScheduledNode] = []
+        #: Lowered programs memoised per graph (keyed by the graph object
+        #: itself -- identity semantics, and the reference keeps the graph
+        #: alive so a recycled object id can never alias a different
+        #: model).  Shared ModelSpec graphs are lowered once per simulator,
+        #: not once per request.
+        self._programs: Dict[WorkloadGraph, LoweredProgram] = {}
+
+    # -- lowering ------------------------------------------------------------
+    def _program_for(self, graph: WorkloadGraph) -> LoweredProgram:
+        program = self._programs.get(graph)
+        if program is None:
+            program = graph.lower(config=self.farm.config, tile=self.tile)
+            self._programs[graph] = program
+        return program
+
+    # -- node timing ---------------------------------------------------------
+    def _time_gemm_wave(
+        self, wave: Sequence[Tuple[_RequestState, int]]
+    ) -> List[int]:
+        """Cluster service time of every GEMM node in a dispatch wave.
+
+        All accelerator jobs of the wave go through the farm in a single
+        batched ``run()`` call (one cache lookup pass, misses simulated
+        together).
+        """
+        jobs = []
+        spans = []
+        for state, node_index in wave:
+            node = state.program.nodes[node_index]
+            spans.append((len(jobs), len(node.jobs)))
+            jobs.extend(node.jobs)
+        results = self.farm.run(jobs, backend=self.backend) if jobs else []
+
+        durations = []
+        for (state, node_index), (offset, count) in zip(wave, spans):
+            cycles = sum(result.cycles
+                         for result in results[offset:offset + count])
+            cycles += self.offload_cycles_per_job * count
+            durations.append(int(round(cycles)))
+        return durations
+
+    def _elementwise_duration(self, node) -> int:
+        """Host-core cycles of one elementwise node."""
+        return int(round(self.elementwise_cycles_per_element * node.elements))
+
+    # -- simulation ----------------------------------------------------------
+    def simulate(self, requests: Iterable[Request],
+                 scenario: str = "serve") -> ServeReport:
+        """Run the event-driven simulation over a request stream."""
+        requests = sorted(requests,
+                          key=lambda r: (r.arrival_cycle, r.request_id))
+        states = [_RequestState(request, self._program_for(request.graph))
+                  for request in requests]
+        if self.keep_trace:
+            self.trace = []
+
+        # Event heap entries: (cycle, kind, sequence, state index, node
+        # index, cluster).  Completions sort before arrivals at the same
+        # cycle so a freed cluster is reusable immediately.
+        events: List[Tuple[int, int, int, int, int, int]] = []
+        sequence = 0
+        for state_index, state in enumerate(states):
+            heapq.heappush(events, (state.request.arrival_cycle,
+                                    _EVENT_ARRIVAL, sequence, state_index,
+                                    -1, -1))
+            sequence += 1
+
+        # Ready queues: (arrival, request index, node index) -- FIFO with
+        # deterministic tie-breaks.  GEMM nodes compete for clusters;
+        # elementwise nodes run on the host cores and are never gated on
+        # the pool.
+        ready_gemm: List[Tuple[int, int, int]] = []
+        ready_host: List[Tuple[int, int, int]] = []
+        idle: List[int] = list(range(self.n_clusters))
+        heapq.heapify(idle)
+        busy = [0 for _ in range(self.n_clusters)]
+        makespan = 0
+
+        cache_stats = self.farm.cache.stats
+        hits0, misses0 = cache_stats.hits, cache_stats.misses
+        jobs_timed = 0
+        now = 0
+
+        def mark_ready(state_index: int, node_index: int) -> None:
+            state = states[state_index]
+            queue = (ready_gemm if state.program.nodes[node_index].is_gemm
+                     else ready_host)
+            heapq.heappush(queue, (state.request.arrival_cycle, state_index,
+                                   node_index))
+
+        def release(state_index: int, node_index: int) -> None:
+            """Mark newly-ready nodes of a request."""
+            state = states[state_index]
+            for dependent in state.dependents[node_index]:
+                state.remaining_deps[dependent] -= 1
+                if state.remaining_deps[dependent] == 0:
+                    mark_ready(state_index, dependent)
+
+        def complete_later(state_index: int, node_index: int, cluster: int,
+                           end: int) -> None:
+            nonlocal sequence, makespan
+            makespan = max(makespan, end)
+            heapq.heappush(events, (end, _EVENT_COMPLETION, sequence,
+                                    state_index, node_index, cluster))
+            sequence += 1
+            if self.keep_trace:
+                state = states[state_index]
+                self.trace.append(ScheduledNode(
+                    request_id=state.request.request_id,
+                    node=state.program.nodes[node_index].name,
+                    cluster=cluster, start_cycle=now, end_cycle=end))
+
+        while events:
+            now = events[0][0]
+            while events and events[0][0] == now:
+                _, kind, _, state_index, node_index, cluster = \
+                    heapq.heappop(events)
+                state = states[state_index]
+                if kind == _EVENT_ARRIVAL:
+                    if not state.program.nodes:
+                        state.finish_cycle = now
+                        continue
+                    for index, count in enumerate(state.remaining_deps):
+                        if count == 0:
+                            mark_ready(state_index, index)
+                else:  # completion: free the cluster, release dependents
+                    if cluster >= 0:
+                        heapq.heappush(idle, cluster)
+                    state.unfinished -= 1
+                    if state.unfinished == 0:
+                        state.finish_cycle = now
+                    release(state_index, node_index)
+
+            # Elementwise nodes start immediately on the host cores.
+            while ready_host:
+                _, state_index, node_index = heapq.heappop(ready_host)
+                node = states[state_index].program.nodes[node_index]
+                complete_later(state_index, node_index, -1,
+                               now + self._elementwise_duration(node))
+
+            # Dispatch the oldest ready GEMM nodes onto the idle clusters,
+            # timing the whole wave through the farm in one batched call.
+            wave: List[Tuple[_RequestState, int]] = []
+            placements: List[Tuple[int, int, int]] = []
+            while idle and ready_gemm:
+                _, state_index, node_index = heapq.heappop(ready_gemm)
+                cluster = heapq.heappop(idle)
+                wave.append((states[state_index], node_index))
+                placements.append((state_index, node_index, cluster))
+            if wave:
+                durations = self._time_gemm_wave(wave)
+                for (state, _), (state_index, node_index, cluster), duration \
+                        in zip(wave, placements, durations):
+                    jobs_timed += state.program.nodes[node_index].n_jobs
+                    busy[cluster] += duration
+                    complete_later(state_index, node_index, cluster,
+                                   now + duration)
+
+        return self._build_report(states, busy, makespan, scenario,
+                                  jobs_timed,
+                                  cache_stats.hits - hits0,
+                                  cache_stats.misses - misses0)
+
+    def _build_report(self, states, busy, makespan, scenario, jobs_timed,
+                      hits, misses) -> ServeReport:
+        latencies: List[float] = []
+        per_tenant: Dict[str, List[float]] = {}
+        tenant_cycles: Dict[str, int] = {}
+        models: Dict[str, int] = {}
+        completed = 0
+        for state in states:
+            if state.finish_cycle is None:
+                continue
+            completed += 1
+            latency = state.finish_cycle - state.request.arrival_cycle
+            latencies.append(latency)
+            per_tenant.setdefault(state.request.tenant, []).append(latency)
+            tenant_cycles[state.request.tenant] = (
+                tenant_cycles.get(state.request.tenant, 0) + latency)
+            models[state.request.model] = models.get(state.request.model,
+                                                     0) + 1
+        tenants = {
+            name: TenantReport(
+                tenant=name, completed=len(values),
+                total_cycles=tenant_cycles[name],
+                latency=LatencyStats.from_latencies(values),
+            )
+            for name, values in per_tenant.items()
+        }
+        return ServeReport(
+            scenario=scenario, n_clusters=self.n_clusters,
+            frequency_hz=self.frequency_hz, makespan_cycles=makespan,
+            completed=completed,
+            latency=LatencyStats.from_latencies(latencies),
+            tenants=tenants, busy_cycles=busy, jobs_timed=jobs_timed,
+            cache_hits=hits, cache_misses=misses, models=models,
+        )

@@ -26,6 +26,7 @@ from repro.workloads.autoencoder import (
     AUTOENCODER_LAYER_SIZES,
     AutoEncoder,
     autoencoder_training_gemms,
+    autoencoder_workload,
 )
 
 __all__ = [
@@ -36,6 +37,7 @@ __all__ = [
     "GemmWorkload",
     "TrainingGemm",
     "autoencoder_training_gemms",
+    "autoencoder_workload",
     "backward_gemms",
     "forward_gemms",
     "square_sweep",

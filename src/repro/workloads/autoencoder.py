@@ -37,9 +37,18 @@ def autoencoder_training_gemms(batch: int) -> List[TrainingGemm]:
 
 
 def autoencoder_workload(batch: int) -> GemmWorkload:
-    """The same GEMMs wrapped as a plain workload."""
-    gemms = autoencoder_training_gemms(batch)
-    return GemmWorkload(f"autoencoder-b{batch}", [g.shape for g in gemms])
+    """The same GEMMs wrapped as a plain workload.
+
+    Thin wrapper over the graph IR: the auto-encoder graph is lowered and
+    its GEMM stream re-exposed as a flat workload, byte-identical to the
+    historical hand-written list (same shape names, same deterministic
+    order).
+    """
+    # Lazy import: repro.graph.zoo reads AUTOENCODER_LAYER_SIZES from this
+    # module, so a module-level import would be circular.
+    from repro.graph.zoo import autoencoder_training_graph
+
+    return autoencoder_training_graph(batch).lower().gemm_workload()
 
 
 @dataclass

@@ -9,10 +9,24 @@ import numpy as np
 
 from repro.fp.vector import random_fp16_matrix
 
+#: Valid transpose annotations of a GEMM (subsets of "xw"): which logical
+#: operands were derived by transposing a stored tensor.  Shared by
+#: :meth:`GemmShape.describe` and :class:`repro.graph.ir.GemmNode`.
+VALID_TRANSPOSES = ("", "x", "w", "xw")
+
 
 @dataclass(frozen=True)
 class GemmShape:
-    """Shape of one matrix multiplication ``Z[M,K] = X[M,N] . W[N,K]``."""
+    """Shape of one matrix multiplication ``Z[m,k] = X[m,n] . W[n,k]``.
+
+    The field names follow the accelerator's register map
+    (:class:`repro.redmule.job.MatmulJob`), **not** the BLAS convention:
+
+    * ``m`` -- rows of X and Z;
+    * ``n`` -- the *inner* (reduction) dimension: columns of X, rows of W
+      (what BLAS would call K);
+    * ``k`` -- columns of W and Z (what BLAS would call N).
+    """
 
     m: int
     n: int
@@ -46,9 +60,29 @@ class GemmShape:
         w = random_fp16_matrix(self.n, self.k, scale=scale, rng=rng)
         return x, w
 
-    def describe(self) -> str:
-        """One-line summary."""
-        return f"{self.name}: M={self.m} N={self.n} K={self.k} ({self.macs} MACs)"
+    def describe(self, transpose: str = "") -> str:
+        """One-line summary.
+
+        ``transpose`` annotates which logical operands were derived by
+        transposing a stored tensor (``""``, ``"x"``, ``"w"`` or ``"xw"``,
+        see :class:`repro.graph.ir.GemmNode`); when given, the summary is
+        rendered as the full equation with the stored operand shapes, which
+        is what the graph lowering diagnostics print.
+        """
+        if transpose not in VALID_TRANSPOSES:
+            raise ValueError(
+                f"transpose must be one of {VALID_TRANSPOSES}, "
+                f"got {transpose!r}"
+            )
+        if not transpose:
+            return (f"{self.name}: M={self.m} N={self.n} K={self.k} "
+                    f"({self.macs} MACs)")
+        x = (f"X^T[{self.n}x{self.m}]" if "x" in transpose
+             else f"X[{self.m}x{self.n}]")
+        w = (f"W^T[{self.k}x{self.n}]" if "w" in transpose
+             else f"W[{self.n}x{self.k}]")
+        return (f"{self.name}: Z[{self.m}x{self.k}] = {x} . {w} "
+                f"({self.macs} MACs)")
 
 
 class GemmWorkload:

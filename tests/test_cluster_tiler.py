@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cluster import PulpCluster
 from repro.cluster.tiler import (
@@ -123,3 +124,67 @@ class TestExecution:
         hz = cluster.l2_allocator().alloc_matrix(16, 16, "Z")
         with pytest.raises(ValueError):
             TiledMatmul(cluster, plan).run(hx, hw, hz)
+
+
+class TestPlanProperties:
+    """Property-based guarantees the graph lowering pass leans on.
+
+    ``repro.graph.lower`` turns oversized GEMM nodes into a plan's per-tile
+    job stream, so a plan must partition the full M x N x K iteration space:
+    every (i, j, l) point covered exactly once, and one in-flight tile set
+    must respect the TCDM footprint bound.
+    """
+
+    budgets = st.sampled_from([8 * 1024, 16 * 1024, 32 * 1024, 96 * 1024])
+    dims = st.integers(min_value=1, max_value=512)
+
+    @staticmethod
+    def _tile_starts(extent, tile):
+        return list(range(0, extent, tile))
+
+    @given(m=dims, n=dims, k=dims, budget=budgets)
+    @settings(max_examples=120, deadline=None)
+    def test_tiles_partition_the_iteration_space(self, m, n, k, budget):
+        try:
+            plan = plan_tiled_matmul(m, n, k, tcdm_budget_bytes=budget)
+        except ValueError:
+            # Tiny budgets can be infeasible for extreme shapes; rejecting
+            # is the documented behaviour, silent corruption is not.
+            return
+
+        # Footprint bound: one in-flight (X, W, Z) tile set fits the budget.
+        assert plan.tile_footprint_bytes <= budget
+
+        # Coverage without overlap, exactly: the per-axis tile starts
+        # partition each extent, so their cross product partitions M x N x K.
+        for extent, tile in ((m, plan.tile_m), (n, plan.tile_n),
+                             (k, plan.tile_k)):
+            starts = self._tile_starts(extent, tile)
+            spans = [(s, min(s + tile, extent)) for s in starts]
+            # Contiguous, disjoint, and jointly covering [0, extent).
+            assert spans[0][0] == 0 and spans[-1][1] == extent
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert end == start
+        # Job count equals the cross product of the per-axis tile counts.
+        assert plan.n_jobs == (len(self._tile_starts(m, plan.tile_m))
+                               * len(self._tile_starts(n, plan.tile_n))
+                               * len(self._tile_starts(k, plan.tile_k)))
+
+        # MAC conservation: summing tile volumes reproduces the full GEMM
+        # (the lowering pass's job stream must not lose or duplicate work).
+        macs = sum(
+            (min(m0 + plan.tile_m, m) - m0)
+            * (min(n0 + plan.tile_n, n) - n0)
+            * (min(k0 + plan.tile_k, k) - k0)
+            for m0 in self._tile_starts(m, plan.tile_m)
+            for n0 in self._tile_starts(n, plan.tile_n)
+            for k0 in self._tile_starts(k, plan.tile_k)
+        )
+        assert macs == m * n * k
+
+    @given(m=dims, n=dims, k=dims)
+    @settings(max_examples=60, deadline=None)
+    def test_default_budget_always_feasible(self, m, n, k):
+        plan = plan_tiled_matmul(m, n, k)
+        assert plan.tile_footprint_bytes <= plan.tcdm_budget_bytes
+        assert plan.n_jobs >= 1

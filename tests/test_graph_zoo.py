@@ -1,0 +1,191 @@
+"""Tests of the model-zoo graph builders."""
+
+import pytest
+
+from repro.graph.ir import ElementwiseNode, GemmNode
+from repro.graph.zoo import (
+    MODEL_ZOO,
+    autoencoder_training_graph,
+    build_model,
+    conv2d_im2col_graph,
+    gru_cell_graph,
+    lstm_cell_graph,
+    mlp_forward_graph,
+    mlp_training_graph,
+    transformer_encoder_graph,
+    zoo_models,
+)
+from repro.workloads.autoencoder import AUTOENCODER_LAYER_SIZES
+from repro.workloads.training import backward_gemms, forward_gemms
+
+LAYERS = (10, 6, 4)
+
+
+class TestMlpBuilders:
+    def test_forward_graph_matches_legacy_decomposition(self):
+        graph = mlp_forward_graph(LAYERS, batch=3)
+        legacy = forward_gemms(LAYERS, 3)
+        gemms = [n for n in graph.topo_sort() if isinstance(n, GemmNode)]
+        assert [(g.shape.m, g.shape.n, g.shape.k) for g in gemms] == \
+            [(t.shape.m, t.shape.n, t.shape.k) for t in legacy]
+        assert [g.shape.name for g in gemms] == \
+            [t.shape.name for t in legacy]
+
+    def test_training_graph_matches_legacy_composition(self):
+        """The graph's deterministic GEMM order IS the hand-written order."""
+        graph = mlp_training_graph(LAYERS, batch=3)
+        legacy = forward_gemms(LAYERS, 3) + backward_gemms(LAYERS, 3)
+        gemms = [n for n in graph.topo_sort() if isinstance(n, GemmNode)]
+        assert [(g.shape.name, g.shape.m, g.shape.n, g.shape.k)
+                for g in gemms] == \
+            [(t.shape.name, t.shape.m, t.shape.n, t.shape.k) for t in legacy]
+
+    def test_training_graph_tags_roles_and_layers(self):
+        graph = mlp_training_graph(LAYERS, batch=2)
+        legacy = forward_gemms(LAYERS, 2) + backward_gemms(LAYERS, 2)
+        gemms = [n for n in graph.topo_sort() if isinstance(n, GemmNode)]
+        assert [(g.tags["role"], int(g.tags["layer"])) for g in gemms] == \
+            [(t.role.value, t.layer) for t in legacy]
+
+    def test_first_layer_input_gradient_flag(self):
+        without = mlp_training_graph(LAYERS, 2)
+        with_dx0 = mlp_training_graph(
+            LAYERS, 2, include_input_gradient_for_first_layer=True)
+        names = {n.name for n in with_dx0.nodes} - {n.name
+                                                    for n in without.nodes}
+        assert names == {"fc0-dx"}
+
+    def test_transposes_annotate_gradient_gemms(self):
+        graph = mlp_training_graph(LAYERS, batch=2)
+        assert graph.node("fc1-dw").transpose == "w"
+        assert graph.node("fc1-dx").transpose == "x"
+        assert graph.node("fc1-fwd").transpose == ""
+
+    def test_backward_depends_on_forward_activations(self):
+        graph = mlp_training_graph(LAYERS, batch=2)
+        # dW of the last layer reads the last hidden activation and the
+        # loss gradient.
+        deps = set(graph.dependencies("fc1-dw"))
+        assert deps == {"loss-grad", "relu0"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mlp_training_graph((8,), 2)
+        with pytest.raises(ValueError):
+            mlp_training_graph(LAYERS, 0)
+        with pytest.raises(ValueError):
+            mlp_forward_graph((8, -1), 2)
+
+
+class TestAutoencoder:
+    def test_graph_name_and_sizes(self):
+        graph = autoencoder_training_graph(16)
+        assert graph.name == "autoencoder-b16"
+        n_layers = len(AUTOENCODER_LAYER_SIZES) - 1
+        # fwd per layer, dw per layer, dx for all but the first layer.
+        assert len(graph.gemm_nodes()) == 3 * n_layers - 1
+
+
+class TestTransformer:
+    def test_structure(self):
+        graph = transformer_encoder_graph(seq=8, d_model=16, n_heads=4,
+                                          d_ff=32)
+        graph.validate()
+        gemms = [n.name for n in graph.gemm_nodes()]
+        # QKV + per-head (scores, ctx) + out + 2 FFN projections.
+        assert len(gemms) == 3 + 2 * 4 + 1 + 2
+        assert "attn-scores0" in gemms and "ffn-down" in gemms
+
+    def test_heads_are_parallel(self):
+        graph = transformer_encoder_graph(seq=8, d_model=16, n_heads=4,
+                                          d_ff=32)
+        waves = graph.wavefronts()
+        scores_wave = next(w for w in waves if "attn-scores0" in w)
+        assert {f"attn-scores{h}" for h in range(4)} <= set(scores_wave)
+
+    def test_scores_gemm_is_transpose_annotated(self):
+        graph = transformer_encoder_graph(seq=8, d_model=16, n_heads=2,
+                                          d_ff=32)
+        assert graph.node("attn-scores0").transpose == "x"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="divisible"):
+            transformer_encoder_graph(seq=8, d_model=10, n_heads=4, d_ff=16)
+        with pytest.raises(ValueError):
+            transformer_encoder_graph(seq=0, d_model=8, n_heads=2, d_ff=16)
+
+
+class TestConv:
+    def test_im2col_shapes(self):
+        graph = conv2d_im2col_graph(in_channels=3, out_channels=8, kernel=3,
+                                    height=10, width=10)
+        graph.validate()
+        conv = graph.node("conv")
+        assert conv.shape.m == 8
+        assert conv.shape.n == 3 * 3 * 3
+        assert conv.shape.k == 8 * 8  # valid conv: (10-3)+1 squared
+        assert graph.dependencies("conv") == ["im2col"]
+
+    def test_stride_and_batch(self):
+        graph = conv2d_im2col_graph(in_channels=1, out_channels=4, kernel=3,
+                                    height=9, width=9, batch=2, stride=2)
+        conv = graph.node("conv")
+        assert conv.shape.k == 4 * 4 * 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fit"):
+            conv2d_im2col_graph(1, 1, kernel=5, height=4, width=8)
+        with pytest.raises(ValueError):
+            conv2d_im2col_graph(0, 1, 1, 4, 4)
+
+
+class TestRecurrent:
+    def test_lstm_gate_stack_shapes(self):
+        graph = lstm_cell_graph(input_size=12, hidden_size=8, batch=2,
+                                steps=3)
+        graph.validate()
+        assert graph.node("lstm0-xgates").shape.m == 4 * 8
+        assert graph.node("lstm0-hgates").shape.n == 8
+        assert len(graph.gemm_nodes()) == 2 * 3
+
+    def test_gru_uses_three_gates(self):
+        graph = gru_cell_graph(input_size=12, hidden_size=8, batch=2)
+        assert graph.node("gru0-xgates").shape.m == 3 * 8
+
+    def test_steps_are_sequential_but_gates_parallel(self):
+        graph = lstm_cell_graph(4, 4, 1, steps=2)
+        waves = graph.wavefronts()
+        assert {"lstm0-xgates", "lstm1-xgates"} not in map(set, waves)
+        first = next(w for w in waves if "lstm0-xgates" in w)
+        assert "lstm0-hgates" in first
+        # Step 1's hidden-state GEMM waits on step 0's cell update.
+        assert "lstm0-cell" in graph.dependencies("lstm1-hgates")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lstm_cell_graph(0, 4, 1)
+
+
+class TestZooRegistry:
+    def test_every_model_builds_validates_and_lowers(self):
+        for name in zoo_models():
+            graph = build_model(name)
+            graph.validate()
+            program = graph.lower()
+            assert program.n_jobs >= 1
+            assert program.total_macs == graph.total_macs
+
+    def test_builders_return_fresh_graphs(self):
+        assert build_model("mlp-tiny") is not build_model("mlp-tiny")
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown zoo model"):
+            build_model("resnet-152")
+
+    def test_zoo_models_sorted(self):
+        assert zoo_models() == sorted(MODEL_ZOO)
+
+    def test_elementwise_nodes_present(self):
+        graph = build_model("transformer-tiny")
+        ops = {n.op for n in graph.nodes if isinstance(n, ElementwiseNode)}
+        assert "softmax" in ops and "concat" in ops

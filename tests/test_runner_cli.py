@@ -67,3 +67,90 @@ class TestFarmStats:
         runner.main(["fig3a", "--farm-stats"])
         out = capsys.readouterr().out
         assert "timing cache" in out
+
+
+class TestServeScenarios:
+    def test_serve_scenarios_registered(self):
+        names = runner.list_experiments()
+        assert "serve-mlp" in names and "serve-mix" in names
+
+    def test_clusters_and_rps_flags_reach_the_drivers(self, monkeypatch,
+                                                      capsys):
+        from repro.experiments import serve
+
+        seen = {}
+
+        def fake_resolve(clusters, rps):
+            seen["resolved"] = serve._resolve(clusters, rps)
+            return seen["resolved"]
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "serve-mlp",
+                            lambda: fake_resolve(None, None) and "stub")
+        try:
+            runner.main(["serve-mlp", "--clusters", "7", "--rps", "123.5"])
+        finally:
+            serve.set_serve_defaults(None, None)
+        assert seen["resolved"] == (7, 123.5)
+
+    def test_set_serve_defaults_validation(self):
+        from repro.experiments import serve
+
+        with pytest.raises(ValueError):
+            serve.set_serve_defaults(clusters=0)
+        with pytest.raises(ValueError):
+            serve.set_serve_defaults(rps=-1.0)
+
+
+class TestCacheFileFlag:
+    def _stub_experiment(self):
+        from repro.farm import default_farm
+
+        def run():
+            default_farm().run_gemm(8, 16, 16, backend="model")
+            return "stub"
+
+        return run
+
+    def test_cache_saved_after_batch(self, monkeypatch, tmp_path, capsys):
+        from repro.farm import reset_default_farms
+
+        reset_default_farms()
+        cache_file = tmp_path / "timing.json"
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a",
+                            self._stub_experiment())
+        runner.main(["fig3a", "--cache-file", str(cache_file)])
+        assert cache_file.exists()
+        out = capsys.readouterr().out
+        assert "saved" in out and "timing-cache" in out
+        reset_default_farms()
+
+    def test_cache_loaded_before_batch(self, monkeypatch, tmp_path, capsys):
+        from repro.farm import default_farm, reset_default_farms
+
+        cache_file = tmp_path / "timing.json"
+        # First invocation populates the file ...
+        reset_default_farms()
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a",
+                            self._stub_experiment())
+        runner.main(["fig3a", "--cache-file", str(cache_file)])
+        # ... the next invocation (fresh farms = fresh process) reloads it
+        # and serves the shape from the cache without re-simulating.
+        reset_default_farms()
+        runner.main(["fig3a", "--cache-file", str(cache_file)])
+        out = capsys.readouterr().out
+        assert "loaded" in out
+        farm = default_farm()
+        assert farm.stats.model_runs == 0
+        assert farm.cache.stats.hits >= 1
+        reset_default_farms()
+
+    def test_missing_cache_file_is_not_an_error(self, monkeypatch, tmp_path,
+                                                capsys):
+        from repro.farm import reset_default_farms
+
+        reset_default_farms()
+        cache_file = tmp_path / "fresh" / "timing.json"
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a", lambda: "stub")
+        runner.main(["fig3a", "--cache-file", str(cache_file)])
+        assert cache_file.exists()  # directory created, cache saved
+        reset_default_farms()

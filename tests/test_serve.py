@@ -1,0 +1,386 @@
+"""Tests of the multi-tenant serving simulator (requests, scheduler, report)."""
+
+import pytest
+
+from repro.farm import SimulationFarm
+from repro.graph.zoo import build_model, mlp_training_graph
+from repro.serve import (
+    LatencyStats,
+    ModelSpec,
+    Request,
+    RequestGenerator,
+    ServingSimulator,
+    TenantSpec,
+    percentile,
+)
+
+
+def _model_farm():
+    return SimulationFarm(backend="model", max_workers=1)
+
+
+def _tenant(name="t0", rps=100.0, models=None):
+    if models is None:
+        models = (ModelSpec("mlp-tiny", build_model("mlp-tiny")),)
+    return TenantSpec(name=name, models=models, rps=rps)
+
+
+class TestSpecs:
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="", models=(_tenant().models[0],), rps=1.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="t", models=(), rps=1.0)
+        with pytest.raises(ValueError):
+            _tenant(rps=0.0)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            ModelSpec("", build_model("mlp-tiny"))
+        with pytest.raises(ValueError):
+            ModelSpec("m", build_model("mlp-tiny"), weight=0.0)
+
+    def test_mix_weights_normalised(self):
+        tenant = _tenant(models=(
+            ModelSpec("a", build_model("mlp-tiny"), weight=3.0),
+            ModelSpec("b", build_model("conv-tiny"), weight=1.0),
+        ))
+        assert tenant.mix_weights == [0.75, 0.25]
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(request_id=0, tenant="t", model="m",
+                    graph=build_model("mlp-tiny"), arrival_cycle=-1)
+
+
+class TestGenerator:
+    def test_deterministic_under_seed(self):
+        tenants = [_tenant()]
+        first = RequestGenerator(tenants, seed=3).generate(0.05)
+        second = RequestGenerator(tenants, seed=3).generate(0.05)
+        assert [(r.arrival_cycle, r.model) for r in first] == \
+            [(r.arrival_cycle, r.model) for r in second]
+
+    def test_different_seeds_differ(self):
+        tenants = [_tenant(rps=2000.0)]
+        first = RequestGenerator(tenants, seed=1).generate(0.05)
+        second = RequestGenerator(tenants, seed=2).generate(0.05)
+        assert [r.arrival_cycle for r in first] != \
+            [r.arrival_cycle for r in second]
+
+    def test_arrivals_sorted_and_renumbered(self):
+        tenants = [_tenant("a", rps=500.0), _tenant("b", rps=500.0)]
+        requests = RequestGenerator(tenants, seed=0).generate(0.05)
+        arrivals = [r.arrival_cycle for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+        assert {r.tenant for r in requests} == {"a", "b"}
+
+    def test_rate_scales_request_count(self):
+        slow = RequestGenerator([_tenant(rps=100.0)], seed=0).generate(0.2)
+        fast = RequestGenerator([_tenant(rps=1000.0)], seed=0).generate(0.2)
+        assert len(fast) > len(slow) > 0
+
+    def test_mix_follows_weights(self):
+        tenant = _tenant(models=(
+            ModelSpec("common", build_model("mlp-tiny"), weight=9.0),
+            ModelSpec("rare", build_model("conv-tiny"), weight=1.0),
+        ), rps=5000.0)
+        requests = RequestGenerator([tenant], seed=0).generate(0.1)
+        commons = sum(r.model == "common" for r in requests)
+        assert commons > len(requests) // 2
+
+    def test_burst_arrives_at_zero(self):
+        burst = RequestGenerator([_tenant()], seed=0).burst(5)
+        assert len(burst) == 5
+        assert all(r.arrival_cycle == 0 for r in burst)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestGenerator([], seed=0)
+        with pytest.raises(ValueError):
+            RequestGenerator([_tenant("x"), _tenant("x")], seed=0)
+        with pytest.raises(ValueError):
+            RequestGenerator([_tenant()], seed=0).generate(0.0)
+        with pytest.raises(ValueError):
+            RequestGenerator([_tenant()], seed=0).burst(0)
+
+
+class TestSchedulerParity:
+    """Acceptance criterion: one tenant + one cluster == serial farm timing."""
+
+    @pytest.mark.parametrize("model", ["mlp-tiny", "autoencoder-b16",
+                                       "transformer-tiny"])
+    def test_single_cluster_makespan_equals_serial_timing(self, model):
+        farm = _model_farm()
+        graph = build_model(model)
+        requests = RequestGenerator(
+            [_tenant(models=(ModelSpec(model, graph),))], seed=0).burst(1)
+        report = ServingSimulator(n_clusters=1, farm=farm).simulate(requests)
+        serial = farm.time_program(graph.lower(config=farm.config))
+        assert report.makespan_cycles == int(serial.cycles)
+        assert report.completed == 1
+        assert report.latency.p50 == report.makespan_cycles
+
+    def test_queued_requests_serialise_on_one_cluster(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        requests = RequestGenerator(
+            [_tenant(models=(ModelSpec("mlp-tiny", graph),))],
+            seed=0).burst(3)
+        report = ServingSimulator(n_clusters=1, farm=farm).simulate(requests)
+        serial = farm.time_program(graph.lower(config=farm.config))
+        assert report.makespan_cycles == 3 * int(serial.cycles)
+
+
+class TestSchedulerSemantics:
+    def test_dependencies_respected_in_trace(self):
+        farm = _model_farm()
+        graph = build_model("transformer-tiny")
+        requests = RequestGenerator(
+            [_tenant(models=(ModelSpec("t", graph),))], seed=0).burst(2)
+        simulator = ServingSimulator(n_clusters=3, farm=farm,
+                                     keep_trace=True)
+        simulator.simulate(requests)
+        program = graph.lower(config=farm.config)
+        deps_of = {node.name: node.deps for node in program.nodes}
+        finished = {}
+        for record in simulator.trace:
+            finished[(record.request_id, record.node)] = record.end_cycle
+        for record in simulator.trace:
+            for dep in deps_of[record.node]:
+                assert record.start_cycle >= \
+                    finished[(record.request_id, dep)]
+
+    def test_identical_chain_requests_overlap_on_two_clusters(self):
+        farm = _model_farm()
+        # A forward-only MLP is a pure chain: no intra-request parallelism,
+        # so two requests on two clusters finish in the time of one.
+        from repro.graph.zoo import mlp_forward_graph
+
+        graph = mlp_forward_graph((64, 32, 16, 8), batch=8)
+        requests = RequestGenerator(
+            [_tenant(models=(ModelSpec("m", graph),))], seed=0).burst(2)
+        serial = int(farm.time_program(graph.lower(config=farm.config)).cycles)
+        report = ServingSimulator(n_clusters=2, farm=farm).simulate(requests)
+        assert report.makespan_cycles == serial
+        assert report.completed == 2
+
+    def test_training_requests_share_the_pool_productively(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        requests = RequestGenerator(
+            [_tenant(models=(ModelSpec("m", graph),))], seed=0).burst(2)
+        serial = int(farm.time_program(graph.lower(config=farm.config)).cycles)
+        report = ServingSimulator(n_clusters=2, farm=farm).simulate(requests)
+        # The training graph has dw/dx parallelism, so the pool is never
+        # idle (busy cycles account for every cycle of work) and the
+        # makespan lands strictly between the one-request serial time and
+        # the fully-serialised two requests.
+        assert serial <= report.makespan_cycles < 2 * serial
+        assert sum(report.busy_cycles) == 2 * serial
+
+    def test_no_cluster_runs_two_nodes_at_once(self):
+        farm = _model_farm()
+        requests = RequestGenerator([_tenant()], seed=0).burst(4)
+        simulator = ServingSimulator(n_clusters=2, farm=farm,
+                                     keep_trace=True)
+        simulator.simulate(requests)
+        per_cluster = {}
+        for record in simulator.trace:
+            if record.cluster < 0:
+                continue  # elementwise nodes run host-side, off the pool
+            per_cluster.setdefault(record.cluster, []).append(
+                (record.start_cycle, record.end_cycle))
+        for spans in per_cluster.values():
+            spans.sort()
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert start >= end
+
+    def test_arrival_gates_start(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        late = [Request(request_id=0, tenant="t", model="m", graph=graph,
+                        arrival_cycle=10_000)]
+        simulator = ServingSimulator(n_clusters=1, farm=farm,
+                                     keep_trace=True)
+        report = simulator.simulate(late)
+        assert min(r.start_cycle for r in simulator.trace) >= 10_000
+        serial = int(farm.time_program(graph.lower(config=farm.config)).cycles)
+        assert report.latency.max == serial  # waited for nothing else
+
+    def test_deterministic_simulation(self):
+        farm = _model_farm()
+        requests = RequestGenerator(
+            [_tenant("a", rps=300.0), _tenant("b", rps=300.0)],
+            seed=5).generate(0.05)
+        first = ServingSimulator(n_clusters=2, farm=farm).simulate(requests)
+        second = ServingSimulator(n_clusters=2, farm=farm).simulate(requests)
+        assert first.makespan_cycles == second.makespan_cycles
+        assert first.latency == second.latency
+
+    def test_elementwise_cost_charged_when_configured(self):
+        farm = _model_farm()
+        graph = mlp_training_graph((8, 6, 4), batch=2, name="tiny")
+        requests = [Request(request_id=0, tenant="t", model="m",
+                            graph=graph, arrival_cycle=0)]
+        base = ServingSimulator(n_clusters=1, farm=farm).simulate(requests)
+        priced = ServingSimulator(
+            n_clusters=1, farm=farm,
+            elementwise_cycles_per_element=2.0).simulate(requests)
+        program = graph.lower(config=farm.config)
+        elementwise = sum(node.elements for node in program.nodes
+                          if not node.is_gemm)
+        assert priced.makespan_cycles == \
+            base.makespan_cycles + 2 * elementwise
+
+    def test_offload_cost_charged_per_job(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        requests = [Request(request_id=0, tenant="t", model="m",
+                            graph=graph, arrival_cycle=0)]
+        base = ServingSimulator(n_clusters=1, farm=farm).simulate(requests)
+        priced = ServingSimulator(n_clusters=1, farm=farm,
+                                  offload_cycles_per_job=30.0
+                                  ).simulate(requests)
+        program = graph.lower(config=farm.config)
+        assert priced.makespan_cycles == \
+            base.makespan_cycles + 30 * program.n_jobs
+
+    def test_elementwise_nodes_run_host_side(self):
+        """Elementwise nodes never occupy a cluster: trace shows cluster -1
+        and a priced relu does not block another request's ready GEMM."""
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        requests = RequestGenerator(
+            [_tenant(models=(ModelSpec("m", graph),))], seed=0).burst(2)
+        simulator = ServingSimulator(n_clusters=1, farm=farm,
+                                     elementwise_cycles_per_element=50.0,
+                                     keep_trace=True)
+        report = simulator.simulate(requests)
+        program = graph.lower(config=farm.config)
+        host = [r for r in simulator.trace if r.cluster == -1]
+        assert {r.node for r in host} == {n.name for n in program.nodes
+                                          if not n.is_gemm}
+        # Cluster busy cycles account for accelerator work only, so with
+        # one cluster and two requests the pool is saturated: while one
+        # request sits in its host-side relu, the other's GEMMs run.
+        serial_gemm = int(farm.time_program(program).cycles)
+        assert report.busy_cycles == [2 * serial_gemm]
+        assert report.makespan_cycles < 2 * int(
+            serial_gemm + 50 * sum(n.elements for n in program.nodes
+                                   if not n.is_gemm))
+
+    def test_program_cache_keyed_by_graph_identity(self):
+        farm = _model_farm()
+        simulator = ServingSimulator(n_clusters=1, farm=farm)
+        graph_a = build_model("mlp-tiny")
+        simulator.simulate([Request(request_id=0, tenant="t", model="a",
+                                    graph=graph_a, arrival_cycle=0)])
+        # The simulator retains the graph, so a dropped caller reference
+        # cannot let a recycled object id alias a different model.
+        assert graph_a in simulator._programs
+        graph_b = build_model("conv-tiny")
+        report = simulator.simulate([Request(request_id=0, tenant="t",
+                                             model="b", graph=graph_b,
+                                             arrival_cycle=0)])
+        serial_b = farm.time_program(graph_b.lower(config=farm.config))
+        assert report.makespan_cycles == int(serial_b.cycles)
+        assert len(simulator._programs) == 2
+
+    def test_cache_reuse_across_simulations(self):
+        farm = _model_farm()
+        requests = RequestGenerator([_tenant()], seed=0).burst(2)
+        ServingSimulator(n_clusters=1, farm=farm).simulate(requests)
+        warm = ServingSimulator(n_clusters=1, farm=farm).simulate(requests)
+        assert warm.cache_misses == 0
+        assert warm.cache_hit_rate == 1.0
+
+    def test_empty_request_list(self):
+        report = ServingSimulator(n_clusters=2,
+                                  farm=_model_farm()).simulate([])
+        assert report.completed == 0
+        assert report.makespan_cycles == 0
+        assert report.utilisation == [0.0, 0.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServingSimulator(n_clusters=0, farm=_model_farm())
+        with pytest.raises(ValueError):
+            ServingSimulator(farm=_model_farm(), offload_cycles_per_job=-1)
+
+
+class TestEngineBackend:
+    def test_tiny_graph_through_the_cycle_accurate_engine(self):
+        farm = SimulationFarm(backend="engine", max_workers=1)
+        graph = mlp_training_graph((8, 4), batch=2, name="micro")
+        requests = [Request(request_id=0, tenant="t", model="micro",
+                            graph=graph, arrival_cycle=0)]
+        report = ServingSimulator(n_clusters=1, farm=farm).simulate(requests)
+        serial = farm.time_program(graph.lower(config=farm.config))
+        assert report.makespan_cycles == int(serial.cycles) > 0
+
+
+class TestReport:
+    def test_percentile_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.50) == 50
+        assert percentile(values, 0.95) == 95
+        assert percentile(values, 0.99) == 99
+        assert percentile(values, 1.0) == 100
+        assert percentile([7.0], 0.5) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+
+    def test_latency_stats(self):
+        stats = LatencyStats.from_latencies([10, 20, 30, 40])
+        assert stats.count == 4
+        assert stats.mean == 25
+        assert stats.p50 == 20
+        assert stats.max == 40
+        empty = LatencyStats.from_latencies([])
+        assert empty.count == 0 and empty.p99 == 0.0
+
+    def test_per_tenant_breakdown_and_models(self):
+        farm = _model_farm()
+        tenants = [
+            _tenant("alpha", models=(ModelSpec("mlp-tiny",
+                                               build_model("mlp-tiny")),)),
+            _tenant("beta", models=(ModelSpec("conv-tiny",
+                                              build_model("conv-tiny")),)),
+        ]
+        requests = RequestGenerator(tenants, seed=0).burst(3)
+        report = ServingSimulator(n_clusters=2, farm=farm).simulate(requests)
+        assert set(report.tenants) == {"alpha", "beta"}
+        assert report.tenants["alpha"].completed == 3
+        assert report.models == {"mlp-tiny": 3, "conv-tiny": 3}
+        assert report.completed == 6
+
+    def test_utilisation_bounds(self):
+        farm = _model_farm()
+        requests = RequestGenerator([_tenant()], seed=0).burst(6)
+        report = ServingSimulator(n_clusters=3, farm=farm).simulate(requests)
+        assert len(report.utilisation) == 3
+        assert all(0.0 <= u <= 1.0 for u in report.utilisation)
+        assert 0.0 <= report.mean_utilisation <= 1.0
+
+    def test_render_mentions_the_headline_numbers(self):
+        farm = _model_farm()
+        requests = RequestGenerator([_tenant()], seed=0).burst(2)
+        report = ServingSimulator(n_clusters=1, farm=farm).simulate(
+            requests, scenario="demo")
+        text = report.render()
+        assert "demo" in text
+        assert "p95" in text
+        assert "per tenant" in text
+        assert "req/s" in text
+
+    def test_throughput_metrics(self):
+        farm = _model_farm()
+        requests = RequestGenerator([_tenant()], seed=0).burst(4)
+        report = ServingSimulator(n_clusters=2, farm=farm).simulate(requests)
+        assert report.throughput_per_mcycle == pytest.approx(
+            4 * 1e6 / report.makespan_cycles)
+        assert report.throughput_rps > 0
