@@ -6,8 +6,6 @@ core traffic on the logarithmic branch to measure how much the accelerator
 slows down, and how the HCI's starvation-free rotation bounds the effect.
 """
 
-import pytest
-
 from benchmarks.conftest import print_series, record_info
 from repro.fp.vector import random_fp16_matrix
 from repro.interco.hci import Hci, HciConfig

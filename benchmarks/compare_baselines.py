@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare BENCH_*.json results against baselines.
+
+CI runs the smoke benchmarks with ``BENCH_RESULTS_DIR`` set (making each
+benchmark drop a ``BENCH_<name>.json`` with its headline metrics and
+wall-clock stats, see ``benchmarks/conftest.py``) and then calls this script
+to diff the fresh results against the baselines committed under
+``benchmarks/baselines/``.  The build fails when
+
+* a metric regresses beyond its threshold -- more than 20 % by default for
+  deterministic metrics (cycle counts, errors, point counts), with a
+  separate, looser default for wall-clock metrics because shared CI runners
+  are noisy;
+* a baseline metric disappears from the fresh results; or
+* a baseline file has no fresh counterpart at all.
+
+Direction is inferred from the metric name: ``rate`` / ``speedup`` / ``hit``
+/ ``util`` / ``throughput`` / ``gflops`` / ``per_second`` metrics are
+higher-is-better; deterministic counts (point/job/frontier sizes) are gated
+in *both* directions, because a collapsing frontier or vanishing validation
+coverage is as much a regression as growth; everything else (cycles,
+errors, wall-clock seconds) is lower-is-better.  New metrics without a
+baseline are reported informationally; refreshing the baselines is one
+command (see the README's "updating the bench baselines").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Default allowed relative regression for deterministic metrics.
+DEFAULT_THRESHOLD = 0.20
+
+#: Default allowed relative regression for wall-clock metrics: shared CI
+#: runners jitter far beyond 20 %, so the wall gate only catches
+#: order-of-magnitude slowdowns unless tightened explicitly.
+DEFAULT_WALL_THRESHOLD = 2.0
+
+#: Name fragments marking a metric as higher-is-better.
+HIGHER_BETTER_MARKERS = ("rate", "speedup", "hit", "util", "throughput",
+                         "gflops", "per_second")
+
+#: Name fragments marking a metric as a deterministic *count* -- a quantity
+#: where movement in either direction is suspicious (a shrinking frontier or
+#: vanishing validated-job coverage is as much a regression as growth).
+COUNT_MARKERS = ("n_points", "frontier_size", "validated_jobs", "requests",
+                 "n_jobs", "simulated_macs", "simulated_cycles")
+
+#: Name fragments marking a metric as host wall-clock seconds.
+WALL_CLOCK_MARKERS = ("wall_clock", "_wall_s")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of one metric comparison."""
+
+    bench: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+    #: Relative change, oriented so positive = regression.
+    regression: Optional[float]
+    limit: Optional[float]
+    ok: bool
+    note: str = ""
+
+
+def metric_is_higher_better(name: str) -> bool:
+    """Infer the optimisation direction of a metric from its name."""
+    lowered = name.lower()
+    return any(marker in lowered for marker in HIGHER_BETTER_MARKERS)
+
+
+def metric_is_count(name: str) -> bool:
+    """True for deterministic counts gated in *both* directions."""
+    lowered = name.lower()
+    return any(marker in lowered for marker in COUNT_MARKERS)
+
+
+def metric_is_wall_clock(name: str) -> bool:
+    """True for metrics measured in host seconds (noisy on shared CI)."""
+    lowered = name.lower()
+    return any(marker in lowered for marker in WALL_CLOCK_MARKERS)
+
+
+def compare_metrics(
+    bench: str,
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+) -> List[Comparison]:
+    """Compare one benchmark's metric dicts; every baseline metric is gated."""
+    comparisons: List[Comparison] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        limit = wall_threshold if metric_is_wall_clock(name) else threshold
+        if name not in current:
+            comparisons.append(Comparison(
+                bench=bench, metric=name, baseline=base, current=None,
+                regression=None, limit=limit, ok=False,
+                note="metric missing from fresh results",
+            ))
+            continue
+        value = current[name]
+        if base == 0:
+            # No relative scale: only flag a lower-is-better metric that
+            # became nonzero (0 cycles/errors growing is a real regression).
+            regressed = value > 0 and not metric_is_higher_better(name)
+            comparisons.append(Comparison(
+                bench=bench, metric=name, baseline=base, current=value,
+                regression=None, limit=limit, ok=not regressed,
+                note="zero baseline",
+            ))
+            continue
+        if metric_is_count(name):
+            # Counts are deterministic and direction-neutral: a collapsing
+            # frontier or vanishing validation coverage regresses exactly
+            # like uncontrolled growth.
+            regression = abs(value - base) / abs(base)
+        elif metric_is_higher_better(name):
+            regression = (base - value) / abs(base)
+        else:
+            regression = (value - base) / abs(base)
+        comparisons.append(Comparison(
+            bench=bench, metric=name, baseline=base, current=value,
+            regression=regression, limit=limit, ok=regression <= limit,
+        ))
+    for name in sorted(set(current) - set(baseline)):
+        comparisons.append(Comparison(
+            bench=bench, metric=name, baseline=None, current=current[name],
+            regression=None, limit=None, ok=True, note="no baseline (new)",
+        ))
+    return comparisons
+
+
+def _load(path: str) -> Dict[str, float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    metrics = payload.get("metrics", {})
+    return {name: float(value) for name, value in metrics.items()}
+
+
+def compare_directories(
+    results_dir: str,
+    baselines_dir: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    wall_threshold: float = DEFAULT_WALL_THRESHOLD,
+) -> List[Comparison]:
+    """Compare every committed baseline file against the fresh results."""
+    baselines = sorted(name for name in os.listdir(baselines_dir)
+                       if name.startswith("BENCH_") and name.endswith(".json"))
+    if not baselines:
+        raise SystemExit(f"error: no BENCH_*.json baselines in {baselines_dir}")
+    comparisons: List[Comparison] = []
+    for filename in baselines:
+        bench = filename[len("BENCH_"):-len(".json")]
+        baseline = _load(os.path.join(baselines_dir, filename))
+        fresh_path = os.path.join(results_dir, filename)
+        if not os.path.exists(fresh_path):
+            comparisons.append(Comparison(
+                bench=bench, metric="<file>", baseline=None, current=None,
+                regression=None, limit=None, ok=False,
+                note="benchmark produced no fresh result file",
+            ))
+            continue
+        comparisons.extend(compare_metrics(
+            bench, baseline, _load(fresh_path),
+            threshold=threshold, wall_threshold=wall_threshold,
+        ))
+    return comparisons
+
+
+def _format(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def render(comparisons: List[Comparison]) -> str:
+    """Fixed-width report of every comparison, failures marked."""
+    header = (f"{'bench':28} {'metric':26} {'baseline':>12} "
+              f"{'current':>12} {'change':>9} {'limit':>7}  status")
+    lines = [header, "-" * len(header)]
+    for item in comparisons:
+        change = ("-" if item.regression is None
+                  else f"{100 * item.regression:+.1f}%")
+        limit = "-" if item.limit is None else f"{100 * item.limit:.0f}%"
+        status = "ok" if item.ok else "FAIL"
+        if item.note:
+            status += f" ({item.note})"
+        lines.append(
+            f"{item.bench:28} {item.metric:26} {_format(item.baseline):>12} "
+            f"{_format(item.current):>12} {change:>9} {limit:>7}  {status}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/compare_baselines.py",
+        description="Fail when fresh BENCH_*.json results regress against "
+                    "the committed baselines.",
+    )
+    parser.add_argument("results_dir",
+                        help="directory holding the fresh BENCH_*.json files")
+    parser.add_argument("baselines_dir", nargs="?",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "baselines"),
+                        help="directory of committed baselines "
+                             "(default: benchmarks/baselines)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative regression for deterministic "
+                             "metrics (default: 0.20)")
+    parser.add_argument("--wall-threshold", type=float,
+                        default=DEFAULT_WALL_THRESHOLD,
+                        help="allowed relative regression for wall-clock "
+                             "metrics (default: 2.0 -- CI runners are noisy)")
+    args = parser.parse_args(argv)
+
+    comparisons = compare_directories(
+        args.results_dir, args.baselines_dir,
+        threshold=args.threshold, wall_threshold=args.wall_threshold,
+    )
+    print(render(comparisons))
+    failures = [item for item in comparisons if not item.ok]
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond threshold; "
+              "if intentional, refresh benchmarks/baselines "
+              f"(see README: updating the bench baselines)")
+        return 1
+    print(f"\nall {len(comparisons)} comparisons within thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ Quickstart
 """
 
 from repro.cluster import ClusterConfig, OffloadResult, PulpCluster
+from repro.dse import DesignSpace, SweepResult, cross_validate, sweep
 from repro.farm import (
     FarmResult,
     SimulationFarm,
@@ -89,6 +90,7 @@ __all__ = [
     "AutoEncoder",
     "ClusterAreaModel",
     "ClusterConfig",
+    "DesignSpace",
     "ElementwiseNode",
     "EnergyModel",
     "FarmResult",
@@ -113,6 +115,7 @@ __all__ = [
     "ServingSimulator",
     "SimulationFarm",
     "SoftwareBaseline",
+    "SweepResult",
     "Tcdm",
     "TcdmConfig",
     "TenantSpec",
@@ -121,7 +124,9 @@ __all__ = [
     "WorkloadGraph",
     "__version__",
     "build_model",
+    "cross_validate",
     "default_farm",
+    "sweep",
     "fma16",
     "quantize_fp16",
     "random_fp16_matrix",

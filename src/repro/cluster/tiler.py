@@ -20,15 +20,14 @@ Two pieces are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.cluster.dma import DmaTransfer
 from repro.mem.layout import ELEMENT_BYTES, MatrixHandle
 from repro.redmule.config import RedMulEConfig
-from repro.redmule.job import MatmulJob
 from repro.redmule.perf_model import RedMulEPerfModel
 
 

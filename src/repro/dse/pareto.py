@@ -1,0 +1,83 @@
+"""Pareto-frontier extraction over sweep records.
+
+Objectives are named attributes (or mapping keys) of the records being
+compared; each one minimises by default and can be flipped with
+``Objective(name, maximize=True)``.  A record is on the frontier when no
+other record is at least as good on every objective and strictly better on
+one -- the standard (weak-dominance) Pareto definition, so duplicated
+trade-off points all survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple, TypeVar, Union
+
+Record = TypeVar("Record")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimisation objective: an attribute name and a direction."""
+
+    name: str
+    maximize: bool = False
+
+    def key(self, record: object) -> float:
+        """The record's value on this objective, oriented for minimisation."""
+        value = _get(record, self.name)
+        return -value if self.maximize else value
+
+    def describe(self) -> str:
+        """``min name`` / ``max name``."""
+        return f"{'max' if self.maximize else 'min'} {self.name}"
+
+
+def _get(record: object, name: str) -> float:
+    if isinstance(record, dict):
+        return float(record[name])
+    return float(getattr(record, name))
+
+
+def resolve_objectives(
+    objectives: Sequence[Union[str, Objective]]
+) -> Tuple[Objective, ...]:
+    """Normalise a mixed str/:class:`Objective` sequence (str = minimise)."""
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    resolved = tuple(
+        objective if isinstance(objective, Objective) else Objective(objective)
+        for objective in objectives
+    )
+    names = [objective.name for objective in resolved]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate objective names in {names}")
+    return resolved
+
+
+def pareto_frontier(
+    records: Iterable[Record],
+    objectives: Sequence[Union[str, Objective]],
+) -> List[Record]:
+    """The non-dominated subset of ``records`` under ``objectives``.
+
+    Returned sorted by the first objective (best first).  Records are
+    pre-sorted lexicographically so a candidate can only be dominated by a
+    record already accepted onto the frontier, which keeps the scan at
+    O(n * frontier) instead of O(n^2).
+    """
+    resolved = resolve_objectives(objectives)
+    keyed = [(tuple(objective.key(record) for objective in resolved), record)
+             for record in records]
+    keyed.sort(key=lambda pair: pair[0])
+
+    frontier: List[Tuple[Tuple[float, ...], Record]] = []
+    for key, record in keyed:
+        dominated = False
+        for accepted, _ in frontier:
+            if all(a <= b for a, b in zip(accepted, key)) and accepted != key:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append((key, record))
+    return [record for _, record in frontier]

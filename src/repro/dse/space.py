@@ -1,0 +1,199 @@
+"""Declarative design spaces: axes over the RedMulE architecture knobs.
+
+A :class:`DesignSpace` is a cartesian grid of named axes.  Five axes map
+straight onto :class:`~repro.redmule.config.RedMulEConfig` fields (``height``,
+``length``, ``pipeline_regs``, ``w_prefetch_lines``, ``z_queue_depth``); two
+describe the environment around the accelerator:
+
+* ``tcdm_banks`` -- number of shared-memory banks (cluster area / energy
+  through :class:`~repro.power.area.ClusterAreaModel`);
+* ``memory_latency`` -- extra cycles the first access of every tile pre-load
+  pays (the :class:`~repro.redmule.perf_model.RedMulEPerfModel`
+  ``memory_latency`` extension).
+
+Unless ``z_queue_depth`` is swept or pinned explicitly, it is auto-deepened
+to ``max(reference depth, L)``: the engine's Z store queue deadlocks when a
+tile has more live rows than queue slots, so a sweep over large ``L`` with
+the reference depth would produce configurations the cycle-accurate
+cross-validation could never run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+from repro.redmule.config import RedMulEConfig
+
+#: Axes forwarded into :class:`RedMulEConfig`, in canonical order.
+CONFIG_AXES: Tuple[str, ...] = (
+    "height",
+    "length",
+    "pipeline_regs",
+    "w_prefetch_lines",
+    "z_queue_depth",
+)
+
+#: Environment axes evaluated outside the accelerator configuration.
+ENVIRONMENT_AXES: Tuple[str, ...] = ("tcdm_banks", "memory_latency")
+
+#: Every valid axis name, in the order points iterate.
+AXIS_ORDER: Tuple[str, ...] = CONFIG_AXES + ENVIRONMENT_AXES
+
+#: Default value of each axis when it is not swept.
+AXIS_DEFAULTS: Dict[str, int] = {
+    "height": 4,
+    "length": 8,
+    "pipeline_regs": 3,
+    "w_prefetch_lines": 1,
+    "z_queue_depth": 8,
+    "tcdm_banks": 16,
+    "memory_latency": 0,
+}
+
+#: Axes whose values must be >= 1 (``memory_latency`` alone may be 0).
+_MIN_ONE = frozenset(AXIS_ORDER) - {"memory_latency"}
+
+
+class DesignSpaceError(ValueError):
+    """An invalid axis definition."""
+
+
+@dataclass(frozen=True)
+class DesignAxis:
+    """One named axis: the values a single knob sweeps over."""
+
+    name: str
+    values: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in AXIS_ORDER:
+            raise DesignSpaceError(
+                f"unknown design axis {self.name!r}; valid axes: "
+                f"{', '.join(AXIS_ORDER)}"
+            )
+        if not self.values:
+            raise DesignSpaceError(f"axis {self.name!r} needs at least one value")
+        object.__setattr__(self, "values", tuple(self.values))
+        floor = 1 if self.name in _MIN_ONE else 0
+        for value in self.values:
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise DesignSpaceError(
+                    f"axis {self.name!r}: values must be integers, "
+                    f"got {value!r}"
+                )
+            if value < floor:
+                raise DesignSpaceError(
+                    f"axis {self.name!r}: values must be >= {floor}, "
+                    f"got {value}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One fully resolved grid point: a configuration plus its environment."""
+
+    config: RedMulEConfig
+    tcdm_banks: int
+    memory_latency: int
+
+    def axis_values(self) -> Dict[str, int]:
+        """The point as an axis-name -> value mapping (exports, keys)."""
+        return {
+            "height": self.config.height,
+            "length": self.config.length,
+            "pipeline_regs": self.config.pipeline_regs,
+            "w_prefetch_lines": self.config.w_prefetch_lines,
+            "z_queue_depth": self.config.z_queue_depth,
+            "tcdm_banks": self.tcdm_banks,
+            "memory_latency": self.memory_latency,
+        }
+
+    def describe(self) -> str:
+        """One-line summary of the point."""
+        return (
+            f"{self.config.describe()}, {self.tcdm_banks} TCDM banks, "
+            f"memory latency {self.memory_latency}"
+        )
+
+
+class DesignSpace:
+    """A cartesian grid over architecture and environment axes.
+
+    Axes may be given as :class:`DesignAxis` objects or as a mapping of
+    axis name to value sequence; un-swept axes sit at their defaults.
+    """
+
+    def __init__(
+        self,
+        axes: Union[Mapping[str, Sequence[int]], Iterable[DesignAxis]],
+    ) -> None:
+        if isinstance(axes, Mapping):
+            axes = [DesignAxis(name, tuple(values))
+                    for name, values in axes.items()]
+        self.axes: Dict[str, DesignAxis] = {}
+        for axis in axes:
+            if not isinstance(axis, DesignAxis):
+                raise DesignSpaceError(
+                    "expected a DesignAxis or a name -> values mapping, "
+                    f"got {axis!r}"
+                )
+            if axis.name in self.axes:
+                raise DesignSpaceError(f"axis {axis.name!r} given twice")
+            self.axes[axis.name] = axis
+        if not self.axes:
+            raise DesignSpaceError("a design space needs at least one axis")
+
+    @classmethod
+    def grid(cls, **axes: Sequence[int]) -> "DesignSpace":
+        """Keyword-argument convenience: ``DesignSpace.grid(height=(2, 4))``."""
+        return cls(axes)
+
+    # -- geometry ------------------------------------------------------------
+    def __len__(self) -> int:
+        size = 1
+        for axis in self.axes.values():
+            size *= len(axis)
+        return size
+
+    def axis_values(self, name: str) -> Tuple[int, ...]:
+        """Values of one axis (the default as a singleton when not swept)."""
+        axis = self.axes.get(name)
+        if axis is not None:
+            return axis.values
+        return (AXIS_DEFAULTS[name],)
+
+    def points(self) -> Iterator[DesignPoint]:
+        """Iterate the grid in deterministic (canonical axis) order."""
+        swept_z_queue = "z_queue_depth" in self.axes
+        value_lists = [self.axis_values(name) for name in AXIS_ORDER]
+        for values in itertools.product(*value_lists):
+            resolved = dict(zip(AXIS_ORDER, values))
+            if not swept_z_queue:
+                # Deepen the Z queue alongside L so the engine (which
+                # deadlocks when a tile has more live rows than queue
+                # slots) can execute every point of the sweep.
+                resolved["z_queue_depth"] = max(
+                    AXIS_DEFAULTS["z_queue_depth"], resolved["length"]
+                )
+            config = RedMulEConfig(
+                **{name: resolved[name] for name in CONFIG_AXES}
+            )
+            yield DesignPoint(
+                config=config,
+                tcdm_banks=resolved["tcdm_banks"],
+                memory_latency=resolved["memory_latency"],
+            )
+
+    def describe(self) -> str:
+        """One line per swept axis plus the grid size."""
+        lines = [f"design space: {len(self)} points over "
+                 f"{len(self.axes)} axes"]
+        for name in AXIS_ORDER:
+            if name in self.axes:
+                lines.append(f"  {name}: {list(self.axes[name].values)}")
+        return "\n".join(lines)

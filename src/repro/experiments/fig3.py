@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.farm import SimulationFarm, farm_for_config
 from repro.power.area import AreaModel, ClusterAreaModel

@@ -13,10 +13,11 @@ import argparse
 import os
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.experiments import fig3, fig4, serve, table1
+from repro.experiments import dse, fig3, fig4, serve, table1
 
 #: Registry of experiment drivers keyed by the paper's identifier, plus the
-#: serving scenarios that go beyond the paper (``serve-*``).
+#: serving (``serve-*``) and design-space (``dse-*``) scenarios that go
+#: beyond the paper.
 EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "table1": table1.build_table1,
     "fig3a": fig3.area_breakdown,
@@ -29,6 +30,8 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "fig4d": fig4.autoencoder_batching,
     "serve-mlp": serve.serve_mlp,
     "serve-mix": serve.serve_mix,
+    "dse-frontier": dse.dse_frontier,
+    "dse-memory": dse.dse_memory,
 }
 
 
@@ -119,6 +122,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="aggregate request rate (requests/s) of the serve-* scenarios",
     )
     parser.add_argument(
+        "--dse-export",
+        default=None,
+        metavar="DIR",
+        help="write the dse-* scenarios' full point sets as CSV/JSON into "
+        "this directory (created if missing)",
+    )
+    parser.add_argument(
         "--cache-file",
         default=None,
         metavar="PATH",
@@ -147,6 +157,8 @@ def main(argv: Optional[List[str]] = None) -> None:
         set_default_arithmetic(args.backend)
     if args.clusters is not None or args.rps is not None:
         serve.set_serve_defaults(clusters=args.clusters, rps=args.rps)
+    if args.dse_export is not None:
+        dse.set_dse_defaults(export_dir=args.dse_export)
 
     names = args.names or list_experiments()
     try:
@@ -160,9 +172,17 @@ def main(argv: Optional[List[str]] = None) -> None:
 
         farm = default_farm()
         if os.path.exists(args.cache_file):
-            loaded = farm.load_cache(args.cache_file)
-            print(f"loaded {loaded} timing-cache entries "
-                  f"from {args.cache_file}")
+            try:
+                loaded = farm.load_cache(args.cache_file)
+            except ValueError as error:
+                # A cache written by an incompatible revision (version
+                # mismatch) is worth a warning, never an abort: treat it
+                # as empty and overwrite it with fresh records on save.
+                print(f"ignoring stale timing cache {args.cache_file}: "
+                      f"{error}")
+            else:
+                print(f"loaded {loaded} timing-cache entries "
+                      f"from {args.cache_file}")
 
     for name in names:
         print("=" * 72)
@@ -170,8 +190,7 @@ def main(argv: Optional[List[str]] = None) -> None:
         print()
 
     if args.cache_file is not None:
-        os.makedirs(os.path.dirname(os.path.abspath(args.cache_file)),
-                    exist_ok=True)
+        # TimingCache.save creates missing parent directories itself.
         saved = farm.save_cache(args.cache_file)
         print(f"saved {saved} timing-cache entries to {args.cache_file}")
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.farm import SimulationFarm
-from repro.perf.comparison import PAPER_OUR_WORK, SOA_ENTRIES, SoaEntry, our_entries
+from repro.perf.comparison import PAPER_OUR_WORK, SOA_ENTRIES, our_entries
 from repro.perf.report import TextTable
 from repro.redmule.config import RedMulEConfig
 

@@ -26,6 +26,7 @@ from repro.farm.farm import (
     FarmResult,
     FarmStats,
     FarmValidationError,
+    POLICY_ANALYTIC,
     PoolUnavailableError,
     SimulationFarm,
     ValidationReport,
@@ -52,6 +53,7 @@ __all__ = [
     "FarmResult",
     "FarmStats",
     "FarmValidationError",
+    "POLICY_ANALYTIC",
     "PoolUnavailableError",
     "SimulationFarm",
     "TimingCache",

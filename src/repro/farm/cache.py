@@ -29,7 +29,10 @@ from repro.redmule.config import RedMulEConfig
 from repro.redmule.job import MatmulJob
 
 #: Format tag of the persisted cache files (see :meth:`TimingCache.save`).
-CACHE_FILE_VERSION = 1
+#: v2: the analytical model became bit-exact on its uncontended domain
+#: (per-tile boundary cycle + drain correction), so v1 model records carry
+#: stale cycle counts and must not be reloaded.
+CACHE_FILE_VERSION = 2
 
 #: Backend tags used in cache keys and records.
 BACKEND_ENGINE = "engine"
@@ -224,8 +227,14 @@ class TimingCache:
         The file carries a format version so stale caches from incompatible
         revisions are rejected instead of silently misread.  Timing records
         are deterministic per (config, shape, backend), so sharing a cache
-        file across processes and benchmark invocations is safe.
+        file across processes and benchmark invocations is safe.  Missing
+        parent directories are created (``mkdir -p`` semantics): cache paths
+        routinely point into per-run artifact directories that do not exist
+        yet, and losing a batch of simulations to ``FileNotFoundError`` at
+        save time would be the most expensive possible way to learn that.
         """
+        parent = os.path.dirname(os.path.abspath(os.fspath(path)))
+        os.makedirs(parent, exist_ok=True)
         entries = [
             {"key": asdict(key), "record": asdict(record)}
             for key, record in self._entries.items()
@@ -265,5 +274,5 @@ class TimingCache:
         return (
             f"timing cache: {len(self)} entries, {self.stats.hits} hits / "
             f"{self.stats.misses} misses ({100 * self.stats.hit_rate:.1f}% "
-            f"hit rate)"
+            "hit rate)"
         )

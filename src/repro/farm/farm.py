@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.farm.cache import (
@@ -41,6 +41,13 @@ from repro.redmule.config import RedMulEConfig
 from repro.redmule.job import MatmulJob
 from repro.redmule.vector_ops import validate_backend_name
 from repro.workloads.gemm import GemmShape
+
+#: Backend *policy* name routing every job to the analytical model.  Unlike
+#: the per-record ``BACKEND_MODEL`` tag it is a farm/request-level policy:
+#: records produced under it are cached as ordinary model records, so
+#: analytic sweeps, the graph/serve layers and persisted cache files all
+#: share one timing vocabulary.
+POLICY_ANALYTIC = "analytic"
 
 #: Jobs at or below this many MACs default to the cycle-accurate engine.
 DEFAULT_ENGINE_MACS_THRESHOLD = 1 << 18
@@ -231,7 +238,10 @@ class SimulationFarm:
         ``"exact-simd"`` backend and the rest to ``"fast"``.
     backend:
         ``"auto"`` (default) routes each job by size, ``"engine"`` or
-        ``"model"`` forces one backend for every request.
+        ``"model"`` forces one backend for every request; ``"analytic"``
+        is the design-space-exploration policy: every job is served by the
+        closed-form model (cached as ordinary model records) and the farm
+        never spins up a process pool.
     engine_macs_threshold:
         Auto mode sends jobs with at most this many MACs to the
         cycle-accurate engine and the rest to the analytical model.
@@ -263,10 +273,11 @@ class SimulationFarm:
         max_cycles: Optional[int] = None,
         arithmetic: Optional[str] = None,
     ) -> None:
-        if backend not in ("auto", BACKEND_ENGINE, BACKEND_MODEL):
+        if backend not in ("auto", BACKEND_ENGINE, BACKEND_MODEL,
+                           POLICY_ANALYTIC):
             raise ValueError(
-                f"backend must be 'auto', '{BACKEND_ENGINE}' or "
-                f"'{BACKEND_MODEL}', got {backend!r}"
+                f"backend must be 'auto', '{BACKEND_ENGINE}', "
+                f"'{BACKEND_MODEL}' or '{POLICY_ANALYTIC}', got {backend!r}"
             )
         if tolerance < 0:
             raise ValueError("tolerance must be non-negative")
@@ -297,6 +308,8 @@ class SimulationFarm:
                         backend: Optional[str] = None) -> str:
         """Pick the backend for one job (caller override > farm policy)."""
         choice = backend or self.backend
+        if choice == POLICY_ANALYTIC:
+            return BACKEND_MODEL
         if choice != "auto":
             return choice
         if job.total_macs <= self.engine_macs_threshold:
@@ -628,7 +641,7 @@ class SimulationFarm:
             self.stats.validations += 1
             if not report.within_tolerance:
                 raise FarmValidationError(
-                    f"engine/model cycle mismatch for shape "
+                    "engine/model cycle mismatch for shape "
                     f"{key.m}x{key.n}x{key.k} (accumulate={key.accumulate}): "
                     f"engine {report.engine_cycles} vs model "
                     f"{report.model_cycles} "
@@ -650,7 +663,7 @@ class SimulationFarm:
             f"{stats.pool_failures} pool fallbacks)",
             f"  jobs served    : {stats.jobs} in {stats.batches} batches "
             f"({stats.engine_runs} engine runs, {stats.model_runs} model runs)",
-            f"  validation     : "
+            "  validation     : "
             + (f"{stats.validations} cross-checks at {self.tolerance:.0%}"
                if self.validate else "off")
             + (f", {stats.backend_validations} backend bit-checks"

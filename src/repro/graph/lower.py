@@ -22,7 +22,7 @@ report the TCDM footprint and the plan a too-large GEMM would need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.tiler import TiledMatmulPlan, plan_tiled_matmul
 from repro.graph.ir import ElementwiseNode, GemmNode, WorkloadGraph
@@ -130,6 +130,17 @@ class LoweredProgram:
             else:
                 completion_jobs[node.name] = node_deps
         return deps
+
+    def critical_path_cycles(self, job_costs: Sequence[float]) -> float:
+        """Longest dependent-job chain given per-job cycle costs.
+
+        ``job_costs`` is index-aligned with the flat :attr:`jobs` stream
+        (e.g. farm-record cycles or analytic estimates).  The result is the
+        makespan floor of the program: no cluster pool can execute it faster.
+        """
+        from repro.redmule.perf_model import critical_path_cycles
+
+        return critical_path_cycles(self.job_deps(), list(job_costs))
 
     def gemm_nodes(self) -> List[LoweredNode]:
         """The GEMM nodes, in program order."""

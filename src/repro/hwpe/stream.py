@@ -13,7 +13,7 @@ only needs two abstractions:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generic, Iterable, List, Optional, TypeVar
+from typing import Deque, Generic, Optional, TypeVar
 
 T = TypeVar("T")
 

@@ -13,7 +13,7 @@ Two pieces of arbitration matter for RedMulE's timing:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 
 class RoundRobinArbiter:

@@ -15,7 +15,7 @@ benchmark exercises the other regime.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.interco.arbiter import BranchRotator

@@ -13,7 +13,7 @@ access immediately (single-cycle TCDM).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.interco.arbiter import RoundRobinArbiter

@@ -9,7 +9,6 @@ instance so experiments can report read/write traffic.
 from __future__ import annotations
 
 import struct
-from typing import Iterable
 
 import numpy as np
 

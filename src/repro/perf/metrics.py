@@ -9,7 +9,7 @@ adding the per-job offload cost) and the 8-core software baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.redmule.config import RedMulEConfig
 from repro.redmule.perf_model import RedMulEPerfModel

@@ -59,6 +59,14 @@ CLUSTER_COMPONENT_AREAS: Dict[str, float] = {
     "DMA + event unit": 0.010,
 }
 
+#: TCDM banks of the reference cluster (16 x 8 KiB word-interleaved SRAMs).
+REFERENCE_TCDM_BANKS = 16
+
+#: Area of one TCDM bank in 22 nm (mm2): the calibrated 0.160 mm2 memory
+#: slice divided over the 16 reference banks.  The design-space explorer
+#: scales the cluster area linearly in the bank count through this constant.
+TCDM_BANK_AREA = CLUSTER_COMPONENT_AREAS["TCDM banks"] / REFERENCE_TCDM_BANKS
+
 
 @dataclass
 class AreaModel:
@@ -143,19 +151,35 @@ class AreaModel:
 
 @dataclass
 class ClusterAreaModel:
-    """Area of the full PULP cluster hosting a RedMulE instance."""
+    """Area of the full PULP cluster hosting a RedMulE instance.
+
+    ``tcdm_banks`` sizes the shared memory: the reference cluster carries
+    :data:`REFERENCE_TCDM_BANKS` banks, and the design-space explorer sweeps
+    the count to trade memory area against banking-conflict headroom.
+    """
 
     config: RedMulEConfig
     technology: TechnologyParams = TECH_22NM
+    tcdm_banks: int = REFERENCE_TCDM_BANKS
+
+    def __post_init__(self) -> None:
+        if self.tcdm_banks < 1:
+            raise ValueError("the cluster needs at least one TCDM bank")
 
     def redmule_area(self) -> float:
         """Accelerator area."""
         return AreaModel(self.config, self.technology).total()
 
+    def _component_areas(self) -> Dict[str, float]:
+        """Non-accelerator component areas at the selected bank count."""
+        areas = dict(CLUSTER_COMPONENT_AREAS)
+        areas["TCDM banks"] = self.tcdm_banks * TCDM_BANK_AREA
+        return areas
+
     def total(self) -> float:
         """Total cluster area in mm2."""
         scale = self.technology.cluster_area_mm2 / TECH_22NM.cluster_area_mm2
-        others = sum(CLUSTER_COMPONENT_AREAS.values()) * scale
+        others = sum(self._component_areas().values()) * scale
         return others + self.redmule_area()
 
     def redmule_share(self) -> float:
@@ -166,7 +190,7 @@ class ClusterAreaModel:
         """Cluster-level area breakdown."""
         scale = self.technology.cluster_area_mm2 / TECH_22NM.cluster_area_mm2
         items = [(name, area * scale)
-                 for name, area in CLUSTER_COMPONENT_AREAS.items()]
+                 for name, area in self._component_areas().items()]
         items.append(("RedMulE", self.redmule_area()))
         return Breakdown(
             title=f"PULP cluster area breakdown ({self.technology.name})",

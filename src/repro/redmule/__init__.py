@@ -30,7 +30,11 @@ from repro.redmule.streamer import Streamer, StreamerStats
 from repro.redmule.scheduler import Tile, TileSchedule
 from repro.redmule.controller import RedMulEController, REDMULE_REGISTERS
 from repro.redmule.engine import RedMulE, RedMulEResult
-from repro.redmule.perf_model import RedMulEPerfModel, PerfEstimate
+from repro.redmule.perf_model import (
+    PerfEstimate,
+    ProgramEstimate,
+    RedMulEPerfModel,
+)
 from repro.redmule.functional import (
     matmul_hw_order_exact,
     matmul_hw_order_fast,
@@ -54,6 +58,7 @@ __all__ = [
     "MatmulJob",
     "PerfEstimate",
     "PipelinedFma",
+    "ProgramEstimate",
     "REDMULE_REGISTERS",
     "RedMulE",
     "RedMulEConfig",

@@ -14,7 +14,7 @@ job-specific registers.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.hwpe.controller import HwpeController, HwpeState
 from repro.hwpe.regfile import HwpeRegisterFile, RegisterSpec

@@ -11,8 +11,6 @@ through the register file without loss.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
 from repro.mem.layout import ELEMENT_BYTES, MatrixHandle
 
 

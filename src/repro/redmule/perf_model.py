@@ -11,18 +11,31 @@ same execution structure:
 * before the first issue of a tile the streamer must load the first X block
   (one line per valid row) and the initial W lines through the single wide
   port (one access per cycle), which stalls the array;
-* after the last tile the remaining Z lines trickle out.
+* a non-accumulating tile pays one extra boundary cycle when its first Z row
+  is handed to the store path (an accumulating tile hides it behind the Y
+  pre-load of the next tile);
+* after the last tile the remaining Z lines trickle out at one line per
+  cycle.
 
-Mid-tile memory traffic (W refills, X block refills, Z stores of the previous
-tile) fits in the spare slots of the wide port and causes no stalls in the
-uncontended case, matching the engine.  The model is validated against the
-cycle-accurate engine in ``tests/test_redmule_perf_model.py``.
+On the *uncontended* domain -- where the wide port has enough spare slots per
+``block_k``-cycle chunk window to serve the mid-tile W and X refills (see
+:meth:`RedMulEPerfModel.is_exact`) -- the estimate is **bit-exact**: it equals
+the engine's measured cycle count on every shape, which the property tests in
+``tests/test_dse_properties.py`` assert over randomized (M, N, K) x (H, L, P)
+samples.  Outside that domain the port saturates, the engine stalls mid-tile
+and the closed form becomes a lower bound; the farm's validation mode and the
+DSE cross-validation pass quantify the gap.
+
+The optional ``memory_latency`` parameter extends the model beyond the
+paper's single-cycle TCDM: each tile's pre-load pays the extra access latency
+once (subsequent accesses pipeline behind it).  It defaults to 0, which is
+the configuration the exactness guarantee applies to.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.redmule.config import RedMulEConfig
 from repro.redmule.job import MatmulJob
@@ -81,11 +94,73 @@ class PerfEstimate:
         return 2.0 * self.throughput_gmacs(frequency_hz)
 
 
-class RedMulEPerfModel:
-    """Analytical cycle model of a RedMulE instance (uncontended TCDM)."""
+@dataclass(frozen=True)
+class ProgramEstimate:
+    """Analytic timing of a whole lowered workload-graph program.
 
-    def __init__(self, config: Optional[RedMulEConfig] = None) -> None:
+    ``serial_cycles`` is the single-cluster back-to-back execution time (the
+    quantity :meth:`repro.farm.SimulationFarm.time_program` measures through
+    its records) and ``critical_path_cycles`` the dependency-aware makespan
+    floor: no pool of clusters, however large, can finish the program faster
+    than its longest chain of dependent jobs.
+    """
+
+    graph_name: str
+    config: RedMulEConfig
+    #: Number of accelerator jobs in the lowered stream.
+    n_jobs: int
+    #: Useful MACs over the whole program.
+    total_macs: int
+    #: Single-cluster serial cycles (sum over jobs + offload cost).
+    serial_cycles: float
+    #: Longest dependent-job chain (infinite-cluster makespan floor).
+    critical_path_cycles: float
+    #: Per-node cycle totals, keyed by lowered-node name.
+    node_cycles: Dict[str, float]
+
+    @property
+    def parallelism(self) -> float:
+        """Average exploitable parallelism (serial / critical path)."""
+        if self.critical_path_cycles <= 0:
+            return 1.0
+        return self.serial_cycles / self.critical_path_cycles
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Serial-execution throughput of the program."""
+        if self.serial_cycles <= 0:
+            return 0.0
+        return self.total_macs / self.serial_cycles
+
+    @property
+    def utilisation(self) -> float:
+        """Serial throughput relative to the array's peak."""
+        return self.macs_per_cycle / self.config.ideal_macs_per_cycle
+
+    def runtime_s(self, frequency_hz: float) -> float:
+        """Serial wall-clock runtime at a given clock frequency."""
+        return self.serial_cycles / frequency_hz
+
+    def throughput_gflops(self, frequency_hz: float) -> float:
+        """Serial throughput in GFLOPS at a given clock frequency."""
+        return 2.0 * self.macs_per_cycle * frequency_hz / 1e9
+
+
+class RedMulEPerfModel:
+    """Analytical cycle model of a RedMulE instance (uncontended TCDM).
+
+    ``memory_latency`` models a TCDM whose first access of every tile
+    pre-load takes that many extra cycles (DSE memory-hierarchy axis); the
+    default 0 reproduces the engine's single-cycle memory bit-exactly on the
+    :meth:`is_exact` domain.
+    """
+
+    def __init__(self, config: Optional[RedMulEConfig] = None,
+                 memory_latency: int = 0) -> None:
+        if memory_latency < 0:
+            raise ValueError("memory_latency must be >= 0")
         self.config = config if config is not None else RedMulEConfig.reference()
+        self.memory_latency = memory_latency
 
     # ------------------------------------------------------------------
     def _initial_w_lines(self, n_chunks: int, n: int) -> int:
@@ -107,6 +182,27 @@ class RedMulEPerfModel:
                     count += 1
         return count
 
+    def is_exact(self, job: MatmulJob) -> bool:
+        """True when the closed form provably equals the engine on ``job``.
+
+        The model assumes the mid-tile W and X refills fit in the spare
+        slots of the wide port.  Per ``block_k``-cycle chunk window the port
+        must deliver up to ``min(H, N)`` W lines plus -- whenever a tile
+        needs more than one X block -- one X line per valid row; when that
+        demand exceeds the ``block_k`` slots of the window the engine stalls
+        mid-tile and the estimate becomes a lower bound.  ``P = 0``
+        (single-cycle FMAs) is excluded: the engine's X prefetch outruns its
+        buffer there, so no ground truth exists to match.
+        """
+        cfg = self.config
+        if cfg.pipeline_regs < 1:
+            return False
+        schedule = TileSchedule(job, cfg)
+        rows = min(job.m, cfg.length)
+        w_demand = min(cfg.height, job.n)
+        x_demand = rows if schedule.n_blocks > 1 else 0
+        return w_demand + x_demand <= cfg.block_k
+
     def estimate(self, job: MatmulJob) -> PerfEstimate:
         """Estimate the cycle count of ``job`` on this configuration."""
         cfg = self.config
@@ -114,6 +210,10 @@ class RedMulEPerfModel:
         n_chunks = schedule.n_chunks
         issue_cycles = (cfg.height - 1) * cfg.latency + n_chunks * cfg.block_k
         w_initial = self._initial_w_lines(n_chunks, job.n)
+        # A non-accumulating tile pays one boundary cycle handing its first
+        # Z row to the store path; an accumulating tile hides it behind the
+        # Y pre-load (measured against the engine, see the module docstring).
+        boundary = 0 if job.accumulate else 1
 
         total = 0
         for tile in schedule:
@@ -121,16 +221,18 @@ class RedMulEPerfModel:
             # initial W lines (higher priority), the Z pre-load lines of an
             # accumulation job, and the first X block, one access per cycle;
             # the first issue happens on the cycle the last of those lands.
+            # With a slow memory the first access additionally waits out the
+            # extra latency before the pipelined stream starts.
             x0_lines = tile.rows if job.n > 0 else 0
             y_lines = tile.rows if job.accumulate else 0
             preload_stalls = max(w_initial + y_lines + x0_lines - 1, 0)
-            total += preload_stalls + issue_cycles + cfg.latency
+            preload_stalls += self.memory_latency
+            total += preload_stalls + issue_cycles + cfg.latency + boundary
 
         # Final Z drain: the last tile's lines leave the Z queue at one line
         # per cycle (queue -> streamer -> memory) once compute has finished.
         last_tile = schedule.tile(schedule.n_tiles - 1)
-        final_drain = last_tile.rows + 2
-        total += final_drain
+        total += last_tile.rows
 
         ideal = -(-job.total_macs // cfg.ideal_macs_per_cycle)
         return PerfEstimate(
@@ -147,3 +249,58 @@ class RedMulEPerfModel:
         """Estimate a dense GEMM of the given shape (addresses are dummies)."""
         job = MatmulJob(x_addr=0, w_addr=0, z_addr=0, m=m, n=n, k=k)
         return self.estimate(job)
+
+    # -- whole programs ----------------------------------------------------
+    def estimate_program(self, program,
+                         offload_cycles_per_job: float = 0.0) -> ProgramEstimate:
+        """Estimate a lowered workload-graph program analytically.
+
+        ``program`` is a :class:`~repro.graph.lower.LoweredProgram` (duck
+        typed: anything with ``graph_name``, ``nodes`` carrying ``jobs``,
+        and ``job_deps()`` works).  Every job is estimated with the closed
+        form; the serial total reproduces
+        :meth:`repro.farm.SimulationFarm.time_program` and the critical path
+        is the longest dependent chain through the flat job stream.
+        """
+        if offload_cycles_per_job < 0:
+            raise ValueError("offload_cycles_per_job must be >= 0")
+        job_costs: List[float] = []
+        node_cycles: Dict[str, float] = {}
+        total_macs = 0
+        for node in program.nodes:
+            for job in node.jobs:
+                cycles = self.estimate(job).cycles + offload_cycles_per_job
+                job_costs.append(cycles)
+                node_cycles[node.name] = node_cycles.get(node.name, 0.0) + cycles
+                total_macs += job.total_macs
+        critical = critical_path_cycles(program.job_deps(), job_costs)
+        return ProgramEstimate(
+            graph_name=program.graph_name,
+            config=self.config,
+            n_jobs=len(job_costs),
+            total_macs=total_macs,
+            serial_cycles=float(sum(job_costs)),
+            critical_path_cycles=critical,
+            node_cycles=node_cycles,
+        )
+
+
+def critical_path_cycles(deps: List[Tuple[int, ...]],
+                         costs: List[float]) -> float:
+    """Longest weighted chain through a flat dependency-annotated job stream.
+
+    ``deps[i]`` holds the prerequisite indices of job ``i`` (all smaller than
+    ``i``, which the lowering pass guarantees), ``costs[i]`` its cycles.
+    Public shared helper: :meth:`repro.graph.lower.LoweredProgram.
+    critical_path_cycles` delegates here with its own ``job_deps()``.
+    """
+    if len(deps) != len(costs):
+        raise ValueError(
+            f"dependency annotation covers {len(deps)} jobs but "
+            f"{len(costs)} costs were given"
+        )
+    finish: List[float] = []
+    for prereqs, cost in zip(deps, costs):
+        start = max((finish[p] for p in prereqs), default=0.0)
+        finish.append(start + cost)
+    return max(finish, default=0.0)

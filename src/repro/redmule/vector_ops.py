@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.fp.fma import fma16
 from repro.fp.float16 import POS_ZERO_BITS, bits_to_float
-from repro.fp.simd import as_u16, fma16_guarded_f64
+from repro.fp.simd import fma16_guarded_f64
 
 
 class VectorOps(abc.ABC):

@@ -142,7 +142,7 @@ class ServeReport:
             f"  latency    : p50 {self.latency.p50:.0f}  "
             f"p95 {self.latency.p95:.0f}  p99 {self.latency.p99:.0f}  "
             f"max {self.latency.max:.0f} cycles",
-            f"  utilisation: "
+            "  utilisation: "
             + "  ".join(f"c{index}={100 * value:.1f}%"
                         for index, value in enumerate(self.utilisation))
             + f"  (mean {100 * self.mean_utilisation:.1f}%)",

@@ -97,8 +97,11 @@ class ServingSimulator:
         :func:`repro.farm.default_farm`); repeated shapes across requests,
         models and simulations hit its cache.
     backend:
-        Per-call farm backend override (``"engine"``/``"model"``); ``None``
-        keeps the farm's own routing policy.
+        Per-call farm backend override (``"engine"``/``"model"``/
+        ``"analytic"`` -- the last routes every job through the closed-form
+        model, which is what makes serving capacity planning cheap enough
+        to embed in a design-space sweep); ``None`` keeps the farm's own
+        routing policy.
     offload_cycles_per_job:
         Core-side cost charged per accelerator job (register programming),
         matching :meth:`SimulationFarm.time_program`'s parameter.

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sw.kernel import KernelCostModel, KernelParameters
+from repro.sw.kernel import KernelCostModel
 
 
 @dataclass(frozen=True)

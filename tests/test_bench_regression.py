@@ -1,0 +1,200 @@
+"""Tests of the benchmark-regression pipeline (emit + compare)."""
+
+import json
+
+import pytest
+
+from benchmarks.compare_baselines import (
+    Comparison,
+    compare_directories,
+    compare_metrics,
+    main,
+    metric_is_higher_better,
+    metric_is_wall_clock,
+    render,
+)
+from benchmarks.conftest import BENCH_RESULTS_ENV, record_info
+
+
+class TestDirections:
+    def test_lower_better_by_default(self):
+        assert not metric_is_higher_better("cycles")
+        assert not metric_is_higher_better("worst_relative_error")
+        assert not metric_is_higher_better("wall_clock_s")
+
+    def test_higher_better_markers(self):
+        for name in ("cache_hit_rate", "speedup_1_to_4", "mean_utilisation",
+                     "throughput_rps", "gflops_per_w", "points_per_second"):
+            assert metric_is_higher_better(name), name
+
+    def test_wall_clock_detection(self):
+        assert metric_is_wall_clock("wall_clock_s")
+        assert metric_is_wall_clock("sweep_wall_s")
+        # Host timing with a trailing qualifier must still get the wide
+        # wall-clock margin (refresh-by-cp commits it into the baseline).
+        assert metric_is_wall_clock("engine_wall_s_per_point")
+        assert not metric_is_wall_clock("cycles")
+
+    def test_count_metrics_gate_both_directions(self):
+        (item,) = compare_metrics("b", {"frontier_size": 16.0},
+                                  {"frontier_size": 2.0})
+        assert not item.ok  # collapse is a regression too
+        (item,) = compare_metrics("b", {"validated_jobs": 24.0},
+                                  {"validated_jobs": 40.0})
+        assert not item.ok
+        (item,) = compare_metrics("b", {"n_points": 1080.0},
+                                  {"n_points": 1080.0})
+        assert item.ok
+
+
+class TestCompareMetrics:
+    def test_within_threshold_passes(self):
+        items = compare_metrics("b", {"cycles": 100.0}, {"cycles": 110.0})
+        assert [item.ok for item in items] == [True]
+
+    def test_slowdown_beyond_20_percent_fails(self):
+        (item,) = compare_metrics("b", {"cycles": 100.0}, {"cycles": 121.0})
+        assert not item.ok
+        assert item.regression == pytest.approx(0.21)
+
+    def test_higher_better_metric_fails_on_drop(self):
+        (item,) = compare_metrics("b", {"hit_rate": 1.0}, {"hit_rate": 0.7})
+        assert not item.ok
+        (item,) = compare_metrics("b", {"hit_rate": 1.0}, {"hit_rate": 0.9})
+        assert item.ok
+
+    def test_improvement_always_passes(self):
+        (item,) = compare_metrics("b", {"cycles": 100.0}, {"cycles": 10.0})
+        assert item.ok
+        (item,) = compare_metrics("b", {"speedup": 3.0}, {"speedup": 30.0})
+        assert item.ok
+
+    def test_wall_clock_gets_looser_threshold(self):
+        (item,) = compare_metrics("b", {"wall_clock_s": 1.0},
+                                  {"wall_clock_s": 2.5})
+        assert item.ok  # 150% < the 200% wall default
+        (item,) = compare_metrics("b", {"wall_clock_s": 1.0},
+                                  {"wall_clock_s": 3.5})
+        assert not item.ok
+
+    def test_zero_baseline_error_must_stay_zero(self):
+        (item,) = compare_metrics("b", {"max_cycle_error": 0.0},
+                                  {"max_cycle_error": 0.01})
+        assert not item.ok
+        (item,) = compare_metrics("b", {"max_cycle_error": 0.0},
+                                  {"max_cycle_error": 0.0})
+        assert item.ok
+
+    def test_missing_metric_fails(self):
+        (item,) = compare_metrics("b", {"cycles": 100.0}, {})
+        assert not item.ok
+        assert "missing" in item.note
+
+    def test_new_metric_is_informational(self):
+        items = compare_metrics("b", {}, {"brand_new": 5.0})
+        assert [item.ok for item in items] == [True]
+        assert "no baseline" in items[0].note
+
+    def test_render_marks_failures(self):
+        text = render([Comparison(bench="b", metric="cycles", baseline=100.0,
+                                  current=130.0, regression=0.3, limit=0.2,
+                                  ok=False)])
+        assert "FAIL" in text
+
+
+class TestCompareDirectories:
+    def _write(self, directory, name, metrics):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps({"name": name, "metrics": metrics}))
+
+    def test_end_to_end_pass_and_fail(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        self._write(baselines, "alpha", {"cycles": 100.0})
+        self._write(results, "alpha", {"cycles": 105.0})
+        items = compare_directories(str(results), str(baselines))
+        assert all(item.ok for item in items)
+        assert main([str(results), str(baselines)]) == 0
+
+        self._write(results, "alpha", {"cycles": 200.0})
+        assert main([str(results), str(baselines)]) == 1
+
+    def test_missing_result_file_fails(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        results.mkdir()
+        self._write(baselines, "alpha", {"cycles": 100.0})
+        (item,) = compare_directories(str(results), str(baselines))
+        assert not item.ok
+        assert "no fresh result" in item.note
+
+    def test_empty_baseline_directory_is_an_error(self, tmp_path):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "results").mkdir()
+        with pytest.raises(SystemExit, match="no BENCH"):
+            compare_directories(str(tmp_path / "results"),
+                                str(tmp_path / "baselines"))
+
+    def test_committed_baselines_parse(self):
+        import os
+
+        baselines = os.path.join(os.path.dirname(__file__), "..",
+                                 "benchmarks", "baselines")
+        files = [name for name in os.listdir(baselines)
+                 if name.endswith(".json")]
+        assert len(files) >= 3
+        for name in files:
+            payload = json.loads(open(os.path.join(baselines, name)).read())
+            assert payload["metrics"], name
+
+
+class _FakeStats:
+    def __init__(self, mean, minimum):
+        self.mean = mean
+        self.min = minimum
+
+
+class _FakeBenchmark:
+    """Just enough of the pytest-benchmark fixture for record_info."""
+
+    def __init__(self, name="test_fake_bench", stats=None):
+        self.name = name
+        self.extra_info = {}
+        self.stats = stats
+
+
+class TestRecordInfoEmission:
+    def test_writes_bench_json_when_env_set(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_RESULTS_ENV, str(tmp_path / "out"))
+        bench = _FakeBenchmark(stats=_FakeStats(mean=0.5, minimum=0.4))
+        record_info(bench, {"cycles": 123, "label": "not-numeric",
+                            "flag": True})
+        path = tmp_path / "out" / "BENCH_fake_bench.json"
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "fake_bench"
+        assert payload["metrics"]["cycles"] == 123.0
+        assert payload["metrics"]["wall_clock_s"] == 0.5
+        assert payload["metrics"]["wall_clock_min_s"] == 0.4
+        # Non-numeric extras stay in extra_info but out of the gate.
+        assert "label" not in payload["metrics"]
+        assert "flag" not in payload["metrics"]
+        assert bench.extra_info["cycles"] == 123
+
+    def test_explicit_name_overrides_test_name(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_RESULTS_ENV, str(tmp_path))
+        record_info(_FakeBenchmark(), {"cycles": 1}, name="custom")
+        assert (tmp_path / "BENCH_custom.json").exists()
+
+    def test_no_env_no_file(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(BENCH_RESULTS_ENV, raising=False)
+        bench = _FakeBenchmark()
+        record_info(bench, {"cycles": 1})
+        assert list(tmp_path.iterdir()) == []
+        assert bench.extra_info == {"cycles": 1}
+
+    def test_benchmark_without_stats_still_writes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(BENCH_RESULTS_ENV, str(tmp_path))
+        record_info(_FakeBenchmark(stats=None), {"cycles": 7})
+        payload = json.loads((tmp_path / "BENCH_fake_bench.json").read_text())
+        assert payload["metrics"] == {"cycles": 7.0}

@@ -11,7 +11,6 @@ from repro.cluster.tiler import (
     plan_tiled_matmul,
 )
 from repro.fp.vector import random_fp16_matrix
-from repro.redmule.config import RedMulEConfig
 from repro.redmule.functional import matmul_hw_order_fast
 
 

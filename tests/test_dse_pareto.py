@@ -1,0 +1,79 @@
+"""Tests of the Pareto-frontier extraction."""
+
+import pytest
+
+from repro.dse import Objective, pareto_frontier, resolve_objectives
+
+
+def P(**values):
+    """Dict records double as attribute-free sweep points."""
+    return values
+
+
+class TestResolveObjectives:
+    def test_strings_minimise_by_default(self):
+        (objective,) = resolve_objectives(["area"])
+        assert objective == Objective("area", maximize=False)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one objective"):
+            resolve_objectives([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            resolve_objectives(["area", Objective("area", maximize=True)])
+
+
+class TestParetoFrontier:
+    def test_single_objective_keeps_only_minima(self):
+        points = [P(cost=3), P(cost=1), P(cost=2), P(cost=1)]
+        frontier = pareto_frontier(points, ["cost"])
+        assert frontier == [P(cost=1), P(cost=1)]
+
+    def test_two_objective_trade_off(self):
+        a = P(area=1, cycles=9)
+        b = P(area=2, cycles=5)
+        c = P(area=3, cycles=2)
+        dominated = P(area=3, cycles=6)  # b beats it on both
+        frontier = pareto_frontier([c, dominated, a, b], ["area", "cycles"])
+        assert frontier == [a, b, c]  # sorted by first objective
+
+    def test_weak_dominance_keeps_duplicates(self):
+        a = P(area=1, cycles=5)
+        twin = P(area=1, cycles=5)
+        assert pareto_frontier([a, twin], ["area", "cycles"]) == [a, twin]
+
+    def test_equal_on_one_axis_strictly_worse_on_other_is_dominated(self):
+        a = P(area=1, cycles=5)
+        worse = P(area=1, cycles=6)
+        assert pareto_frontier([worse, a], ["area", "cycles"]) == [a]
+
+    def test_maximize_objective_flips_direction(self):
+        slow = P(area=1, gflops=10)
+        fast = P(area=2, gflops=20)
+        dominated = P(area=2, gflops=5)
+        frontier = pareto_frontier(
+            [dominated, fast, slow],
+            ["area", Objective("gflops", maximize=True)],
+        )
+        assert frontier == [slow, fast]
+
+    def test_three_objectives(self):
+        a = P(x=1, y=9, z=9)
+        b = P(x=9, y=1, z=9)
+        c = P(x=9, y=9, z=1)
+        dominated = P(x=9, y=9, z=2)
+        frontier = pareto_frontier([a, b, c, dominated], ["x", "y", "z"])
+        assert dominated not in frontier
+        assert {tuple(sorted(p.items())) for p in frontier} == {
+            tuple(sorted(p.items())) for p in (a, b, c)
+        }
+
+    def test_attribute_records_work_too(self):
+        class Point:
+            def __init__(self, area, cycles):
+                self.area = area
+                self.cycles = cycles
+
+        a, b = Point(1, 5), Point(2, 9)
+        assert pareto_frontier([b, a], ["area", "cycles"]) == [a]

@@ -1,0 +1,92 @@
+"""Tests of the design-space axis grids."""
+
+import pytest
+
+from repro.dse import (
+    AXIS_DEFAULTS,
+    AXIS_ORDER,
+    DesignAxis,
+    DesignSpace,
+    DesignSpaceError,
+)
+
+
+class TestDesignAxis:
+    def test_valid_axis(self):
+        axis = DesignAxis("height", (2, 4, 8))
+        assert axis.values == (2, 4, 8)
+        assert len(axis) == 3
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DesignSpaceError, match="unknown design axis"):
+            DesignAxis("voltage", (1,))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(DesignSpaceError, match="at least one value"):
+            DesignAxis("height", ())
+
+    def test_non_integer_values_rejected(self):
+        with pytest.raises(DesignSpaceError, match="integers"):
+            DesignAxis("height", (2.5,))
+        with pytest.raises(DesignSpaceError, match="integers"):
+            DesignAxis("height", (True,))
+
+    def test_zero_rejected_for_config_axes_allowed_for_latency(self):
+        with pytest.raises(DesignSpaceError, match=">= 1"):
+            DesignAxis("height", (0,))
+        assert DesignAxis("memory_latency", (0, 4)).values == (0, 4)
+
+
+class TestDesignSpace:
+    def test_grid_size_is_product_of_axes(self):
+        space = DesignSpace.grid(height=(2, 4), length=(4, 8, 16),
+                                 memory_latency=(0, 2))
+        assert len(space) == 12
+        assert len(list(space.points())) == 12
+
+    def test_points_resolve_defaults_for_unswept_axes(self):
+        space = DesignSpace.grid(height=(2,))
+        (point,) = space.points()
+        assert point.config.height == 2
+        assert point.config.length == AXIS_DEFAULTS["length"]
+        assert point.tcdm_banks == AXIS_DEFAULTS["tcdm_banks"]
+        assert point.memory_latency == 0
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(DesignSpaceError, match="given twice"):
+            DesignSpace([DesignAxis("height", (2,)), DesignAxis("height", (4,))])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(DesignSpaceError, match="at least one axis"):
+            DesignSpace({})
+
+    def test_mapping_constructor(self):
+        space = DesignSpace({"height": [2, 4]})
+        assert [p.config.height for p in space.points()] == [2, 4]
+
+    def test_iteration_order_is_canonical_and_deterministic(self):
+        space = DesignSpace.grid(length=(4, 8), height=(2, 4))
+        order = [(p.config.height, p.config.length) for p in space.points()]
+        # height is earlier in AXIS_ORDER, so it is the outer loop
+        # regardless of keyword order.
+        assert order == [(2, 4), (2, 8), (4, 4), (4, 8)]
+        assert AXIS_ORDER.index("height") < AXIS_ORDER.index("length")
+
+    def test_z_queue_auto_deepens_with_length(self):
+        space = DesignSpace.grid(length=(4, 32))
+        shallow, deep = space.points()
+        assert shallow.config.z_queue_depth == AXIS_DEFAULTS["z_queue_depth"]
+        # The engine's Z queue deadlocks when a tile has more live rows
+        # than slots; the space keeps large-L points executable.
+        assert deep.config.z_queue_depth == 32
+
+    def test_explicit_z_queue_axis_is_respected_verbatim(self):
+        space = DesignSpace.grid(length=(32,), z_queue_depth=(4,))
+        (point,) = space.points()
+        assert point.config.z_queue_depth == 4
+
+    def test_describe_lists_swept_axes(self):
+        space = DesignSpace.grid(height=(2, 4), tcdm_banks=(8, 16))
+        text = space.describe()
+        assert "4 points" in text
+        assert "height" in text and "tcdm_banks" in text

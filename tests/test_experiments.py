@@ -160,6 +160,7 @@ class TestRunner:
             "table1", "fig3a", "fig3b", "fig3c", "fig3d",
             "fig4a", "fig4b", "fig4c", "fig4d",
             "serve-mlp", "serve-mix",
+            "dse-frontier", "dse-memory",
         }
 
     def test_run_experiment_by_name(self):

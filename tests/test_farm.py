@@ -210,26 +210,32 @@ class TestValidationMode:
         assert all(report.within_tolerance
                    for report in farm.validation_reports)
 
+    # On the reference instance the model is bit-exact for every shape, so
+    # tripping the cross-check needs a geometry whose wide port saturates
+    # mid-tile: H=6, L=8, P=1 has block_k = 12 < H + L = 14 line slots of
+    # per-window demand once X refills kick in (n > 12), and the engine
+    # stalls a couple of cycles beyond the closed form.
+    _CONTENDED = RedMulEConfig(height=6, length=8, pipeline_regs=1)
+
     def test_raises_beyond_tolerance(self):
-        # The model over-estimates (8, 16, 16) by one cycle (~1 %), so an
-        # absurdly tight tolerance must trip the cross-check.
-        farm = SimulationFarm(backend=BACKEND_ENGINE, max_workers=1,
-                              validate=True, tolerance=1e-6)
+        farm = SimulationFarm(config=self._CONTENDED, backend=BACKEND_ENGINE,
+                              max_workers=1, validate=True, tolerance=1e-6)
         with pytest.raises(FarmValidationError):
-            farm.run_gemm(8, 16, 16)
+            farm.run_gemm(12, 40, 8)
 
     def test_failed_validation_keeps_the_engine_record(self):
         """The engine simulation is ground truth: a tolerance breach must
         not discard it, or a retry would redo the whole expensive batch."""
-        farm = SimulationFarm(backend=BACKEND_ENGINE, max_workers=1,
-                              validate=True, tolerance=1e-6)
+        farm = SimulationFarm(config=self._CONTENDED, backend=BACKEND_ENGINE,
+                              max_workers=1, validate=True, tolerance=1e-6)
         with pytest.raises(FarmValidationError):
-            farm.run_gemm(8, 16, 16)
+            farm.run_gemm(12, 40, 8)
         assert farm.stats.engine_runs == 1
         # Re-running without validation serves the memoised record.
-        relaxed = SimulationFarm(backend=BACKEND_ENGINE, max_workers=1,
+        relaxed = SimulationFarm(config=self._CONTENDED,
+                                 backend=BACKEND_ENGINE, max_workers=1,
                                  cache=farm.cache)
-        result = relaxed.run_gemm(8, 16, 16)
+        result = relaxed.run_gemm(12, 40, 8)
         assert result.cache_hit
         assert relaxed.stats.engine_runs == 0
 

@@ -21,6 +21,24 @@ def _key(m=8, n=16, k=16, backend="engine", exact=False):
 
 
 class TestTimingCachePersistence:
+    def test_save_creates_missing_parent_directories(self, tmp_path):
+        """`save` has mkdir -p semantics: a cache path pointing into a
+        not-yet-created artifact directory must not lose the batch."""
+        cache = TimingCache()
+        cache.store(_key(), _record())
+        path = tmp_path / "does" / "not" / "exist" / "cache.json"
+        assert cache.save(path) == 1
+        loaded = TimingCache()
+        assert loaded.load(path) == 1
+        assert loaded.peek(_key()) == _record()
+
+    def test_farm_save_cache_into_missing_directory(self, tmp_path):
+        farm = SimulationFarm(max_workers=1)
+        farm.run_gemm(8, 8, 8, backend="model")
+        path = tmp_path / "fresh-dir" / "timing.json"
+        assert farm.save_cache(path) == 1
+        assert path.exists()
+
     def test_save_load_roundtrip(self, tmp_path):
         cache = TimingCache()
         cache.store(_key(), _record())

@@ -1,6 +1,5 @@
 """Tests for the bit-exact binary16 FMA, multiply and add."""
 
-import math
 
 import numpy as np
 import pytest

@@ -12,7 +12,6 @@ import pytest
 
 from repro.fp.flags import ExceptionFlags
 from repro.fp.float16 import (
-    FloatClass,
     classify,
     decompose,
     is_finite,

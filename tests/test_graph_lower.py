@@ -5,11 +5,9 @@ import pytest
 from repro.cluster.tiler import plan_tiled_matmul
 from repro.farm import SimulationFarm
 from repro.graph.ir import WorkloadGraph
-from repro.graph.lower import lower
 from repro.graph.zoo import (
     autoencoder_training_graph,
     mlp_training_graph,
-    transformer_encoder_graph,
 )
 from repro.workloads.autoencoder import AUTOENCODER_LAYER_SIZES
 from repro.workloads.gemm import GemmShape

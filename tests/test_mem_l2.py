@@ -1,7 +1,5 @@
 """Tests for the L2 memory model."""
 
-import pytest
-
 from repro.mem.l2 import L2Config, L2Memory
 
 

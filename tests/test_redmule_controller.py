@@ -1,7 +1,5 @@
 """Tests for the RedMulE register map and job controller."""
 
-import pytest
-
 from repro.hwpe.controller import HwpeState
 from repro.redmule.controller import (
     REDMULE_REGISTERS,

@@ -101,6 +101,47 @@ class TestServeScenarios:
             serve.set_serve_defaults(rps=-1.0)
 
 
+class TestDseScenarios:
+    def test_dse_scenarios_registered(self):
+        names = runner.list_experiments()
+        assert "dse-frontier" in names and "dse-memory" in names
+
+    def test_dse_export_flag_reaches_the_drivers(self, monkeypatch, tmp_path,
+                                                 capsys):
+        from repro.experiments import dse
+
+        seen = {}
+
+        def fake_driver():
+            seen["export_dir"] = dse._EXPORT_DIR_OVERRIDE
+            return "stub"
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "dse-memory", fake_driver)
+        export_dir = tmp_path / "dse-out"
+        try:
+            runner.main(["dse-memory", "--dse-export", str(export_dir)])
+        finally:
+            dse.set_dse_defaults(None)
+        assert seen["export_dir"] == str(export_dir)
+
+    def test_dse_memory_exports_csv_and_json(self, tmp_path, capsys):
+        from repro.experiments import dse
+
+        try:
+            dse.set_dse_defaults(export_dir=str(tmp_path / "out"))
+            report = dse.dse_memory()
+        finally:
+            dse.set_dse_defaults(None)
+        assert len(report.exported) == 2
+        for path in report.exported:
+            import os
+
+            assert os.path.exists(path)
+        text = report.render()
+        assert "fastest point per memory latency" in text
+        assert "exported" in text
+
+
 class TestCacheFileFlag:
     def _stub_experiment(self):
         from repro.farm import default_farm
@@ -142,6 +183,30 @@ class TestCacheFileFlag:
         farm = default_farm()
         assert farm.stats.model_runs == 0
         assert farm.cache.stats.hits >= 1
+        reset_default_farms()
+
+    def test_stale_cache_version_is_discarded_not_fatal(self, monkeypatch,
+                                                        tmp_path, capsys):
+        """A cache file from an incompatible revision (e.g. the v1 format
+        of the previous release) must not abort the batch: it is ignored
+        with a warning and overwritten with fresh records on save."""
+        import json
+
+        from repro.farm import reset_default_farms
+
+        reset_default_farms()
+        cache_file = tmp_path / "timing.json"
+        cache_file.write_text(json.dumps({"version": 1, "entries": []}))
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a",
+                            self._stub_experiment())
+        runner.main(["fig3a", "--cache-file", str(cache_file)])
+        out = capsys.readouterr().out
+        assert "ignoring stale timing cache" in out
+        assert "saved" in out
+        from repro.farm.cache import CACHE_FILE_VERSION
+
+        assert json.loads(cache_file.read_text())["version"] == \
+            CACHE_FILE_VERSION
         reset_default_farms()
 
     def test_missing_cache_file_is_not_an_error(self, monkeypatch, tmp_path,

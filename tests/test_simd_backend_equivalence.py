@@ -15,7 +15,6 @@ import pytest
 from repro.farm import (
     DEFAULT_ENGINE_MACS_THRESHOLD,
     BackendValidationReport,
-    FarmValidationError,
     SimulationFarm,
 )
 from repro.fp.vector import matrix_to_bits, quantize_fp16, random_fp16_matrix
