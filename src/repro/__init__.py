@@ -10,7 +10,8 @@ Learning on RISC-V-Based Ultra-Low-Power SoCs".
 Subpackages
 -----------
 ``repro.fp``
-    Bit-exact IEEE binary16 arithmetic (FMA, rounding modes, flags).
+    Bit-exact IEEE arithmetic for FP16/BF16/FP8 (parameterised formats,
+    FMA, rounding modes, flags, mixed-precision accumulate).
 ``repro.mem`` / ``repro.interco``
     TCDM, L2 and the Heterogeneous Cluster Interconnect.
 ``repro.hwpe``
@@ -56,7 +57,19 @@ from repro.farm import (
     TimingRecord,
     default_farm,
 )
-from repro.fp import Float16, RoundingMode, fma16, quantize_fp16, random_fp16_matrix
+from repro.fp import (
+    FORMATS,
+    BinaryFormat,
+    Float16,
+    RoundingMode,
+    fma16,
+    fma_mixed,
+    get_format,
+    quantize,
+    quantize_fp16,
+    random_fp16_matrix,
+    random_matrix,
+)
 from repro.mem import MatrixHandle, MemoryAllocator, Tcdm, TcdmConfig
 from repro.redmule import (
     MatmulJob,
@@ -88,6 +101,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AreaModel",
     "AutoEncoder",
+    "BinaryFormat",
+    "FORMATS",
     "ClusterAreaModel",
     "ClusterConfig",
     "DesignSpace",
@@ -128,6 +143,10 @@ __all__ = [
     "default_farm",
     "sweep",
     "fma16",
+    "fma_mixed",
+    "get_format",
+    "quantize",
     "quantize_fp16",
     "random_fp16_matrix",
+    "random_matrix",
 ]

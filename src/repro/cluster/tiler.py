@@ -42,6 +42,8 @@ class TiledMatmulPlan:
     tile_n: int
     tile_k: int
     tcdm_budget_bytes: int
+    #: Bytes per matrix element (2 for FP16/BF16, 1 for FP8).
+    element_bytes: int = ELEMENT_BYTES
 
     # ------------------------------------------------------------------
     @property
@@ -69,7 +71,7 @@ class TiledMatmulPlan:
         """TCDM bytes needed for one in-flight tile set (X, W and Z tiles)."""
         elements = (self.tile_m * self.tile_n + self.tile_n * self.tile_k
                     + self.tile_m * self.tile_k)
-        return elements * ELEMENT_BYTES
+        return elements * self.element_bytes
 
     @property
     def dma_bytes(self) -> int:
@@ -78,9 +80,9 @@ class TiledMatmulPlan:
         Every X tile is loaded once per K tile, every W tile once per M tile,
         and every Z tile is written back once.
         """
-        x_bytes = self.m * self.n * ELEMENT_BYTES * self.tiles_k
-        w_bytes = self.n * self.k * ELEMENT_BYTES * self.tiles_m
-        z_bytes = self.m * self.k * ELEMENT_BYTES
+        x_bytes = self.m * self.n * self.element_bytes * self.tiles_k
+        w_bytes = self.n * self.k * self.element_bytes * self.tiles_m
+        z_bytes = self.m * self.k * self.element_bytes
         return x_bytes + w_bytes + z_bytes
 
     def describe(self) -> str:
@@ -139,18 +141,19 @@ def plan_tiled_matmul(
     if tcdm_budget_bytes < 8 * 1024:
         raise ValueError("a TCDM budget below 8 KiB is not practical")
     config = config or RedMulEConfig.reference()
+    element_bytes = config.element_bytes
 
     def footprint(tile_m: int, tile_n: int, tile_k: int) -> int:
         elements = tile_m * tile_n + tile_n * tile_k + tile_m * tile_k
-        return elements * ELEMENT_BYTES
+        return elements * element_bytes
 
     tile_m, tile_n, tile_k = m, n, k
     # Shrink the largest dimension (in granule steps) until the tile set fits.
     while footprint(tile_m, tile_n, tile_k) > tcdm_budget_bytes:
         candidates = [
             ("m", tile_m, config.length),
-            ("n", tile_n, config.block_k),
-            ("k", tile_k, config.block_k),
+            ("n", tile_n, config.elements_per_line),
+            ("k", tile_k, config.elements_per_line),
         ]
         # Prefer shrinking the largest tile dimension; never go below one
         # hardware granule.
@@ -173,7 +176,8 @@ def plan_tiled_matmul(
                 f"cannot tile {m}x{n}x{k} into a {tcdm_budget_bytes}-byte budget"
             )
     return TiledMatmulPlan(m=m, n=n, k=k, tile_m=tile_m, tile_n=tile_n,
-                           tile_k=tile_k, tcdm_budget_bytes=tcdm_budget_bytes)
+                           tile_k=tile_k, tcdm_budget_bytes=tcdm_budget_bytes,
+                           element_bytes=element_bytes)
 
 
 def estimate_tiled_matmul(plan: TiledMatmulPlan,

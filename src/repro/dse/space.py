@@ -1,9 +1,13 @@
 """Declarative design spaces: axes over the RedMulE architecture knobs.
 
-A :class:`DesignSpace` is a cartesian grid of named axes.  Five axes map
-straight onto :class:`~repro.redmule.config.RedMulEConfig` fields (``height``,
-``length``, ``pipeline_regs``, ``w_prefetch_lines``, ``z_queue_depth``); two
-describe the environment around the accelerator:
+A :class:`DesignSpace` is a cartesian grid of named axes.  Five integer axes
+map straight onto :class:`~repro.redmule.config.RedMulEConfig` fields
+(``height``, ``length``, ``pipeline_regs``, ``w_prefetch_lines``,
+``z_queue_depth``); the ``precision`` axis sweeps the element format
+(``"fp16"``, ``"bf16"``, ``"fp8-e4m3"``, ``"fp8-e5m2"`` -- the FP8 formats
+double elements-per-line and peak throughput at identical ports and array
+geometry, which is exactly the trade-off the multi-precision follow-on
+explores); two further axes describe the environment around the accelerator:
 
 * ``tcdm_banks`` -- number of shared-memory banks (cluster area / energy
   through :class:`~repro.power.area.ClusterAreaModel`);
@@ -24,9 +28,10 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
 
+from repro.fp.formats import FORMAT_NAMES
 from repro.redmule.config import RedMulEConfig
 
-#: Axes forwarded into :class:`RedMulEConfig`, in canonical order.
+#: Integer axes forwarded into :class:`RedMulEConfig`, in canonical order.
 CONFIG_AXES: Tuple[str, ...] = (
     "height",
     "length",
@@ -35,25 +40,29 @@ CONFIG_AXES: Tuple[str, ...] = (
     "z_queue_depth",
 )
 
+#: The element-format axis (forwarded as ``RedMulEConfig.format``).
+PRECISION_AXIS = "precision"
+
 #: Environment axes evaluated outside the accelerator configuration.
 ENVIRONMENT_AXES: Tuple[str, ...] = ("tcdm_banks", "memory_latency")
 
 #: Every valid axis name, in the order points iterate.
-AXIS_ORDER: Tuple[str, ...] = CONFIG_AXES + ENVIRONMENT_AXES
+AXIS_ORDER: Tuple[str, ...] = CONFIG_AXES + (PRECISION_AXIS,) + ENVIRONMENT_AXES
 
 #: Default value of each axis when it is not swept.
-AXIS_DEFAULTS: Dict[str, int] = {
+AXIS_DEFAULTS: Dict[str, object] = {
     "height": 4,
     "length": 8,
     "pipeline_regs": 3,
     "w_prefetch_lines": 1,
     "z_queue_depth": 8,
+    "precision": "fp16",
     "tcdm_banks": 16,
     "memory_latency": 0,
 }
 
-#: Axes whose values must be >= 1 (``memory_latency`` alone may be 0).
-_MIN_ONE = frozenset(AXIS_ORDER) - {"memory_latency"}
+#: Integer axes whose values must be >= 1 (``memory_latency`` alone may be 0).
+_MIN_ONE = frozenset(AXIS_ORDER) - {"memory_latency", PRECISION_AXIS}
 
 
 class DesignSpaceError(ValueError):
@@ -76,6 +85,14 @@ class DesignAxis:
         if not self.values:
             raise DesignSpaceError(f"axis {self.name!r} needs at least one value")
         object.__setattr__(self, "values", tuple(self.values))
+        if self.name == PRECISION_AXIS:
+            for value in self.values:
+                if value not in FORMAT_NAMES:
+                    raise DesignSpaceError(
+                        f"axis {self.name!r}: unknown format {value!r}; "
+                        f"valid: {', '.join(FORMAT_NAMES)}"
+                    )
+            return
         floor = 1 if self.name in _MIN_ONE else 0
         for value in self.values:
             if not isinstance(value, int) or isinstance(value, bool):
@@ -101,7 +118,7 @@ class DesignPoint:
     tcdm_banks: int
     memory_latency: int
 
-    def axis_values(self) -> Dict[str, int]:
+    def axis_values(self) -> Dict[str, object]:
         """The point as an axis-name -> value mapping (exports, keys)."""
         return {
             "height": self.config.height,
@@ -109,6 +126,7 @@ class DesignPoint:
             "pipeline_regs": self.config.pipeline_regs,
             "w_prefetch_lines": self.config.w_prefetch_lines,
             "z_queue_depth": self.config.z_queue_depth,
+            "precision": self.config.format,
             "tcdm_banks": self.tcdm_banks,
             "memory_latency": self.memory_latency,
         }
@@ -149,7 +167,7 @@ class DesignSpace:
             raise DesignSpaceError("a design space needs at least one axis")
 
     @classmethod
-    def grid(cls, **axes: Sequence[int]) -> "DesignSpace":
+    def grid(cls, **axes: Sequence) -> "DesignSpace":
         """Keyword-argument convenience: ``DesignSpace.grid(height=(2, 4))``."""
         return cls(axes)
 
@@ -181,7 +199,8 @@ class DesignSpace:
                     AXIS_DEFAULTS["z_queue_depth"], resolved["length"]
                 )
             config = RedMulEConfig(
-                **{name: resolved[name] for name in CONFIG_AXES}
+                format=resolved[PRECISION_AXIS],
+                **{name: resolved[name] for name in CONFIG_AXES},
             )
             yield DesignPoint(
                 config=config,

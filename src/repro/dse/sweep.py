@@ -59,6 +59,7 @@ class DsePoint:
     pipeline_regs: int
     w_prefetch_lines: int
     z_queue_depth: int
+    precision: str
     tcdm_banks: int
     memory_latency: int
     # -- derived geometry ----------------------------------------------------
@@ -376,6 +377,7 @@ def sweep(
             pipeline_regs=config.pipeline_regs,
             w_prefetch_lines=config.w_prefetch_lines,
             z_queue_depth=config.z_queue_depth,
+            precision=config.format,
             tcdm_banks=point.tcdm_banks,
             memory_latency=point.memory_latency,
             n_fma=config.n_fma,

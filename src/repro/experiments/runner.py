@@ -103,9 +103,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=["exact", "exact-simd", "fast"],
         default=None,
-        help="FP16 arithmetic backend of the farm's cycle-accurate engine "
+        help="arithmetic backend of the farm's cycle-accurate engine "
         "runs (exact: scalar bit-exact oracle; exact-simd: vectorised "
         "bit-exact; fast: float64 with per-step rounding)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["fp16", "bf16", "fp8-e4m3", "fp8-e5m2"],
+        default=None,
+        help="element format of the reference instance the experiment "
+        "drivers simulate (fp16 is the paper's baseline; the fp8 formats "
+        "pack two elements per line slot and double peak throughput)",
     )
     parser.add_argument(
         "--clusters",
@@ -155,6 +163,10 @@ def main(argv: Optional[List[str]] = None) -> None:
         from repro.farm import set_default_arithmetic
 
         set_default_arithmetic(args.backend)
+    if args.format is not None:
+        from repro.farm import set_default_format
+
+        set_default_format(args.format)
     if args.clusters is not None or args.rps is not None:
         serve.set_serve_defaults(clusters=args.clusters, rps=args.rps)
     if args.dse_export is not None:

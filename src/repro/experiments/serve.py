@@ -6,10 +6,11 @@ roadmap's serving ambitions:
 * ``serve-mlp`` -- a single tenant fine-tuning the paper's auto-encoder
   on-device (batch-1 and batch-16 training steps mixed 3:1, the Fig. 4d
   contrast as live traffic);
-* ``serve-mix`` -- three tenants with different model families (the
-  auto-encoder tenant, a transformer+conv tenant, a recurrent tenant),
-  exercising the scheduler's per-tenant accounting and the cache across
-  heterogeneous graphs.
+* ``serve-mix`` -- four tenants with different model families (the
+  auto-encoder tenant, a transformer+conv tenant, a recurrent tenant, and
+  an edge-training tenant running reduced-precision FP8/BF16 model
+  variants), exercising the scheduler's per-tenant accounting, the
+  mixed-precision farm routing and the cache across heterogeneous graphs.
 
 Both run Poisson arrivals through the dependency-aware list scheduler on a
 pool of simulated clusters and return a :class:`~repro.serve.report.
@@ -137,7 +138,20 @@ def serve_mix(
                 ModelSpec("lstm-tiny", build_model("lstm-tiny"), weight=1.0),
                 ModelSpec("gru-tiny", build_model("gru-tiny"), weight=1.0),
             ),
-            rps=rps * 0.2,
+            rps=rps * 0.15,
+        ),
+        # Reduced-precision tenant: the same auto-encoder/MLP topologies at
+        # FP8 / BF16 element width, dispatched through per-precision farms
+        # that share the pool and the timing cache with the FP16 tenants.
+        TenantSpec(
+            name="edge-training-fp8",
+            models=(
+                ModelSpec("autoencoder-b1-fp8",
+                          build_model("autoencoder-b1-fp8"), weight=2.0),
+                ModelSpec("mlp-tiny-bf16", build_model("mlp-tiny-bf16"),
+                          weight=1.0),
+            ),
+            rps=rps * 0.05,
         ),
     )
     return _simulate(tenants, clusters, duration_s, seed, "serve-mix", farm)

@@ -34,6 +34,7 @@ from repro.farm.farm import (
     farm_for_config,
     reset_default_farms,
     set_default_arithmetic,
+    set_default_format,
 )
 from repro.farm.workers import (
     config_from_key,
@@ -68,6 +69,7 @@ __all__ = [
     "reset_default_farms",
     "run_functional_job",
     "set_default_arithmetic",
+    "set_default_format",
     "simulate_engine_timing",
     "simulate_key",
 ]

@@ -32,21 +32,31 @@ from repro.redmule.job import MatmulJob
 #: v2: the analytical model became bit-exact on its uncontended domain
 #: (per-tile boundary cycle + drain correction), so v1 model records carry
 #: stale cycle counts and must not be reloaded.
-CACHE_FILE_VERSION = 2
+#: v3: configuration keys grew the element-format axis (multi-precision
+#: support changes line geometry and cycle counts), so v2 keys -- which
+#: implicitly meant FP16 -- can no longer be told apart from other
+#: precisions and must not be reloaded.
+CACHE_FILE_VERSION = 3
 
 #: Backend tags used in cache keys and records.
 BACKEND_ENGINE = "engine"
 BACKEND_MODEL = "model"
 
 
-def config_key(config: RedMulEConfig) -> Tuple[int, int, int, int, int]:
-    """Hashable, picklable key identifying an architectural configuration."""
+def config_key(config: RedMulEConfig) -> Tuple[int, int, int, int, int, str]:
+    """Hashable, picklable key identifying an architectural configuration.
+
+    The element format is part of the key: it changes elements-per-line and
+    therefore tile geometry and cycle counts (unlike the ``arithmetic``
+    backend, which is deliberately excluded).
+    """
     return (
         config.height,
         config.length,
         config.pipeline_regs,
         config.w_prefetch_lines,
         config.z_queue_depth,
+        config.format,
     )
 
 
@@ -61,7 +71,7 @@ class TimingKey:
     run never serves one in place of the other.
     """
 
-    config: Tuple[int, int, int, int, int]
+    config: Tuple[int, int, int, int, int, str]
     m: int
     n: int
     k: int

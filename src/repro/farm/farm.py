@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.farm.cache import (
@@ -368,7 +368,8 @@ class SimulationFarm:
                  backend: Optional[str] = None) -> FarmResult:
         """Simulate a dense GEMM of the given shape (canonical placement)."""
         job = MatmulJob(x_addr=0, w_addr=0, z_addr=0, m=m, n=n, k=k,
-                        accumulate=accumulate)
+                        accumulate=accumulate,
+                        element_bytes=self.config.element_bytes)
         return self.run_job(job, backend=backend)
 
     def run_shapes(self, shapes: Sequence[GemmShape],
@@ -376,7 +377,8 @@ class SimulationFarm:
         """Simulate a list of :class:`GemmShape` descriptors in order."""
         jobs = [
             MatmulJob(x_addr=0, w_addr=0, z_addr=0,
-                      m=shape.m, n=shape.n, k=shape.k)
+                      m=shape.m, n=shape.n, k=shape.k,
+                      element_bytes=self.config.element_bytes)
             for shape in shapes
         ]
         return self.run(jobs, backend=backend)
@@ -674,10 +676,14 @@ class SimulationFarm:
 
 
 # -- shared default farms ----------------------------------------------------
-_DEFAULT_FARMS: Dict[Tuple[Tuple[int, int, int, int, int], bool, str], SimulationFarm] = {}
+_DEFAULT_FARMS: Dict[Tuple[Tuple[int, int, int, int, int, str], bool, str],
+                     SimulationFarm] = {}
 
 #: Arithmetic backend newly created default farms use (None = per-farm default).
 _DEFAULT_ARITHMETIC: Optional[str] = None
+
+#: Element format default farms are created with when no config is passed.
+_DEFAULT_FORMAT: Optional[str] = None
 
 
 def set_default_arithmetic(arithmetic: Optional[str]) -> None:
@@ -693,6 +699,21 @@ def set_default_arithmetic(arithmetic: Optional[str]) -> None:
     _DEFAULT_ARITHMETIC = arithmetic
 
 
+def set_default_format(fmt: Optional[str]) -> None:
+    """Set the element format configless default farms are created with.
+
+    This is how the runner CLI's ``--format`` choice reaches the experiment
+    drivers: a driver asking for the reference instance gets it in the
+    requested precision.  Pass ``None`` to restore FP16.
+    """
+    if fmt is not None:
+        from repro.fp.formats import get_format
+
+        get_format(fmt)
+    global _DEFAULT_FORMAT
+    _DEFAULT_FORMAT = fmt
+
+
 def default_farm(config: Optional[RedMulEConfig] = None,
                  exact: bool = False,
                  arithmetic: Optional[str] = None) -> SimulationFarm:
@@ -702,7 +723,10 @@ def default_farm(config: Optional[RedMulEConfig] = None,
     ``run_all()`` shares one timing cache across every figure (the Fig. 3c,
     3d and 4a sweeps reuse the same square shapes, as do the Table I rows).
     """
-    config = config if config is not None else RedMulEConfig.reference()
+    if config is None:
+        config = RedMulEConfig.reference()
+        if _DEFAULT_FORMAT is not None:
+            config = replace(config, format=_DEFAULT_FORMAT)
     if arithmetic is None:
         arithmetic = _DEFAULT_ARITHMETIC
     resolved, exact = _resolve_arithmetic(arithmetic, exact)

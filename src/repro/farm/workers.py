@@ -28,19 +28,21 @@ from repro.redmule.job import MatmulJob
 from repro.redmule.perf_model import RedMulEPerfModel
 
 
-def config_from_key(key: Tuple[int, int, int, int, int]) -> RedMulEConfig:
+def config_from_key(key: Tuple[int, ...]) -> RedMulEConfig:
     """Rebuild the architectural configuration from a cache key tuple."""
-    height, length, pipeline_regs, w_prefetch_lines, z_queue_depth = key
+    height, length, pipeline_regs, w_prefetch_lines, z_queue_depth = key[:5]
+    fmt = key[5] if len(key) > 5 else "fp16"
     return RedMulEConfig(
         height=height,
         length=length,
         pipeline_regs=pipeline_regs,
         w_prefetch_lines=w_prefetch_lines,
         z_queue_depth=z_queue_depth,
+        format=fmt,
     )
 
 
-def _tcdm_for_shape(m: int, n: int, k: int) -> Tcdm:
+def _tcdm_for_shape(m: int, n: int, k: int, element_bytes: int = 2) -> Tcdm:
     """A zero-filled TCDM large enough for the three operand matrices.
 
     The default 128 KiB geometry is kept whenever the job fits (so records
@@ -50,7 +52,7 @@ def _tcdm_for_shape(m: int, n: int, k: int) -> Tcdm:
     memory depth.
     """
     config = TcdmConfig()
-    needed = 2 * (m * n + n * k + m * k) + 3 * 32  # payload + alignment pad
+    needed = element_bytes * (m * n + n * k + m * k) + 3 * 32  # + alignment
     if needed > config.size:
         words_needed = -(-needed // (config.n_banks * config.word_bytes))
         config = TcdmConfig(bank_words=max(config.bank_words, words_needed))
@@ -58,7 +60,7 @@ def _tcdm_for_shape(m: int, n: int, k: int) -> Tcdm:
 
 
 def _build_job(
-    key: Tuple[int, int, int, int, int],
+    key: Tuple[int, ...],
     m: int,
     n: int,
     k: int,
@@ -72,19 +74,19 @@ def _build_job(
     ``(engine, job, z_handle)``.
     """
     config = config_from_key(key)
-    tcdm = _tcdm_for_shape(m, n, k)
+    tcdm = _tcdm_for_shape(m, n, k, config.element_bytes)
     hci = Hci(tcdm, HciConfig(n_wide_ports=config.n_mem_ports))
     engine = RedMulE(config, hci, backend=backend)
     allocator = MemoryAllocator(tcdm.base, tcdm.size)
-    hx = allocator.alloc_matrix(m, n, "X")
-    hw = allocator.alloc_matrix(n, k, "W")
-    hz = allocator.alloc_matrix(m, k, "Z")
+    hx = allocator.alloc_matrix(m, n, "X", fmt=config.format)
+    hw = allocator.alloc_matrix(n, k, "W", fmt=config.format)
+    hz = allocator.alloc_matrix(m, k, "Z", fmt=config.format)
     job = MatmulJob.from_handles(hx, hw, hz, accumulate=accumulate)
     return engine, job, (hx, hw, hz)
 
 
 def simulate_engine_timing(
-    key: Tuple[int, int, int, int, int],
+    key: Tuple[int, ...],
     m: int,
     n: int,
     k: int,
@@ -120,7 +122,7 @@ def simulate_engine_timing(
 
 
 def estimate_model_timing(
-    key: Tuple[int, int, int, int, int],
+    key: Tuple[int, ...],
     m: int,
     n: int,
     k: int,
@@ -129,7 +131,8 @@ def estimate_model_timing(
     """Estimate one shape with the analytical model (inline, no process hop)."""
     config = config_from_key(key)
     job = MatmulJob(x_addr=0, w_addr=0, z_addr=0, m=m, n=n, k=k,
-                    accumulate=accumulate)
+                    accumulate=accumulate,
+                    element_bytes=config.element_bytes)
     estimate = RedMulEPerfModel(config).estimate(job)
     return TimingRecord(
         cycles=estimate.cycles,
@@ -163,7 +166,7 @@ def simulate_key(timing_key: TimingKey,
 
 
 def run_functional_job(
-    key: Tuple[int, int, int, int, int],
+    key: Tuple[int, ...],
     m: int,
     n: int,
     k: int,
@@ -177,13 +180,16 @@ def run_functional_job(
     the result matrix left in the TCDM -- the payload the farm's backend
     cross-validation compares bit for bit between two arithmetic backends.
     """
-    from repro.fp.vector import random_fp16_matrix
+    from repro.fp.vector import random_matrix
 
     engine, job, (hx, hw, hz) = _build_job(key, m, n, k, accumulate, arithmetic)
+    fmt = engine.config.format
     tcdm = engine.tcdm
-    hx.store(tcdm, random_fp16_matrix(m, n, scale=0.25, seed=seed))
-    hw.store(tcdm, random_fp16_matrix(n, k, scale=0.25, seed=seed + 1))
+    hx.store(tcdm, random_matrix(m, n, fmt, scale=0.25, seed=seed))
+    hw.store(tcdm, random_matrix(n, k, fmt, scale=0.25, seed=seed + 1))
     if accumulate:
-        hz.store(tcdm, random_fp16_matrix(m, k, scale=0.25, seed=seed + 2))
+        hz.store(tcdm, random_matrix(m, k, fmt, scale=0.25, seed=seed + 2))
     result = engine.run_job(job)
-    return result.cycles, tcdm.dump_image(hz.base, m * k * 2)
+    return result.cycles, tcdm.dump_image(
+        hz.base, m * k * engine.config.element_bytes
+    )

@@ -41,7 +41,34 @@ from repro.fp.float16 import (
     is_zero,
 )
 from repro.fp.fma import add16, fma16, mul16, neg16
+from repro.fp.formats import (
+    BF16,
+    FORMAT_NAMES,
+    FORMATS,
+    FP8_E4M3,
+    FP8_E5M2,
+    FP16,
+    BinaryFormat,
+    add_bits,
+    fma_bits,
+    fma_mixed,
+    get_format,
+    mul_bits,
+    neg_bits,
+    sub_bits,
+)
 from repro.fp.rounding import RoundingMode
+from repro.fp.simd_formats import (
+    add_many_fmt,
+    bits_to_f64_many,
+    f64_to_bits_many,
+    fma_guarded_f64_fmt,
+    fma_many_fmt,
+    fma_mixed_many,
+    mul_many_fmt,
+    neg_many_fmt,
+    pack_many_fmt,
+)
 from repro.fp.simd import (
     add16_many,
     classify_many,
@@ -54,18 +81,54 @@ from repro.fp.simd import (
     round_shifted_many,
     sub16_many,
 )
-from repro.fp.arith import BitExactFp16, Fp16Arithmetic, NumpyFp16
+from repro.fp.arith import BitExactFormat, BitExactFp16, Fp16Arithmetic, NumpyFp16
 from repro.fp.vector import (
     matrix_from_bits,
+    matrix_from_bits_fmt,
     matrix_to_bits,
+    matrix_to_bits_fmt,
     pack_fp16_matrix,
+    pack_matrix,
+    quantize,
     quantize_fp16,
     random_fp16_matrix,
+    random_matrix,
     unpack_fp16_matrix,
+    unpack_matrix,
 )
 
 __all__ = [
+    "BF16",
     "BIAS",
+    "BinaryFormat",
+    "BitExactFormat",
+    "FORMATS",
+    "FORMAT_NAMES",
+    "FP16",
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "add_bits",
+    "add_many_fmt",
+    "bits_to_f64_many",
+    "f64_to_bits_many",
+    "fma_bits",
+    "fma_guarded_f64_fmt",
+    "fma_many_fmt",
+    "fma_mixed",
+    "fma_mixed_many",
+    "get_format",
+    "matrix_from_bits_fmt",
+    "matrix_to_bits_fmt",
+    "mul_bits",
+    "mul_many_fmt",
+    "neg_bits",
+    "neg_many_fmt",
+    "pack_many_fmt",
+    "pack_matrix",
+    "quantize",
+    "random_matrix",
+    "sub_bits",
+    "unpack_matrix",
     "EXP_BITS",
     "MAN_BITS",
     "MAX_FINITE_BITS",

@@ -77,6 +77,48 @@ class BitExactFp16(Fp16Arithmetic):
         return add16(a, b, self.mode, self.flags)
 
 
+class BitExactFormat(Fp16Arithmetic):
+    """Bit-exact backend for any registered element format.
+
+    Generalises :class:`BitExactFp16` to the multi-precision formats: the
+    operands and results are patterns of ``fmt`` (a
+    :class:`~repro.fp.formats.BinaryFormat` or its registry name), evaluated
+    with the format-generic scalar kernels.  Used by the scalar structural
+    models (:mod:`repro.redmule.fma_unit`, :mod:`repro.redmule.row`) to
+    cross-check the vectorised datapath in every precision.
+    """
+
+    def __init__(self, fmt=None, mode: RoundingMode = RoundingMode.RNE,
+                 track_flags: bool = False) -> None:
+        from repro.fp.formats import FP16, get_format
+
+        self.fmt = get_format(fmt) if fmt is not None else FP16
+        self.name = f"bit-exact-{self.fmt.name}"
+        self.mode = mode
+        self.flags = ExceptionFlags() if track_flags else None
+
+    def fma(self, a: int, b: int, c: int) -> int:
+        from repro.fp.formats import fma_bits
+
+        return fma_bits(a, b, c, self.fmt, self.mode, self.flags)
+
+    def mul(self, a: int, b: int) -> int:
+        from repro.fp.formats import mul_bits
+
+        return mul_bits(a, b, self.fmt, self.mode, self.flags)
+
+    def add(self, a: int, b: int) -> int:
+        from repro.fp.formats import add_bits
+
+        return add_bits(a, b, self.fmt, self.mode, self.flags)
+
+    def to_float(self, bits: int) -> float:
+        return self.fmt.bits_to_float(bits)
+
+    def from_float(self, value: float) -> int:
+        return self.fmt.float_to_bits(value)
+
+
 class NumpyFp16(Fp16Arithmetic):
     """Fast backend: binary64 evaluation with one final rounding via numpy.
 

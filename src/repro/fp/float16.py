@@ -5,122 +5,99 @@ to mirror what travels on the hardware datapath and what is stored in the
 TCDM.  The :class:`Float16` convenience wrapper carries a pattern together
 with helpers for inspection and conversion; the free functions operate
 directly on patterns and are what the performance-critical code uses.
+
+Since the multi-precision generalisation this module is a thin compatibility
+shim over the :data:`repro.fp.formats.FP16` instance of
+:class:`~repro.fp.formats.BinaryFormat`, which holds the single
+implementation of the round/pack/convert algorithms for every supported
+format (FP16, BF16, FP8-E4M3, FP8-E5M2).
 """
 
 from __future__ import annotations
 
-import enum
-import math
-import struct
 from dataclasses import dataclass
 
-from repro.fp.rounding import RoundingMode, overflow_result, round_shifted
+from repro.fp.formats import FP16, FloatClass
+from repro.fp.rounding import RoundingMode
 
 #: Number of exponent bits in binary16.
-EXP_BITS = 5
+EXP_BITS = FP16.exp_bits
 #: Number of explicitly stored mantissa bits in binary16.
-MAN_BITS = 10
+MAN_BITS = FP16.man_bits
 #: Exponent bias.
-BIAS = 15
+BIAS = FP16.bias
 #: Exponent of the minimum normal number (2**-14).
-EMIN = -14
+EMIN = FP16.emin
 #: Exponent of the maximum normal number (2**15).
-EMAX = 15
+EMAX = FP16.emax
 #: Hidden-bit weight of the 11-bit normalised significand.
-IMPLICIT_ONE = 1 << MAN_BITS
+IMPLICIT_ONE = FP16.implicit_one
 #: Unbiased exponent scale of the least significant subnormal bit (2**-24).
-SUBNORMAL_EXP = EMIN - MAN_BITS
+SUBNORMAL_EXP = FP16.subnormal_exp
 
 #: Canonical quiet NaN produced by FPnew-style units.
-NAN_BITS = 0x7E00
+NAN_BITS = FP16.nan_bits
 #: Positive infinity.
-POS_INF_BITS = 0x7C00
+POS_INF_BITS = FP16.pos_inf_bits
 #: Negative infinity.
-NEG_INF_BITS = 0xFC00
+NEG_INF_BITS = FP16.neg_inf_bits
 #: Largest finite magnitude (65504.0).
-MAX_FINITE_BITS = 0x7BFF
+MAX_FINITE_BITS = FP16.max_finite_bits
 #: Positive zero.
 POS_ZERO_BITS = 0x0000
 #: Negative zero.
-NEG_ZERO_BITS = 0x8000
+NEG_ZERO_BITS = FP16.sign_mask
 #: 1.0 in binary16.
-ONE_BITS = 0x3C00
-
-
-class FloatClass(enum.Enum):
-    """Classification of a binary16 pattern (mirrors RISC-V ``fclass``)."""
-
-    NAN = "nan"
-    POS_INF = "+inf"
-    NEG_INF = "-inf"
-    POS_NORMAL = "+normal"
-    NEG_NORMAL = "-normal"
-    POS_SUBNORMAL = "+subnormal"
-    NEG_SUBNORMAL = "-subnormal"
-    POS_ZERO = "+zero"
-    NEG_ZERO = "-zero"
+ONE_BITS = FP16.one_bits
 
 
 def _check_bits(bits: int) -> int:
-    if not isinstance(bits, int):
-        raise TypeError(f"FP16 pattern must be an int, got {type(bits).__name__}")
-    if bits < 0 or bits > 0xFFFF:
-        raise ValueError(f"FP16 pattern out of range: {bits:#x}")
-    return bits
+    return FP16.check_bits(bits)
 
 
 def sign_of(bits: int) -> int:
     """Return the sign bit (0 or 1) of a pattern."""
-    return (_check_bits(bits) >> 15) & 0x1
+    return FP16.sign_of(bits)
 
 
 def exponent_field(bits: int) -> int:
     """Return the raw 5-bit exponent field of a pattern."""
-    return (_check_bits(bits) >> MAN_BITS) & 0x1F
+    return FP16.exponent_field(bits)
 
 
 def mantissa_field(bits: int) -> int:
     """Return the raw 10-bit mantissa field of a pattern."""
-    return _check_bits(bits) & (IMPLICIT_ONE - 1)
+    return FP16.mantissa_field(bits)
 
 
 def is_nan(bits: int) -> bool:
     """Return ``True`` if the pattern encodes a NaN."""
-    return exponent_field(bits) == 0x1F and mantissa_field(bits) != 0
+    return FP16.is_nan(bits)
 
 
 def is_inf(bits: int) -> bool:
     """Return ``True`` if the pattern encodes +inf or -inf."""
-    return exponent_field(bits) == 0x1F and mantissa_field(bits) == 0
+    return FP16.is_inf(bits)
 
 
 def is_zero(bits: int) -> bool:
     """Return ``True`` if the pattern encodes +0 or -0."""
-    return (_check_bits(bits) & 0x7FFF) == 0
+    return FP16.is_zero(bits)
 
 
 def is_subnormal(bits: int) -> bool:
     """Return ``True`` if the pattern encodes a non-zero subnormal."""
-    return exponent_field(bits) == 0 and mantissa_field(bits) != 0
+    return FP16.is_subnormal(bits)
 
 
 def is_finite(bits: int) -> bool:
     """Return ``True`` if the pattern encodes a finite value (incl. zero)."""
-    return exponent_field(bits) != 0x1F
+    return FP16.is_finite(bits)
 
 
 def classify(bits: int) -> FloatClass:
     """Classify a binary16 pattern."""
-    sign = sign_of(bits)
-    if is_nan(bits):
-        return FloatClass.NAN
-    if is_inf(bits):
-        return FloatClass.NEG_INF if sign else FloatClass.POS_INF
-    if is_zero(bits):
-        return FloatClass.NEG_ZERO if sign else FloatClass.POS_ZERO
-    if is_subnormal(bits):
-        return FloatClass.NEG_SUBNORMAL if sign else FloatClass.POS_SUBNORMAL
-    return FloatClass.NEG_NORMAL if sign else FloatClass.POS_NORMAL
+    return FP16.classify(bits)
 
 
 def decompose(bits: int):
@@ -130,28 +107,12 @@ def decompose(bits: int):
     integer significand.  Normal numbers return an 11-bit significand with the
     hidden one included; subnormals return the raw mantissa.
     """
-    if not is_finite(bits) or is_zero(bits):
-        raise ValueError("decompose requires a finite, non-zero pattern")
-    sign = sign_of(bits)
-    exp_field = exponent_field(bits)
-    man = mantissa_field(bits)
-    if exp_field == 0:
-        return sign, man, SUBNORMAL_EXP
-    return sign, man | IMPLICIT_ONE, exp_field - BIAS - MAN_BITS
+    return FP16.decompose(bits)
 
 
 def bits_to_float(bits: int) -> float:
     """Convert a binary16 pattern to the exact Python float it represents."""
-    _check_bits(bits)
-    if is_nan(bits):
-        return math.nan
-    sign = -1.0 if sign_of(bits) else 1.0
-    if is_inf(bits):
-        return sign * math.inf
-    if is_zero(bits):
-        return sign * 0.0
-    _, sig, exp = decompose(bits)
-    return sign * math.ldexp(float(sig), exp)
+    return FP16.bits_to_float(bits)
 
 
 def pack(sign: int, magnitude: int, exponent: int, mode: RoundingMode,
@@ -163,69 +124,13 @@ def pack(sign: int, magnitude: int, exponent: int, mode: RoundingMode,
     ``flags`` (an :class:`repro.fp.flags.ExceptionFlags`) is supplied, the
     overflow / underflow / inexact flags are raised on it.
     """
-    if magnitude <= 0:
-        raise ValueError("pack requires a strictly positive magnitude")
-    negative = bool(sign)
-    length = magnitude.bit_length()
-    unbiased = exponent + length - 1
-
-    inexact = False
-    if unbiased >= EMIN:
-        # Normal-range candidate: keep 11 significand bits.
-        rshift = length - (MAN_BITS + 1)
-        sig, inexact = round_shifted(magnitude, rshift, mode, negative)
-        if sig == (IMPLICIT_ONE << 1):
-            sig >>= 1
-            unbiased += 1
-        if unbiased > EMAX:
-            if flags is not None:
-                flags.overflow = True
-                flags.inexact = True
-            if overflow_result(mode, negative) == "inf":
-                return NEG_INF_BITS if negative else POS_INF_BITS
-            return MAX_FINITE_BITS | (0x8000 if negative else 0)
-        bits = ((sign & 1) << 15) | ((unbiased + BIAS) << MAN_BITS) | (sig - IMPLICIT_ONE)
-    else:
-        # Subnormal range: express as multiples of 2**-24.
-        rshift = SUBNORMAL_EXP - exponent
-        sig, inexact = round_shifted(magnitude, rshift, mode, negative)
-        if sig >= IMPLICIT_ONE:
-            # Rounded up into the smallest normal number.
-            bits = ((sign & 1) << 15) | (1 << MAN_BITS) | (sig - IMPLICIT_ONE)
-        else:
-            bits = ((sign & 1) << 15) | sig
-            if flags is not None and inexact:
-                flags.underflow = True
-    if flags is not None and inexact:
-        flags.inexact = True
-    return bits
+    return FP16.pack(sign, magnitude, exponent, mode, flags)
 
 
 def float_to_bits(value: float, mode: RoundingMode = RoundingMode.RNE,
                   flags=None) -> int:
     """Convert a Python float (binary64) to a binary16 pattern with rounding."""
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise TypeError(f"expected a real number, got {type(value).__name__}")
-    value = float(value)
-    if math.isnan(value):
-        return NAN_BITS
-    if math.isinf(value):
-        return NEG_INF_BITS if value < 0 else POS_INF_BITS
-    if value == 0.0:
-        return NEG_ZERO_BITS if math.copysign(1.0, value) < 0 else POS_ZERO_BITS
-
-    sign = 1 if value < 0 or math.copysign(1.0, value) < 0 else 0
-    # Exact integer decomposition of the binary64 value.
-    (raw,) = struct.unpack("<Q", struct.pack("<d", abs(value)))
-    exp_field = (raw >> 52) & 0x7FF
-    man_field = raw & ((1 << 52) - 1)
-    if exp_field == 0:
-        magnitude = man_field
-        exponent = -1074
-    else:
-        magnitude = man_field | (1 << 52)
-        exponent = exp_field - 1023 - 52
-    return pack(sign, magnitude, exponent, mode, flags)
+    return FP16.float_to_bits(value, mode, flags)
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,10 @@ datapath is bit-identical to what the silicon would produce.
 
 All functions operate on 16-bit integer patterns and return a pattern; they
 optionally accumulate IEEE exception flags into an
-:class:`repro.fp.flags.ExceptionFlags` instance.
+:class:`repro.fp.flags.ExceptionFlags` instance.  They are the binary16
+specialisation of the format-generic kernels in :mod:`repro.fp.formats`
+(:func:`~repro.fp.formats.fma_bits` and friends), kept as the established
+vocabulary of the FP16 code paths and test oracles.
 """
 
 from __future__ import annotations
@@ -17,29 +20,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.fp.flags import ExceptionFlags
-from repro.fp.float16 import (
-    NAN_BITS,
-    NEG_INF_BITS,
-    NEG_ZERO_BITS,
-    ONE_BITS,
-    POS_INF_BITS,
-    POS_ZERO_BITS,
-    decompose,
-    is_inf,
-    is_nan,
-    is_zero,
-    pack,
-    sign_of,
-)
+from repro.fp.formats import FP16, add_bits, fma_bits, mul_bits, neg_bits, sub_bits
 from repro.fp.rounding import RoundingMode
-
-
-def _zero_bits(sign: int) -> int:
-    return NEG_ZERO_BITS if sign else POS_ZERO_BITS
-
-
-def _inf_bits(sign: int) -> int:
-    return NEG_INF_BITS if sign else POS_INF_BITS
 
 
 def fma16(
@@ -66,64 +48,7 @@ def fma16(
         The 16-bit result pattern.  NaN results are canonicalised to
         ``0x7E00`` as FPnew does.
     """
-    # --- NaN propagation -------------------------------------------------
-    if is_nan(a) or is_nan(b) or is_nan(c):
-        return NAN_BITS
-
-    sign_a, sign_b, sign_c = sign_of(a), sign_of(b), sign_of(c)
-    product_sign = sign_a ^ sign_b
-
-    # --- invalid operations ----------------------------------------------
-    if (is_inf(a) and is_zero(b)) or (is_zero(a) and is_inf(b)):
-        if flags is not None:
-            flags.invalid = True
-        return NAN_BITS
-
-    product_inf = is_inf(a) or is_inf(b)
-    if product_inf:
-        if is_inf(c) and sign_c != product_sign:
-            if flags is not None:
-                flags.invalid = True
-            return NAN_BITS
-        return _inf_bits(product_sign)
-    if is_inf(c):
-        return c
-
-    # --- zero handling ----------------------------------------------------
-    product_zero = is_zero(a) or is_zero(b)
-    if product_zero and is_zero(c):
-        if product_sign == sign_c:
-            return _zero_bits(product_sign)
-        return _zero_bits(1 if mode is RoundingMode.RDN else 0)
-    if product_zero:
-        # Exact: the addend passes through unchanged.
-        return c
-
-    # --- exact product ----------------------------------------------------
-    _, sig_a, exp_a = decompose(a)
-    _, sig_b, exp_b = decompose(b)
-    product_sig = sig_a * sig_b
-    product_exp = exp_a + exp_b
-
-    if is_zero(c):
-        return pack(product_sign, product_sig, product_exp, mode, flags)
-
-    _, sig_c, exp_c = decompose(c)
-
-    # --- exact aligned addition -------------------------------------------
-    common_exp = min(product_exp, exp_c)
-    product_val = product_sig << (product_exp - common_exp)
-    addend_val = sig_c << (exp_c - common_exp)
-
-    signed_sum = (-product_val if product_sign else product_val) + (
-        -addend_val if sign_c else addend_val
-    )
-    if signed_sum == 0:
-        # Exact cancellation: IEEE mandates +0 except under round-down.
-        return _zero_bits(1 if mode is RoundingMode.RDN else 0)
-
-    result_sign = 1 if signed_sum < 0 else 0
-    return pack(result_sign, abs(signed_sum), common_exp, mode, flags)
+    return fma_bits(a, b, c, FP16, mode, flags)
 
 
 def mul16(
@@ -133,20 +58,7 @@ def mul16(
     flags: Optional[ExceptionFlags] = None,
 ) -> int:
     """Compute ``a * b`` in binary16."""
-    if is_nan(a) or is_nan(b):
-        return NAN_BITS
-    sign = sign_of(a) ^ sign_of(b)
-    if (is_inf(a) and is_zero(b)) or (is_zero(a) and is_inf(b)):
-        if flags is not None:
-            flags.invalid = True
-        return NAN_BITS
-    if is_inf(a) or is_inf(b):
-        return _inf_bits(sign)
-    if is_zero(a) or is_zero(b):
-        return _zero_bits(sign)
-    _, sig_a, exp_a = decompose(a)
-    _, sig_b, exp_b = decompose(b)
-    return pack(sign, sig_a * sig_b, exp_a + exp_b, mode, flags)
+    return mul_bits(a, b, FP16, mode, flags)
 
 
 def add16(
@@ -160,7 +72,7 @@ def add16(
     Multiplying by one is exact, so the FMA path implements IEEE addition
     with correct rounding and signed-zero semantics.
     """
-    return fma16(a, ONE_BITS, b, mode, flags)
+    return add_bits(a, b, FP16, mode, flags)
 
 
 def sub16(
@@ -170,11 +82,9 @@ def sub16(
     flags: Optional[ExceptionFlags] = None,
 ) -> int:
     """Compute ``a - b`` in binary16."""
-    return fma16(a, ONE_BITS, neg16(b), mode, flags)
+    return sub_bits(a, b, FP16, mode, flags)
 
 
 def neg16(a: int) -> int:
     """Negate a binary16 pattern (sign-bit flip; NaNs pass through)."""
-    if is_nan(a):
-        return a
-    return a ^ 0x8000
+    return neg_bits(a, FP16)

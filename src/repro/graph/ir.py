@@ -194,12 +194,28 @@ class CriticalPath:
 
 
 class WorkloadGraph:
-    """A validated DAG of GEMM / elementwise nodes over named tensors."""
+    """A validated DAG of GEMM / elementwise nodes over named tensors.
 
-    def __init__(self, name: str) -> None:
+    ``precision`` names the element format every tensor of the graph is
+    stored in (:mod:`repro.fp.formats`); lowering resolves it into the
+    accelerator configuration, so an FP8 model is timed on FP8 line
+    geometry.  The default ``None`` means *inherit*: the graph is lowered
+    in whatever format the target configuration uses (so e.g. the runner's
+    ``--format`` reaches precision-agnostic zoo models).  Mixed-precision
+    *deployments* mix graphs of different precisions (e.g. per serving
+    tenant); within one graph the precision is uniform, like the
+    accelerator's per-job element width.
+    """
+
+    def __init__(self, name: str, precision: Optional[str] = None) -> None:
         if not name:
             raise GraphValidationError("a workload graph needs a name")
+        if precision is not None:
+            from repro.fp.formats import get_format
+
+            get_format(precision)  # raises on unknown names
         self.name = name
+        self.precision = precision
         self.tensors: Dict[str, TensorRef] = {}
         self.nodes: List[GraphNode] = []
         self._node_index: Dict[str, int] = {}

@@ -78,6 +78,8 @@ class LoweredProgram:
     nodes: List[LoweredNode]
     tiled: bool
     tcdm_budget_bytes: int
+    #: Element format the jobs were lowered for.
+    precision: str = "fp16"
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -167,7 +169,7 @@ class LoweredProgram:
         return "\n".join(lines)
 
 
-def _tile_jobs(plan: TiledMatmulPlan) -> List[MatmulJob]:
+def _tile_jobs(plan: TiledMatmulPlan, element_bytes: int) -> List[MatmulJob]:
     """Per-tile jobs of a plan, inner-dimension tiles accumulating.
 
     Addresses are canonical (timing is address-independent, see
@@ -183,7 +185,8 @@ def _tile_jobs(plan: TiledMatmulPlan) -> List[MatmulJob]:
                 inner = min(plan.tile_n, plan.n - n0)
                 jobs.append(MatmulJob(x_addr=0, w_addr=0, z_addr=0,
                                       m=rows, n=inner, k=cols,
-                                      accumulate=chunk > 0))
+                                      accumulate=chunk > 0,
+                                      element_bytes=element_bytes))
     return jobs
 
 
@@ -201,6 +204,15 @@ def lower(
     plan's per-tile accumulate stream.
     """
     config = config or RedMulEConfig.reference()
+    # An explicit graph precision wins (timing an FP8 model on FP16 line
+    # geometry would silently misestimate every job); precision-agnostic
+    # graphs (the default) inherit the target configuration's format.
+    precision = getattr(graph, "precision", None) or config.format
+    if precision != config.format:
+        from dataclasses import replace
+
+        config = replace(config, format=precision)
+    element_bytes = config.element_bytes
     lowered: List[LoweredNode] = []
     for node in graph.topo_sort():
         deps = tuple(graph.dependencies(node))
@@ -210,11 +222,12 @@ def lower(
                                      tcdm_budget_bytes)
             note = shape.describe(transpose=node.transpose)
             if tile and plan.n_jobs > 1:
-                jobs = tuple(_tile_jobs(plan))
+                jobs = tuple(_tile_jobs(plan, element_bytes))
                 note += f" | {plan.describe()}"
             else:
                 jobs = (MatmulJob(x_addr=0, w_addr=0, z_addr=0,
-                                  m=shape.m, n=shape.n, k=shape.k),)
+                                  m=shape.m, n=shape.n, k=shape.k,
+                                  element_bytes=element_bytes),)
                 if plan.n_jobs > 1:
                     note += (f" | exceeds budget, would tile as "
                              f"{plan.describe()}")
@@ -233,4 +246,5 @@ def lower(
         else:  # pragma: no cover - the IR only defines the two kinds
             raise TypeError(f"cannot lower node of type {type(node).__name__}")
     return LoweredProgram(graph_name=graph.name, nodes=lowered, tiled=tile,
-                          tcdm_budget_bytes=tcdm_budget_bytes)
+                          tcdm_budget_bytes=tcdm_budget_bytes,
+                          precision=precision)

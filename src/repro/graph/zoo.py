@@ -350,9 +350,30 @@ def gru_cell_graph(input_size: int, hidden_size: int, batch: int,
                             name)
 
 
+def precision_variant(base: str, precision: str,
+                      name: str = None) -> WorkloadGraph:
+    """Build a zoo model at a non-default element precision.
+
+    The topology and shapes are identical to the base model; only the
+    element format -- and therefore the accelerator's line geometry, cycle
+    counts and memory footprint -- changes.  This is how mixed-precision
+    deployments are expressed: different graphs (per tenant, per model) at
+    different precisions sharing one serving pool.
+    """
+    from repro.fp.formats import get_format
+
+    get_format(precision)
+    graph = build_model(base)
+    graph.precision = precision
+    graph.name = name or f"{graph.name}-{precision}"
+    return graph
+
+
 #: Named small model instances used by the serving scenarios, the scaling
 #: benchmark and the examples.  Every entry is a zero-argument builder
-#: returning a fresh graph.
+#: returning a fresh graph.  The ``*-fp8*`` / ``*-bf16`` entries are
+#: reduced-precision variants of the base models (same topology, narrower
+#: elements): FP8 models run on doubled elements-per-line geometry.
 MODEL_ZOO: Dict[str, Callable[[], WorkloadGraph]] = {
     "autoencoder-b1": lambda: autoencoder_training_graph(1),
     "autoencoder-b16": lambda: autoencoder_training_graph(16),
@@ -368,6 +389,16 @@ MODEL_ZOO: Dict[str, Callable[[], WorkloadGraph]] = {
     "gru-tiny": lambda: gru_cell_graph(32, 32, batch=4, steps=4,
                                        name="gru-tiny"),
 }
+
+MODEL_ZOO.update({
+    "autoencoder-b1-fp8": lambda: precision_variant("autoencoder-b1",
+                                                    "fp8-e4m3"),
+    "autoencoder-b16-fp8": lambda: precision_variant("autoencoder-b16",
+                                                     "fp8-e4m3"),
+    "mlp-tiny-bf16": lambda: precision_variant("mlp-tiny", "bf16"),
+    "transformer-tiny-fp8": lambda: precision_variant("transformer-tiny",
+                                                      "fp8-e5m2"),
+})
 
 
 def build_model(name: str) -> WorkloadGraph:

@@ -151,21 +151,26 @@ class Hci:
         n_elements: int = 0,
         write: bool = False,
         line=None,
+        element_bytes: int = 2,
     ):
         """Advance one cycle with an optional wide *line* request.
 
         Same arbitration as :meth:`wide_cycle`, but the payload is a line of
-        FP16 half-words moved as a ``uint16`` array through the TCDM's bulk
-        line accessors.  Returns the loaded array for a granted load, ``True``
-        for a granted store, ``None`` when stalled (or absent).
+        packed elements moved as a pattern array through the TCDM's bulk
+        line accessors (``element_bytes`` selects the element width: 16-bit
+        halfwords by default, bytes for the FP8 formats).  Returns the loaded
+        array for a granted load, ``True`` for a granted store, ``None`` when
+        stalled (or absent).
         """
-        size = 2 * (len(line) if (write and line is not None) else n_elements)
+        size = element_bytes * (
+            len(line) if (write and line is not None) else n_elements
+        )
         if not self._grant_wide(addr, size):
             return None
         if write:
-            self.shallow_branch.store_line(addr, line)
+            self.shallow_branch.store_line(addr, line, element_bytes)
             return True
-        return self.shallow_branch.load_line(addr, n_elements)
+        return self.shallow_branch.load_line(addr, n_elements, element_bytes)
 
     # -- statistics -----------------------------------------------------------
     def reset_stats(self) -> None:

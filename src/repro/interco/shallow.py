@@ -69,23 +69,27 @@ class ShallowBranch:
         self.stats.bytes_stored += len(data)
         self.tcdm.wide_write(addr, data)
 
-    def load_line(self, addr: int, n_elements: int):
-        """Wide load of ``n_elements`` FP16 half-words as a ``uint16`` array."""
-        nbytes = 2 * n_elements
-        self._check(addr, nbytes)
+    def load_line(self, addr: int, n_elements: int, element_bytes: int = 2):
+        """Wide load of ``n_elements`` packed elements as a pattern array.
+
+        ``element_bytes`` selects the element width (2: ``uint16`` halfwords,
+        1: ``uint8`` FP8 bytes).
+        """
+        nbytes = element_bytes * n_elements
+        self._check(addr, nbytes, element_bytes)
         self.stats.loads += 1
         self.stats.bytes_loaded += nbytes
-        return self.tcdm.read_u16_line(addr, n_elements)
+        return self.tcdm.read_element_line(addr, n_elements, element_bytes)
 
-    def store_line(self, addr: int, values) -> None:
-        """Wide store of a line of FP16 half-words (array or int sequence)."""
-        nbytes = 2 * len(values)
-        self._check(addr, nbytes)
+    def store_line(self, addr: int, values, element_bytes: int = 2) -> None:
+        """Wide store of a line of packed elements (array or int sequence)."""
+        nbytes = element_bytes * len(values)
+        self._check(addr, nbytes, element_bytes)
         self.stats.stores += 1
         self.stats.bytes_stored += nbytes
-        self.tcdm.write_u16_line(addr, values)
+        self.tcdm.write_element_line(addr, values, element_bytes)
 
-    def _check(self, addr: int, nbytes: int) -> None:
+    def _check(self, addr: int, nbytes: int, element_bytes: int = 2) -> None:
         if nbytes <= 0:
             raise ValueError("wide access must move at least one byte")
         if nbytes > self.width_bytes:
@@ -93,8 +97,8 @@ class ShallowBranch:
                 f"wide access of {nbytes} bytes exceeds the {self.width_bytes}-byte "
                 f"({self.n_ports} x 32-bit) port"
             )
-        if addr % 2:
-            raise ValueError("wide accesses must be 16-bit aligned")
+        if addr % element_bytes:
+            raise ValueError("wide accesses must be element-aligned")
 
     def reset_stats(self) -> None:
         """Clear traffic statistics."""

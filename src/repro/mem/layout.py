@@ -1,11 +1,12 @@
-"""FP16 matrix placement on top of a memory model.
+"""Matrix placement on top of a memory model.
 
-RedMulE consumes matrices stored row-major as packed 16-bit elements; the
-stride between rows is programmable in the real register file (so tiles of a
-larger matrix can be processed in place).  :class:`MatrixHandle` captures that
-addressing information and knows how to move numpy matrices in and out of any
-memory object that exposes ``load_image`` / ``dump_image`` (TCDM, L2, plain
-:class:`~repro.mem.memory.Memory`).
+RedMulE consumes matrices stored row-major as packed little-endian elements
+(16-bit for FP16/BF16, 8-bit for the FP8 formats); the stride between rows is
+programmable in the real register file (so tiles of a larger matrix can be
+processed in place).  :class:`MatrixHandle` captures that addressing
+information -- including the element format -- and knows how to move numpy
+matrices in and out of any memory object that exposes ``load_image`` /
+``dump_image`` (TCDM, L2, plain :class:`~repro.mem.memory.Memory`).
 
 :class:`MemoryAllocator` is a minimal bump allocator used by tests, examples
 and the cluster runtime to lay out operands without hand-computing addresses.
@@ -18,15 +19,16 @@ from typing import Optional
 
 import numpy as np
 
-from repro.fp.vector import pack_fp16_matrix, unpack_fp16_matrix
+from repro.fp.formats import get_format
+from repro.fp.vector import pack_matrix, unpack_matrix
 
-#: Bytes per FP16 element.
+#: Bytes per element of the default (FP16) format.
 ELEMENT_BYTES = 2
 
 
 @dataclass(frozen=True)
 class MatrixHandle:
-    """Descriptor of an FP16 matrix resident in a simulated memory.
+    """Descriptor of a matrix resident in a simulated memory.
 
     Attributes
     ----------
@@ -36,9 +38,12 @@ class MatrixHandle:
         Logical matrix shape.
     row_stride:
         Bytes between the first elements of consecutive rows.  Defaults to a
-        dense row-major layout (``cols * 2`` bytes).
+        dense row-major layout (``cols * element_bytes`` bytes).
     name:
         Optional label used in traces and error messages.
+    fmt:
+        Element format name (:mod:`repro.fp.formats`); selects both the
+        element width and the encoding used by :meth:`store` / :meth:`load`.
     """
 
     base: int
@@ -46,36 +51,42 @@ class MatrixHandle:
     cols: int
     row_stride: Optional[int] = None
     name: str = "matrix"
+    fmt: str = "fp16"
+    element_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
             raise ValueError(f"{self.name}: matrix dimensions must be positive")
         if self.base < 0:
             raise ValueError(f"{self.name}: negative base address")
+        fmt_bytes = get_format(self.fmt).storage_bytes
+        if self.element_bytes is None:
+            object.__setattr__(self, "element_bytes", fmt_bytes)
+        elif self.element_bytes != fmt_bytes:
+            raise ValueError(
+                f"{self.name}: element_bytes {self.element_bytes} disagrees "
+                f"with format {self.fmt!r} ({fmt_bytes} bytes)"
+            )
         stride = self.row_stride
         if stride is None:
-            object.__setattr__(self, "row_stride", self.cols * ELEMENT_BYTES)
-        elif stride < self.cols * ELEMENT_BYTES:
+            object.__setattr__(self, "row_stride",
+                               self.cols * self.element_bytes)
+        elif stride < self.cols * self.element_bytes:
             raise ValueError(
                 f"{self.name}: row stride {stride} smaller than a row "
-                f"({self.cols * ELEMENT_BYTES} bytes)"
+                f"({self.cols * self.element_bytes} bytes)"
             )
 
     # ------------------------------------------------------------------
     @property
-    def element_bytes(self) -> int:
-        """Bytes per element (always 2 for FP16)."""
-        return ELEMENT_BYTES
-
-    @property
     def footprint(self) -> int:
         """Total bytes spanned by the matrix (including stride padding)."""
-        return (self.rows - 1) * self.row_stride + self.cols * ELEMENT_BYTES
+        return (self.rows - 1) * self.row_stride + self.cols * self.element_bytes
 
     @property
     def is_dense(self) -> bool:
         """True when rows are contiguous (stride equals the row size)."""
-        return self.row_stride == self.cols * ELEMENT_BYTES
+        return self.row_stride == self.cols * self.element_bytes
 
     def address_of(self, row: int, col: int) -> int:
         """Byte address of element ``(row, col)``."""
@@ -84,7 +95,7 @@ class MatrixHandle:
                 f"{self.name}: element ({row}, {col}) outside "
                 f"{self.rows}x{self.cols}"
             )
-        return self.base + row * self.row_stride + col * ELEMENT_BYTES
+        return self.base + row * self.row_stride + col * self.element_bytes
 
     def row_address(self, row: int) -> int:
         """Byte address of the first element of ``row``."""
@@ -104,23 +115,35 @@ class MatrixHandle:
                 f"matrix is {array.shape}"
             )
         if self.is_dense:
-            memory.load_image(self.base, pack_fp16_matrix(array))
+            memory.load_image(self.base, pack_matrix(array, self.fmt))
             return
         for row in range(self.rows):
             memory.load_image(
-                self.row_address(row), pack_fp16_matrix(array[row : row + 1, :])
+                self.row_address(row),
+                pack_matrix(array[row : row + 1, :], self.fmt),
             )
 
     def load(self, memory) -> np.ndarray:
-        """Read the matrix back from memory as a float32 array of FP16 values."""
+        """Read the matrix back from memory as an array of format values.
+
+        Returned as float32 for the FP16 format (the established contract of
+        the binary16 code paths) and float64 for every other format.
+        """
         if self.is_dense:
-            data = memory.dump_image(self.base, self.rows * self.cols * ELEMENT_BYTES)
-            return unpack_fp16_matrix(data, self.rows, self.cols)
-        rows = []
-        for row in range(self.rows):
-            data = memory.dump_image(self.row_address(row), self.cols * ELEMENT_BYTES)
-            rows.append(unpack_fp16_matrix(data, 1, self.cols))
-        return np.vstack(rows)
+            data = memory.dump_image(
+                self.base, self.rows * self.cols * self.element_bytes
+            )
+            out = unpack_matrix(data, self.rows, self.cols, self.fmt)
+        else:
+            rows = []
+            for row in range(self.rows):
+                data = memory.dump_image(self.row_address(row),
+                                         self.cols * self.element_bytes)
+                rows.append(unpack_matrix(data, 1, self.cols, self.fmt))
+            out = np.vstack(rows)
+        if self.fmt == "fp16":
+            return out.astype(np.float32)
+        return out
 
     def tile(self, row0: int, col0: int, rows: int, cols: int,
              name: Optional[str] = None) -> "MatrixHandle":
@@ -136,6 +159,7 @@ class MatrixHandle:
             cols=cols,
             row_stride=self.row_stride,
             name=name or f"{self.name}[{row0}:{row0 + rows},{col0}:{col0 + cols}]",
+            fmt=self.fmt,
         )
 
 
@@ -180,10 +204,12 @@ class MemoryAllocator:
         self._cursor = addr + nbytes
         return addr
 
-    def alloc_matrix(self, rows: int, cols: int, name: str = "matrix") -> MatrixHandle:
-        """Reserve space for a dense ``rows x cols`` FP16 matrix."""
-        addr = self.alloc_bytes(rows * cols * ELEMENT_BYTES)
-        return MatrixHandle(base=addr, rows=rows, cols=cols, name=name)
+    def alloc_matrix(self, rows: int, cols: int, name: str = "matrix",
+                     fmt: str = "fp16") -> MatrixHandle:
+        """Reserve space for a dense ``rows x cols`` matrix of ``fmt`` elements."""
+        element_bytes = get_format(fmt).storage_bytes
+        addr = self.alloc_bytes(rows * cols * element_bytes)
+        return MatrixHandle(base=addr, rows=rows, cols=cols, name=name, fmt=fmt)
 
     def mark(self) -> int:
         """Return an opaque marker of the current allocation state."""

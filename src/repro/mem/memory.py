@@ -141,6 +141,42 @@ class Memory:
         self.write_count += 1
         self.bytes_written += 2 * line.size
 
+    # -- generic element line access --------------------------------------
+    def read_element_line(self, addr: int, n_elements: int,
+                          element_bytes: int = 2) -> np.ndarray:
+        """Read a line of ``n_elements`` packed elements as one access.
+
+        ``element_bytes`` selects the element width: 2 returns a ``uint16``
+        array exactly like :meth:`read_u16_line`; 1 returns a ``uint8``
+        array (FP8 elements are byte-granular, so no alignment constraint
+        applies).  Counts as a single read either way.
+        """
+        if element_bytes == 2:
+            return self.read_u16_line(addr, n_elements)
+        if element_bytes != 1:
+            raise ValueError("element_bytes must be 1 or 2")
+        off = self._offset(addr, n_elements)
+        self.read_count += 1
+        self.bytes_read += n_elements
+        return np.frombuffer(
+            self._data, dtype=np.uint8, count=n_elements, offset=off
+        ).copy()
+
+    def write_element_line(self, addr: int, values,
+                           element_bytes: int = 2) -> None:
+        """Write a line of packed elements as one access (see the read side)."""
+        if element_bytes == 2:
+            self.write_u16_line(addr, values)
+            return
+        if element_bytes != 1:
+            raise ValueError("element_bytes must be 1 or 2")
+        line = np.asarray(values, dtype=np.uint8)
+        off = self._offset(addr, line.size)
+        np.frombuffer(self._data, dtype=np.uint8, count=line.size,
+                      offset=off)[:] = line
+        self.write_count += 1
+        self.bytes_written += line.size
+
     # -- bulk helpers -----------------------------------------------------
     def fill(self, value: int = 0) -> None:
         """Fill the whole region with a byte value."""

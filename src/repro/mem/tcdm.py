@@ -139,6 +139,21 @@ class Tcdm:
             self.bank_accesses[bank] += 1
         self._mem.write_u16_line(addr, values)
 
+    # -- generic element line access ------------------------------------------
+    def read_element_line(self, addr: int, n_elements: int,
+                          element_bytes: int = 2) -> "np.ndarray":
+        """Read a line of packed elements in one access (any element width)."""
+        for bank in self.banks_of_range(addr, element_bytes * n_elements):
+            self.bank_accesses[bank] += 1
+        return self._mem.read_element_line(addr, n_elements, element_bytes)
+
+    def write_element_line(self, addr: int, values,
+                           element_bytes: int = 2) -> None:
+        """Write a line of packed elements in one access (any element width)."""
+        for bank in self.banks_of_range(addr, element_bytes * len(values)):
+            self.bank_accesses[bank] += 1
+        self._mem.write_element_line(addr, values, element_bytes)
+
     # -- wide (shallow-branch) access ---------------------------------------
     def wide_read(self, addr: int, nbytes: int) -> bytes:
         """Read up to 36 bytes (288 bits) as the HCI shallow branch would.

@@ -42,6 +42,8 @@ REG_FLAGS = "flags"
 
 #: Bit of ``REG_FLAGS`` selecting Z accumulation (``Z += X . W``).
 FLAG_ACCUMULATE = 1 << 0
+#: Bit of ``REG_FLAGS`` selecting 8-bit elements (FP8; clear = 16-bit).
+FLAG_ELEMENTS_8BIT = 1 << 1
 
 #: Complete register map (name, byte offset, writability, reset value).
 REDMULE_REGISTERS: List[RegisterSpec] = [
@@ -60,7 +62,8 @@ REDMULE_REGISTERS: List[RegisterSpec] = [
     RegisterSpec(REG_X_STRIDE, 0x58, doc="row stride of X in bytes (0 = dense)"),
     RegisterSpec(REG_W_STRIDE, 0x5C, doc="row stride of W in bytes (0 = dense)"),
     RegisterSpec(REG_Z_STRIDE, 0x60, doc="row stride of Z in bytes (0 = dense)"),
-    RegisterSpec(REG_FLAGS, 0x64, doc="bit 0: accumulate into Z (Z += X.W)"),
+    RegisterSpec(REG_FLAGS, 0x64,
+                 doc="bit 0: accumulate into Z; bit 1: 8-bit elements"),
 ]
 
 
@@ -95,7 +98,10 @@ class RedMulEController:
         self.regfile.write(REG_X_STRIDE, job.x_stride)
         self.regfile.write(REG_W_STRIDE, job.w_stride)
         self.regfile.write(REG_Z_STRIDE, job.z_stride)
-        self.regfile.write(REG_FLAGS, FLAG_ACCUMULATE if job.accumulate else 0)
+        flags = FLAG_ACCUMULATE if job.accumulate else 0
+        if job.element_bytes == 1:
+            flags |= FLAG_ELEMENTS_8BIT
+        self.regfile.write(REG_FLAGS, flags)
 
     def trigger(self) -> MatmulJob:
         """Start the programmed job and return its descriptor."""
@@ -143,6 +149,7 @@ class RedMulEController:
 
     def current_job(self) -> MatmulJob:
         """Decode the register file into a :class:`MatmulJob`."""
+        flags = self.regfile.read(REG_FLAGS)
         return MatmulJob(
             x_addr=self.regfile.read(REG_X_ADDR),
             w_addr=self.regfile.read(REG_W_ADDR),
@@ -153,7 +160,8 @@ class RedMulEController:
             x_stride=self.regfile.read(REG_X_STRIDE),
             w_stride=self.regfile.read(REG_W_STRIDE),
             z_stride=self.regfile.read(REG_Z_STRIDE),
-            accumulate=bool(self.regfile.read(REG_FLAGS) & FLAG_ACCUMULATE),
+            accumulate=bool(flags & FLAG_ACCUMULATE),
+            element_bytes=1 if flags & FLAG_ELEMENTS_8BIT else 2,
         )
 
     def offload_register_writes(self) -> int:

@@ -47,14 +47,16 @@ class Datapath:
     def __init__(self, config: RedMulEConfig, exact=True,
                  vector_ops: Optional[VectorOps] = None) -> None:
         self.config = config
-        self.ops = vector_ops if vector_ops is not None else make_vector_ops(exact)
+        if vector_ops is None:
+            vector_ops = make_vector_ops(exact, config.binary_format)
+        self.ops = vector_ops
         self._pipes: List[Deque[ColumnEntry]] = [
             deque() for _ in range(config.height)
         ]
         self._issued_this_cycle = [False] * config.height
-        #: Total column issues performed (each is ``L`` FMA operations).
+        #: Total column issues performed (each is ``L * lanes`` MAC lanes).
         self.column_issues = 0
-        #: Total FMA operations issued (``column_issues * L``).
+        #: Total MAC lanes issued (``column_issues * L * elements_per_slot``).
         self.fma_issues = 0
 
     # ------------------------------------------------------------------
@@ -83,9 +85,8 @@ class Datapath:
                 completed[column] = pipe.popleft()
         return completed
 
-    def issue(self, column: int, chunk: int, k: int, x_vector, w_bits: int,
-              acc_vector) -> None:
-        """Issue ``x * w + acc`` into ``column`` for tag ``(chunk, k)``."""
+    def _enqueue(self, column: int, chunk: int, k: int, values) -> None:
+        """Structural-legality checks plus bookkeeping shared by both issues."""
         config = self.config
         if not (0 <= column < config.height):
             raise IndexError(f"column {column} out of range")
@@ -98,13 +99,29 @@ class Datapath:
                 f"column {column}: pipeline overflow "
                 f"({len(pipe)} entries, latency {latency})"
             )
-        values = self.ops.fma(x_vector, w_bits, acc_vector)
         pipe.append(
             ColumnEntry(chunk=chunk, k=k, values=values, remaining=latency)
         )
         self._issued_this_cycle[column] = True
         self.column_issues += 1
-        self.fma_issues += config.length
+        self.fma_issues += config.length * config.elements_per_slot
+
+    def issue(self, column: int, chunk: int, k: int, x_vector, w_bits: int,
+              acc_vector) -> None:
+        """Issue ``x * w + acc`` into ``column`` for tag ``(chunk, k)``."""
+        self._enqueue(column, chunk, k,
+                      self.ops.fma(x_vector, w_bits, acc_vector))
+
+    def issue_gated(self, column: int, chunk: int, k: int, acc_vector) -> None:
+        """Issue a padding slot: the accumulator passes through unchanged.
+
+        Inner-dimension padding lanes (``n >= N`` in the last chunk) are
+        operand-gated in the array -- the slot still occupies its pipeline
+        stage (same timing, same issue accounting) but performs no
+        arithmetic, so a signed-zero accumulator is not disturbed by a
+        ``x * (+0)`` product the real gated lane never computes.
+        """
+        self._enqueue(column, chunk, k, acc_vector)
 
     def flush(self) -> None:
         """Drop all in-flight operations (between jobs)."""

@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.fp.float16 import POS_ZERO_BITS
 from repro.interco.hci import Hci, HciConfig
 from repro.mem.tcdm import Tcdm, TcdmConfig
 from repro.redmule.buffers import WLineBuffer, XBlockBuffer, ZStoreBuffer, ZStoreRequest
@@ -112,7 +111,7 @@ class RedMulE:
                 backend = "exact" if exact else "fast"
             else:
                 backend = self.config.arithmetic
-        self.ops = make_vector_ops(backend)
+        self.ops = make_vector_ops(backend, self.config.binary_format)
         #: Name of the arithmetic backend driving the datapath.
         self.backend = self.ops.name
         #: True when the backend reproduces the hardware bits exactly.
@@ -164,7 +163,28 @@ class RedMulE:
         streamer requests and in-flight datapath operations -- is flushed
         before the exception propagates, so the instance can run further
         jobs without the dead job's residue corrupting them.
+
+        Jobs in the mapped engine-hang domain are rejected with a clear
+        ``ValueError`` up front: a tile whose live-row count exceeds the Z
+        store queue can never drain (the tile-exit condition
+        ``occupancy + rows <= depth`` is unsatisfiable), so the engine would
+        spin until the watchdog instead of making progress.
         """
+        cfg = self.config
+        if job.element_bytes != cfg.element_bytes:
+            raise ValueError(
+                f"job element width ({8 * job.element_bytes} bits) does not "
+                f"match the configured {cfg.format} elements "
+                f"({cfg.element_bits} bits)"
+            )
+        live_rows = min(cfg.length, job.m)
+        if cfg.z_queue_depth < live_rows:
+            raise ValueError(
+                f"z_queue_depth={cfg.z_queue_depth} is below the live-row "
+                f"requirement of this job (min(L={cfg.length}, M={job.m}) = "
+                f"{live_rows}): the engine would deadlock waiting for Z "
+                f"queue space that can never exist"
+            )
         try:
             return self._run_job(job, max_cycles)
         except BaseException:
@@ -176,6 +196,8 @@ class RedMulE:
         cfg = self.config
         height, length = cfg.height, cfg.length
         latency, block_k = cfg.latency, cfg.block_k
+        lanes = cfg.elements_per_slot
+        epl = cfg.elements_per_line
         ops = self.ops
 
         schedule = TileSchedule(job, cfg)
@@ -191,9 +213,9 @@ class RedMulE:
 
         # Shared read-only zero lines in the strategy's own representations:
         # a vector-shaped line for X/Y padding and a W-line for padded chunks.
-        zero_line_vec = ops.zeros(block_k)
-        zero_w_line = ops.zero_line(block_k)
-        zero_vec = ops.zeros(length)
+        zero_line_vec = ops.zeros(epl)
+        zero_w_line = ops.zero_line(epl)
+        zero_vec = ops.zeros(length * lanes)
         fma_issues_at_start = self.datapath.fma_issues
 
         if max_cycles is None:
@@ -264,7 +286,7 @@ class RedMulE:
                 # registers with the existing Z values (column-major view).
                 if not y_applied and y_pending == 0:
                     for k in range(block_k):
-                        feedback[k] = ops.gather(y_lines, k)
+                        feedback[k] = ops.gather_slot(y_lines, k)
                     y_applied = True
 
                 # ---- 2. demand-driven request generation ----------------------
@@ -376,14 +398,16 @@ class RedMulE:
                    t: int) -> int:
         """Enqueue X block loads one block ahead of consumption."""
         cfg = self.config
-        block_cycles = cfg.latency * cfg.block_k
+        # One block carries elements_per_line inner-dimension operands and
+        # is consumed over (elements_per_line / H) chunks of block_k cycles.
+        block_cycles = cfg.latency * cfg.block_k * cfg.elements_per_slot
         while (
             next_block < n_blocks
             and t >= (next_block - 1) * block_cycles
             and xbuf.can_accept(next_block)
         ):
-            n_start = next_block * cfg.block_k
-            n_count = min(cfg.block_k, job.n - n_start)
+            n_start = next_block * cfg.elements_per_line
+            n_count = min(cfg.elements_per_line, job.n - n_start)
             for row in range(cfg.length):
                 if row < tile.rows and n_count > 0:
                     self.streamer.enqueue(
@@ -438,7 +462,7 @@ class RedMulE:
                 continue
             if not wbuf.has_line(col, chunk):
                 return False
-            if not xbuf.block_ready(n // cfg.block_k):
+            if not xbuf.block_ready(n // cfg.elements_per_line):
                 return False
         return True
 
@@ -459,17 +483,9 @@ class RedMulE:
                 continue
             n = chunk * cfg.height + col
 
-            if k == 0:
-                if n < job.n:
-                    block, offset = divmod(n, cfg.block_k)
-                    x_current[col] = ops.gather(xbuf.lines(block), offset)
-                else:
-                    x_current[col] = ops.zeros(cfg.length)
-
-            if n < job.n:
-                w_bits = wbuf.line(col, chunk)[k]
-            else:
-                w_bits = POS_ZERO_BITS
+            if k == 0 and n < job.n:
+                block, offset = divmod(n, cfg.elements_per_line)
+                x_current[col] = ops.gather(xbuf.lines(block), offset)
 
             if col == 0:
                 acc = feedback[k]
@@ -482,14 +498,23 @@ class RedMulE:
                     )
                 acc = previous.values
 
-            self.datapath.issue(col, chunk, k, x_current[col], w_bits, acc)
+            if n < job.n:
+                w_bits = ops.w_slot(wbuf.line(col, chunk), k)
+                self.datapath.issue(col, chunk, k, x_current[col], w_bits, acc)
+            else:
+                # Inner-dimension padding: the lane is operand-gated and the
+                # accumulator passes through untouched (preserves -0 exactly
+                # like the hardware's gated FMA does).
+                self.datapath.issue_gated(col, chunk, k, acc)
             issued = True
 
             if k == cfg.block_k - 1:
                 if n < job.n:
                     wbuf.evict(col, chunk)
                 if col == cfg.height - 1:
-                    xbuf.evict_before(((chunk + 1) * cfg.height) // cfg.block_k)
+                    xbuf.evict_before(
+                        ((chunk + 1) * cfg.height) // cfg.elements_per_line
+                    )
         return issued
 
     def _push_z(self, job: MatmulJob, tile: Tile, z_tile: List[object],
@@ -498,9 +523,14 @@ class RedMulE:
 
         The whole tile is transposed to per-row lines in one strategy call,
         which is also where a lazily evaluating strategy materialises all of
-        the tile's accumulator chains in a single batch.
+        the tile's accumulator chains in a single batch.  For packed formats
+        the tile covers ``lanes`` elements per slot, so only the slots whose
+        leading lane is architecturally valid are stored (the store request
+        then truncates the possibly half-valid last slot to ``tile.cols``
+        elements).
         """
-        lines = ops.to_lines(z_tile[: tile.cols])
+        n_slots = -(-tile.cols // self.config.elements_per_slot)
+        lines = ops.to_lines(z_tile[:n_slots])
         for row in range(tile.rows):
             accepted = zbuf.push(
                 ZStoreRequest(

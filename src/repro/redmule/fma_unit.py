@@ -110,6 +110,32 @@ class PipelinedFma:
         self.issued += 1
         self._issued_this_cycle = True
 
+    def issue_gated(self, acc_bits: int, tag: object = None) -> None:
+        """Issue an operand-gated padding slot: the accumulator passes through.
+
+        Same pipeline occupancy and timing as :meth:`issue`, but no
+        arithmetic is performed -- mirroring how the array gates lanes whose
+        inner index lies beyond the matrix, so a signed-zero accumulator is
+        not disturbed by a ``x * (+0)`` product.
+        """
+        if self._issued_this_cycle:
+            raise RuntimeError("more than one issue in the same cycle")
+        if len(self._pipeline) >= self.latency:
+            raise RuntimeError("pipeline overflow: issuing faster than latency allows")
+        acc_bits = int(acc_bits)
+        self._pipeline.append(
+            FmaOperation(
+                x=self.x_register,
+                w=0,
+                acc=acc_bits,
+                tag=tag,
+                remaining=self.latency,
+                result=acc_bits,
+            )
+        )
+        self.issued += 1
+        self._issued_this_cycle = True
+
     def tick(self) -> Optional[FmaOperation]:
         """Advance one cycle; return the operation completing this cycle, if any."""
         self._issued_this_cycle = False

@@ -33,7 +33,9 @@ import numpy as np
 
 from repro.fp.fma import fma16
 from repro.fp.float16 import POS_ZERO_BITS
+from repro.fp.formats import BinaryFormat, fma_bits
 from repro.fp.simd import fma16_guarded_f64
+from repro.fp.simd_formats import fma_guarded_f64_fmt
 from repro.fp.vector import matrix_from_bits, matrix_to_bits
 
 
@@ -162,6 +164,79 @@ def matmul_hw_order_fast_bits(
     x = matrix_from_bits(x_bits)
     w = matrix_from_bits(w_bits)
     return matrix_to_bits(matmul_hw_order_fast(x, w))
+
+
+def matmul_hw_order_exact_fmt(
+    x_bits: Sequence[Sequence[int]],
+    w_bits: Sequence[Sequence[int]],
+    fmt: BinaryFormat,
+    acc_bits: Optional[Sequence[Sequence[int]]] = None,
+) -> List[List[int]]:
+    """Bit-exact hardware-order matmul for any element format.
+
+    Format-generic counterpart of :func:`matmul_hw_order_exact`: operands
+    are matrices of ``fmt`` patterns and every accumulation step is one
+    single-rounded ``fmt`` FMA in the hardware's strictly-increasing inner
+    order.  The accumulation order per output element is independent of the
+    packed-lane layout (lanes pack along K, each output element still walks
+    ``n`` in order), so this is the oracle for every precision.
+    """
+    m = len(x_bits)
+    n = len(w_bits)
+    if m == 0 or n == 0:
+        raise ValueError("empty operands")
+    if any(len(row) != n for row in x_bits):
+        raise ValueError("X has inconsistent row lengths or wrong inner dimension")
+    k = len(w_bits[0])
+    if any(len(row) != k for row in w_bits):
+        raise ValueError("W has inconsistent row lengths")
+    if acc_bits is not None and (
+        len(acc_bits) != m or any(len(row) != k for row in acc_bits)
+    ):
+        raise ValueError("accumulator matrix must be M x K")
+
+    result: List[List[int]] = []
+    for r in range(m):
+        x_row = x_bits[r]
+        out_row: List[int] = []
+        for c in range(k):
+            acc = int(acc_bits[r][c]) if acc_bits is not None else 0
+            for i in range(n):
+                acc = fma_bits(int(x_row[i]), int(w_bits[i][c]), acc, fmt)
+            out_row.append(acc)
+        result.append(out_row)
+    return result
+
+
+def matmul_hw_order_simd_fmt(x: np.ndarray, w: np.ndarray, fmt: BinaryFormat,
+                             acc: Optional[np.ndarray] = None) -> np.ndarray:
+    """Vectorised, bit-exact hardware-order matmul for any element format.
+
+    ``x`` and ``w`` must contain ``fmt``-representable values (use
+    :func:`repro.fp.vector.quantize`); each of the ``N`` accumulation steps
+    is one guarded SIMD FMA over the whole ``M x K`` output, bit-identical
+    to :func:`matmul_hw_order_exact_fmt` at numpy speed.  Returns float64
+    holding exact ``fmt`` values.
+    """
+    x64 = np.asarray(x, dtype=np.float64)
+    w64 = np.asarray(w, dtype=np.float64)
+    if x64.ndim != 2 or w64.ndim != 2:
+        raise ValueError("operands must be 2-D")
+    if x64.shape[1] != w64.shape[0]:
+        raise ValueError(
+            f"inner dimensions disagree: {x64.shape} . {w64.shape}"
+        )
+    m, n = x64.shape
+    k = w64.shape[1]
+    if acc is None:
+        acc = np.zeros((m, k), dtype=np.float64)
+    else:
+        acc = np.asarray(acc, dtype=np.float64)
+        if acc.shape != (m, k):
+            raise ValueError(f"accumulator must be {m}x{k}, got {acc.shape}")
+    for i in range(n):
+        acc = fma_guarded_f64_fmt(x64[:, i, None], w64[i, None, :], acc, fmt)
+    return acc
 
 
 def matmul_reference_fp32(x: np.ndarray, w: np.ndarray) -> np.ndarray:

@@ -31,6 +31,9 @@ class MatmulJob:
         contents of the Z region are pre-loaded into the row accumulators
         before the first inner-dimension chunk, which is how a tiled GEMM
         larger than the TCDM (or a bias add) is composed from several jobs.
+    element_bytes:
+        Bytes per matrix element (2 for FP16/BF16, 1 for the FP8 formats).
+        Must match the element width of the configuration the job runs on.
     """
 
     x_addr: int
@@ -43,22 +46,25 @@ class MatmulJob:
     w_stride: int = 0
     z_stride: int = 0
     accumulate: bool = False
+    element_bytes: int = ELEMENT_BYTES
 
     def __post_init__(self) -> None:
         if self.m <= 0 or self.n <= 0 or self.k <= 0:
             raise ValueError(f"job dimensions must be positive, got "
                              f"M={self.m} N={self.n} K={self.k}")
+        if self.element_bytes not in (1, 2):
+            raise ValueError("element_bytes must be 1 or 2")
         for name, addr in (("x", self.x_addr), ("w", self.w_addr), ("z", self.z_addr)):
             if addr < 0:
                 raise ValueError(f"{name}_addr must be non-negative")
-            if addr % ELEMENT_BYTES:
-                raise ValueError(f"{name}_addr must be 16-bit aligned")
+            if addr % self.element_bytes:
+                raise ValueError(f"{name}_addr must be element-aligned")
         object.__setattr__(self, "x_stride",
-                           self.x_stride or self.n * ELEMENT_BYTES)
+                           self.x_stride or self.n * self.element_bytes)
         object.__setattr__(self, "w_stride",
-                           self.w_stride or self.k * ELEMENT_BYTES)
+                           self.w_stride or self.k * self.element_bytes)
         object.__setattr__(self, "z_stride",
-                           self.z_stride or self.k * ELEMENT_BYTES)
+                           self.z_stride or self.k * self.element_bytes)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -80,6 +86,8 @@ class MatmulJob:
                 f"output shape mismatch: Z is {z.rows}x{z.cols}, "
                 f"expected {x.rows}x{w.cols}"
             )
+        if not (x.element_bytes == w.element_bytes == z.element_bytes):
+            raise ValueError("operand handles disagree on the element width")
         return cls(
             x_addr=x.base,
             w_addr=w.base,
@@ -91,6 +99,7 @@ class MatmulJob:
             w_stride=w.row_stride,
             z_stride=z.row_stride,
             accumulate=accumulate,
+            element_bytes=x.element_bytes,
         )
 
     # -- derived properties --------------------------------------------------
@@ -107,30 +116,33 @@ class MatmulJob:
     @property
     def x_handle(self) -> MatrixHandle:
         """Handle describing the X operand."""
-        return MatrixHandle(self.x_addr, self.m, self.n, self.x_stride, name="X")
+        return MatrixHandle(self.x_addr, self.m, self.n, self.x_stride,
+                            name="X", element_bytes=self.element_bytes)
 
     @property
     def w_handle(self) -> MatrixHandle:
         """Handle describing the W operand."""
-        return MatrixHandle(self.w_addr, self.n, self.k, self.w_stride, name="W")
+        return MatrixHandle(self.w_addr, self.n, self.k, self.w_stride,
+                            name="W", element_bytes=self.element_bytes)
 
     @property
     def z_handle(self) -> MatrixHandle:
         """Handle describing the Z result."""
-        return MatrixHandle(self.z_addr, self.m, self.k, self.z_stride, name="Z")
+        return MatrixHandle(self.z_addr, self.m, self.k, self.z_stride,
+                            name="Z", element_bytes=self.element_bytes)
 
     # -- element addressing -----------------------------------------------------
     def x_element_addr(self, row: int, col: int) -> int:
         """Byte address of X[row, col]."""
-        return self.x_addr + row * self.x_stride + col * ELEMENT_BYTES
+        return self.x_addr + row * self.x_stride + col * self.element_bytes
 
     def w_element_addr(self, row: int, col: int) -> int:
         """Byte address of W[row, col]."""
-        return self.w_addr + row * self.w_stride + col * ELEMENT_BYTES
+        return self.w_addr + row * self.w_stride + col * self.element_bytes
 
     def z_element_addr(self, row: int, col: int) -> int:
         """Byte address of Z[row, col]."""
-        return self.z_addr + row * self.z_stride + col * ELEMENT_BYTES
+        return self.z_addr + row * self.z_stride + col * self.element_bytes
 
     def describe(self) -> str:
         """One-line summary used by traces and reports."""

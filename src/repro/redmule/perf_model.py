@@ -5,7 +5,9 @@ wide design-space sweeps and for workloads with hundreds of millions of MACs.
 This model reproduces the engine's cycle count analytically by following the
 same execution structure:
 
-* the job is split into ``ceil(M/L) * ceil(K/block_k)`` tiles;
+* the job is split into ``ceil(M/L) * ceil(K/elements_per_line)`` tiles
+  (``elements_per_line = block_k`` for 16-bit formats and ``2 * block_k``
+  for the packed FP8 formats);
 * each tile issues for ``(H-1)*(P+1) + ceil(N/H)*block_k`` cycles, then takes
   ``P+1`` extra cycles to drain the last column;
 * before the first issue of a tile the streamer must load the first X block
@@ -185,14 +187,24 @@ class RedMulEPerfModel:
     def is_exact(self, job: MatmulJob) -> bool:
         """True when the closed form provably equals the engine on ``job``.
 
-        The model assumes the mid-tile W and X refills fit in the spare
-        slots of the wide port.  Per ``block_k``-cycle chunk window the port
-        must deliver up to ``min(H, N)`` W lines plus -- whenever a tile
-        needs more than one X block -- one X line per valid row; when that
-        demand exceeds the ``block_k`` slots of the window the engine stalls
-        mid-tile and the estimate becomes a lower bound.  ``P = 0``
-        (single-cycle FMAs) is excluded: the engine's X prefetch outruns its
-        buffer there, so no ground truth exists to match.
+        Two port-capacity conditions define the domain:
+
+        * **mid-tile refills** -- per ``block_k``-cycle chunk window the
+          port must deliver up to ``min(H, N)`` W lines plus -- whenever a
+          tile needs more than one X block -- one X line per valid row;
+          when that demand exceeds the ``block_k`` slots of the window the
+          engine stalls mid-tile and the estimate becomes a lower bound;
+        * **Z-backlog hiding** -- the Z lines a tile queues at its end drain
+          through the *next* tile's spare port slots (stores have lowest
+          priority).  A tile whose duration minus its own access count is
+          smaller than the previous tile's row count cannot absorb that
+          backlog, the leftover lines lengthen the final drain, and the
+          estimate undercounts (a corner first caught by the
+          multi-precision property tests: tiny tiles after full-height
+          ones).
+
+        ``P = 0`` (single-cycle FMAs) is excluded: the engine's X prefetch
+        outruns its buffer there, so no ground truth exists to match.
         """
         cfg = self.config
         if cfg.pipeline_regs < 1:
@@ -201,7 +213,33 @@ class RedMulEPerfModel:
         rows = min(job.m, cfg.length)
         w_demand = min(cfg.height, job.n)
         x_demand = rows if schedule.n_blocks > 1 else 0
-        return w_demand + x_demand <= cfg.block_k
+        if w_demand + x_demand > cfg.block_k:
+            return False
+
+        # Z-backlog condition: every non-first tile needs enough spare
+        # slots (duration minus every access it performs itself) to drain
+        # the previous tile's queued rows before its own compute ends.
+        n_chunks = schedule.n_chunks
+        issue_cycles = (cfg.height - 1) * cfg.latency + n_chunks * cfg.block_k
+        w_initial = self._initial_w_lines(n_chunks, job.n)
+        boundary = 0 if job.accumulate else 1
+        w_total = sum(
+            1
+            for chunk in range(n_chunks)
+            for col in range(cfg.height)
+            if chunk * cfg.height + col < job.n
+        )
+        previous_rows = None
+        for tile in schedule:
+            y_lines = tile.rows if job.accumulate else 0
+            accesses = w_total + tile.rows * schedule.n_blocks + y_lines
+            preload = max(w_initial + y_lines + tile.rows - 1, 0)
+            duration = preload + issue_cycles + cfg.latency + boundary
+            if (previous_rows is not None
+                    and duration - accesses < previous_rows):
+                return False
+            previous_rows = tile.rows
+        return True
 
     def estimate(self, job: MatmulJob) -> PerfEstimate:
         """Estimate the cycle count of ``job`` on this configuration."""

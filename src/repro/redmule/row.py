@@ -4,56 +4,70 @@ Within a RedMulE row (Fig. 2b of the paper) the ``H`` FMAs are wired so that
 the partial product of FMA ``c`` feeds the accumulation input of FMA ``c+1``;
 the output of the last FMA is fed back to the first one, letting the row walk
 the inner (N) dimension in chunks of ``H`` while keeping ``H*(P+1)``
-independent output elements in flight.
+slots in flight.
 
 This scalar model computes one Z row of a tile end-to-end.  It is
 intentionally a direct transliteration of the micro-architecture -- explicit
 per-cycle issue schedule, per-unit pipelines, feedback register -- and is used
 by the test-suite as a second, independently-written implementation to
 cross-check both the vectorised datapath and the golden functional model.
+
+For the packed 8-bit formats every column carries ``elements_per_slot``
+SIMD sub-lanes (one :class:`~repro.redmule.fma_unit.PipelinedFma` each,
+FPnew-style vectorial mode): a slot cycle issues one FMA per sub-lane, the
+X operand broadcast across the lanes and the W/accumulator operands packed
+along the output (K) dimension -- so a row computes
+``elements_per_line = block_k * elements_per_slot`` Z elements per tile.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.fp.arith import BitExactFp16, Fp16Arithmetic
-from repro.fp.float16 import POS_ZERO_BITS
+from repro.fp.arith import BitExactFormat, Fp16Arithmetic
 from repro.redmule.config import RedMulEConfig
 from repro.redmule.fma_unit import PipelinedFma
 
+#: Positive zero pattern (shared by every format).
+_POS_ZERO = 0
+
 
 class FmaRow:
-    """One row of ``H`` pipelined FMAs with end-to-start feedback."""
+    """One row of ``H`` chained FMA columns with end-to-start feedback."""
 
     def __init__(self, config: RedMulEConfig,
                  arithmetic: Optional[Fp16Arithmetic] = None) -> None:
         self.config = config
-        self.arithmetic = arithmetic if arithmetic is not None else BitExactFp16()
-        self.units: List[PipelinedFma] = [
-            PipelinedFma(config.pipeline_regs, self.arithmetic)
+        if arithmetic is None:
+            arithmetic = BitExactFormat(config.binary_format)
+        self.arithmetic = arithmetic
+        self.lanes = config.elements_per_slot
+        #: units[column][lane]: the SIMD sub-lane FMAs of each column.
+        self.units: List[List[PipelinedFma]] = [
+            [PipelinedFma(config.pipeline_regs, self.arithmetic)
+             for _ in range(self.lanes)]
             for _ in range(config.height)
         ]
         #: Feedback storage: one partial accumulator per in-flight Z element.
-        self.feedback: List[int] = [POS_ZERO_BITS] * config.block_k
+        self.feedback: List[int] = [_POS_ZERO] * config.elements_per_line
         #: Cycles simulated by the last :meth:`compute_row` call.
         self.cycles = 0
 
     def compute_row(self, x_row: Sequence[int], w_block: Sequence[Sequence[int]],
                     n_chunks: Optional[int] = None) -> List[int]:
-        """Compute ``block_k`` Z elements of one row, cycle by cycle.
+        """Compute ``elements_per_line`` Z elements of one row, cycle by cycle.
 
         Parameters
         ----------
         x_row:
-            The row of X operands (16-bit patterns), one per inner index
+            The row of X operands (bit patterns), one per inner index
             ``n``.  Its length is padded with zeros up to ``n_chunks * H``.
-            Any integer sequence works, including ``uint16`` line arrays.
+            Any integer sequence works, including pattern line arrays.
         w_block:
             ``w_block[n][k]`` gives the W operand pattern for inner index
-            ``n`` and output column ``k`` (``0 <= k < block_k``); rows beyond
-            ``len(w_block)`` are treated as zero.  Rows may be lists or
-            ``uint16`` line arrays.
+            ``n`` and output column ``k`` (``0 <= k < elements_per_line``);
+            rows beyond ``len(w_block)`` are treated as zero.  Rows may be
+            lists or pattern line arrays.
         n_chunks:
             Number of H-wide chunks of the inner dimension to process
             (defaults to ``ceil(len(x_row) / H)``).
@@ -61,46 +75,53 @@ class FmaRow:
         Returns
         -------
         list[int]
-            The ``block_k`` accumulated Z patterns for this row.
+            The accumulated Z patterns for this row.
         """
         cfg = self.config
         height, latency, block_k = cfg.height, cfg.latency, cfg.block_k
+        lanes = self.lanes
+        epl = cfg.elements_per_line
+        n_real = len(x_row)
         if n_chunks is None:
-            n_chunks = -(-len(x_row) // height)
+            n_chunks = -(-n_real // height)
         if n_chunks <= 0:
             raise ValueError("n_chunks must be positive")
 
         def x_at(n: int) -> int:
-            return int(x_row[n]) if n < len(x_row) else POS_ZERO_BITS
+            return int(x_row[n]) if n < len(x_row) else _POS_ZERO
 
         def w_at(n: int, k: int) -> int:
             if n >= len(w_block):
-                return POS_ZERO_BITS
+                return _POS_ZERO
             return int(w_block[n][k])
 
-        self.feedback = [POS_ZERO_BITS] * block_k
-        for unit in self.units:
-            unit.flush()
+        self.feedback = [_POS_ZERO] * epl
+        for column in self.units:
+            for unit in column:
+                unit.flush()
 
         issue_cycles = n_chunks * block_k
         total_cycles = issue_cycles + height * latency
         # Output accumulators of the previous column completing this cycle,
-        # indexed by column; column c+1 consumes completed[c].
+        # indexed by (column, lane); column c+1 consumes completed[c].
         for cycle in range(total_cycles):
-            completed: List[Optional[object]] = [None] * height
-            for col, unit in enumerate(self.units):
-                done = unit.tick()
-                if done is not None:
-                    completed[col] = done
+            completed: List[List[Optional[object]]] = [
+                [None] * lanes for _ in range(height)
+            ]
+            for col, column in enumerate(self.units):
+                for lane, unit in enumerate(column):
+                    done = unit.tick()
+                    if done is not None:
+                        completed[col][lane] = done
 
             # The last column's completion closes the loop: it either becomes
             # feedback for the next chunk or the final result.
-            last_done = completed[height - 1]
-            if last_done is not None:
-                _, k = last_done.tag
-                self.feedback[k] = last_done.result
+            for lane, last_done in enumerate(completed[height - 1]):
+                if last_done is not None:
+                    _, k, tag_lane = last_done.tag
+                    self.feedback[k * lanes + tag_lane] = last_done.result
 
-            for col, unit in enumerate(self.units):
+            for col, column in enumerate(self.units):
                 slot = cycle - col * latency
                 if slot < 0:
                     continue
@@ -108,19 +129,28 @@ class FmaRow:
                 if chunk >= n_chunks:
                     continue
                 n = chunk * height + col
-                if k == 0:
-                    unit.load_x(x_at(n))
-                if col == 0:
-                    acc = self.feedback[k]
-                else:
-                    prev_done = completed[col - 1]
-                    if prev_done is None or prev_done.tag != (chunk, k):
-                        raise RuntimeError(
-                            f"systolic timing violated at cycle {cycle}, "
-                            f"column {col}, chunk {chunk}, k {k}"
-                        )
-                    acc = prev_done.result
-                unit.issue(w_at(n, k), acc, tag=(chunk, k))
+                for lane, unit in enumerate(column):
+                    if k == 0:
+                        unit.load_x(x_at(n))
+                    if col == 0:
+                        acc = self.feedback[k * lanes + lane]
+                    else:
+                        prev_done = completed[col - 1][lane]
+                        if prev_done is None or prev_done.tag != (chunk, k, lane):
+                            raise RuntimeError(
+                                f"systolic timing violated at cycle {cycle}, "
+                                f"column {col}, lane {lane}, chunk {chunk}, "
+                                f"k {k}"
+                            )
+                        acc = prev_done.result
+                    if n < n_real:
+                        unit.issue(w_at(n, k * lanes + lane), acc,
+                                   tag=(chunk, k, lane))
+                    else:
+                        # Inner-dimension padding: operand-gated, exactly
+                        # like the engine's Datapath.issue_gated (a x*(+0)
+                        # product must not flip a -0 accumulator).
+                        unit.issue_gated(acc, tag=(chunk, k, lane))
 
         self.cycles = total_cycles
         return list(self.feedback)

@@ -20,7 +20,7 @@ from repro.redmule.job import MatmulJob
 
 @dataclass(frozen=True)
 class Tile:
-    """One L x block_k output tile of the job."""
+    """One L x elements_per_line output tile of the job."""
 
     #: Linear tile index (row-major over the tile grid).
     index: int
@@ -30,7 +30,7 @@ class Tile:
     k0: int
     #: Number of architecturally valid rows (<= L).
     rows: int
-    #: Number of architecturally valid columns (<= block_k).
+    #: Number of architecturally valid columns (<= elements_per_line).
     cols: int
 
 
@@ -49,8 +49,8 @@ class TileSchedule:
 
     @property
     def tiles_k(self) -> int:
-        """Number of tile columns (ceil(K / block_k))."""
-        return -(-self.job.k // self.config.block_k)
+        """Number of tile columns (ceil(K / elements_per_line))."""
+        return -(-self.job.k // self.config.elements_per_line)
 
     @property
     def n_tiles(self) -> int:
@@ -64,8 +64,9 @@ class TileSchedule:
 
     @property
     def n_blocks(self) -> int:
-        """X blocks per tile: ``block_k``-element groups of the inner dimension."""
-        return -(-self.n_chunks * self.config.height // self.config.block_k)
+        """X blocks per tile: line-sized groups of the inner dimension."""
+        return -(-self.n_chunks * self.config.height
+                 // self.config.elements_per_line)
 
     # -- iteration --------------------------------------------------------------
     def tile(self, index: int) -> Tile:
@@ -74,13 +75,13 @@ class TileSchedule:
             raise IndexError(f"tile index {index} out of range 0..{self.n_tiles - 1}")
         tile_m, tile_k = divmod(index, self.tiles_k)
         m0 = tile_m * self.config.length
-        k0 = tile_k * self.config.block_k
+        k0 = tile_k * self.config.elements_per_line
         return Tile(
             index=index,
             m0=m0,
             k0=k0,
             rows=min(self.config.length, self.job.m - m0),
-            cols=min(self.config.block_k, self.job.k - k0),
+            cols=min(self.config.elements_per_line, self.job.k - k0),
         )
 
     def __iter__(self) -> Iterator[Tile]:
@@ -102,12 +103,13 @@ class TileSchedule:
     def issued_macs(self) -> int:
         """MAC slots issued by the array for the whole job, padding included.
 
-        The array always issues ``L * block_k`` lanes per chunk per tile, so
-        padding lanes (rows beyond M, columns beyond K, inner padding beyond
-        N) are issued but architecturally useless.  The ratio of
-        ``job.total_macs`` to this number is the array's spatial utilisation.
+        The array always issues ``L * elements_per_line`` lanes per chunk
+        per tile, so padding lanes (rows beyond M, columns beyond K, inner
+        padding beyond N) are issued but architecturally useless.  The ratio
+        of ``job.total_macs`` to this number is the array's spatial
+        utilisation.
         """
-        per_tile = self.config.length * self.config.block_k * (
+        per_tile = self.config.length * self.config.elements_per_line * (
             self.n_chunks * self.config.height
         )
         return per_tile * self.n_tiles

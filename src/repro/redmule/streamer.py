@@ -149,13 +149,16 @@ class Streamer:
             self.stats.idle_cycles += 1
             return None
 
+        element_bytes = self.config.element_bytes
         if request.write:
             outcome = self.hci.wide_line_cycle(
-                request.addr, write=True, line=request.payload_bits
+                request.addr, write=True, line=request.payload_bits,
+                element_bytes=element_bytes,
             )
         else:
             outcome = self.hci.wide_line_cycle(request.addr,
-                                               n_elements=request.n_elements)
+                                               n_elements=request.n_elements,
+                                               element_bytes=element_bytes)
         if outcome is None:
             # The branch rotation stalled the wide port this cycle; retry.
             self.stats.stall_cycles += 1
@@ -165,7 +168,7 @@ class Streamer:
         if request.write:
             self.stats.z_stores += 1
         else:
-            request.data_bits = pad_line(outcome, self.config.block_k)
+            request.data_bits = pad_line(outcome, self.config.elements_per_line)
             if request.kind == "w":
                 self.stats.w_loads += 1
             elif request.kind == "y":
@@ -191,9 +194,9 @@ class Streamer:
 
 
 def pad_line(line: np.ndarray, pad_to: int) -> np.ndarray:
-    """Zero-pad a loaded ``uint16`` line up to the streamer line width."""
+    """Zero-pad a loaded pattern line up to the streamer line width."""
     if len(line) >= pad_to:
         return line
-    padded = np.zeros(pad_to, dtype=np.uint16)
+    padded = np.zeros(pad_to, dtype=line.dtype)
     padded[: len(line)] = line
     return padded

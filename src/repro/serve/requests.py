@@ -97,6 +97,19 @@ class RequestGenerator:
         self.frequency_hz = frequency_hz
         self.seed = seed
 
+    def _rng(self, stream: int) -> np.random.Generator:
+        """An independent child generator for one traffic stream.
+
+        ``generate()`` and ``burst()`` draw from *separate* spawned child
+        streams of the seed (``np.random.SeedSequence(seed).spawn``): a
+        scenario mixing open-loop and burst traffic must not replay the
+        same random sequence in both, which is exactly what the previous
+        ``default_rng(self.seed)``-in-both-methods arrangement did.
+        Determinism per (seed, stream) is preserved.
+        """
+        children = np.random.SeedSequence(self.seed).spawn(2)
+        return np.random.default_rng(children[stream])
+
     @property
     def total_rps(self) -> float:
         """Aggregate mean request rate over every tenant."""
@@ -112,7 +125,7 @@ class RequestGenerator:
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        rng = np.random.default_rng(self.seed)
+        rng = self._rng(0)
         horizon = duration_s * self.frequency_hz
         raw: List[Tuple[int, int, str, str, WorkloadGraph]] = []
         for tenant_index, tenant in enumerate(self.tenants):
@@ -143,7 +156,7 @@ class RequestGenerator:
         """
         if per_tenant <= 0:
             raise ValueError("per_tenant must be positive")
-        rng = np.random.default_rng(self.seed)
+        rng = self._rng(1)
         requests: List[Request] = []
         for tenant in self.tenants:
             weights = tenant.mix_weights

@@ -29,7 +29,7 @@ pinned by the test suite.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.farm import SimulationFarm, default_farm
@@ -144,6 +144,12 @@ class ServingSimulator:
         self.tile = tile
         self.keep_trace = keep_trace
         self.trace: List[ScheduledNode] = []
+        #: Per-precision farms, lazily derived from the base farm (same
+        #: architecture, same shared timing cache, different element
+        #: format).  Mixed-precision tenant mixes dispatch each job to the
+        #: farm whose line geometry matches its graph's precision.
+        self._farms: Dict[str, SimulationFarm] = {self.farm.config.format:
+                                                  self.farm}
         #: Lowered programs memoised per graph (keyed by the graph object
         #: itself -- identity semantics, and the reference keeps the graph
         #: alive so a recycled object id can never alias a different
@@ -159,23 +165,54 @@ class ServingSimulator:
             self._programs[graph] = program
         return program
 
+    def _farm_for(self, precision: str) -> SimulationFarm:
+        """The timing farm serving jobs of one element precision."""
+        farm = self._farms.get(precision)
+        if farm is None:
+            base = self.farm
+            farm = SimulationFarm(
+                config=replace(base.config, format=precision),
+                backend=base.backend,
+                engine_macs_threshold=base.engine_macs_threshold,
+                max_workers=1,
+                arithmetic=base.arithmetic,
+                cache=base.cache,
+                max_cycles=base.max_cycles,
+            )
+            self._farms[precision] = farm
+        return farm
+
     # -- node timing ---------------------------------------------------------
     def _time_gemm_wave(
         self, wave: Sequence[Tuple[_RequestState, int]]
     ) -> List[int]:
         """Cluster service time of every GEMM node in a dispatch wave.
 
-        All accelerator jobs of the wave go through the farm in a single
-        batched ``run()`` call (one cache lookup pass, misses simulated
-        together).
+        All accelerator jobs of the wave go through the farm in one batched
+        ``run()`` call per element precision (one cache lookup pass, misses
+        simulated together); single-precision waves -- the common case --
+        stay a single call.
         """
         jobs = []
         spans = []
+        job_precision: List[str] = []
         for state, node_index in wave:
             node = state.program.nodes[node_index]
             spans.append((len(jobs), len(node.jobs)))
+            precision = state.program.precision
             jobs.extend(node.jobs)
-        results = self.farm.run(jobs, backend=self.backend) if jobs else []
+            job_precision.extend([precision] * len(node.jobs))
+
+        results: List[Optional[object]] = [None] * len(jobs)
+        by_precision: Dict[str, List[int]] = {}
+        for index, precision in enumerate(job_precision):
+            by_precision.setdefault(precision, []).append(index)
+        for precision, indices in by_precision.items():
+            batch = self._farm_for(precision).run(
+                [jobs[i] for i in indices], backend=self.backend
+            )
+            for i, result in zip(indices, batch):
+                results[i] = result
 
         durations = []
         for (state, node_index), (offset, count) in zip(wave, spans):
