@@ -98,3 +98,47 @@ def test_arithmetic_backends_bit_match(benchmark):
         "cycles": exact_cycles,
         "fast_matches_exact": fast_bits == exact_bits,
     })
+
+
+def test_trace_replay_matches_event_stepped_engine(benchmark):
+    """Trace-compiled replay cross-checked against the event-stepped engine
+    in all four element formats: the worst difference between the two result
+    images -- measured in bits -- must be exactly zero, and the replayed
+    cycle counts must match exactly."""
+    from repro.redmule.trace import reset_shared_trace_stores
+
+    shape = (16, 40, 24)
+    formats = ["fp16", "bf16", "fp8-e4m3", "fp8-e5m2"]
+
+    def run_all():
+        reset_shared_trace_stores()
+        rows = []
+        for fmt in formats:
+            key = config_key(RedMulEConfig(format=fmt))
+            simd_cycles, simd_bits = run_functional_job(
+                key, *shape, False, "exact-simd", seed=21)
+            run_functional_job(key, *shape, False, "trace", seed=8)  # record
+            trace_cycles, trace_bits = run_functional_job(
+                key, *shape, False, "trace", seed=21)  # warm replay
+            diff_bits = sum(
+                bin(a ^ b).count("1")
+                for a, b in zip(simd_bits, trace_bits)
+            )
+            rows.append((fmt, simd_cycles, trace_cycles, diff_bits))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_series(
+        f"Trace replay validation vs event-stepped engine -- {shape}",
+        ["format", "engine cycles", "replay cycles", "differing bits"],
+        rows,
+    )
+    worst = max(diff for *_, diff in rows)
+    cycle_errors = sum(1 for _, sc, tc, _ in rows if sc != tc)
+    record_info(benchmark, {
+        "worst_bit_error": worst,
+        "cycle_mismatches": cycle_errors,
+    })
+    assert worst == 0
+    assert cycle_errors == 0

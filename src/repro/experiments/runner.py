@@ -101,11 +101,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["exact", "exact-simd", "fast"],
+        choices=["exact", "exact-simd", "fast", "trace"],
         default=None,
         help="arithmetic backend of the farm's cycle-accurate engine "
         "runs (exact: scalar bit-exact oracle; exact-simd: vectorised "
-        "bit-exact; fast: float64 with per-step rounding)",
+        "bit-exact; fast: float64 with per-step rounding; trace: "
+        "bit-exact with schedule record/replay -- repeated tile shapes "
+        "skip the event-stepped loop entirely)",
     )
     parser.add_argument(
         "--format",

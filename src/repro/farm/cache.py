@@ -36,7 +36,15 @@ from repro.redmule.job import MatmulJob
 #: support changes line geometry and cycle counts), so v2 keys -- which
 #: implicitly meant FP16 -- can no longer be told apart from other
 #: precisions and must not be reloaded.
-CACHE_FILE_VERSION = 3
+#: v4: an optional ``traces`` side-table carries recorded engine schedule
+#: traces (:mod:`repro.redmule.trace`) keyed by config tag.  Older files
+#: stay loadable -- the timing-record schema is unchanged since v3 (and v2
+#: keys decode by appending the implicit "fp16" format) -- their traces are
+#: simply absent.
+CACHE_FILE_VERSION = 4
+
+#: Cache-file versions :meth:`TimingCache.load` can decode.
+_LOADABLE_VERSIONS = (2, 3, CACHE_FILE_VERSION)
 
 #: Backend tags used in cache keys and records.
 BACKEND_ENGINE = "engine"
@@ -196,6 +204,10 @@ class TimingCache:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.max_entries = max_entries
         self._entries: "OrderedDict[TimingKey, TimingRecord]" = OrderedDict()
+        #: Engine schedule-trace payloads keyed by config tag
+        #: (:func:`repro.redmule.trace.trace_tag`); persisted alongside the
+        #: timing entries so a warm cache also warms the trace stores.
+        self.traces: dict = {}
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -250,6 +262,8 @@ class TimingCache:
             for key, record in self._entries.items()
         ]
         payload = {"version": CACHE_FILE_VERSION, "entries": entries}
+        if self.traces:
+            payload["traces"] = self.traces
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         return len(entries)
@@ -261,22 +275,33 @@ class TimingCache:
         existing entries are kept (file entries win on key collisions);
         otherwise the cache is cleared first.  Loading counts neither hits
         nor misses.
+
+        Legacy files stay decodable: v3 files load with their traces absent
+        (the side-table did not exist yet), and v2 files additionally get
+        the implicit ``"fp16"`` format appended to their five-field config
+        keys (every v2-era record was binary16).  v1 files are still
+        rejected -- their model records predate the bit-exact analytical
+        model and carry stale cycle counts.
         """
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         version = payload.get("version")
-        if version != CACHE_FILE_VERSION:
+        if version not in _LOADABLE_VERSIONS:
             raise ValueError(
                 f"unsupported timing-cache file version {version!r} "
-                f"(expected {CACHE_FILE_VERSION})"
+                f"(expected one of {_LOADABLE_VERSIONS})"
             )
         if not merge:
             self.clear()
         entries = payload["entries"]
         for entry in entries:
             raw_key = dict(entry["key"])
-            raw_key["config"] = tuple(raw_key["config"])
+            config = tuple(raw_key["config"])
+            if version == 2 and len(config) == 5:
+                config = config + ("fp16",)
+            raw_key["config"] = config
             self.store(TimingKey(**raw_key), TimingRecord(**entry["record"]))
+        self.traces.update(payload.get("traces", {}))
         return len(entries)
 
     def describe(self) -> str:

@@ -39,7 +39,8 @@ from repro.farm.cache import (
 from repro.farm.workers import run_functional_job, simulate_key
 from repro.redmule.config import RedMulEConfig
 from repro.redmule.job import MatmulJob
-from repro.redmule.vector_ops import validate_backend_name
+from repro.redmule.trace import shared_trace_store, trace_tag
+from repro.redmule.vector_ops import backend_schedule_compiled, validate_backend_name
 from repro.workloads.gemm import GemmShape
 
 #: Backend *policy* name routing every job to the analytical model.  Unlike
@@ -233,9 +234,13 @@ class SimulationFarm:
         unaffected; the flag participates in the cache key regardless).
     arithmetic:
         Vector-ops backend the engine simulates with (``"exact"``,
-        ``"exact-simd"`` or ``"fast"``).  Overrides ``exact`` when given;
-        when omitted, bit-exact farms default to the fast bit-exact
-        ``"exact-simd"`` backend and the rest to ``"fast"``.
+        ``"exact-simd"``, ``"fast"`` or the schedule-compiling ``"trace"``).
+        Overrides ``exact`` when given; when omitted, bit-exact farms
+        default to the fast bit-exact ``"exact-simd"`` backend and the rest
+        to ``"fast"``.  ``"trace"`` engines share one per-process trace
+        store per configuration, so worker processes and repeated batches
+        replay schedules recorded earlier (see :meth:`save_cache` for
+        cross-process persistence).
     backend:
         ``"auto"`` (default) routes each job by size, ``"engine"`` or
         ``"model"`` forces one backend for every request; ``"analytic"``
@@ -563,13 +568,40 @@ class SimulationFarm:
         Together with :meth:`load_cache` this lets repeated benchmark
         invocations reuse timing across processes: the records are
         deterministic per (configuration, shape, backend), so a reloaded
-        entry is indistinguishable from a fresh simulation.
+        entry is indistinguishable from a fresh simulation.  On a
+        schedule-compiled farm (``arithmetic="trace"``) the recorded engine
+        schedule traces of this configuration ride along in the file's
+        ``traces`` side-table, so a later process starts replay-warm.
         """
+        self._export_traces()
         return self.cache.save(path)
 
     def load_cache(self, path, merge: bool = True) -> int:
-        """Load a persisted timing cache (see :meth:`TimingCache.load`)."""
-        return self.cache.load(path, merge=merge)
+        """Load a persisted timing cache (see :meth:`TimingCache.load`).
+
+        Trace payloads found in the file are merged into the process-wide
+        trace store of this farm's configuration when the farm's arithmetic
+        is schedule-compiled.
+        """
+        loaded = self.cache.load(path, merge=merge)
+        self._import_traces()
+        return loaded
+
+    def _export_traces(self) -> None:
+        """Snapshot this config's shared trace store into the cache payload."""
+        if not backend_schedule_compiled(self.arithmetic):
+            return
+        store = shared_trace_store(self.config)
+        if len(store):
+            self.cache.traces[trace_tag(self.config)] = store.to_payload()
+
+    def _import_traces(self) -> None:
+        """Merge loaded trace payloads into this config's shared store."""
+        if not backend_schedule_compiled(self.arithmetic):
+            return
+        payload = self.cache.traces.get(trace_tag(self.config))
+        if payload:
+            shared_trace_store(self.config).merge_payload(payload)
 
     # -- validation ----------------------------------------------------------
     def validate_backends(

@@ -101,7 +101,9 @@ def simulate_engine_timing(
     to the legacy mapping of the ``exact`` flag.  The choice never changes
     the record (timing is arithmetic-independent), only the wall-clock cost
     of producing it -- the farm passes ``"exact-simd"`` for bit-exact runs so
-    cache misses stay cheap.
+    cache misses stay cheap.  ``"trace"`` engines reuse the per-process
+    shared trace store of the configuration, so repeated worker invocations
+    in one pool process replay schedules recorded by earlier keys.
     """
     if arithmetic is None:
         arithmetic = "exact" if exact else "fast"

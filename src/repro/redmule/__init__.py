@@ -15,6 +15,8 @@ coupled FP16 matrix-multiplication accelerator.  It contains
 * the register file + controller (:mod:`repro.redmule.controller`),
 * the cycle-accurate engine that ties everything together
   (:mod:`repro.redmule.engine`),
+* trace compilation of the engine's cycle schedules -- record once, replay
+  the data plane vectorized (:mod:`repro.redmule.trace`),
 * a closed-form performance model validated against the engine
   (:mod:`repro.redmule.perf_model`), and
 * golden functional references (:mod:`repro.redmule.functional`).
@@ -41,11 +43,20 @@ from repro.redmule.functional import (
     matmul_hw_order_simd,
     matmul_reference_fp32,
 )
+from repro.redmule.trace import (
+    ScheduleTrace,
+    TraceStore,
+    replay_dataplane,
+    reset_shared_trace_stores,
+    shared_trace_store,
+)
 from repro.redmule.vector_ops import (
     VECTOR_OPS_BACKENDS,
     ExactSimdVectorOps,
     ExactVectorOps,
     FastVectorOps,
+    TraceVectorOps,
+    backend_schedule_compiled,
     make_vector_ops,
 )
 
@@ -65,17 +76,24 @@ __all__ = [
     "RedMulEController",
     "RedMulEPerfModel",
     "RedMulEResult",
+    "ScheduleTrace",
     "Streamer",
     "StreamerStats",
     "Tile",
     "TileSchedule",
+    "TraceStore",
+    "TraceVectorOps",
     "VECTOR_OPS_BACKENDS",
     "WLineBuffer",
     "XBlockBuffer",
     "ZStoreBuffer",
+    "backend_schedule_compiled",
     "make_vector_ops",
     "matmul_hw_order_exact",
     "matmul_hw_order_fast",
     "matmul_hw_order_simd",
     "matmul_reference_fp32",
+    "replay_dataplane",
+    "reset_shared_trace_stores",
+    "shared_trace_store",
 ]

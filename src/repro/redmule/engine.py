@@ -34,6 +34,7 @@ from repro.redmule.datapath import Datapath
 from repro.redmule.job import MatmulJob
 from repro.redmule.scheduler import Tile, TileSchedule
 from repro.redmule.streamer import Streamer, StreamRequest, StreamerStats
+from repro.redmule.trace import ReplaySession, TraceStore, shared_trace_store
 from repro.redmule.vector_ops import make_vector_ops
 
 
@@ -85,13 +86,28 @@ class RedMulEResult:
         )
 
 
+@dataclass
+class _JobState:
+    """Mutable per-job cycle accounting shared by event-stepping and replay."""
+
+    max_cycles: int
+    total_cycles: int = 0
+    stall_cycles: int = 0
+    active_cycles: int = 0
+
+
 class RedMulE:
     """Cycle-accurate model of one RedMulE instance attached to an HCI.
 
-    The FP16 arithmetic backend is selected by ``backend`` (a name from the
-    vector-ops registry: ``"exact"``, ``"exact-simd"`` or ``"fast"``), or by
-    the legacy ``exact`` boolean, or -- when neither is given -- by the
-    configuration's ``arithmetic`` field.
+    The arithmetic backend is selected by ``backend`` (a name from the
+    vector-ops registry: ``"exact"``, ``"exact-simd"``, ``"fast"`` or
+    ``"trace"``), or by the legacy ``exact`` boolean, or -- when neither is
+    given -- by the configuration's ``arithmetic`` field.
+
+    The ``"trace"`` backend record/replays compiled cycle schedules (see
+    :mod:`repro.redmule.trace`): traces live in the process-wide store of
+    this architectural configuration unless an explicit ``trace_store`` is
+    passed.
     """
 
     def __init__(
@@ -100,6 +116,7 @@ class RedMulE:
         hci: Optional[Hci] = None,
         exact: Optional[bool] = None,
         backend: Optional[str] = None,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         self.config = config if config is not None else RedMulEConfig.reference()
         if hci is None:
@@ -119,6 +136,13 @@ class RedMulE:
         self.datapath = Datapath(self.config, vector_ops=self.ops)
         self.controller = RedMulEController()
         self.streamer = Streamer(self.config, hci)
+        #: Schedule-trace store driving record/replay (None for plain backends).
+        self._trace_store: Optional[TraceStore] = None
+        if self.ops.schedule_compiled:
+            self._trace_store = (trace_store if trace_store is not None
+                                 else shared_trace_store(self.config))
+        #: The live :class:`~repro.redmule.trace.ReplaySession`, if any.
+        self._session: Optional[ReplaySession] = None
         #: Results of every job run on this instance.
         self.history: List[RedMulEResult] = []
 
@@ -194,169 +218,70 @@ class RedMulE:
 
     def _run_job(self, job: MatmulJob, max_cycles: Optional[int]) -> RedMulEResult:
         cfg = self.config
-        height, length = cfg.height, cfg.length
-        latency, block_k = cfg.latency, cfg.block_k
-        lanes = cfg.elements_per_slot
-        epl = cfg.elements_per_line
-        ops = self.ops
 
         schedule = TileSchedule(job, cfg)
-        n_chunks = schedule.n_chunks
-        n_blocks = schedule.n_blocks
-        issue_end = (height - 1) * latency + n_chunks * block_k
-
         xbuf = XBlockBuffer(cfg, capacity_blocks=2)
         wbuf = WLineBuffer(cfg)
         zbuf = ZStoreBuffer(cfg)
         self.datapath.flush()
         self.streamer.reset_stats()
-
-        # Shared read-only zero lines in the strategy's own representations:
-        # a vector-shaped line for X/Y padding and a W-line for padded chunks.
-        zero_line_vec = ops.zeros(epl)
-        zero_w_line = ops.zero_line(epl)
-        zero_vec = ops.zeros(length * lanes)
         fma_issues_at_start = self.datapath.fma_issues
 
         if max_cycles is None:
             max_cycles = 20_000 + 4 * schedule.issued_macs() // cfg.n_fma
-
-        total_cycles = 0
-        stall_cycles = 0
-        active_cycles = 0
+        state = _JobState(max_cycles=max_cycles)
 
         # W lines in the order the datapath will need them.
         w_need_order = sorted(
-            (col * latency + chunk * block_k, col, chunk)
-            for chunk in range(n_chunks)
-            for col in range(height)
+            (col * cfg.latency + chunk * cfg.block_k, col, chunk)
+            for chunk in range(schedule.n_chunks)
+            for col in range(cfg.height)
         )
 
-        for tile in schedule:
-            xbuf.reset()
-            wbuf.reset()
-            feedback = [zero_vec] * block_k
-            z_tile: List[Optional[object]] = [None] * block_k
-            z_done = 0
-            x_current = [zero_vec] * height
-            x_enqueued_blocks = 0
-            w_ptr = 0
-            t = 0
+        session: Optional[ReplaySession] = None
+        if self._trace_store is not None:
+            session = ReplaySession(self, job, schedule, zbuf, state,
+                                    self._trace_store)
+            if not session.supported:
+                session = None
+        self._session = session
 
-            # Accumulation jobs (Z += X . W) pre-load the existing Z lines of
-            # this tile into the row accumulators before the first issue.
-            y_lines: List[Optional[object]] = [None] * length
-            y_pending = 0
-            y_applied = not job.accumulate
-            if job.accumulate:
-                for row in range(length):
-                    if row < tile.rows:
-                        self.streamer.enqueue(
-                            StreamRequest(
-                                kind="y",
-                                addr=job.z_element_addr(tile.m0 + row, tile.k0),
-                                n_elements=tile.cols,
-                                meta=("y", row),
-                            )
-                        )
-                        y_pending += 1
-                    else:
-                        y_lines[row] = zero_line_vec
+        try:
+            for tile in schedule:
+                if session is not None and session.try_replay(tile):
+                    continue
+                if session is not None:
+                    # An event-stepped tile needs the real machine state;
+                    # materialise any deferred replays first.
+                    session.flush()
+                    recorder = session.begin_recording(tile)
+                else:
+                    recorder = None
+                self._run_tile(job, schedule, tile, xbuf, wbuf, zbuf,
+                               w_need_order, state, recorder)
+                if recorder is not None:
+                    session.commit_recording(tile, recorder)
+            if session is not None:
+                session.flush()
 
-            while True:
-                total_cycles += 1
-                if total_cycles > max_cycles:
+            # Drain the remaining Z stores.
+            while not zbuf.empty or self.streamer.busy:
+                state.total_cycles += 1
+                if state.total_cycles > state.max_cycles:
                     raise RuntimeError(
-                        f"simulation exceeded {max_cycles} cycles "
-                        f"({job.describe()}, tile {tile.index})"
-                    )
-
-                # ---- 1. memory: one wide port cycle --------------------------
+                        "simulation exceeded max_cycles during Z drain")
                 self._drain_zbuf(zbuf)
-                finished = self.streamer.cycle()
-                if finished is not None and not finished.write:
-                    if finished.kind == "y":
-                        _, row = finished.meta
-                        y_lines[row] = ops.from_bits(finished.data_bits)
-                        y_pending -= 1
-                    else:
-                        self._fill_buffer(finished, xbuf, wbuf, ops)
-
-                # Once every Z pre-load line has arrived, seed the feedback
-                # registers with the existing Z values (column-major view).
-                if not y_applied and y_pending == 0:
-                    for k in range(block_k):
-                        feedback[k] = ops.gather_slot(y_lines, k)
-                    y_applied = True
-
-                # ---- 2. demand-driven request generation ----------------------
-                x_enqueued_blocks = self._enqueue_x(
-                    job, tile, xbuf, zero_line_vec,
-                    x_enqueued_blocks, n_blocks, t,
-                )
-                w_ptr = self._enqueue_w(
-                    job, tile, wbuf, zero_w_line, w_need_order, w_ptr, t,
-                )
-
-                # ---- 3. datapath ----------------------------------------------
-                if t < issue_end:
-                    ready = y_applied and self._resources_ready(
-                        job, tile, xbuf, wbuf, t, n_chunks
-                    )
-                else:
-                    ready = True
-
-                if ready:
-                    completions = self.datapath.tick()
-                    last = completions.get(height - 1)
-                    if last is not None:
-                        if last.chunk == n_chunks - 1:
-                            z_tile[last.k] = last.values
-                            z_done += 1
-                        else:
-                            feedback[last.k] = last.values
-                    if t < issue_end:
-                        issued = self._issue_cycle(
-                            job, tile, xbuf, wbuf, x_current, feedback,
-                            completions, t, n_chunks,
-                        )
-                        if issued:
-                            active_cycles += 1
-                    t += 1
-                else:
-                    stall_cycles += 1
-
-                # ---- 4. tile completion ----------------------------------------
-                # The tile ends once every result has drained out of the
-                # array *and* the Z buffer has room for this tile's lines
-                # (otherwise keep cycling so pending stores trickle out).
-                if (
-                    t >= issue_end
-                    and not self.datapath.busy
-                    and zbuf.occupancy + tile.rows <= zbuf.depth
-                ):
-                    break
-
-            if z_done != block_k:
-                raise RuntimeError(
-                    f"tile {tile.index}: expected {block_k} output columns, "
-                    f"got {z_done}"
-                )
-            self._push_z(job, tile, z_tile, zbuf, ops)
-
-        # Drain the remaining Z stores.
-        while not zbuf.empty or self.streamer.busy:
-            total_cycles += 1
-            if total_cycles > max_cycles:
-                raise RuntimeError("simulation exceeded max_cycles during Z drain")
-            self._drain_zbuf(zbuf)
-            self.streamer.cycle()
+                self.streamer.cycle()
+        finally:
+            self._session = None
+            if session is not None:
+                session.close()
 
         result = RedMulEResult(
             job=job,
-            cycles=total_cycles,
-            stall_cycles=stall_cycles,
-            active_cycles=active_cycles,
+            cycles=state.total_cycles,
+            stall_cycles=state.stall_cycles,
+            active_cycles=state.active_cycles,
             total_macs=job.total_macs,
             issued_macs=self.datapath.fma_issues - fma_issues_at_start,
             n_tiles=schedule.n_tiles,
@@ -365,6 +290,146 @@ class RedMulE:
         )
         self.history.append(result)
         return result
+
+    def _run_tile(self, job: MatmulJob, schedule: TileSchedule, tile: Tile,
+                  xbuf: XBlockBuffer, wbuf: WLineBuffer, zbuf: ZStoreBuffer,
+                  w_need_order, state: _JobState, recorder) -> None:
+        """Event-step one tile of the job (the original engine hot loop).
+
+        When ``recorder`` is given (trace backend, cold tile) every control
+        event of the tile -- streamer enqueues/completions via the observer
+        hooks, Z pushes/drains, and the datapath issues reported below -- is
+        captured so the schedule can be replayed for later tiles of the same
+        signature.
+        """
+        cfg = self.config
+        height, length = cfg.height, cfg.length
+        latency, block_k = cfg.latency, cfg.block_k
+        lanes = cfg.elements_per_slot
+        epl = cfg.elements_per_line
+        ops = self.ops
+        n_chunks = schedule.n_chunks
+        n_blocks = schedule.n_blocks
+        issue_end = (height - 1) * latency + n_chunks * block_k
+
+        # Shared read-only zero lines in the strategy's own representations:
+        # a vector-shaped line for X/Y padding and a W-line for padded chunks.
+        zero_line_vec = ops.zeros(epl)
+        zero_w_line = ops.zero_line(epl)
+        zero_vec = ops.zeros(length * lanes)
+
+        xbuf.reset()
+        wbuf.reset()
+        feedback = [zero_vec] * block_k
+        z_tile: List[Optional[object]] = [None] * block_k
+        z_done = 0
+        x_current = [zero_vec] * height
+        x_enqueued_blocks = 0
+        w_ptr = 0
+        t = 0
+
+        # Accumulation jobs (Z += X . W) pre-load the existing Z lines of
+        # this tile into the row accumulators before the first issue.
+        y_lines: List[Optional[object]] = [None] * length
+        y_pending = 0
+        y_applied = not job.accumulate
+        if job.accumulate:
+            for row in range(length):
+                if row < tile.rows:
+                    self.streamer.enqueue(
+                        StreamRequest(
+                            kind="y",
+                            addr=job.z_element_addr(tile.m0 + row, tile.k0),
+                            n_elements=tile.cols,
+                            meta=("y", row),
+                        )
+                    )
+                    y_pending += 1
+                else:
+                    y_lines[row] = zero_line_vec
+
+        while True:
+            if recorder is not None:
+                recorder.begin_cycle()
+            state.total_cycles += 1
+            if state.total_cycles > state.max_cycles:
+                raise RuntimeError(
+                    f"simulation exceeded {state.max_cycles} cycles "
+                    f"({job.describe()}, tile {tile.index})"
+                )
+
+            # ---- 1. memory: one wide port cycle --------------------------
+            self._drain_zbuf(zbuf)
+            finished = self.streamer.cycle()
+            if finished is not None and not finished.write:
+                if finished.kind == "y":
+                    _, row = finished.meta
+                    y_lines[row] = ops.from_bits(finished.data_bits)
+                    y_pending -= 1
+                else:
+                    self._fill_buffer(finished, xbuf, wbuf, ops)
+
+            # Once every Z pre-load line has arrived, seed the feedback
+            # registers with the existing Z values (column-major view).
+            if not y_applied and y_pending == 0:
+                for k in range(block_k):
+                    feedback[k] = ops.gather_slot(y_lines, k)
+                y_applied = True
+
+            # ---- 2. demand-driven request generation ----------------------
+            x_enqueued_blocks = self._enqueue_x(
+                job, tile, xbuf, zero_line_vec,
+                x_enqueued_blocks, n_blocks, t,
+            )
+            w_ptr = self._enqueue_w(
+                job, tile, wbuf, zero_w_line, w_need_order, w_ptr, t,
+            )
+
+            # ---- 3. datapath ----------------------------------------------
+            if t < issue_end:
+                ready = y_applied and self._resources_ready(
+                    job, tile, xbuf, wbuf, t, n_chunks
+                )
+            else:
+                ready = True
+
+            if ready:
+                completions = self.datapath.tick()
+                last = completions.get(height - 1)
+                if last is not None:
+                    if last.chunk == n_chunks - 1:
+                        z_tile[last.k] = last.values
+                        z_done += 1
+                    else:
+                        feedback[last.k] = last.values
+                if t < issue_end:
+                    issued = self._issue_cycle(
+                        job, tile, xbuf, wbuf, x_current, feedback,
+                        completions, t, n_chunks, recorder,
+                    )
+                    if issued:
+                        state.active_cycles += 1
+                t += 1
+            else:
+                state.stall_cycles += 1
+
+            # ---- 4. tile completion ----------------------------------------
+            # The tile ends once every result has drained out of the
+            # array *and* the Z buffer has room for this tile's lines
+            # (otherwise keep cycling so pending stores trickle out).
+            if (
+                t >= issue_end
+                and not self.datapath.busy
+                and zbuf.occupancy + tile.rows <= zbuf.depth
+            ):
+                break
+
+        if z_done != block_k:
+            raise RuntimeError(
+                f"tile {tile.index}: expected {block_k} output columns, "
+                f"got {z_done}"
+            )
+        self._push_z(job, tile, z_tile, zbuf, ops)
 
     # -- helpers -----------------------------------------------------------
     def _drain_zbuf(self, zbuf: ZStoreBuffer) -> None:
@@ -469,7 +534,7 @@ class RedMulE:
     def _issue_cycle(self, job: MatmulJob, tile: Tile, xbuf: XBlockBuffer,
                      wbuf: WLineBuffer, x_current: List[object],
                      feedback: List[object], completions: Dict[int, object],
-                     t: int, n_chunks: int) -> bool:
+                     t: int, n_chunks: int, recorder=None) -> bool:
         """Issue every active column for tile-time ``t``; returns True if any."""
         cfg = self.config
         ops = self.ops
@@ -506,6 +571,8 @@ class RedMulE:
                 # accumulator passes through untouched (preserves -0 exactly
                 # like the hardware's gated FMA does).
                 self.datapath.issue_gated(col, chunk, k, acc)
+            if recorder is not None:
+                recorder.issue(col, chunk, k, n >= job.n)
             issued = True
 
             if k == cfg.block_k - 1:

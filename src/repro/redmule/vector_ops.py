@@ -2,8 +2,8 @@
 
 All ``L`` rows of the RedMulE array execute the same schedule on different
 data, so the cycle-accurate engine processes one *row vector* (one value per
-row per lane) per column per cycle.  Three interchangeable strategies
-implement the arithmetic on those vectors:
+row per lane) per column per cycle.  Interchangeable strategies implement
+the arithmetic on those vectors:
 
 * :class:`ExactVectorOps` -- vectors are lists of bit patterns and every
   FMA is evaluated with the bit-exact scalar implementation
@@ -17,6 +17,10 @@ implement the arithmetic on those vectors:
 * :class:`FastVectorOps` -- vectors are numpy ``float64`` arrays holding
   exactly representable format values; the FMA is evaluated in ``float64``
   and rounded once per step.  Fast, used for performance sweeps.
+* :class:`TraceVectorOps` -- :class:`ExactSimdVectorOps` plus trace
+  compilation: the engine records each tile signature's cycle schedule once
+  and replays later tiles as batched data-plane computations
+  (:mod:`repro.redmule.trace`), bit-identical to the oracle.
 
 Every strategy is constructed for one element format
 (:class:`~repro.fp.formats.BinaryFormat`, default binary16).  For the 8-bit
@@ -61,6 +65,9 @@ class VectorOps(abc.ABC):
     name: str = "abstract"
     #: True when the strategy reproduces the hardware bit patterns exactly.
     bit_exact: bool = False
+    #: True when engines built on this strategy should record and replay
+    #: compiled cycle schedules (see :mod:`repro.redmule.trace`).
+    schedule_compiled: bool = False
 
     def __init__(self, fmt: Union[str, BinaryFormat, None] = None) -> None:
         self.fmt = get_format(fmt) if fmt is not None else FP16
@@ -401,15 +408,35 @@ class ExactSimdVectorOps(FastVectorOps):
         return [self._materialise(v) for v in vectors]
 
 
+class TraceVectorOps(ExactSimdVectorOps):
+    """Bit-exact strategy that additionally opts the engine into trace
+    compilation: tiles whose cycle schedule was recorded before are replayed
+    at numpy speed (:mod:`repro.redmule.trace`), unseen tiles fall back to
+    the event-stepped loop using the inherited lazy SIMD arithmetic -- so a
+    cold run is never slower than ``exact-simd`` and a warm run skips the
+    control plane entirely.
+    """
+
+    name = "trace"
+    bit_exact = True
+    schedule_compiled = True
+
+
 #: Registry of vector-ops strategies keyed by backend name.
 VECTOR_OPS_REGISTRY: Dict[str, Callable[..., VectorOps]] = {
     ExactVectorOps.name: ExactVectorOps,
     ExactSimdVectorOps.name: ExactSimdVectorOps,
     FastVectorOps.name: FastVectorOps,
+    TraceVectorOps.name: TraceVectorOps,
 }
 
 #: Valid backend names, in oracle-first order (CLI choices, docs).
 VECTOR_OPS_BACKENDS = tuple(VECTOR_OPS_REGISTRY)
+
+
+def backend_schedule_compiled(backend: str) -> bool:
+    """True when ``backend`` engines record/replay compiled cycle schedules."""
+    return VECTOR_OPS_REGISTRY[validate_backend_name(backend)].schedule_compiled
 
 
 def validate_backend_name(backend: str) -> str:

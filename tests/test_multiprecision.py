@@ -235,13 +235,18 @@ class TestFarmFormatIdentity:
     def test_legacy_five_field_keys_decode_as_fp16(self):
         assert config_from_key((4, 8, 3, 1, 8)).format == "fp16"
 
-    def test_cache_schema_v3_rejects_v2_files(self, tmp_path):
+    def test_cache_schema_v4_decodes_legacy_and_rejects_v1(self, tmp_path):
         cache = TimingCache()
         path = tmp_path / "cache.json"
         cache.save(path)
         payload = json.loads(path.read_text())
-        assert payload["version"] == CACHE_FILE_VERSION == 3
-        payload["version"] = 2
+        assert payload["version"] == CACHE_FILE_VERSION == 4
+        # v2 (pre-format keys) and v3 (pre-trace payload) files still load;
+        # only the pre-format-semantics v1 layout is rejected.
+        payload["version"] = 3
+        path.write_text(json.dumps(payload))
+        assert cache.load(path) == 0
+        payload["version"] = 1
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="version"):
             cache.load(path)

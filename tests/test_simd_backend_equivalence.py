@@ -245,3 +245,59 @@ class TestFarmBackendValidation:
 class _Shape:
     def __init__(self, m, n, k):
         self.m, self.n, self.k = m, n, k
+
+
+class TestTraceBackendEquivalence:
+    """The trace backend's acceptance gate: identical ``RedMulEResult``
+    cycle counts and bit-identical TCDM contents vs the event-stepped
+    engine on the engine-eligible experiment job set."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_trace_stores(self):
+        from repro.redmule.trace import reset_shared_trace_stores
+
+        reset_shared_trace_stores()
+        yield
+        reset_shared_trace_stores()
+
+    @pytest.mark.parametrize("shape", _experiment_engine_shapes(),
+                             ids=lambda s: "x".join(map(str, s)))
+    def test_experiment_job_set(self, shape):
+        simd_result, simd_bits = _run_engine("exact-simd", *shape)
+        trace_result, trace_bits = _run_engine("trace", *shape)
+        assert trace_bits == simd_bits
+        assert trace_result.cycles == simd_result.cycles
+        assert trace_result.stall_cycles == simd_result.stall_cycles
+        assert trace_result.issued_macs == simd_result.issued_macs
+
+    def test_warm_replay_stays_identical(self):
+        """Second run of a shape replays recorded schedules; nothing about
+        the observable result may change."""
+        from repro.redmule.config import RedMulEConfig
+        from repro.redmule.trace import shared_trace_store
+
+        shape = (48, 48, 48)
+        simd_result, simd_bits = _run_engine("exact-simd", *shape)
+        cold_result, cold_bits = _run_engine("trace", *shape)
+        store = shared_trace_store(RedMulEConfig.reference())
+        assert store.stats.recordings > 0
+        recordings = store.stats.recordings
+        warm_result, warm_bits = _run_engine("trace", *shape)
+        assert store.stats.recordings == recordings  # replay only
+        assert store.stats.hits > 0
+        assert warm_bits == cold_bits == simd_bits
+        assert warm_result.cycles == cold_result.cycles == simd_result.cycles
+
+    def test_special_values_replay_bit_identically(self):
+        m, n, k = 16, 24, 16
+        x = random_fp16_matrix(m, n, scale=0.25, seed=3).astype(np.float32)
+        w = random_fp16_matrix(n, k, scale=0.25, seed=4).astype(np.float32)
+        x[0, 0], x[1, 2], x[2, 1] = np.inf, np.nan, 6e-8
+        w[0, 0], w[1, 1], w[2, 0] = -np.inf, 65504.0, -5.9e-8
+        simd_result, simd_bits = _run_engine("exact-simd", m, n, k, x=x, w=w)
+        # Record with plain data, then replay with the special values so the
+        # data plane (not the recording run) handles NaN/inf/subnormals.
+        _run_engine("trace", m, n, k)
+        trace_result, trace_bits = _run_engine("trace", m, n, k, x=x, w=w)
+        assert trace_bits == simd_bits
+        assert trace_result.cycles == simd_result.cycles

@@ -1,0 +1,172 @@
+"""Stateful differential test of the trace-compiled engine (hypothesis).
+
+A :class:`~hypothesis.stateful.RuleBasedStateMachine` drives random
+interleaved sequences of job submissions, watchdog aborts, warm replays and
+precision switches against three targets at once:
+
+* the event-stepped engine (``exact-simd`` backend, the oracle),
+* the trace-compiled engine (``trace`` backend, records then replays),
+* the golden numpy model (:func:`matmul_hw_order_simd_fmt`).
+
+After every command the machine checks bit-equality of the TCDM result
+images and the cycle statistics, and that every resource -- controller
+context, streamer queues, datapath pipeline, trace-session hooks -- has been
+released.  The run is bounded (few examples, short command sequences) so it
+stays a quick CI job rather than a soak test.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import HealthCheck, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+import pytest
+
+from repro.fp.vector import pack_matrix, random_matrix
+from repro.interco.hci import Hci, HciConfig
+from repro.mem.layout import MemoryAllocator
+from repro.mem.tcdm import Tcdm, TcdmConfig
+from repro.redmule.config import RedMulEConfig
+from repro.redmule.engine import RedMulE
+from repro.redmule.functional import matmul_hw_order_simd_fmt
+from repro.redmule.job import MatmulJob
+from repro.redmule.trace import TraceStore, reset_shared_trace_stores
+
+#: Small shapes exercising single ragged tiles, multi-tile sweeps and the
+#: Z-backlog handover between tiles, without blowing up per-example runtime.
+SHAPES = [(8, 16, 16), (13, 7, 5), (16, 40, 24), (9, 24, 17)]
+FORMATS = ["fp16", "bf16", "fp8-e4m3", "fp8-e5m2"]
+
+
+def _fresh_target(fmt_name):
+    """(engine, allocator-source tcdm) pair for one backend/format."""
+    config = dataclasses.replace(RedMulEConfig.reference(), format=fmt_name)
+    tcdm = Tcdm(TcdmConfig())
+    hci = Hci(tcdm, HciConfig(n_wide_ports=config.n_mem_ports))
+    return config, tcdm, hci
+
+
+class TraceDifferentialMachine(RuleBasedStateMachine):
+    def _rebuild(self, fmt_name):
+        self.fmt_name = fmt_name
+        config, tcdm_ref, hci_ref = _fresh_target(fmt_name)
+        self.config = config
+        self.ref_engine = RedMulE(config, hci_ref, backend="exact-simd")
+        config2, tcdm_trc, hci_trc = _fresh_target(fmt_name)
+        # One private store per format so precision switches cannot replay a
+        # schedule recorded for a different element width.
+        store = self.stores.setdefault(fmt_name, TraceStore())
+        self.engine = RedMulE(config2, hci_trc, backend="trace",
+                              trace_store=store)
+        self.store = store
+        self.last_job = None
+
+    @initialize()
+    def setup(self):
+        reset_shared_trace_stores()
+        self.stores = {}
+        self.seed = 0
+        self._rebuild("fp16")
+
+    def _place(self, engine, m, n, k, accumulate, x, w, z0):
+        # No memory wipe between jobs: operands are stored fresh each time
+        # and the job overwrites its whole Z extent, so stale bytes from a
+        # previous command can never leak into a result.
+        tcdm = engine.tcdm
+        fmt = self.config.format
+        allocator = MemoryAllocator(tcdm.base, tcdm.size)
+        hx = allocator.alloc_matrix(m, n, "X", fmt=fmt)
+        hw = allocator.alloc_matrix(n, k, "W", fmt=fmt)
+        hz = allocator.alloc_matrix(m, k, "Z", fmt=fmt)
+        hx.store(tcdm, x)
+        hw.store(tcdm, w)
+        if accumulate:
+            hz.store(tcdm, z0)
+        job = MatmulJob.from_handles(hx, hw, hz, accumulate=accumulate)
+        return job, hz
+
+    def _run_and_check(self, m, n, k, accumulate):
+        self.seed += 3
+        fmt = self.config.format
+        x = random_matrix(m, n, fmt, scale=0.25, seed=self.seed)
+        w = random_matrix(n, k, fmt, scale=0.25, seed=self.seed + 1)
+        z0 = random_matrix(m, k, fmt, scale=0.25, seed=self.seed + 2)
+
+        ref_job, ref_hz = self._place(self.ref_engine, m, n, k, accumulate,
+                                      x, w, z0)
+        job, hz = self._place(self.engine, m, n, k, accumulate, x, w, z0)
+        ref = self.ref_engine.run_job(ref_job)
+        got = self.engine.run_job(job)
+        self.last_job = (m, n, k, accumulate)
+
+        n_bytes = m * k * self.config.element_bytes
+        ref_image = self.ref_engine.tcdm.dump_image(ref_hz.base, n_bytes)
+        got_image = self.engine.tcdm.dump_image(hz.base, n_bytes)
+        assert got_image == ref_image
+        golden = matmul_hw_order_simd_fmt(
+            x, w, self.config.binary_format, z0 if accumulate else None)
+        assert got_image == pack_matrix(golden, fmt)
+        assert (got.cycles, got.stall_cycles, got.active_cycles,
+                got.issued_macs) == (ref.cycles, ref.stall_cycles,
+                                     ref.active_cycles, ref.issued_macs)
+
+    @rule(shape=st.sampled_from(SHAPES), accumulate=st.booleans())
+    def submit(self, shape, accumulate):
+        self._run_and_check(*shape, accumulate)
+
+    @rule(shape=st.sampled_from(SHAPES))
+    def abort(self, shape):
+        """A watchdog abort mid-recording must leave no partial state."""
+        m, n, k = shape
+        self.seed += 3
+        fmt = self.config.format
+        x = random_matrix(m, n, fmt, scale=0.25, seed=self.seed)
+        w = random_matrix(n, k, fmt, scale=0.25, seed=self.seed + 1)
+        job, _ = self._place(self.engine, m, n, k, False, x, w, None)
+        n_before = len(self.store)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            self.engine.offload(job, max_cycles=4)
+        # An abort may never commit a schedule recorded for the killed run.
+        assert len(self.store) == n_before
+
+    @rule()
+    def replay_last(self):
+        """Re-running the previous shape takes the warm-replay path."""
+        if self.last_job is None:
+            return
+        self._run_and_check(*self.last_job)
+
+    @rule(fmt_name=st.sampled_from(FORMATS))
+    def switch_precision(self, fmt_name):
+        if fmt_name == self.fmt_name:
+            return
+        self._rebuild(fmt_name)
+
+    @invariant()
+    def resources_released(self):
+        if not hasattr(self, "engine"):
+            return  # before @initialize
+        for engine in (self.engine, self.ref_engine):
+            assert not engine.controller.busy
+            assert engine.streamer.pending() == 0
+            assert not engine.datapath.busy
+        assert self.engine._session is None
+        assert self.engine.streamer.observer is None
+
+    @invariant()
+    def store_consistent(self):
+        if not hasattr(self, "store"):
+            return
+        stats = self.store.stats
+        assert stats.recordings - stats.discarded >= 0
+        assert len(self.store) <= stats.recordings
+
+
+TestTraceDifferential = TraceDifferentialMachine.TestCase
+TestTraceDifferential.settings = settings(
+    max_examples=10,
+    stateful_step_count=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
