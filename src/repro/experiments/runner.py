@@ -30,6 +30,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "fig4d": fig4.autoencoder_batching,
     "serve-mlp": serve.serve_mlp,
     "serve-mix": serve.serve_mix,
+    "serve-million": serve.serve_million,
     "dse-frontier": dse.dse_frontier,
     "dse-memory": dse.dse_memory,
 }
@@ -132,6 +133,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="aggregate request rate (requests/s) of the serve-* scenarios",
     )
     parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulated traffic window of the serve-million scenario "
+        "(stretch it until the stream holds 10^6+ requests -- generation "
+        "is lazy, so memory stays flat)",
+    )
+    parser.add_argument(
+        "--arrival",
+        choices=list(serve.ARRIVAL_KINDS),
+        default=None,
+        help="arrival process of the serve-million scenario (poisson: "
+        "memoryless; diurnal: sinusoidal day/night rate; bursty: "
+        "two-state Markov-modulated bursts)",
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="let serve-million scale its cluster pool on queue depth "
+        "and windowed p99 instead of serving from a fixed pool",
+    )
+    parser.add_argument(
+        "--slo-p99-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="p99 latency target of the serve-million scenario: enables "
+        "SLO-aware admission (shed requests projected to miss it) and "
+        "gives the autoscaler its scale-up trigger",
+    )
+    parser.add_argument(
         "--dse-export",
         default=None,
         metavar="DIR",
@@ -171,6 +204,17 @@ def main(argv: Optional[List[str]] = None) -> None:
         set_default_format(args.format)
     if args.clusters is not None or args.rps is not None:
         serve.set_serve_defaults(clusters=args.clusters, rps=args.rps)
+    if (args.duration is not None or args.arrival is not None
+            or args.autoscale or args.slo_p99_ms is not None):
+        try:
+            serve.set_serve_million_defaults(
+                duration_s=args.duration,
+                arrival=args.arrival,
+                autoscale=True if args.autoscale else None,
+                slo_p99_ms=args.slo_p99_ms,
+            )
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
     if args.dse_export is not None:
         dse.set_dse_defaults(export_dir=args.dse_export)
 

@@ -1,6 +1,6 @@
 """Serving scenarios: the farm under multi-tenant request traffic.
 
-Two registered scenarios extend the paper's single-model study toward the
+Three registered scenarios extend the paper's single-model study toward the
 roadmap's serving ambitions:
 
 * ``serve-mlp`` -- a single tenant fine-tuning the paper's auto-encoder
@@ -10,28 +10,44 @@ roadmap's serving ambitions:
   auto-encoder tenant, a transformer+conv tenant, a recurrent tenant, and
   an edge-training tenant running reduced-precision FP8/BF16 model
   variants), exercising the scheduler's per-tenant accounting, the
-  mixed-precision farm routing and the cache across heterogeneous graphs.
+  mixed-precision farm routing and the cache across heterogeneous graphs;
+* ``serve-million`` -- the continuous event-loop server under production
+  traffic: configurable arrival process (Poisson / diurnal / bursty MMPP),
+  SLO-aware admission with tenant fairness, optional queue/p99-driven
+  autoscaling, and an FP8-routed throughput tenant next to FP16
+  interactive traffic.  The same driver scales from the registry's quick
+  default window to the million-request benchmark purely via
+  ``duration_s``.
 
-Both run Poisson arrivals through the dependency-aware list scheduler on a
-pool of simulated clusters and return a :class:`~repro.serve.report.
-ServeReport`.  The runner CLI parameterises them through
-:func:`set_serve_defaults` (``--clusters`` / ``--rps``), mirroring how
+The first two run Poisson arrivals through the dependency-aware list
+scheduler on a pool of simulated clusters and return a
+:class:`~repro.serve.report.ServeReport`; ``serve-million`` returns a
+:class:`~repro.serve.report.ContinuousReport`.  The runner CLI
+parameterises them through :func:`set_serve_defaults` (``--clusters`` /
+``--rps``) and :func:`set_serve_million_defaults` (``--duration`` /
+``--arrival`` / ``--autoscale`` / ``--slo-p99-ms``), mirroring how
 ``--backend`` reaches the farm.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.farm import BACKEND_MODEL, SimulationFarm, default_farm
-from repro.graph.zoo import build_model
 from repro.serve import (
+    ARRIVAL_KINDS,
+    AdmissionPolicy,
+    ArrivalSpec,
+    AutoscalePolicy,
+    ContinuousReport,
+    ContinuousServer,
     ModelSpec,
     RequestGenerator,
     ServeReport,
     ServingSimulator,
     TenantSpec,
 )
+from repro.graph.zoo import build_model
 
 #: Pool size / aggregate request rate used when the CLI does not override.
 DEFAULT_CLUSTERS = 4
@@ -40,8 +56,20 @@ DEFAULT_RPS = 200.0
 #: Simulated traffic window (seconds of cluster time).
 DEFAULT_DURATION_S = 0.05
 
+#: serve-million defaults: a short window at a rate that keeps the default
+#: four-cluster pool around 70% utilisation (mean service of the tenant mix
+#: is ~161k cycles, so 12k req/s offers ~2.9 erlangs).  The registry's
+#: batch run stays quick; the benchmark stretches ``duration_s`` and scales
+#: ``rps``/``clusters`` until the same machinery serves 10^6+ requests.
+DEFAULT_MILLION_DURATION_S = 0.02
+DEFAULT_MILLION_RPS = 12_000.0
+
 _DEFAULT_CLUSTERS_OVERRIDE: Optional[int] = None
 _DEFAULT_RPS_OVERRIDE: Optional[float] = None
+_MILLION_DURATION_OVERRIDE: Optional[float] = None
+_MILLION_ARRIVAL_OVERRIDE: Optional[str] = None
+_MILLION_AUTOSCALE_OVERRIDE: Optional[bool] = None
+_MILLION_SLO_P99_MS_OVERRIDE: Optional[float] = None
 
 
 def set_serve_defaults(clusters: Optional[int] = None,
@@ -67,6 +95,34 @@ def _resolve(clusters: Optional[int], rps: Optional[float]):
     if rps is None:
         rps = _DEFAULT_RPS_OVERRIDE or DEFAULT_RPS
     return clusters, rps
+
+
+def set_serve_million_defaults(
+    duration_s: Optional[float] = None,
+    arrival: Optional[str] = None,
+    autoscale: Optional[bool] = None,
+    slo_p99_ms: Optional[float] = None,
+) -> None:
+    """Set the traffic shape future ``serve-million`` runs default to.
+
+    This is how the runner CLI's ``--duration``, ``--arrival``,
+    ``--autoscale`` and ``--slo-p99-ms`` flags reach the zero-argument
+    driver in the experiment registry.  Pass ``None`` per parameter to
+    restore its built-in default.
+    """
+    if duration_s is not None and duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if arrival is not None and arrival not in ARRIVAL_KINDS:
+        raise ValueError(
+            f"unknown arrival kind {arrival!r}; one of {ARRIVAL_KINDS}")
+    if slo_p99_ms is not None and slo_p99_ms <= 0:
+        raise ValueError("slo-p99-ms must be positive")
+    global _MILLION_DURATION_OVERRIDE, _MILLION_ARRIVAL_OVERRIDE
+    global _MILLION_AUTOSCALE_OVERRIDE, _MILLION_SLO_P99_MS_OVERRIDE
+    _MILLION_DURATION_OVERRIDE = duration_s
+    _MILLION_ARRIVAL_OVERRIDE = arrival
+    _MILLION_AUTOSCALE_OVERRIDE = autoscale
+    _MILLION_SLO_P99_MS_OVERRIDE = slo_p99_ms
 
 
 def _simulate(tenants, clusters: int, duration_s: float, seed: int,
@@ -155,3 +211,93 @@ def serve_mix(
         ),
     )
     return _simulate(tenants, clusters, duration_s, seed, "serve-mix", farm)
+
+
+def million_tenants(rps: float) -> tuple:
+    """The ``serve-million`` tenant mix at aggregate rate ``rps``.
+
+    An FP16 interactive tenant (anomaly-detection mix), an FP8-routed
+    throughput tenant (same MLP topology, packed FP8 line geometry -- the
+    online precision-routing case), and a small batch tenant pushing the
+    heavier batch-16 training step.
+    """
+    return (
+        TenantSpec(
+            name="interactive",
+            models=(
+                ModelSpec("autoencoder-b1", build_model("autoencoder-b1"),
+                          weight=2.0),
+                ModelSpec("mlp-tiny", build_model("mlp-tiny"), weight=1.0),
+            ),
+            rps=rps * 0.55,
+        ),
+        TenantSpec(
+            name="throughput-fp8",
+            models=(ModelSpec("mlp-tiny", build_model("mlp-tiny")),),
+            rps=rps * 0.35,
+            precision="fp8-e4m3",
+        ),
+        TenantSpec(
+            name="batch",
+            models=(ModelSpec("autoencoder-b16",
+                              build_model("autoencoder-b16")),),
+            rps=rps * 0.10,
+        ),
+    )
+
+
+def serve_million(
+    duration_s: Optional[float] = None,
+    arrival: Optional[Union[str, ArrivalSpec]] = None,
+    autoscale: Optional[bool] = None,
+    slo_p99_ms: Optional[float] = None,
+    clusters: Optional[int] = None,
+    rps: Optional[float] = None,
+    seed: int = 0,
+    farm: Optional[SimulationFarm] = None,
+) -> ContinuousReport:
+    """Continuous-loop serving: streaming arrivals, admission, autoscaling.
+
+    The registry default is a quick window (~500 requests); the
+    million-request benchmark runs the same driver with ``duration_s``
+    stretched until the stream exceeds 10^6 requests.  ``autoscale``
+    replaces the fixed pool with a queue/p99-driven policy that may grow it
+    to four times the base size; ``slo_p99_ms`` turns on SLO-aware
+    admission (and gives the autoscaler its p99 target).
+    """
+    if duration_s is None:
+        duration_s = _MILLION_DURATION_OVERRIDE or DEFAULT_MILLION_DURATION_S
+    if arrival is None:
+        arrival = _MILLION_ARRIVAL_OVERRIDE or "poisson"
+    if autoscale is None:
+        autoscale = bool(_MILLION_AUTOSCALE_OVERRIDE)
+    if slo_p99_ms is None:
+        slo_p99_ms = _MILLION_SLO_P99_MS_OVERRIDE
+    clusters, rps = _resolve(clusters, rps)
+    if rps == DEFAULT_RPS and _DEFAULT_RPS_OVERRIDE is None:
+        rps = DEFAULT_MILLION_RPS
+
+    farm = farm if farm is not None else default_farm()
+    generator = RequestGenerator(million_tenants(rps), seed=seed)
+    frequency_hz = generator.frequency_hz
+    slo_p99_cycles = (slo_p99_ms * 1e-3 * frequency_hz
+                      if slo_p99_ms is not None else None)
+    admission = AdmissionPolicy(max_queue=256,
+                                slo_p99_cycles=slo_p99_cycles)
+    autoscaler = None
+    if autoscale:
+        autoscaler = AutoscalePolicy(
+            min_clusters=clusters,
+            max_clusters=clusters * 4,
+            interval_cycles=max(1, int(0.0005 * frequency_hz)),
+            queue_per_cluster=8,
+            provision_delay_cycles=int(0.0002 * frequency_hz),
+            slo_p99_cycles=slo_p99_cycles,
+        )
+    server = ContinuousServer(
+        n_clusters=clusters, farm=farm, backend=BACKEND_MODEL,
+        frequency_hz=frequency_hz, admission=admission,
+        autoscaler=autoscaler,
+    )
+    return server.simulate(generator.stream(duration_s, arrival),
+                           scenario="serve-million")

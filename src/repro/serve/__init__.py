@@ -5,22 +5,40 @@ how many requests per second can a pool of RedMulE clusters sustain, at what
 latency, for which tenant mix?
 
 * :mod:`repro.serve.requests` -- tenants, per-tenant model mixes, and the
-  deterministic Poisson request generator;
+  deterministic streaming request generator (Poisson, diurnal and bursty
+  MMPP arrival processes, lazily merged across tenants);
 * :mod:`repro.serve.scheduler` -- the event-driven, dependency-aware list
-  scheduler dispatching ready graph nodes onto free clusters, timing every
-  dispatch wave through one batched :meth:`SimulationFarm.run` call;
-* :mod:`repro.serve.report` -- latency percentiles (p50/p95/p99),
-  throughput, per-cluster utilisation and per-tenant breakdowns.
+  scheduler dispatching ready graph nodes onto free clusters, with a
+  per-program service-time memo so warm models never re-enter the farm;
+* :mod:`repro.serve.loop` -- the continuous request-granularity serving
+  loop: SLO-aware admission control with tenant fairness, queue/p99-driven
+  autoscaling pools, and online precision routing, sustaining 10^6+
+  simulated requests at interactive wall-clock;
+* :mod:`repro.serve.report` -- latency percentiles (p50/p95/p99) via exact
+  or streaming (reservoir / P-square) estimators, throughput, utilisation
+  and per-tenant breakdowns.
 """
 
+from repro.serve.loop import (
+    AdmissionPolicy,
+    AutoscalePolicy,
+    ContinuousServer,
+)
 from repro.serve.report import (
+    ContinuousReport,
     LatencyStats,
+    P2Quantile,
+    ReservoirSampler,
+    ServePoolStats,
     ServeReport,
+    StreamingLatencyStats,
     TenantReport,
     percentile,
 )
 from repro.serve.requests import (
+    ARRIVAL_KINDS,
     DEFAULT_FREQUENCY_HZ,
+    ArrivalSpec,
     ModelSpec,
     Request,
     RequestGenerator,
@@ -29,14 +47,24 @@ from repro.serve.requests import (
 from repro.serve.scheduler import ScheduledNode, ServingSimulator
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "DEFAULT_FREQUENCY_HZ",
+    "AdmissionPolicy",
+    "ArrivalSpec",
+    "AutoscalePolicy",
+    "ContinuousReport",
+    "ContinuousServer",
     "LatencyStats",
     "ModelSpec",
+    "P2Quantile",
     "Request",
     "RequestGenerator",
+    "ReservoirSampler",
     "ScheduledNode",
+    "ServePoolStats",
     "ServeReport",
     "ServingSimulator",
+    "StreamingLatencyStats",
     "TenantReport",
     "TenantSpec",
     "percentile",

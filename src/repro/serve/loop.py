@@ -1,0 +1,631 @@
+"""Continuous serving loop: admission, autoscaling, precision routing.
+
+:class:`ContinuousServer` is the production-shaped counterpart of the
+node-granular :class:`~repro.serve.scheduler.ServingSimulator`: one event
+heap of arrival / completion / provision / autoscale-evaluation events, no
+global waves, and a request stream that is consumed lazily -- the loop holds
+O(in-flight + queued) state no matter how many million requests the traffic
+window contains.
+
+Requests are served as atomic units: a request occupies one cluster for its
+graph's *serial* service time, which the loop memoises per (graph,
+precision) -- the first request of a model/precision pair sends every
+accelerator job through the farm in one batched call, every later request
+resolves in a dictionary lookup and never touches the farm.  By
+construction that service time equals
+``SimulationFarm.time_program(program, offload)`` rounded to a cycle, so
+the wave scheduler's conservation law (one cluster x one request makespan
+== serial farm timing) holds on the continuous loop too, and is pinned by
+the test suite.  Intra-request node parallelism remains the wave-free
+:class:`ServingSimulator`'s department.
+
+On top of the loop sit the production concerns it unlocks:
+
+* **admission control** (:class:`AdmissionPolicy`): bounded queue,
+  per-tenant fairness caps, and SLO-aware rejection (refuse a request whose
+  projected wait + service would blow the p99 target -- better to shed at
+  the door than to serve dead-on-arrival responses);
+* **autoscaling** (:class:`AutoscalePolicy`): periodic evaluations scale
+  the pool on queue depth and windowed p99, with a configurable
+  provisioning delay before new capacity joins;
+* **precision routing**: a request stamped with a tenant precision class
+  (e.g. ``"fp8-e4m3"``) is timed through the per-precision farm of that
+  element format (all derived farms share one timing cache -- PR 5's
+  plumbing), so throughput tenants ride packed FP8 while accuracy-critical
+  tenants stay FP16 on the same pool.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.farm import SimulationFarm, default_farm
+from repro.graph.ir import WorkloadGraph
+from repro.graph.lower import LoweredProgram
+from repro.redmule.config import RedMulEConfig
+from repro.serve.report import (
+    ContinuousReport,
+    ServePoolStats,
+    StreamingLatencyStats,
+    TenantReport,
+)
+from repro.serve.requests import DEFAULT_FREQUENCY_HZ, Request
+from repro.serve.scheduler import derive_precision_farm
+
+#: Event kinds, ordered so capacity freed or provisioned at cycle t serves
+#: an arrival at the same cycle: completions first, then provisions, then
+#: autoscale evaluations.  Arrivals are not heap events at all -- ``offer``
+#: pumps the heap up to (and including) the arrival cycle first, which
+#: yields exactly the same ordering without a push/pop round-trip per
+#: request on the hot path.
+_EVENT_COMPLETION = 0
+_EVENT_PROVISION = 1
+_EVENT_EVAL = 2
+
+#: ``drain()``'s pump limit: beyond any schedulable cycle.
+_FOREVER = 1 << 62
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Admission rules applied to every arriving request.
+
+    ``max_queue`` bounds the number of waiting (not yet dispatched)
+    requests; ``None`` admits everything.  ``fair_share`` caps any single
+    tenant's share of the queue at ``fair_share * (its weight share)`` of
+    ``max_queue`` -- with equal weights and ``fair_share=2.0`` a tenant may
+    use at most twice its fair fraction of the queue, so one bursting
+    tenant cannot starve the rest.  ``slo_p99_cycles`` refuses requests
+    whose projected completion (queued work spread over the pool plus the
+    request's own service) would exceed the target -- shedding at the door
+    instead of serving answers that already missed their deadline.
+    """
+
+    max_queue: Optional[int] = None
+    slo_p99_cycles: Optional[float] = None
+    fair_share: float = 2.0
+    tenant_weights: Optional[Dict[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError("max_queue must be at least 1 (or None)")
+        if self.slo_p99_cycles is not None and self.slo_p99_cycles <= 0:
+            raise ValueError("slo_p99_cycles must be positive (or None)")
+        if self.fair_share <= 0:
+            raise ValueError("fair_share must be positive")
+        if self.tenant_weights is not None:
+            for tenant, weight in self.tenant_weights.items():
+                if weight <= 0:
+                    raise ValueError(
+                        f"tenant {tenant!r}: weight must be positive")
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Queue-depth / p99-driven cluster-pool autoscaling.
+
+    Every ``interval_cycles`` the loop compares effective capacity (live
+    clusters plus in-flight provisions) against ``ceil(queue /
+    queue_per_cluster)`` and against the windowed p99 (scale up by one when
+    it breaches ``slo_p99_cycles``).  New capacity joins after
+    ``provision_delay_cycles``.  Scale-down retires one idle cluster per
+    evaluation, only when the queue is empty and pool occupancy is at or
+    below ``scale_down_occupancy`` -- deliberately asymmetric (fast up,
+    slow down), the shape every production autoscaler converges to.
+    """
+
+    min_clusters: int = 1
+    max_clusters: int = 16
+    interval_cycles: int = 100_000
+    queue_per_cluster: int = 4
+    scale_down_occupancy: float = 0.25
+    provision_delay_cycles: int = 0
+    slo_p99_cycles: Optional[float] = None
+    #: Completions folded into the sliding p99 window between evaluations.
+    window: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.min_clusters < 1:
+            raise ValueError("min_clusters must be at least 1")
+        if self.max_clusters < self.min_clusters:
+            raise ValueError("max_clusters must be >= min_clusters")
+        if self.interval_cycles < 1:
+            raise ValueError("interval_cycles must be positive")
+        if self.queue_per_cluster < 1:
+            raise ValueError("queue_per_cluster must be positive")
+        if not 0.0 <= self.scale_down_occupancy <= 1.0:
+            raise ValueError("scale_down_occupancy must be in [0, 1]")
+        if self.provision_delay_cycles < 0:
+            raise ValueError("provision_delay_cycles must be >= 0")
+        if self.slo_p99_cycles is not None and self.slo_p99_cycles <= 0:
+            raise ValueError("slo_p99_cycles must be positive (or None)")
+        if self.window < 8:
+            raise ValueError("window must be at least 8")
+
+
+class ContinuousServer:
+    """Event-driven continuous serving over a resizable cluster pool.
+
+    The incremental API -- :meth:`offer` one request at a time,
+    :meth:`run_until` a deadline, :meth:`drain` and :meth:`finalize` --
+    exists for differential testing and for embedding the loop in larger
+    simulations; :meth:`simulate` wraps it for the common stream-in,
+    report-out case.
+
+    Parameters mirror :class:`ServingSimulator` where they overlap;
+    ``admission`` and ``autoscaler`` are optional policies (both default
+    to off: unbounded queue, fixed pool).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 1,
+        farm: Optional[SimulationFarm] = None,
+        config: Optional[RedMulEConfig] = None,
+        backend: Optional[str] = None,
+        frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+        offload_cycles_per_job: float = 0.0,
+        elementwise_cycles_per_element: float = 0.0,
+        admission: Optional[AdmissionPolicy] = None,
+        autoscaler: Optional[AutoscalePolicy] = None,
+        stats_mode: str = "reservoir",
+        reservoir_size: int = 4096,
+        keep_latencies: bool = False,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("the pool needs at least one cluster")
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if offload_cycles_per_job < 0 or elementwise_cycles_per_element < 0:
+            raise ValueError("per-job and per-element costs must be >= 0")
+        if autoscaler is not None and n_clusters < autoscaler.min_clusters:
+            raise ValueError("n_clusters must start within the autoscaler's "
+                             "[min_clusters, max_clusters] band")
+        if autoscaler is not None and n_clusters > autoscaler.max_clusters:
+            raise ValueError("n_clusters must start within the autoscaler's "
+                             "[min_clusters, max_clusters] band")
+        self.farm = farm if farm is not None else default_farm(config)
+        self.backend = backend
+        self.frequency_hz = frequency_hz
+        self.offload_cycles_per_job = offload_cycles_per_job
+        self.elementwise_cycles_per_element = elementwise_cycles_per_element
+        self.admission = admission
+        self.autoscaler = autoscaler
+        self.keep_latencies = keep_latencies
+        self.latencies: List[int] = []
+
+        # -- pool state ------------------------------------------------------
+        self.n_clusters = n_clusters
+        self._initial_clusters = n_clusters
+        self._idle = n_clusters
+        self._in_flight = 0
+        self._queue: Deque[Tuple[Request, int]] = deque()
+        self._queued_service = 0  # summed service cycles of queued requests
+        self._queued_by_tenant: Dict[str, int] = {}
+        self._pending_provisions = 0
+
+        # -- clock / events --------------------------------------------------
+        self._events: List[Tuple[int, int, int, object]] = []
+        self._sequence = 0
+        self._now = 0
+        self._last_completion = 0
+        self._last_offer = 0
+        self._eval_scheduled = False
+
+        # -- timing services -------------------------------------------------
+        self._farms: Dict[str, SimulationFarm] = {self.farm.config.format:
+                                                  self.farm}
+        self._programs: Dict[Tuple[WorkloadGraph, str], LoweredProgram] = {}
+        #: (graph, effective precision) -> serial service cycles.
+        self._service: Dict[Tuple[WorkloadGraph, str], int] = {}
+        #: Hot-path alias of ``_service`` keyed by the *requested* (graph,
+        #: precision) pair, so the common case resolves in one dict lookup
+        #: without re-deriving the effective precision.
+        self._service_fast: Dict[Tuple[WorkloadGraph, Optional[str]],
+                                 int] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self._jobs_timed = 0
+        self._cache_hits0 = self.farm.cache.stats.hits
+        self._cache_misses0 = self.farm.cache.stats.misses
+
+        # -- accounting ------------------------------------------------------
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.rejected_by_tenant: Dict[str, int] = {}
+        self.rejection_reasons: Dict[str, int] = {}
+        self._overall = StreamingLatencyStats(stats_mode, reservoir_size)
+        self._per_tenant: Dict[str, StreamingLatencyStats] = {}
+        self._tenant_cycles: Dict[str, int] = {}
+        self._models: Dict[str, int] = {}
+        self._stats_mode = stats_mode
+        self._reservoir_size = reservoir_size
+        self._busy_cycles = 0.0
+        self._pool_cycles = 0.0
+        self._pool_marker = 0  # last cycle the pool integral was advanced to
+        self._min_clusters_seen = n_clusters
+        self._max_clusters_seen = n_clusters
+        self.scale_ups = 0
+        self.scale_downs = 0
+        #: Sliding completion-latency window feeding the autoscaler's p99.
+        self._window: Optional[Deque[int]] = (
+            deque(maxlen=autoscaler.window)
+            if autoscaler is not None and autoscaler.slo_p99_cycles is not None
+            else None)
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation cycle."""
+        return self._now
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched."""
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently occupying a cluster."""
+        return self._in_flight
+
+    def _advance_pool_integral(self, cycle: int) -> None:
+        if cycle > self._pool_marker:
+            self._pool_cycles += self.n_clusters * (cycle - self._pool_marker)
+            self._pool_marker = cycle
+
+    # -- service timing ------------------------------------------------------
+    def _farm_for(self, precision: str) -> SimulationFarm:
+        farm = self._farms.get(precision)
+        if farm is None:
+            farm = derive_precision_farm(self.farm, precision)
+            self._farms[precision] = farm
+        return farm
+
+    def service_cycles(self, graph: WorkloadGraph,
+                       precision: Optional[str] = None) -> int:
+        """Serial service cycles of one request of ``graph``.
+
+        ``precision`` is the request's routing class; a graph carrying its
+        own precision always wins (matching :meth:`WorkloadGraph.lower`),
+        then the routed class, then the pool's default format.  First call
+        per (graph, precision) primes the memo through one batched farm
+        run; later calls are dictionary lookups.
+        """
+        effective = (graph.precision or precision
+                     or self.farm.config.format)
+        key = (graph, effective)
+        cycles = self._service.get(key)
+        if cycles is not None:
+            self.memo_hits += 1
+            return cycles
+        self.memo_misses += 1
+        farm = self._farm_for(effective)
+        program = self._programs.get(key)
+        if program is None:
+            program = graph.lower(config=farm.config)
+            self._programs[key] = program
+        jobs = [job for node in program.nodes for job in node.jobs]
+        results = farm.run(jobs, backend=self.backend) if jobs else []
+        self._jobs_timed += len(jobs)
+        total = 0.0
+        offset = 0
+        for node in program.nodes:
+            if node.is_gemm:
+                total += sum(result.cycles for result in
+                             results[offset:offset + node.n_jobs])
+                total += self.offload_cycles_per_job * node.n_jobs
+                offset += node.n_jobs
+            else:
+                total += (self.elementwise_cycles_per_element
+                          * node.elements)
+        cycles = int(round(total))
+        self._service[key] = cycles
+        return cycles
+
+    # -- event plumbing ------------------------------------------------------
+    def _push(self, cycle: int, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (cycle, kind, self._sequence, payload))
+        self._sequence += 1
+
+    def _arm_autoscaler(self) -> None:
+        if (self.autoscaler is not None and not self._eval_scheduled):
+            self._push(self._now + self.autoscaler.interval_cycles,
+                       _EVENT_EVAL, None)
+            self._eval_scheduled = True
+
+    # -- admission -----------------------------------------------------------
+    def _admit(self, request: Request, service: int) -> Optional[str]:
+        """``None`` to admit, else the rejection reason."""
+        policy = self.admission
+        if policy is None:
+            return None
+        if policy.max_queue is not None:
+            if len(self._queue) >= policy.max_queue:
+                return "queue"
+            weights = policy.tenant_weights
+            if weights is not None:
+                total = sum(weights.values())
+                share = weights.get(request.tenant, 0.0) / total
+            else:
+                known = len(self._queued_by_tenant) or 1
+                share = 1.0 / known
+            cap = max(1, math.ceil(policy.fair_share * share
+                                   * policy.max_queue))
+            if self._queued_by_tenant.get(request.tenant, 0) >= cap:
+                return "fairness"
+        if policy.slo_p99_cycles is not None:
+            capacity = self.n_clusters + self._pending_provisions
+            projected = self._queued_service / capacity + service
+            if projected > policy.slo_p99_cycles:
+                return "slo"
+        return None
+
+    # -- dispatch / completion ----------------------------------------------
+    def _dispatch(self, request: Request, service: int) -> None:
+        self._idle -= 1
+        self._in_flight += 1
+        self._busy_cycles += service
+        self._push(self._now + service, _EVENT_COMPLETION, request)
+        self._arm_autoscaler()
+
+    def _complete(self, request: Request) -> None:
+        self._in_flight -= 1
+        self._idle += 1
+        self._last_completion = self._now
+        latency = self._now - request.arrival_cycle
+        self._overall.add(latency)
+        tenant = self._per_tenant.get(request.tenant)
+        if tenant is None:
+            tenant = self._per_tenant[request.tenant] = StreamingLatencyStats(
+                self._stats_mode, self._reservoir_size)
+        tenant.add(latency)
+        self._tenant_cycles[request.tenant] = (
+            self._tenant_cycles.get(request.tenant, 0) + latency)
+        self._models[request.model] = self._models.get(request.model, 0) + 1
+        if self._window is not None:
+            self._window.append(latency)
+        if self.keep_latencies:
+            self.latencies.append(latency)
+        # Freed capacity immediately serves the head of the queue.
+        if self._queue:
+            queued, queued_service = self._queue.popleft()
+            self._queued_service -= queued_service
+            self._queued_by_tenant[queued.tenant] -= 1
+            self._dispatch(queued, queued_service)
+
+    def _fast_service(self, request: Request) -> int:
+        """One-lookup service memo keyed by the requested precision."""
+        key = (request.graph, request.precision)
+        service = self._service_fast.get(key)
+        if service is None:
+            service = self.service_cycles(request.graph, request.precision)
+            self._service_fast[key] = service
+        else:
+            self.memo_hits += 1
+        return service
+
+    # -- autoscaling ---------------------------------------------------------
+    def _resize(self, delta: int) -> int:
+        """Apply a pool resize now; returns the delta actually applied.
+
+        Growth is immediate (provisioning delay is modelled by scheduling
+        the provision event, not here); shrink retires idle clusters only
+        and never drops below one cluster (or the autoscaler's floor).
+        """
+        if delta > 0:
+            self.n_clusters += delta
+            self._idle += delta
+            self.scale_ups += delta
+            if self.n_clusters > self._max_clusters_seen:
+                self._max_clusters_seen = self.n_clusters
+            # New capacity drains the queue immediately.
+            while self._queue and self._idle > 0:
+                queued, queued_service = self._queue.popleft()
+                self._queued_service -= queued_service
+                self._queued_by_tenant[queued.tenant] -= 1
+                self._dispatch(queued, queued_service)
+            return delta
+        floor = (self.autoscaler.min_clusters
+                 if self.autoscaler is not None else 1)
+        removable = min(-delta, self._idle, self.n_clusters - floor)
+        if removable > 0:
+            self.n_clusters -= removable
+            self._idle -= removable
+            self.scale_downs += removable
+            if self.n_clusters < self._min_clusters_seen:
+                self._min_clusters_seen = self.n_clusters
+        return -removable
+
+    def force_scale(self, delta: int) -> int:
+        """Externally resize the pool at the current cycle (deterministic).
+
+        Exists for tests and manual capacity experiments; the applied delta
+        is returned (shrinks are limited to idle clusters and a floor of
+        one cluster).
+        """
+        if delta == 0:
+            return 0
+        self._advance_pool_integral(self._now)
+        return self._resize(delta)
+
+    def _window_p99(self) -> Optional[float]:
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        rank = min(len(ordered), max(1, math.ceil(0.99 * len(ordered))))
+        return float(ordered[rank - 1])
+
+    def _evaluate_scaling(self) -> None:
+        policy = self.autoscaler
+        self._eval_scheduled = False
+        effective = self.n_clusters + self._pending_provisions
+        desired = math.ceil(len(self._queue) / policy.queue_per_cluster)
+        desired = max(policy.min_clusters,
+                      min(policy.max_clusters, max(desired, 1)))
+        if policy.slo_p99_cycles is not None:
+            p99 = self._window_p99()
+            if p99 is not None and p99 > policy.slo_p99_cycles:
+                desired = min(policy.max_clusters, max(desired,
+                                                       effective + 1))
+        if desired > effective:
+            grow = desired - effective
+            self._pending_provisions += grow
+            self._push(self._now + policy.provision_delay_cycles,
+                       _EVENT_PROVISION, grow)
+        elif (desired < effective and not self._queue
+              and self._pending_provisions == 0):
+            occupancy = (self._in_flight / self.n_clusters
+                         if self.n_clusters else 1.0)
+            if occupancy <= policy.scale_down_occupancy:
+                self._resize(-1)
+        # Keep evaluating while there is work (or capacity in flight) --
+        # and let the event heap drain to empty otherwise.
+        if (self._queue or self._in_flight or self._pending_provisions):
+            self._arm_autoscaler()
+
+    # -- event loop ----------------------------------------------------------
+    def _pump(self, limit: int) -> None:
+        """Process every event at or before ``limit``.
+
+        The completion case -- millions of firings on the hot path -- is
+        inlined here rather than dispatched through a helper; the rare
+        provision/eval events take the out-of-line branches.
+        """
+        events = self._events
+        heappop = heapq.heappop
+        while events and events[0][0] <= limit:
+            cycle, kind, _, payload = heappop(events)
+            if cycle > self._pool_marker:
+                self._pool_cycles += (self.n_clusters
+                                      * (cycle - self._pool_marker))
+                self._pool_marker = cycle
+            self._now = cycle
+            if kind == _EVENT_COMPLETION:
+                self._complete(payload)
+            elif kind == _EVENT_PROVISION:
+                self._pending_provisions -= payload
+                self._resize(payload)
+            else:
+                self._evaluate_scaling()
+
+    # -- public API ----------------------------------------------------------
+    def offer(self, request: Request) -> bool:
+        """Offer one request at its arrival cycle; True if admitted.
+
+        Offers must be arrival-ordered (what the generator's merged stream
+        guarantees); the loop advances to the arrival cycle as a side
+        effect, so completions scheduled before it are processed first.
+        """
+        arrival = request.arrival_cycle
+        if arrival < self._last_offer:
+            raise ValueError(
+                "requests must be offered in arrival order; "
+                f"got {arrival} after {self._last_offer}")
+        if arrival < self._now:
+            raise ValueError(
+                f"cannot offer a request at past cycle {arrival} "
+                f"(clock is at {self._now})")
+        self._last_offer = arrival
+        self.offered += 1
+        # Catch the clock up to the arrival before deciding admission, so
+        # queue state reflects every completion up to this instant (events
+        # *at* the arrival cycle included -- identical ordering to a
+        # completions-before-arrivals event heap).
+        events = self._events
+        if events and events[0][0] <= arrival:
+            self._pump(arrival)
+        if arrival > self._pool_marker:
+            self._pool_cycles += (self.n_clusters
+                                  * (arrival - self._pool_marker))
+            self._pool_marker = arrival
+        self._now = arrival
+        service = self._fast_service(request)
+        if self.admission is not None:
+            reason = self._admit(request, service)
+            if reason is not None:
+                self.rejected += 1
+                self.rejected_by_tenant[request.tenant] = (
+                    self.rejected_by_tenant.get(request.tenant, 0) + 1)
+                self.rejection_reasons[reason] = (
+                    self.rejection_reasons.get(reason, 0) + 1)
+                return False
+        self.admitted += 1
+        if self._idle > 0 and not self._queue:
+            self._dispatch(request, service)
+        else:
+            self._queue.append((request, service))
+            self._queued_service += service
+            self._queued_by_tenant[request.tenant] = (
+                self._queued_by_tenant.get(request.tenant, 0) + 1)
+            self._arm_autoscaler()
+        return True
+
+    def run_until(self, cycle: int) -> None:
+        """Advance the loop (and the clock) to ``cycle``."""
+        if cycle < self._now:
+            raise ValueError(f"cannot run backwards to {cycle} "
+                             f"(clock is at {self._now})")
+        self._pump(cycle)
+        self._advance_pool_integral(cycle)
+        self._now = cycle
+
+    def drain(self) -> None:
+        """Run every remaining event (autoscaler evaluations stop arming
+        themselves once no work is left, so this terminates)."""
+        self._pump(_FOREVER)
+
+    def finalize(self, scenario: str = "serve-continuous") -> ContinuousReport:
+        """Snapshot the run as a :class:`ContinuousReport`."""
+        self._advance_pool_integral(self._now)
+        stats = self.farm.cache.stats
+        tenants = {
+            name: TenantReport(
+                tenant=name, completed=acc.count,
+                total_cycles=self._tenant_cycles[name],
+                latency=acc.finalize(),
+            )
+            for name, acc in self._per_tenant.items()
+        }
+        pool = ServePoolStats(
+            initial_clusters=self._initial_clusters,
+            min_clusters=self._min_clusters_seen,
+            max_clusters=self._max_clusters_seen,
+            final_clusters=self.n_clusters,
+            scale_ups=self.scale_ups,
+            scale_downs=self.scale_downs,
+            pool_cycles=self._pool_cycles,
+        )
+        return ContinuousReport(
+            scenario=scenario, frequency_hz=self.frequency_hz,
+            makespan_cycles=self._last_completion,
+            offered=self.offered, admitted=self.admitted,
+            rejected=self.rejected, completed=self._overall.count,
+            latency=self._overall.finalize(), tenants=tenants,
+            rejected_by_tenant=dict(self.rejected_by_tenant), pool=pool,
+            busy_cycles=self._busy_cycles,
+            memo_hits=self.memo_hits, memo_misses=self.memo_misses,
+            jobs_timed=self._jobs_timed,
+            cache_hits=stats.hits - self._cache_hits0,
+            cache_misses=stats.misses - self._cache_misses0,
+            models=dict(self._models),
+        )
+
+    def simulate(self, requests: Iterable[Request],
+                 scenario: str = "serve-continuous") -> ContinuousReport:
+        """Stream requests through the loop, drain, and report.
+
+        ``requests`` is consumed lazily -- pair it with
+        :meth:`RequestGenerator.stream` to serve million-request windows in
+        O(in-flight) memory.
+        """
+        offer = self.offer
+        for request in requests:
+            offer(request)
+        self.drain()
+        return self.finalize(scenario)

@@ -1,11 +1,30 @@
-"""Serving workload description: tenants, model mixes, request generation.
+"""Serving workload description: tenants, mixes, streaming request generation.
 
 A serving scenario is a set of *tenants*, each owning a mix of zoo models
-and a mean request rate.  The generator draws Poisson arrivals per tenant
-(exponential inter-arrival times, the standard open-loop serving model) and
-picks a model per request according to the tenant's mix weights, then merges
-all tenants into one arrival-ordered request stream.  Everything is
-deterministic under a seed, so serving experiments are exactly repeatable.
+and a mean request rate.  The generator draws arrivals per tenant from a
+configurable arrival process and picks a model per request according to the
+tenant's mix weights, then merges all tenants into one arrival-ordered
+request stream.  Everything is deterministic under a seed, so serving
+experiments are exactly repeatable.
+
+Three arrival processes are supported (see :class:`ArrivalSpec`):
+
+* ``poisson`` -- homogeneous Poisson arrivals (exponential inter-arrival
+  gaps, the standard open-loop serving model);
+* ``diurnal`` -- a non-homogeneous Poisson process whose rate follows a
+  sinusoid over the traffic window (the day/night load swing every
+  production service sees), sampled by thinning;
+* ``bursty`` -- a two-state Markov-modulated Poisson process (MMPP-2):
+  quiet periods at a fraction of the mean rate punctuated by bursts at a
+  multiple of it, with exponentially-distributed sojourns.  The state rates
+  are normalised so the *mean* rate still equals the tenant's ``rps``.
+
+The generation API is **streaming**: :meth:`RequestGenerator.stream` is a
+lazy per-tenant merged iterator holding O(active tenants) state, so a
+million-request window never materialises a million-element list.  The
+eager :meth:`RequestGenerator.generate` is a thin ``list(stream(...))``
+wrapper kept for small scenarios and backwards compatibility; a regression
+test pins that the two produce identical streams under the same seed.
 
 Time is measured in *cluster clock cycles* throughout the serving simulator;
 wall-clock rates (requests/s) are converted through the operating-point
@@ -14,8 +33,10 @@ frequency (default: the 22 nm performance point of the paper's cluster).
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +45,66 @@ from repro.power.technology import OP_22NM_PERFORMANCE
 
 #: Clock frequency used to convert requests/s into cycles (22 nm, 0.8 V).
 DEFAULT_FREQUENCY_HZ = OP_22NM_PERFORMANCE.frequency_hz
+
+#: Arrival-process kinds understood by :class:`ArrivalSpec`.
+ARRIVAL_KINDS = ("poisson", "diurnal", "bursty")
+
+#: Random draws are pulled from numpy in chunks of this many values: the
+#: streaming generator stays lazy (O(chunk) buffered per tenant) while the
+#: per-request cost of the hot million-request path stays amortised-vector.
+_CHUNK = 512
+
+#: SeedSequence stream tag of the per-tenant streaming arrival draws
+#: (burst() keeps the historical ``spawn(2)[1]`` child, so closed-loop
+#: benchmark bursts are bit-identical across this refactor).
+_TAG_TENANT_STREAM = 2
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Parameters of one arrival process (see the module docstring).
+
+    ``diurnal_period_s`` defaults to the traffic window itself (one full
+    day/night swing over the simulated duration).  The bursty process
+    alternates quiet/burst sojourns with mean cycle ``burst_cycle_s``,
+    spending ``burst_fraction`` of the time bursting at ``burst_factor``
+    times the mean rate; the quiet rate is derived so the long-run mean
+    rate equals the tenant's ``rps`` (which requires
+    ``burst_fraction * burst_factor < 1``).
+    """
+
+    kind: str = "poisson"
+    diurnal_amplitude: float = 0.8
+    diurnal_period_s: Optional[float] = None
+    burst_factor: float = 8.0
+    burst_fraction: float = 0.1
+    burst_cycle_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; one of {ARRIVAL_KINDS}")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1]")
+        if self.diurnal_period_s is not None and self.diurnal_period_s <= 0:
+            raise ValueError("diurnal_period_s must be positive")
+        if self.burst_factor <= 1.0:
+            raise ValueError("burst_factor must exceed 1")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.burst_fraction * self.burst_factor >= 1.0:
+            raise ValueError(
+                "burst_fraction * burst_factor must stay below 1 so the "
+                "quiet-state rate normalising the mean remains positive")
+        if self.burst_cycle_s <= 0:
+            raise ValueError("burst_cycle_s must be positive")
+
+    @classmethod
+    def of(cls, value: Union[str, "ArrivalSpec"]) -> "ArrivalSpec":
+        """Coerce a kind name or a spec to a spec."""
+        if isinstance(value, ArrivalSpec):
+            return value
+        return cls(kind=value)
 
 
 @dataclass(frozen=True)
@@ -43,11 +124,21 @@ class ModelSpec:
 
 @dataclass(frozen=True)
 class TenantSpec:
-    """A tenant: a named model mix arriving at a mean request rate."""
+    """A tenant: a named model mix arriving at a mean request rate.
+
+    ``precision`` is the tenant's serving class for online precision
+    routing: when set (a registered element format such as ``"fp8-e4m3"``),
+    every request of the tenant is stamped with it and the continuous
+    serving loop routes the request's jobs through a farm of that element
+    width (throughput tenants ride the packed FP8 line geometry,
+    accuracy-critical tenants stay FP16).  ``None`` keeps the model's own
+    precision (or the pool's default format).
+    """
 
     name: str
     models: Tuple[ModelSpec, ...]
     rps: float
+    precision: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -56,6 +147,10 @@ class TenantSpec:
             raise ValueError(f"tenant {self.name!r} needs at least one model")
         if self.rps <= 0:
             raise ValueError(f"tenant {self.name!r}: rps must be positive")
+        if self.precision is not None:
+            from repro.fp.formats import get_format
+
+            get_format(self.precision)  # raises on unknown formats
         object.__setattr__(self, "models", tuple(self.models))
 
     @property
@@ -74,14 +169,100 @@ class Request:
     model: str
     graph: WorkloadGraph
     arrival_cycle: int
+    #: Requested element precision (tenant serving class); ``None`` defers
+    #: to the graph's own precision or the serving pool's default format.
+    precision: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.arrival_cycle < 0:
             raise ValueError("arrival_cycle must be non-negative")
 
 
+# -- per-tenant arrival-time processes (lazy, seconds domain) ----------------
+def _poisson_times(rng: np.random.Generator, rps: float,
+                   duration_s: float) -> Iterator[float]:
+    """Homogeneous Poisson arrival times in ``[0, duration_s)``."""
+    clock = 0.0
+    scale = 1.0 / rps
+    while True:
+        for gap in rng.exponential(scale, _CHUNK).tolist():
+            clock += gap
+            if clock >= duration_s:
+                return
+            yield clock
+
+
+def _diurnal_times(rng: np.random.Generator, rps: float, duration_s: float,
+                   spec: ArrivalSpec) -> Iterator[float]:
+    """Sinusoidally-modulated Poisson arrivals, sampled by thinning."""
+    period = spec.diurnal_period_s or duration_s
+    amplitude = spec.diurnal_amplitude
+    lam_max = rps * (1.0 + amplitude)
+    omega = 2.0 * math.pi / period
+    clock = 0.0
+    while True:
+        gaps = rng.exponential(1.0 / lam_max, _CHUNK).tolist()
+        accepts = rng.random(_CHUNK).tolist()
+        for gap, u in zip(gaps, accepts):
+            clock += gap
+            if clock >= duration_s:
+                return
+            rate = rps * (1.0 + amplitude * math.sin(omega * clock))
+            if u * lam_max < rate:
+                yield clock
+
+
+def _bursty_times(rng: np.random.Generator, rps: float, duration_s: float,
+                  spec: ArrivalSpec) -> Iterator[float]:
+    """Two-state Markov-modulated Poisson arrivals (quiet/burst)."""
+    lam_burst = rps * spec.burst_factor
+    lam_quiet = (rps * (1.0 - spec.burst_fraction * spec.burst_factor)
+                 / (1.0 - spec.burst_fraction))
+    mean_burst = spec.burst_cycle_s * spec.burst_fraction
+    mean_quiet = spec.burst_cycle_s * (1.0 - spec.burst_fraction)
+    clock = 0.0
+    in_burst = False
+    while clock < duration_s:
+        sojourn = rng.exponential(mean_burst if in_burst else mean_quiet)
+        end = min(clock + sojourn, duration_s)
+        scale = 1.0 / (lam_burst if in_burst else lam_quiet)
+        t = clock
+        over = False
+        while not over:
+            for gap in rng.exponential(scale, _CHUNK).tolist():
+                t += gap
+                if t >= end:
+                    over = True
+                    break
+                yield t
+        clock = end
+        in_burst = not in_burst
+
+
+def _arrival_times(rng: np.random.Generator, rps: float, duration_s: float,
+                   spec: ArrivalSpec) -> Iterator[float]:
+    if spec.kind == "poisson":
+        return _poisson_times(rng, rps, duration_s)
+    if spec.kind == "diurnal":
+        return _diurnal_times(rng, rps, duration_s, spec)
+    return _bursty_times(rng, rps, duration_s, spec)
+
+
+def _model_indices(rng: np.random.Generator,
+                   weights: Sequence[float]) -> Iterator[int]:
+    """Endless per-tenant model choices, drawn in vectorised chunks."""
+    n_models = len(weights)
+    if n_models == 1:
+        while True:
+            yield 0
+    probabilities = np.asarray(weights)
+    while True:
+        for index in rng.choice(n_models, _CHUNK, p=probabilities).tolist():
+            yield int(index)
+
+
 class RequestGenerator:
-    """Deterministic Poisson request generator over a set of tenants."""
+    """Deterministic streaming request generator over a set of tenants."""
 
     def __init__(self, tenants: Sequence[TenantSpec],
                  frequency_hz: float = DEFAULT_FREQUENCY_HZ,
@@ -98,53 +279,86 @@ class RequestGenerator:
         self.seed = seed
 
     def _rng(self, stream: int) -> np.random.Generator:
-        """An independent child generator for one traffic stream.
+        """An independent child generator for one legacy traffic stream.
 
-        ``generate()`` and ``burst()`` draw from *separate* spawned child
-        streams of the seed (``np.random.SeedSequence(seed).spawn``): a
-        scenario mixing open-loop and burst traffic must not replay the
-        same random sequence in both, which is exactly what the previous
-        ``default_rng(self.seed)``-in-both-methods arrangement did.
-        Determinism per (seed, stream) is preserved.
+        ``burst()`` draws from spawned child 1 of the seed, exactly as it
+        did before the streaming refactor, so closed-loop saturation bursts
+        (and the committed scaling-benchmark baselines built on them) are
+        bit-identical.  The open-loop streams draw from per-tenant children
+        instead (see :meth:`_tenant_rng`).
         """
         children = np.random.SeedSequence(self.seed).spawn(2)
         return np.random.default_rng(children[stream])
+
+    def _tenant_rng(self, tenant_index: int) -> np.random.Generator:
+        """The independent child stream of one tenant's open-loop traffic.
+
+        Per-tenant children are what make the merged iterator lazy: each
+        tenant advances its own stream on demand, so interleaving order
+        (which the merge determines) can never perturb the draws.
+        """
+        return np.random.default_rng(np.random.SeedSequence(
+            (self.seed, _TAG_TENANT_STREAM, tenant_index)))
 
     @property
     def total_rps(self) -> float:
         """Aggregate mean request rate over every tenant."""
         return sum(tenant.rps for tenant in self.tenants)
 
-    def generate(self, duration_s: float) -> List[Request]:
-        """Poisson arrivals over a time window, merged across tenants.
+    def stream(self, duration_s: float,
+               arrival: Union[str, ArrivalSpec] = "poisson",
+               ) -> Iterator[Request]:
+        """Lazily yield the merged, arrival-ordered request stream.
 
-        Per tenant, inter-arrival gaps are exponential with mean
-        ``1 / rps`` and each request picks a model from the tenant's
-        weighted mix; the merged stream is sorted by arrival cycle (ties
-        broken by tenant order) and re-numbered.
+        Per tenant, arrivals follow ``arrival`` (a kind name or an
+        :class:`ArrivalSpec`) at the tenant's mean rate and each request
+        picks a model from the tenant's weighted mix; the merged stream is
+        ordered by arrival cycle (ties broken by tenant order) and numbered
+        in merge order.  Memory is O(active tenants): nothing is
+        materialised, which is what lets the continuous serving loop
+        sustain million-request windows.
         """
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        rng = self._rng(0)
-        horizon = duration_s * self.frequency_hz
-        raw: List[Tuple[int, int, str, str, WorkloadGraph]] = []
-        for tenant_index, tenant in enumerate(self.tenants):
-            weights = tenant.mix_weights
-            clock_s = 0.0
-            while True:
-                clock_s += rng.exponential(1.0 / tenant.rps)
-                arrival = int(clock_s * self.frequency_hz)
-                if arrival >= horizon:
-                    break
-                model = tenant.models[rng.choice(len(tenant.models), p=weights)]
-                raw.append((arrival, tenant_index, tenant.name, model.name,
-                            model.graph))
-        raw.sort(key=lambda item: (item[0], item[1]))
-        return [
-            Request(request_id=index, tenant=tenant, model=model,
-                    graph=graph, arrival_cycle=arrival)
-            for index, (arrival, _, tenant, model, graph) in enumerate(raw)
-        ]
+        spec = ArrivalSpec.of(arrival)
+        frequency_hz = self.frequency_hz
+        tenants = self.tenants
+        arrivals: List[Iterator[float]] = []
+        models: List[Iterator[int]] = []
+        heads: List[Tuple[int, int]] = []
+        for index, tenant in enumerate(tenants):
+            rng = self._tenant_rng(index)
+            times = _arrival_times(rng, tenant.rps, duration_s, spec)
+            arrivals.append(times)
+            models.append(_model_indices(rng, tenant.mix_weights))
+            first = next(times, None)
+            if first is not None:
+                heads.append((int(first * frequency_hz), index))
+        heapq.heapify(heads)
+        request_id = 0
+        while heads:
+            cycle, index = heapq.heappop(heads)
+            tenant = tenants[index]
+            model = tenant.models[next(models[index])]
+            yield Request(request_id=request_id, tenant=tenant.name,
+                          model=model.name, graph=model.graph,
+                          arrival_cycle=cycle, precision=tenant.precision)
+            request_id += 1
+            nxt = next(arrivals[index], None)
+            if nxt is not None:
+                heapq.heappush(heads, (int(nxt * frequency_hz), index))
+
+    def generate(self, duration_s: float,
+                 arrival: Union[str, ArrivalSpec] = "poisson",
+                 ) -> List[Request]:
+        """Eagerly materialise :meth:`stream` (small scenarios, tests).
+
+        A thin wrapper: the returned list is element-for-element identical
+        to iterating the lazy stream under the same seed (pinned by a
+        regression test), so callers that need random access pay the O(n)
+        memory knowingly.
+        """
+        return list(self.stream(duration_s, arrival))
 
     def burst(self, per_tenant: int) -> List[Request]:
         """A closed-loop saturation burst: every request arrives at cycle 0.
@@ -165,5 +379,6 @@ class RequestGenerator:
                 requests.append(Request(
                     request_id=len(requests), tenant=tenant.name,
                     model=model.name, graph=model.graph, arrival_cycle=0,
+                    precision=tenant.precision,
                 ))
         return requests

@@ -9,16 +9,28 @@ list scheduling at *node* granularity:
   dependencies have completed;
 * whenever clusters are idle, the oldest ready nodes are dispatched onto
   them (FIFO over (arrival, request, topological index) -- deterministic);
-* a dispatched wave's accelerator jobs are timed through the
-  :class:`~repro.farm.SimulationFarm` in **one** ``run()`` call, so the
-  shape-keyed timing cache makes repeated requests of the same models
-  nearly free to simulate;
 * a GEMM node occupies its cluster for the sum of its jobs' cycles (plus
   the configurable per-job offload cost); elementwise nodes run on the
   host cores -- they never occupy a cluster, cost
   ``elements * elementwise_cycles_per_element`` (0 by default --
   negligible next to the GEMMs) and appear in the trace with cluster
   ``-1``.
+
+Node service times come from a per-program **service-time memo**: the first
+request of a model sends all of the program's accelerator jobs through the
+:class:`~repro.farm.SimulationFarm` in one batched ``run()`` call (one
+timing-cache pass, misses simulated together) and records each node's
+cluster cycles; every later request of the same model -- the overwhelming
+majority under serving traffic -- never touches the farm at all.  That is
+what lets the loop sustain millions of simulated requests at interactive
+wall-clock (the continuous-loop variant in :mod:`repro.serve.loop` shares
+the same memo discipline).
+
+The simulator consumes its request stream **lazily**: handing it the lazy
+iterator from :meth:`RequestGenerator.stream` keeps memory O(in-flight
+requests) no matter how long the traffic window is.  Eager sequences are
+still accepted (and sorted defensively); iterator streams must already be
+arrival-ordered, which the generator guarantees.
 
 With one cluster and one request this degenerates to serial execution, so
 the makespan equals the serial farm timing of the same graph
@@ -30,13 +42,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.farm import SimulationFarm, default_farm
 from repro.graph.ir import WorkloadGraph
 from repro.graph.lower import LoweredProgram
 from repro.redmule.config import RedMulEConfig
-from repro.serve.report import LatencyStats, ServeReport, TenantReport
+from repro.serve.report import ServeReport, StreamingLatencyStats, TenantReport
 from repro.serve.requests import DEFAULT_FREQUENCY_HZ, Request
 
 #: Event kinds, ordered so completions at a time t free their cluster before
@@ -68,12 +80,14 @@ class ScheduledNode:
 class _RequestState:
     """Progress of one in-flight request."""
 
-    __slots__ = ("request", "program", "remaining_deps", "dependents",
-                 "unfinished", "finish_cycle")
+    __slots__ = ("request", "program", "durations", "remaining_deps",
+                 "dependents", "unfinished")
 
-    def __init__(self, request: Request, program: LoweredProgram) -> None:
+    def __init__(self, request: Request, program: LoweredProgram,
+                 durations: Sequence[int]) -> None:
         self.request = request
         self.program = program
+        self.durations = durations
         index_of = {node.name: i for i, node in enumerate(program.nodes)}
         self.remaining_deps = [len(node.deps) for node in program.nodes]
         self.dependents: List[List[int]] = [[] for _ in program.nodes]
@@ -81,7 +95,25 @@ class _RequestState:
             for dep in node.deps:
                 self.dependents[index_of[dep]].append(node_index)
         self.unfinished = len(program.nodes)
-        self.finish_cycle: Optional[int] = None
+
+
+def derive_precision_farm(base: SimulationFarm,
+                          precision: str) -> SimulationFarm:
+    """A farm identical to ``base`` but timing ``precision`` elements.
+
+    The derived farm shares the base farm's timing cache (per-precision
+    records key on the element format, so they never collide) -- the PR 5
+    plumbing that makes online precision routing free of duplicate state.
+    """
+    return SimulationFarm(
+        config=replace(base.config, format=precision),
+        backend=base.backend,
+        engine_macs_threshold=base.engine_macs_threshold,
+        max_workers=1,
+        arithmetic=base.arithmetic,
+        cache=base.cache,
+        max_cycles=base.max_cycles,
+    )
 
 
 class ServingSimulator:
@@ -115,6 +147,12 @@ class ServingSimulator:
     keep_trace:
         Record a :class:`ScheduledNode` per dispatched node (tests and
         debugging; large runs should leave this off).
+    stats_mode / reservoir_size:
+        Latency accounting (see
+        :class:`~repro.serve.report.StreamingLatencyStats`).  The default
+        reservoir is exact for runs up to ``reservoir_size`` completions --
+        i.e. every pre-existing small scenario -- and switches to unbiased
+        sample percentiles beyond, keeping memory bounded at any scale.
     """
 
     def __init__(
@@ -128,6 +166,8 @@ class ServingSimulator:
         elementwise_cycles_per_element: float = 0.0,
         tile: bool = False,
         keep_trace: bool = False,
+        stats_mode: str = "reservoir",
+        reservoir_size: int = 4096,
     ) -> None:
         if n_clusters < 1:
             raise ValueError("the pool needs at least one cluster")
@@ -143,6 +183,8 @@ class ServingSimulator:
         self.elementwise_cycles_per_element = elementwise_cycles_per_element
         self.tile = tile
         self.keep_trace = keep_trace
+        self.stats_mode = stats_mode
+        self.reservoir_size = reservoir_size
         self.trace: List[ScheduledNode] = []
         #: Per-precision farms, lazily derived from the base farm (same
         #: architecture, same shared timing cache, different element
@@ -156,6 +198,12 @@ class ServingSimulator:
         #: model).  Shared ModelSpec graphs are lowered once per simulator,
         #: not once per request.
         self._programs: Dict[WorkloadGraph, LoweredProgram] = {}
+        #: Service-time memo: per-node cluster cycles keyed by lowered
+        #: program identity (``_programs`` pins the program alive, so the
+        #: id can never be recycled under us).  Populated by one batched
+        #: farm call the first time a program is served; every later
+        #: request of the model skips the farm on the hot path.
+        self._node_cycles: Dict[int, List[int]] = {}
 
     # -- lowering ------------------------------------------------------------
     def _program_for(self, graph: WorkloadGraph) -> LoweredProgram:
@@ -169,57 +217,37 @@ class ServingSimulator:
         """The timing farm serving jobs of one element precision."""
         farm = self._farms.get(precision)
         if farm is None:
-            base = self.farm
-            farm = SimulationFarm(
-                config=replace(base.config, format=precision),
-                backend=base.backend,
-                engine_macs_threshold=base.engine_macs_threshold,
-                max_workers=1,
-                arithmetic=base.arithmetic,
-                cache=base.cache,
-                max_cycles=base.max_cycles,
-            )
+            farm = derive_precision_farm(self.farm, precision)
             self._farms[precision] = farm
         return farm
 
     # -- node timing ---------------------------------------------------------
-    def _time_gemm_wave(
-        self, wave: Sequence[Tuple[_RequestState, int]]
-    ) -> List[int]:
-        """Cluster service time of every GEMM node in a dispatch wave.
+    def _durations_for(self, program: LoweredProgram) -> List[int]:
+        """Per-node service cycles, primed through the farm exactly once.
 
-        All accelerator jobs of the wave go through the farm in one batched
-        ``run()`` call per element precision (one cache lookup pass, misses
-        simulated together); single-precision waves -- the common case --
-        stay a single call.
+        GEMM nodes cost the sum of their jobs' farm cycles plus the
+        per-job offload charge; elementwise nodes cost their host-core
+        duration.  All of the program's accelerator jobs go through the
+        farm in one batched ``run()`` call at prime time.
         """
-        jobs = []
-        spans = []
-        job_precision: List[str] = []
-        for state, node_index in wave:
-            node = state.program.nodes[node_index]
-            spans.append((len(jobs), len(node.jobs)))
-            precision = state.program.precision
-            jobs.extend(node.jobs)
-            job_precision.extend([precision] * len(node.jobs))
-
-        results: List[Optional[object]] = [None] * len(jobs)
-        by_precision: Dict[str, List[int]] = {}
-        for index, precision in enumerate(job_precision):
-            by_precision.setdefault(precision, []).append(index)
-        for precision, indices in by_precision.items():
-            batch = self._farm_for(precision).run(
-                [jobs[i] for i in indices], backend=self.backend
-            )
-            for i, result in zip(indices, batch):
-                results[i] = result
-
+        durations = self._node_cycles.get(id(program))
+        if durations is not None:
+            return durations
+        jobs = [job for node in program.nodes for job in node.jobs]
+        results = (self._farm_for(program.precision).run(
+            jobs, backend=self.backend) if jobs else [])
         durations = []
-        for (state, node_index), (offset, count) in zip(wave, spans):
-            cycles = sum(result.cycles
-                         for result in results[offset:offset + count])
-            cycles += self.offload_cycles_per_job * count
-            durations.append(int(round(cycles)))
+        offset = 0
+        for node in program.nodes:
+            if node.is_gemm:
+                cycles = sum(result.cycles for result in
+                             results[offset:offset + node.n_jobs])
+                cycles += self.offload_cycles_per_job * node.n_jobs
+                durations.append(int(round(cycles)))
+                offset += node.n_jobs
+            else:
+                durations.append(self._elementwise_duration(node))
+        self._node_cycles[id(program)] = durations
         return durations
 
     def _elementwise_duration(self, node) -> int:
@@ -229,24 +257,52 @@ class ServingSimulator:
     # -- simulation ----------------------------------------------------------
     def simulate(self, requests: Iterable[Request],
                  scenario: str = "serve") -> ServeReport:
-        """Run the event-driven simulation over a request stream."""
-        requests = sorted(requests,
-                          key=lambda r: (r.arrival_cycle, r.request_id))
-        states = [_RequestState(request, self._program_for(request.graph))
-                  for request in requests]
+        """Run the event-driven simulation over a request stream.
+
+        ``requests`` may be an eager sequence (sorted defensively, exactly
+        as before) or a lazy iterator already ordered by arrival cycle
+        (what :meth:`RequestGenerator.stream` yields); iterator streams are
+        consumed one request ahead of the simulation clock, so memory stays
+        proportional to the number of requests in flight.
+        """
+        if isinstance(requests, Sequence):
+            stream: Iterator[Request] = iter(sorted(
+                requests, key=lambda r: (r.arrival_cycle, r.request_id)))
+        else:
+            stream = iter(requests)
         if self.keep_trace:
             self.trace = []
 
-        # Event heap entries: (cycle, kind, sequence, state index, node
-        # index, cluster).  Completions sort before arrivals at the same
-        # cycle so a freed cluster is reusable immediately.
-        events: List[Tuple[int, int, int, int, int, int]] = []
+        # Event heap entries: (cycle, kind, sequence, payload).  Completions
+        # sort before arrivals at the same cycle so a freed cluster is
+        # reusable immediately; the unique sequence keeps payloads out of
+        # comparisons.  Completion payloads are (state index, node index,
+        # cluster); arrival payloads are the request itself.
+        events: List[Tuple[int, int, int, object]] = []
         sequence = 0
-        for state_index, state in enumerate(states):
-            heapq.heappush(events, (state.request.arrival_cycle,
-                                    _EVENT_ARRIVAL, sequence, state_index,
-                                    -1, -1))
+        last_arrival = -1
+
+        def pull_arrival() -> None:
+            """Stage the next request of the stream on the event heap."""
+            nonlocal sequence, last_arrival
+            request = next(stream, None)
+            if request is None:
+                return
+            if request.arrival_cycle < last_arrival:
+                raise ValueError(
+                    "request stream must be ordered by arrival cycle; "
+                    f"got {request.arrival_cycle} after {last_arrival}")
+            last_arrival = request.arrival_cycle
+            heapq.heappush(events, (request.arrival_cycle, _EVENT_ARRIVAL,
+                                    sequence, request))
             sequence += 1
+
+        pull_arrival()
+
+        # In-flight request states, keyed by a dense admission index and
+        # dropped at completion: memory is O(in-flight), not O(stream).
+        states: Dict[int, _RequestState] = {}
+        next_state_index = 0
 
         # Ready queues: (arrival, request index, node index) -- FIFO with
         # deterministic tie-breaks.  GEMM nodes compete for clusters;
@@ -263,6 +319,26 @@ class ServingSimulator:
         hits0, misses0 = cache_stats.hits, cache_stats.misses
         jobs_timed = 0
         now = 0
+
+        # Streaming accumulators: exact for small runs, bounded-memory
+        # estimates beyond the reservoir (see class docstring).
+        overall = StreamingLatencyStats(self.stats_mode, self.reservoir_size)
+        per_tenant: Dict[str, StreamingLatencyStats] = {}
+        tenant_cycles: Dict[str, int] = {}
+        models: Dict[str, int] = {}
+
+        def finish(state: _RequestState, cycle: int) -> None:
+            request = state.request
+            latency = cycle - request.arrival_cycle
+            overall.add(latency)
+            tenant = per_tenant.get(request.tenant)
+            if tenant is None:
+                tenant = per_tenant[request.tenant] = StreamingLatencyStats(
+                    self.stats_mode, self.reservoir_size)
+            tenant.add(latency)
+            tenant_cycles[request.tenant] = (
+                tenant_cycles.get(request.tenant, 0) + latency)
+            models[request.model] = models.get(request.model, 0) + 1
 
         def mark_ready(state_index: int, node_index: int) -> None:
             state = states[state_index]
@@ -284,7 +360,7 @@ class ServingSimulator:
             nonlocal sequence, makespan
             makespan = max(makespan, end)
             heapq.heappush(events, (end, _EVENT_COMPLETION, sequence,
-                                    state_index, node_index, cluster))
+                                    (state_index, node_index, cluster)))
             sequence += 1
             if self.keep_trace:
                 state = states[state_index]
@@ -296,85 +372,67 @@ class ServingSimulator:
         while events:
             now = events[0][0]
             while events and events[0][0] == now:
-                _, kind, _, state_index, node_index, cluster = \
-                    heapq.heappop(events)
-                state = states[state_index]
+                _, kind, _, payload = heapq.heappop(events)
                 if kind == _EVENT_ARRIVAL:
+                    request: Request = payload
+                    # Stage the successor immediately so a same-cycle
+                    # arrival is drained in this very pass (identical
+                    # simultaneity semantics to the eager scheduler).
+                    pull_arrival()
+                    program = self._program_for(request.graph)
+                    durations = self._durations_for(program)
+                    state = _RequestState(request, program, durations)
                     if not state.program.nodes:
-                        state.finish_cycle = now
+                        finish(state, now)
                         continue
+                    state_index = next_state_index
+                    next_state_index += 1
+                    states[state_index] = state
                     for index, count in enumerate(state.remaining_deps):
                         if count == 0:
                             mark_ready(state_index, index)
                 else:  # completion: free the cluster, release dependents
+                    state_index, node_index, cluster = payload
+                    state = states[state_index]
                     if cluster >= 0:
                         heapq.heappush(idle, cluster)
                     state.unfinished -= 1
-                    if state.unfinished == 0:
-                        state.finish_cycle = now
                     release(state_index, node_index)
+                    if state.unfinished == 0:
+                        finish(state, now)
+                        del states[state_index]
 
             # Elementwise nodes start immediately on the host cores.
             while ready_host:
                 _, state_index, node_index = heapq.heappop(ready_host)
-                node = states[state_index].program.nodes[node_index]
+                state = states[state_index]
                 complete_later(state_index, node_index, -1,
-                               now + self._elementwise_duration(node))
+                               now + state.durations[node_index])
 
-            # Dispatch the oldest ready GEMM nodes onto the idle clusters,
-            # timing the whole wave through the farm in one batched call.
-            wave: List[Tuple[_RequestState, int]] = []
-            placements: List[Tuple[int, int, int]] = []
+            # Dispatch the oldest ready GEMM nodes onto the idle clusters;
+            # service times come straight from the memo -- no farm call.
             while idle and ready_gemm:
                 _, state_index, node_index = heapq.heappop(ready_gemm)
                 cluster = heapq.heappop(idle)
-                wave.append((states[state_index], node_index))
-                placements.append((state_index, node_index, cluster))
-            if wave:
-                durations = self._time_gemm_wave(wave)
-                for (state, _), (state_index, node_index, cluster), duration \
-                        in zip(wave, placements, durations):
-                    jobs_timed += state.program.nodes[node_index].n_jobs
-                    busy[cluster] += duration
-                    complete_later(state_index, node_index, cluster,
-                                   now + duration)
+                state = states[state_index]
+                duration = state.durations[node_index]
+                jobs_timed += state.program.nodes[node_index].n_jobs
+                busy[cluster] += duration
+                complete_later(state_index, node_index, cluster,
+                               now + duration)
 
-        return self._build_report(states, busy, makespan, scenario,
-                                  jobs_timed,
-                                  cache_stats.hits - hits0,
-                                  cache_stats.misses - misses0)
-
-    def _build_report(self, states, busy, makespan, scenario, jobs_timed,
-                      hits, misses) -> ServeReport:
-        latencies: List[float] = []
-        per_tenant: Dict[str, List[float]] = {}
-        tenant_cycles: Dict[str, int] = {}
-        models: Dict[str, int] = {}
-        completed = 0
-        for state in states:
-            if state.finish_cycle is None:
-                continue
-            completed += 1
-            latency = state.finish_cycle - state.request.arrival_cycle
-            latencies.append(latency)
-            per_tenant.setdefault(state.request.tenant, []).append(latency)
-            tenant_cycles[state.request.tenant] = (
-                tenant_cycles.get(state.request.tenant, 0) + latency)
-            models[state.request.model] = models.get(state.request.model,
-                                                     0) + 1
         tenants = {
             name: TenantReport(
-                tenant=name, completed=len(values),
-                total_cycles=tenant_cycles[name],
-                latency=LatencyStats.from_latencies(values),
+                tenant=name, completed=stats.count,
+                total_cycles=tenant_cycles[name], latency=stats.finalize(),
             )
-            for name, values in per_tenant.items()
+            for name, stats in per_tenant.items()
         }
         return ServeReport(
             scenario=scenario, n_clusters=self.n_clusters,
             frequency_hz=self.frequency_hz, makespan_cycles=makespan,
-            completed=completed,
-            latency=LatencyStats.from_latencies(latencies),
+            completed=overall.count, latency=overall.finalize(),
             tenants=tenants, busy_cycles=busy, jobs_timed=jobs_timed,
-            cache_hits=hits, cache_misses=misses, models=models,
+            cache_hits=cache_stats.hits - hits0,
+            cache_misses=cache_stats.misses - misses0, models=models,
         )

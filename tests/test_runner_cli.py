@@ -101,6 +101,91 @@ class TestServeScenarios:
             serve.set_serve_defaults(rps=-1.0)
 
 
+class TestServeMillionScenario:
+    def _reset(self):
+        from repro.experiments import serve
+
+        serve.set_serve_million_defaults(None, None, None, None)
+
+    def test_registered_and_listed(self, capsys):
+        assert "serve-million" in runner.list_experiments()
+        runner.main(["--list"])
+        assert "serve-million" in capsys.readouterr().out.split()
+
+    def test_traffic_flags_reach_the_driver(self, monkeypatch, capsys):
+        from repro.experiments import serve
+
+        seen = {}
+
+        def fake_driver():
+            seen["duration"] = serve._MILLION_DURATION_OVERRIDE
+            seen["arrival"] = serve._MILLION_ARRIVAL_OVERRIDE
+            seen["autoscale"] = serve._MILLION_AUTOSCALE_OVERRIDE
+            seen["slo"] = serve._MILLION_SLO_P99_MS_OVERRIDE
+            return "stub"
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "serve-million", fake_driver)
+        try:
+            runner.main(["serve-million", "--duration", "0.01",
+                         "--arrival", "bursty", "--autoscale",
+                         "--slo-p99-ms", "2.5"])
+        finally:
+            self._reset()
+        assert seen == {"duration": 0.01, "arrival": "bursty",
+                        "autoscale": True, "slo": 2.5}
+
+    def test_unknown_arrival_kind_is_rejected_by_argparse(self, monkeypatch,
+                                                          capsys):
+        executed = []
+        monkeypatch.setitem(runner.EXPERIMENTS, "serve-million",
+                            lambda: executed.append("ran"))
+        with pytest.raises(SystemExit):
+            runner.main(["serve-million", "--arrival", "lunar"])
+        assert executed == []
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flags", [["--duration", "-1"],
+                                       ["--duration", "0"],
+                                       ["--slo-p99-ms", "-2"]])
+    def test_invalid_traffic_values_abort_before_running(self, monkeypatch,
+                                                         flags):
+        executed = []
+        monkeypatch.setitem(runner.EXPERIMENTS, "serve-million",
+                            lambda: executed.append("ran"))
+        try:
+            with pytest.raises(SystemExit, match="error"):
+                runner.main(["serve-million"] + flags)
+        finally:
+            self._reset()
+        assert executed == []
+
+    def test_set_serve_million_defaults_validation(self):
+        from repro.experiments import serve
+
+        with pytest.raises(ValueError):
+            serve.set_serve_million_defaults(duration_s=0.0)
+        with pytest.raises(ValueError):
+            serve.set_serve_million_defaults(arrival="lunar")
+        with pytest.raises(ValueError):
+            serve.set_serve_million_defaults(slo_p99_ms=0.0)
+
+    def test_driver_honours_policies_end_to_end(self):
+        """A short bursty window with autoscaling + SLO admission produces
+        a coherent continuous report (quick: a few hundred requests)."""
+        from repro.experiments import serve
+
+        report = serve.serve_million(duration_s=0.01, arrival="bursty",
+                                     autoscale=True, slo_p99_ms=5.0,
+                                     clusters=2, seed=1)
+        assert report.scenario == "serve-million"
+        assert report.offered > 50
+        assert report.completed + report.rejected == report.offered
+        assert report.pool.initial_clusters == 2
+        assert report.pool.max_clusters <= 8  # autoscaler band: 4x base
+        assert set(report.tenants) <= {"interactive", "throughput-fp8",
+                                       "batch"}
+
+
 class TestDseScenarios:
     def test_dse_scenarios_registered(self):
         names = runner.list_experiments()

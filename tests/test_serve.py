@@ -1,10 +1,17 @@
 """Tests of the multi-tenant serving simulator (requests, scheduler, report)."""
 
+import itertools
+
 import pytest
 
 from repro.farm import SimulationFarm
 from repro.graph.zoo import build_model, mlp_training_graph
 from repro.serve import (
+    ARRIVAL_KINDS,
+    AdmissionPolicy,
+    ArrivalSpec,
+    AutoscalePolicy,
+    ContinuousServer,
     LatencyStats,
     ModelSpec,
     Request,
@@ -13,6 +20,7 @@ from repro.serve import (
     TenantSpec,
     percentile,
 )
+from repro.serve.scheduler import derive_precision_farm
 
 
 def _model_farm():
@@ -384,3 +392,373 @@ class TestReport:
         assert report.throughput_per_mcycle == pytest.approx(
             4 * 1e6 / report.makespan_cycles)
         assert report.throughput_rps > 0
+
+
+def _fields(request):
+    return (request.request_id, request.tenant, request.model,
+            request.arrival_cycle, request.precision)
+
+
+class TestStreamingGeneration:
+    """The lazy merged stream and the three arrival processes."""
+
+    def _tenants(self):
+        return [_tenant("a", rps=2000.0), _tenant("b", rps=1000.0)]
+
+    @pytest.mark.parametrize("arrival", ARRIVAL_KINDS)
+    def test_generate_is_the_materialised_stream(self, arrival):
+        """Regression pin: the eager API is element-for-element the lazy
+        stream under the same seed, for every arrival process."""
+        tenants = self._tenants()
+        eager = RequestGenerator(tenants, seed=7).generate(0.05, arrival)
+        lazy = list(RequestGenerator(tenants, seed=7).stream(0.05, arrival))
+        assert [_fields(r) for r in eager] == [_fields(r) for r in lazy]
+        assert len(eager) > 0
+
+    @pytest.mark.parametrize("arrival", ARRIVAL_KINDS)
+    def test_stream_sorted_renumbered_deterministic(self, arrival):
+        tenants = self._tenants()
+        first = RequestGenerator(tenants, seed=1).generate(0.05, arrival)
+        second = RequestGenerator(tenants, seed=1).generate(0.05, arrival)
+        assert [_fields(r) for r in first] == [_fields(r) for r in second]
+        arrivals = [r.arrival_cycle for r in first]
+        assert arrivals == sorted(arrivals)
+        assert all(cycle >= 0 for cycle in arrivals)
+        assert [r.request_id for r in first] == list(range(len(first)))
+
+    def test_stream_is_lazy(self):
+        """A traffic window holding millions of requests costs nothing
+        until pulled: take ten requests off the front and stop."""
+        generator = RequestGenerator([_tenant(rps=1e6)], seed=0)
+        head = list(itertools.islice(generator.stream(100.0), 10))
+        assert len(head) == 10
+        assert [r.request_id for r in head] == list(range(10))
+
+    def test_tenant_precision_is_stamped(self):
+        tenant = TenantSpec(name="fp8", models=_tenant().models, rps=500.0,
+                            precision="fp8-e4m3")
+        requests = RequestGenerator([tenant, _tenant("fp16", rps=500.0)],
+                                    seed=0).generate(0.05)
+        by_tenant = {r.tenant: r.precision for r in requests}
+        assert by_tenant == {"fp8": "fp8-e4m3", "fp16": None}
+        burst = RequestGenerator([tenant], seed=0).burst(3)
+        assert all(r.precision == "fp8-e4m3" for r in burst)
+
+    def test_arrival_kinds_hit_the_mean_rate(self):
+        """All three processes are rate-normalised: the realised request
+        count stays near rps * duration (deterministic under the seed)."""
+        expected = 2000.0 * 0.25
+        for arrival in ARRIVAL_KINDS:
+            count = len(RequestGenerator([_tenant(rps=2000.0)],
+                                         seed=11).generate(0.25, arrival))
+            assert 0.7 * expected < count < 1.3 * expected, (arrival, count)
+
+    def test_diurnal_peak_leads_the_trough(self):
+        """With one sinusoid period over the window, the first half (rate
+        above the mean) must see more arrivals than the second."""
+        spec = ArrivalSpec(kind="diurnal", diurnal_amplitude=0.8)
+        generator = RequestGenerator([_tenant(rps=2000.0)], seed=2)
+        requests = generator.generate(0.2, spec)
+        midpoint = 0.1 * generator.frequency_hz
+        first = sum(r.arrival_cycle < midpoint for r in requests)
+        second = len(requests) - first
+        assert first > 1.5 * second
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """The MMPP stream concentrates arrivals: its maximum per-window
+        count must exceed the Poisson stream's at the same mean rate."""
+        generator = RequestGenerator([_tenant(rps=2000.0)], seed=4)
+        window = int(0.01 * generator.frequency_hz)
+
+        def peak(arrival):
+            counts = {}
+            for request in generator.stream(0.5, arrival):
+                counts[request.arrival_cycle // window] = (
+                    counts.get(request.arrival_cycle // window, 0) + 1)
+            return max(counts.values())
+
+        assert peak("bursty") > 1.5 * peak("poisson")
+
+    def test_burst_unchanged_by_streaming_refactor(self):
+        """Closed-loop bursts still draw from the historical rng stream, so
+        the committed scaling-benchmark baselines stay valid."""
+        tenant = _tenant(models=(
+            ModelSpec("common", build_model("mlp-tiny"), weight=9.0),
+            ModelSpec("rare", build_model("conv-tiny"), weight=1.0),
+        ))
+        first = RequestGenerator([tenant], seed=3).burst(20)
+        second = RequestGenerator([tenant], seed=3).burst(20)
+        assert [r.model for r in first] == [r.model for r in second]
+        assert all(r.arrival_cycle == 0 for r in first)
+
+    def test_arrival_spec_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="lunar")
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="diurnal", diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="diurnal", diurnal_period_s=0.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="bursty", burst_factor=1.0)
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="bursty", burst_fraction=0.0)
+        with pytest.raises(ValueError):
+            # fraction * factor >= 1 leaves no quiet-state rate.
+            ArrivalSpec(kind="bursty", burst_factor=8.0, burst_fraction=0.2)
+        with pytest.raises(ValueError):
+            ArrivalSpec(kind="bursty", burst_cycle_s=0.0)
+        assert ArrivalSpec.of("poisson").kind == "poisson"
+        spec = ArrivalSpec(kind="bursty")
+        assert ArrivalSpec.of(spec) is spec
+
+    def test_tenant_precision_validation(self):
+        with pytest.raises(ValueError, match="unknown element format"):
+            TenantSpec(name="t", models=_tenant().models, rps=1.0,
+                       precision="fp4-imaginary")
+
+
+class TestContinuousServer:
+    def _request(self, request_id, graph, arrival, tenant="t",
+                 precision=None):
+        return Request(request_id=request_id, tenant=tenant, model="m",
+                       graph=graph, arrival_cycle=arrival,
+                       precision=precision)
+
+    def _serial(self, farm, graph, precision=None):
+        timing = (derive_precision_farm(farm, precision)
+                  if precision else farm)
+        program = graph.lower(config=timing.config)
+        return int(round(timing.time_program(program).cycles))
+
+    @pytest.mark.parametrize("model", ["mlp-tiny", "autoencoder-b16"])
+    def test_conservation_single_request(self, model):
+        """One cluster x one request == the serial farm makespan -- the
+        wave scheduler's conservation law holds on the continuous loop."""
+        farm = _model_farm()
+        graph = build_model(model)
+        server = ContinuousServer(n_clusters=1, farm=farm, backend="model")
+        report = server.simulate([self._request(0, graph, 0)])
+        assert report.makespan_cycles == self._serial(farm, graph)
+        assert report.completed == 1
+        assert report.latency.p50 == report.makespan_cycles
+
+    def test_queued_requests_serialise_on_one_cluster(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(n_clusters=1, farm=farm, backend="model")
+        report = server.simulate(
+            [self._request(i, graph, 0) for i in range(3)])
+        assert report.makespan_cycles == 3 * self._serial(farm, graph)
+        assert report.completed == 3
+
+    def test_two_clusters_overlap(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(n_clusters=2, farm=farm, backend="model")
+        report = server.simulate(
+            [self._request(i, graph, 0) for i in range(2)])
+        assert report.makespan_cycles == self._serial(farm, graph)
+
+    def test_precision_routing_through_derived_farm(self):
+        """An FP8-stamped request is timed through the per-precision farm:
+        faster than FP16, and exactly the derived farm's serial timing."""
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(n_clusters=1, farm=farm, backend="model")
+        fp16 = server.service_cycles(graph)
+        fp8 = server.service_cycles(graph, "fp8-e4m3")
+        assert fp8 < fp16
+        assert fp8 == self._serial(farm, graph, "fp8-e4m3")
+        report = server.simulate(
+            [self._request(0, graph, 0, precision="fp8-e4m3")])
+        assert report.makespan_cycles == fp8
+
+    def test_service_memo_skips_the_farm(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(n_clusters=1, farm=farm, backend="model")
+        report = server.simulate(
+            [self._request(i, graph, 0) for i in range(5)])
+        assert report.memo_misses == 1
+        assert report.memo_hits == 4
+        assert report.jobs_timed > 0  # only the priming run dispatched
+
+    def test_offers_must_be_arrival_ordered(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(n_clusters=1, farm=farm, backend="model")
+        server.offer(self._request(0, graph, 100))
+        with pytest.raises(ValueError):
+            server.offer(self._request(1, graph, 50))
+        with pytest.raises(ValueError):
+            server.run_until(server.now - 1 if server.now else -1)
+
+    def test_incremental_api(self):
+        """offer / run_until / drain / finalize compose deterministically."""
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        serial = self._serial(farm, graph)
+        server = ContinuousServer(n_clusters=1, farm=farm, backend="model")
+        assert server.offer(self._request(0, graph, 0))
+        assert server.offer(self._request(1, graph, 0))
+        assert server.in_flight == 1 and server.queue_depth == 1
+        server.run_until(serial)  # first completion dispatches the queue
+        assert server.in_flight == 1 and server.queue_depth == 0
+        server.drain()
+        assert server.in_flight == 0
+        report = server.finalize("demo")
+        assert report.scenario == "demo"
+        assert report.makespan_cycles == 2 * serial
+        assert report.completed == report.admitted == report.offered == 2
+
+    def test_admission_queue_bound(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(
+            n_clusters=1, farm=farm, backend="model",
+            admission=AdmissionPolicy(max_queue=1))
+        outcomes = [server.offer(self._request(i, graph, 0))
+                    for i in range(3)]
+        assert outcomes == [True, True, False]  # dispatch, queue, reject
+        report = server.simulate([], scenario="x")
+        assert report.rejected == 1
+        assert report.completed + report.rejected == report.offered
+        assert server.rejection_reasons == {"queue": 1}
+        assert report.rejected_by_tenant == {"t": 1}
+
+    def test_admission_fairness_caps_a_flooding_tenant(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(
+            n_clusters=1, farm=farm, backend="model",
+            admission=AdmissionPolicy(
+                max_queue=10, fair_share=1.0,
+                tenant_weights={"greedy": 1.0, "polite": 1.0}))
+        # Occupy the cluster, then let one tenant flood the queue: its cap
+        # is fair_share * (1/2) * max_queue = 5 queued requests.
+        server.offer(self._request(0, graph, 0, tenant="polite"))
+        outcomes = [server.offer(self._request(1 + i, graph, 0,
+                                               tenant="greedy"))
+                    for i in range(7)]
+        assert outcomes == [True] * 5 + [False] * 2
+        assert server.rejection_reasons == {"fairness": 2}
+        # The other tenant still gets in below its own cap.
+        assert server.offer(self._request(8, graph, 0, tenant="polite"))
+
+    def test_admission_slo_sheds_doomed_requests(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        serial = self._serial(farm, graph)
+        server = ContinuousServer(
+            n_clusters=1, farm=farm, backend="model",
+            admission=AdmissionPolicy(slo_p99_cycles=1.5 * serial))
+        first = server.offer(self._request(0, graph, 0))   # dispatches
+        second = server.offer(self._request(1, graph, 0))  # queues (1.0x)
+        third = server.offer(self._request(2, graph, 0))   # projected 2.0x
+        assert (first, second, third) == (True, True, False)
+        assert server.rejection_reasons == {"slo": 1}
+
+    def test_autoscaler_grows_after_the_provision_delay(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(
+            n_clusters=1, farm=farm, backend="model",
+            autoscaler=AutoscalePolicy(
+                min_clusters=1, max_clusters=4, interval_cycles=100,
+                queue_per_cluster=1, provision_delay_cycles=1000))
+        for i in range(8):
+            server.offer(self._request(i, graph, 0))
+        server.run_until(100)   # evaluation: decides to grow ...
+        assert server.n_clusters == 1
+        server.run_until(1099)  # ... but capacity is still provisioning
+        assert server.n_clusters == 1
+        server.run_until(1100)  # provisioned capacity joins the pool
+        assert server.n_clusters == 4
+        assert server.in_flight == 4
+        server.drain()
+        report = server.finalize()
+        assert report.completed == 8
+        assert report.pool.scale_ups == 3
+        assert report.pool.max_clusters == 4
+
+    def test_autoscaler_retires_idle_clusters(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(
+            n_clusters=4, farm=farm, backend="model",
+            autoscaler=AutoscalePolicy(
+                min_clusters=1, max_clusters=4, interval_cycles=100,
+                queue_per_cluster=1, scale_down_occupancy=0.25))
+        report = server.simulate([self._request(0, graph, 0)])
+        assert report.pool.scale_downs >= 1
+        assert report.pool.final_clusters < 4
+        assert report.pool.final_clusters >= 1
+        assert report.completed == 1
+
+    def test_force_scale_is_bounded(self):
+        farm = _model_farm()
+        server = ContinuousServer(n_clusters=2, farm=farm, backend="model")
+        assert server.force_scale(3) == 3
+        assert server.n_clusters == 5
+        # Shrinks stop at one cluster even when everything is idle.
+        assert server.force_scale(-10) == -4
+        assert server.n_clusters == 1
+
+    def test_pool_utilisation_accounts_resizes(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        serial = self._serial(farm, graph)
+        server = ContinuousServer(n_clusters=1, farm=farm, backend="model")
+        report = server.simulate([self._request(0, graph, 0)])
+        assert report.pool.pool_cycles == pytest.approx(serial)
+        assert report.utilisation == pytest.approx(1.0)
+        assert report.mean_clusters == pytest.approx(1.0)
+
+    def test_streaming_report_matches_exact_for_small_runs(self):
+        """Below the reservoir size the streaming percentiles are exact, so
+        the continuous report is bit-identical to a kept-everything sort."""
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        requests = [self._request(i, graph, 0) for i in range(9)]
+        server = ContinuousServer(n_clusters=2, farm=farm, backend="model",
+                                  keep_latencies=True)
+        report = server.simulate(requests)
+        exact = LatencyStats.from_latencies(server.latencies)
+        assert report.latency == exact
+
+    def test_validation(self):
+        farm = _model_farm()
+        with pytest.raises(ValueError):
+            ContinuousServer(n_clusters=0, farm=farm)
+        with pytest.raises(ValueError):
+            ContinuousServer(n_clusters=8, farm=farm,
+                             autoscaler=AutoscalePolicy(max_clusters=4))
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(fair_share=0.0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(tenant_weights={"t": 0.0})
+        with pytest.raises(ValueError):
+            AutoscalePolicy(min_clusters=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(interval_cycles=0)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(scale_down_occupancy=1.5)
+        with pytest.raises(ValueError):
+            AutoscalePolicy(window=4)
+
+    def test_render_mentions_the_headline_numbers(self):
+        farm = _model_farm()
+        graph = build_model("mlp-tiny")
+        server = ContinuousServer(
+            n_clusters=1, farm=farm, backend="model",
+            admission=AdmissionPolicy(max_queue=1))
+        report = server.simulate(
+            [self._request(i, graph, 0) for i in range(3)],
+            scenario="continuous-demo")
+        text = report.render()
+        assert "continuous-demo" in text
+        assert "rejected" in text
+        assert "pool" in text
+        assert "memo" in text

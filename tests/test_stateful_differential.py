@@ -1,29 +1,38 @@
-"""Stateful differential test of the trace-compiled engine (hypothesis).
+"""Stateful differential tests (hypothesis rule machines).
 
-A :class:`~hypothesis.stateful.RuleBasedStateMachine` drives random
-interleaved sequences of job submissions, watchdog aborts, warm replays and
-precision switches against three targets at once:
+Two :class:`~hypothesis.stateful.RuleBasedStateMachine` suites live here:
 
-* the event-stepped engine (``exact-simd`` backend, the oracle),
-* the trace-compiled engine (``trace`` backend, records then replays),
-* the golden numpy model (:func:`matmul_hw_order_simd_fmt`).
+* :class:`TraceDifferentialMachine` drives random interleaved sequences of
+  job submissions, watchdog aborts, warm replays and precision switches
+  against three targets at once -- the event-stepped engine (``exact-simd``
+  backend, the oracle), the trace-compiled engine (``trace`` backend,
+  records then replays), and the golden numpy model
+  (:func:`matmul_hw_order_simd_fmt`).  After every command it checks
+  bit-equality of the TCDM result images and the cycle statistics, and that
+  every resource -- controller context, streamer queues, datapath pipeline,
+  trace-session hooks -- has been released.
 
-After every command the machine checks bit-equality of the TCDM result
-images and the cycle statistics, and that every resource -- controller
-context, streamer queues, datapath pipeline, trace-session hooks -- has been
-released.  The run is bounded (few examples, short command sequences) so it
-stays a quick CI job rather than a soak test.
+* :class:`ServeLoopMachine` drives the continuous serving loop with random
+  admission/completion/scale-event sequences and checks its conservation
+  laws after every command: request accounting closes exactly, the pool's
+  idle/in-flight split matches its size, every memoised service time equals
+  the serial ``farm.time_program`` makespan, and replaying the recorded
+  command log on a fresh server reproduces the identical state.
+
+Both runs are bounded (few examples, short command sequences) so they stay
+quick CI jobs rather than soak tests.
 """
 
 import dataclasses
 
-import numpy as np
 from hypothesis import HealthCheck, settings, strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 
 import pytest
 
+from repro.farm import SimulationFarm
 from repro.fp.vector import pack_matrix, random_matrix
+from repro.graph.zoo import build_model
 from repro.interco.hci import Hci, HciConfig
 from repro.mem.layout import MemoryAllocator
 from repro.mem.tcdm import Tcdm, TcdmConfig
@@ -32,6 +41,7 @@ from repro.redmule.engine import RedMulE
 from repro.redmule.functional import matmul_hw_order_simd_fmt
 from repro.redmule.job import MatmulJob
 from repro.redmule.trace import TraceStore, reset_shared_trace_stores
+from repro.serve import AdmissionPolicy, ContinuousServer, Request
 
 #: Small shapes exercising single ragged tiles, multi-tile sweeps and the
 #: Z-backlog handover between tiles, without blowing up per-example runtime.
@@ -165,6 +175,123 @@ class TraceDifferentialMachine(RuleBasedStateMachine):
 
 TestTraceDifferential = TraceDifferentialMachine.TestCase
 TestTraceDifferential.settings = settings(
+    max_examples=10,
+    stateful_step_count=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- continuous serving loop --------------------------------------------------
+#: One shared farm (and timing cache) across examples: the machine tests the
+#: loop's bookkeeping, not the farm, so warm lookups keep it fast.
+_SERVE_FARM = SimulationFarm(backend="model", max_workers=1)
+_SERVE_GRAPHS = {
+    "mlp-tiny": build_model("mlp-tiny"),
+    "conv-tiny": build_model("conv-tiny"),
+}
+_SERVE_ADMISSION = AdmissionPolicy(max_queue=6, fair_share=2.0)
+
+
+def _fresh_serve_loop():
+    return ContinuousServer(n_clusters=2, farm=_SERVE_FARM, backend="model",
+                            admission=_SERVE_ADMISSION)
+
+
+class ServeLoopMachine(RuleBasedStateMachine):
+    """Admission / completion / scale events against the loop's invariants."""
+
+    @initialize()
+    def setup(self):
+        self.server = _fresh_serve_loop()
+        self.log = []  # replayable command log
+        self.next_id = 0
+        self.last_arrival = 0
+
+    def _state(self, server):
+        """Everything a replay must reproduce exactly."""
+        return (server.now, server.offered, server.admitted, server.rejected,
+                server.queue_depth, server.in_flight, server.n_clusters,
+                server.scale_ups, server.scale_downs,
+                server._overall.count, server._overall.total,
+                server._overall.max, dict(server.rejection_reasons),
+                dict(server._models), sorted(server._service.values()))
+
+    @rule(model=st.sampled_from(sorted(_SERVE_GRAPHS)),
+          precision=st.sampled_from([None, "fp8-e4m3"]),
+          tenant=st.sampled_from(["a", "b"]),
+          gap=st.integers(min_value=0, max_value=4000))
+    def arrive(self, model, precision, tenant, gap):
+        arrival = max(self.last_arrival, self.server.now) + gap
+        request = Request(request_id=self.next_id, tenant=tenant,
+                          model=model, graph=_SERVE_GRAPHS[model],
+                          arrival_cycle=arrival, precision=precision)
+        self.next_id += 1
+        self.last_arrival = arrival
+        self.log.append(("arrive", request))
+        self.server.offer(request)
+
+    @rule(delta=st.integers(min_value=1, max_value=8000))
+    def advance(self, delta):
+        target = self.server.now + delta
+        self.log.append(("advance", target))
+        self.server.run_until(target)
+
+    @rule(delta=st.sampled_from([-2, -1, 1, 2]))
+    def scale(self, delta):
+        self.log.append(("scale", delta))
+        self.server.force_scale(delta)
+
+    @rule()
+    def drain(self):
+        self.log.append(("drain",))
+        self.server.drain()
+
+    @invariant()
+    def accounting_closes(self):
+        if not hasattr(self, "server"):
+            return  # before @initialize
+        server = self.server
+        assert server.offered == server.admitted + server.rejected
+        assert server.admitted == (server._overall.count
+                                   + server.queue_depth + server.in_flight)
+        assert server.in_flight + server._idle == server.n_clusters
+        assert 0 <= server.queue_depth <= _SERVE_ADMISSION.max_queue
+        assert server.n_clusters >= 1
+
+    @invariant()
+    def memoised_service_is_the_serial_makespan(self):
+        """Conservation: every memo entry equals ``farm.time_program`` of
+        the program lowered for that precision's farm."""
+        if not hasattr(self, "server"):
+            return
+        server = self.server
+        for key, cycles in server._service.items():
+            program = server._programs[key]
+            farm = server._farms[key[1]]
+            assert cycles == int(round(farm.time_program(program).cycles))
+
+    @invariant()
+    def replay_is_deterministic(self):
+        """The recorded command log replayed on a fresh server reproduces
+        the identical observable state (same heap order, same decisions)."""
+        if not hasattr(self, "server") or not self.log:
+            return
+        replayed = _fresh_serve_loop()
+        for command in self.log:
+            if command[0] == "arrive":
+                replayed.offer(command[1])
+            elif command[0] == "advance":
+                replayed.run_until(command[1])
+            elif command[0] == "scale":
+                replayed.force_scale(command[1])
+            else:
+                replayed.drain()
+        assert self._state(replayed) == self._state(self.server)
+
+
+TestServeLoopStateful = ServeLoopMachine.TestCase
+TestServeLoopStateful.settings = settings(
     max_examples=10,
     stateful_step_count=8,
     deadline=None,
