@@ -1,0 +1,178 @@
+"""Observability overhead gate + Chrome-trace round-trip.
+
+Two properties of the :mod:`repro.obs` layer are pinned here:
+
+* **disabled-path overhead <= 2 %** -- the serve-million smoke workload
+  (the ``million_tenants`` mix on a ~75 %-utilised pool, warm memo) runs
+  with the default :data:`~repro.obs.NULL_TELEMETRY`, where every hook is
+  one attribute check.  The sustained simulated-request throughput must
+  stay within 2 % of the committed serve-million baseline's
+  ``sim_req_per_second`` budget (a 60k floor -- the loop actually
+  sustains ~150k+ locally, so a >=2 % true overhead regression shows up
+  long before the budget does).  Like the serve-million wall gate, the
+  strict assertion arms at the default request scale and stands down on
+  short CI smokes whose fixed costs are not amortised; the measured
+  throughput is recorded either way and gated by
+  ``compare_baselines.py``.
+* **trace round-trip** -- the same workload under a live
+  :class:`~repro.obs.Telemetry` exports a Chrome ``trace_event`` document
+  that passes the schema/nesting validator, with one request span per
+  completion, every one of them on a ``cluster<N>`` lane of the
+  simulated-cycles serve track.
+
+The paired enabled run also reports the *enabled* telemetry cost
+(informational: full per-request spans plus gauge samples are expected to
+cost real time; only the disabled path must be free).
+"""
+
+import json
+import math
+import os
+import time
+
+from benchmarks.conftest import print_series, record_info
+from repro.experiments.serve import million_tenants
+from repro.farm import SimulationFarm
+from repro.obs import NULL_TELEMETRY, Telemetry, validate_chrome_trace
+from repro.serve import ContinuousServer, RequestGenerator
+
+#: Request volume of the measured window; CI smokes at a lower scale via
+#: the environment variable.
+N_REQUESTS = int(os.environ.get("OBS_OVERHEAD_REQUESTS", "20000"))
+
+#: The strict <= 2 % gate arms at the default scale and above -- short
+#: smoke runs pay fixed costs (imports, memo priming) without amortising
+#: them, exactly like the serve-million wall gate.
+GATE_AT_REQUESTS = 20_000
+
+#: Allowed disabled-telemetry throughput loss vs the committed budget.
+OVERHEAD_BUDGET = 0.02
+
+#: Aggregate simulated arrival rate (matches the serve-million bench).
+AGGREGATE_RPS = 100_000.0
+
+#: Pool sizing target: offered erlangs / clusters.
+TARGET_UTILISATION = 0.75
+
+#: Interleaved repeats; min-of-k tames scheduler noise.
+REPEATS = 3
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baselines",
+                             "BENCH_serve_million.json")
+
+
+def _pool_size(server, tenants):
+    """Clusters needed to keep the offered load at the target utilisation."""
+    load = 0.0
+    for tenant in tenants:
+        mean_service = sum(
+            weight * server.service_cycles(model.graph, tenant.precision)
+            for model, weight in zip(tenant.models, tenant.mix_weights))
+        load += tenant.rps * mean_service / server.frequency_hz
+    return max(1, math.ceil(load / TARGET_UTILISATION))
+
+
+def _serve_million_budget() -> float:
+    """The committed serve-million throughput budget (req/s floor)."""
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        return float(json.load(handle)["metrics"]["sim_req_per_second"])
+
+
+def test_obs_overhead_and_trace_roundtrip(benchmark):
+    farm = SimulationFarm(backend="model", max_workers=1)
+    tenants = million_tenants(AGGREGATE_RPS)
+    sizing = ContinuousServer(n_clusters=1, farm=farm, backend="model")
+    clusters = _pool_size(sizing, tenants)
+    generator = RequestGenerator(tenants, seed=0)
+    duration_s = N_REQUESTS / generator.total_rps
+
+    def fresh_server(telemetry=None):
+        server = ContinuousServer(n_clusters=clusters, farm=farm,
+                                  backend="model", telemetry=telemetry)
+        # Prime the service memo so every measured run is warm end to end.
+        for tenant in tenants:
+            for model in tenant.models:
+                server.service_cycles(model.graph, tenant.precision)
+        return server
+
+    fresh_server()  # warm the farm's timing cache
+
+    def run(telemetry=None):
+        server = fresh_server(telemetry)
+        start = time.perf_counter()
+        report = server.simulate(generator.stream(duration_s))
+        return report, time.perf_counter() - start
+
+    # The default construction binds the null telemetry: the disabled
+    # path under measurement is the shipped default, not a special mode.
+    assert ContinuousServer(n_clusters=1, farm=farm,
+                            backend="model")._obs is NULL_TELEMETRY
+
+    # Interleave disabled/enabled repeats so drift hits both arms alike.
+    disabled_walls, enabled_walls = [], []
+    disabled_report = enabled_report = None
+    enabled_telemetry = None
+    for _ in range(REPEATS):
+        disabled_report, wall = run()
+        disabled_walls.append(wall)
+        enabled_telemetry = Telemetry()
+        enabled_report, wall = run(enabled_telemetry)
+        enabled_walls.append(wall)
+
+    assert disabled_report.offered == enabled_report.offered
+    assert disabled_report.completed == enabled_report.completed
+
+    disabled_rps = disabled_report.offered / min(disabled_walls)
+    enabled_rps = enabled_report.offered / min(enabled_walls)
+    budget = _serve_million_budget()
+    floor = (1.0 - OVERHEAD_BUDGET) * budget
+    if N_REQUESTS >= GATE_AT_REQUESTS:
+        assert disabled_rps >= floor, (
+            f"disabled-telemetry loop sustained {disabled_rps:,.0f} sim "
+            f"req/s, below {floor:,.0f} (committed serve-million budget "
+            f"{budget:,.0f} minus the {100 * OVERHEAD_BUDGET:.0f}% "
+            "observability overhead allowance)")
+
+    # Round-trip: the enabled run's Chrome trace must validate, with one
+    # request span per completion, all nested inside cluster lanes of the
+    # simulated-cycles serve track.
+    trace = enabled_telemetry.chrome_trace()
+    stats = validate_chrome_trace(trace)
+    events = trace["traceEvents"]
+    thread_names = {
+        (event["pid"], event["tid"]): event["args"]["name"]
+        for event in events
+        if event["ph"] == "M" and event["name"] == "thread_name"}
+    process_names = {
+        event["pid"]: event["args"]["name"]
+        for event in events
+        if event["ph"] == "M" and event["name"] == "process_name"}
+    request_spans = [event for event in events
+                     if event["ph"] == "X" and event.get("cat") == "request"]
+    assert len(request_spans) == enabled_report.completed
+    for span in request_spans:
+        assert process_names[span["pid"]] == "serve (cycles)"
+        assert thread_names[(span["pid"], span["tid"])].startswith("cluster")
+    snapshot = enabled_telemetry.metrics_snapshot()
+    assert (snapshot["counters"]["serve.completed"]
+            == enabled_report.completed)
+
+    # Wall-clock record on the disabled path (the shipped default).
+    benchmark(lambda: run()[0])
+
+    overhead = max(0.0, 1.0 - enabled_rps / disabled_rps)
+    print_series(
+        "observability overhead (serve-million smoke workload)",
+        ["requests", "clusters", "disabled req/s", "enabled req/s",
+         "enabled cost", "trace events", "span depth"],
+        [[disabled_report.offered, clusters, f"{disabled_rps:,.0f}",
+          f"{enabled_rps:,.0f}", f"{100 * overhead:.1f}%",
+          stats["events"], stats["max_depth"]]],
+    )
+
+    record_info(benchmark, {
+        "requests": disabled_report.offered,
+        "disabled_req_per_second": disabled_rps,
+        "enabled_req_per_second": enabled_rps,
+        "trace_request_spans": len(request_spans),
+    }, name="obs_overhead")

@@ -22,6 +22,11 @@ coverage is as much a regression as growth; everything else (cycles,
 errors, wall-clock seconds) is lower-is-better.  New metrics without a
 baseline are reported informationally; refreshing the baselines is one
 command (see the README's "updating the bench baselines").
+
+Significant *improvements* (beyond the same threshold, in the good
+direction) never fail the build, but they are listed in their own section
+so a baseline that has drifted far below current performance gets
+refreshed deliberately -- a stale baseline is a mute regression gate.
 """
 
 from __future__ import annotations
@@ -182,6 +187,23 @@ def _format(value: Optional[float]) -> str:
     return f"{value:.6g}"
 
 
+def significant_improvements(
+        comparisons: List[Comparison]) -> List[Comparison]:
+    """Comparisons that *beat* their baseline by more than the threshold.
+
+    A negative oriented regression beyond the limit means the metric
+    improved further than the gate would have tolerated as a loss.
+    Count-gated metrics never appear here: their regression is an absolute
+    deviation, so any large move already fails the build.  Lower-is-better
+    wall-clock metrics cannot trip the default 2.0 wall limit (they bottom
+    out at -100 %); the section exists mainly for budget-style floors
+    (req/s, hit rates) left far below current performance.
+    """
+    return [item for item in comparisons
+            if item.ok and item.regression is not None
+            and item.limit is not None and item.regression < -item.limit]
+
+
 def render(comparisons: List[Comparison]) -> str:
     """Fixed-width report of every comparison, failures marked."""
     header = (f"{'bench':28} {'metric':26} {'baseline':>12} "
@@ -228,6 +250,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         threshold=args.threshold, wall_threshold=args.wall_threshold,
     )
     print(render(comparisons))
+    improvements = significant_improvements(comparisons)
+    if improvements:
+        print(f"\n{len(improvements)} significant improvement(s) beyond "
+              "threshold (informational, not a failure):")
+        for item in improvements:
+            print(f"  {item.bench}.{item.metric}: "
+                  f"{_format(item.baseline)} -> {_format(item.current)} "
+                  f"({100 * item.regression:+.1f}%)")
+        print("  consider refreshing benchmarks/baselines so the gate "
+              "tracks the new level (see README: updating the bench "
+              "baselines)")
     failures = [item for item in comparisons if not item.ok]
     if failures:
         print(f"\n{len(failures)} regression(s) beyond threshold; "

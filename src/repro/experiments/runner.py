@@ -5,6 +5,13 @@ examples and the command line (``python -m repro.experiments.runner``) can
 regenerate everything in one go.  Every driver times its matmul jobs through
 the shared :func:`repro.farm.default_farm`, so a batch run reuses one timing
 cache across figures (the Fig. 3c/3d/4a sweeps share their square shapes).
+
+Observability: ``--trace-out PATH`` / ``--metrics-out PATH`` install a live
+:class:`repro.obs.Telemetry` around the whole batch and export a Chrome
+``trace_event`` JSON (open it in Perfetto or ``chrome://tracing``) and a
+flat metrics JSON after the last experiment.  Both flags work for *every*
+scenario -- serve spans land in simulated cycles, engine tile spans in
+engine cycles, farm batches in wall time, each on its own labelled track.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import os
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import dse, fig3, fig4, serve, table1
+from repro.perf.report import write_out
 
 #: Registry of experiment drivers keyed by the paper's identifier, plus the
 #: serving (``serve-*``) and design-space (``dse-*``) scenarios that go
@@ -98,7 +106,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--farm-stats",
         action="store_true",
-        help="print the shared simulation-farm statistics after running",
+        help="print the shared simulation-farm statistics after running "
+        "(with --metrics-out the snapshot is also embedded in the "
+        "metrics JSON under the 'farm' key)",
     )
     parser.add_argument(
         "--backend",
@@ -179,7 +189,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "batch (when the file exists), saved after, so repeated CLI "
         "invocations stop re-simulating known shapes",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record telemetry while the experiments run and export a "
+        "Chrome trace_event JSON (open in Perfetto / chrome://tracing: "
+        "serve request spans in simulated cycles, engine tile spans in "
+        "engine cycles, farm batches in wall time)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="export the telemetry counters/gauges/histograms of the run "
+        "as flat JSON (implies recording, like --trace-out)",
+    )
     return parser
+
+
+def _farm_metrics() -> Dict[str, object]:
+    """The ``farm`` section of the metrics export (``--farm-stats``)."""
+    from repro.farm import default_farm
+
+    farm = default_farm()
+    return {
+        "stats": farm.stats.snapshot(),
+        "cache": farm.cache.stats.snapshot(),
+        "cache_entries": len(farm.cache),
+    }
 
 
 def main(argv: Optional[List[str]] = None) -> None:
@@ -191,7 +229,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     args = _build_parser().parse_args(argv)
     if args.list:
         for name in list_experiments():
-            print(name)
+            write_out(name)
         return
 
     if args.backend is not None:
@@ -224,39 +262,63 @@ def main(argv: Optional[List[str]] = None) -> None:
     except KeyError as error:
         raise SystemExit(f"error: {error.args[0]}")
 
-    farm = None
-    if args.cache_file is not None:
-        from repro.farm import default_farm
+    telemetry = None
+    if args.trace_out is not None or args.metrics_out is not None:
+        from repro.obs import Telemetry, install
 
-        farm = default_farm()
-        if os.path.exists(args.cache_file):
-            try:
-                loaded = farm.load_cache(args.cache_file)
-            except ValueError as error:
-                # A cache written by an incompatible revision (version
-                # mismatch) is worth a warning, never an abort: treat it
-                # as empty and overwrite it with fresh records on save.
-                print(f"ignoring stale timing cache {args.cache_file}: "
-                      f"{error}")
-            else:
-                print(f"loaded {loaded} timing-cache entries "
-                      f"from {args.cache_file}")
+        telemetry = install(Telemetry())
+    try:
+        farm = None
+        if args.cache_file is not None:
+            from repro.farm import default_farm
 
-    for name in names:
-        print("=" * 72)
-        print(_render(name, run_experiment(name)))
-        print()
+            farm = default_farm()
+            if os.path.exists(args.cache_file):
+                try:
+                    loaded = farm.load_cache(args.cache_file)
+                except ValueError as error:
+                    # A cache written by an incompatible revision (version
+                    # mismatch) is worth a warning, never an abort: treat
+                    # it as empty and overwrite it with fresh records on
+                    # save.
+                    write_out(f"ignoring stale timing cache "
+                              f"{args.cache_file}: {error}")
+                else:
+                    write_out(f"loaded {loaded} timing-cache entries "
+                              f"from {args.cache_file}")
 
-    if args.cache_file is not None:
-        # TimingCache.save creates missing parent directories itself.
-        saved = farm.save_cache(args.cache_file)
-        print(f"saved {saved} timing-cache entries to {args.cache_file}")
+        for name in names:
+            write_out("=" * 72)
+            write_out(_render(name, run_experiment(name)))
+            write_out()
 
-    if args.farm_stats:
-        from repro.farm import default_farm
+        if args.cache_file is not None:
+            # TimingCache.save creates missing parent directories itself.
+            saved = farm.save_cache(args.cache_file)
+            write_out(f"saved {saved} timing-cache entries "
+                      f"to {args.cache_file}")
 
-        print("=" * 72)
-        print(default_farm().describe())
+        if args.farm_stats:
+            from repro.farm import default_farm
+
+            write_out("=" * 72)
+            write_out(default_farm().describe())
+
+        if telemetry is not None:
+            if args.trace_out is not None:
+                events = telemetry.export_chrome_trace(args.trace_out)
+                write_out(f"wrote Chrome trace ({events} events) "
+                          f"to {args.trace_out}")
+            if args.metrics_out is not None:
+                extra = ({"farm": _farm_metrics()} if args.farm_stats
+                         else None)
+                telemetry.export_metrics(args.metrics_out, extra=extra)
+                write_out(f"wrote metrics JSON to {args.metrics_out}")
+    finally:
+        if telemetry is not None:
+            from repro.obs import install
+
+            install(None)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -191,6 +191,22 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def snapshot(self) -> dict:
+        """JSON-ready copy: raw counters plus the derived rates."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        """Zero the accounting (cache entries are untouched)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
 
 class TimingCache:
     """Shape-keyed memoisation of timing records with hit/miss statistics.

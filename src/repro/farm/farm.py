@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import active as _telemetry_active
 
 from repro.farm.cache import (
     BACKEND_ENGINE,
@@ -139,6 +141,15 @@ class FarmStats:
     batches: int = 0
     pool_batches: int = 0
     pool_failures: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-ready copy of every counter (for ``--metrics-out``)."""
+        return asdict(self)
+
+    def reset(self) -> None:
+        """Zero every counter (the farm itself is untouched)."""
+        for field in fields(self):
+            setattr(self, field.name, 0)
 
 
 @dataclass(frozen=True)
@@ -337,6 +348,11 @@ class SimulationFarm:
         jobs = list(jobs)
         self.stats.batches += 1
         self.stats.jobs += len(jobs)
+        # Farm batches are coarse-grained (one span per batch, not per
+        # job), so the telemetry is looked up per call rather than pinned
+        # at construction; the disabled path stays one attribute check.
+        obs = _telemetry_active()
+        batch_start = obs.now() if obs.enabled else 0.0
 
         keys = [self._key(job, self.resolve_backend(job, backend))
                 for job in jobs]
@@ -362,6 +378,21 @@ class SimulationFarm:
             record = known[key]
             assert record is not None  # every miss was just simulated
             results.append(FarmResult(job=job, record=record, cache_hit=hit))
+        if obs.enabled:
+            hits = sum(hit_flags)
+            engine_misses = sum(1 for key in missing
+                                if key.backend == BACKEND_ENGINE)
+            obs.complete_span(
+                "farm.batch", batch_start, obs.now(), track="farm",
+                lane="batches", cat="farm", jobs=len(jobs),
+                distinct=len(known), cache_hits=hits,
+                cache_misses=len(jobs) - hits,
+                engine_misses=engine_misses,
+                model_misses=len(missing) - engine_misses)
+            obs.count("farm.batches")
+            obs.count("farm.jobs", len(jobs))
+            obs.count("farm.cache_hits", hits)
+            obs.count("farm.cache_misses", len(jobs) - hits)
         return results
 
     def run_job(self, job: MatmulJob,
@@ -514,27 +545,32 @@ class SimulationFarm:
     ) -> Dict[TimingKey, TimingRecord]:
         # One pool per farm lifetime: worker-process spawn and module import
         # would otherwise dominate small batches submitted in a loop.
-        try:
-            if self._pool is None:
-                self._pool = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self.max_workers
-                )
-            futures = {
-                key: self._pool.submit(
-                    simulate_key, key, self.max_cycles, self.arithmetic
-                )
-                for key in keys
-            }
-        except (OSError, ValueError) as error:
-            raise PoolUnavailableError(str(error)) from error
-        try:
-            records = {key: future.result() for key, future in futures.items()}
-        except concurrent.futures.BrokenExecutor as error:
-            # Workers died (covers BrokenProcessPool); simulation exceptions
-            # raised *inside* a worker propagate to the caller unchanged.
-            raise PoolUnavailableError(str(error)) from error
-        self.stats.pool_batches += 1
-        return records
+        with _telemetry_active().span(
+                "farm.pool_dispatch", cat="farm", track="farm", lane="pool",
+                keys=len(keys), workers=self.max_workers):
+            try:
+                if self._pool is None:
+                    self._pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.max_workers
+                    )
+                futures = {
+                    key: self._pool.submit(
+                        simulate_key, key, self.max_cycles, self.arithmetic
+                    )
+                    for key in keys
+                }
+            except (OSError, ValueError) as error:
+                raise PoolUnavailableError(str(error)) from error
+            try:
+                records = {key: future.result()
+                           for key, future in futures.items()}
+            except concurrent.futures.BrokenExecutor as error:
+                # Workers died (covers BrokenProcessPool); simulation
+                # exceptions raised *inside* a worker propagate to the
+                # caller unchanged.
+                raise PoolUnavailableError(str(error)) from error
+            self.stats.pool_batches += 1
+            return records
 
     def _close_pool(self) -> None:
         if self._pool is not None:
@@ -574,7 +610,13 @@ class SimulationFarm:
         ``traces`` side-table, so a later process starts replay-warm.
         """
         self._export_traces()
-        return self.cache.save(path)
+        count = self.cache.save(path)
+        obs = _telemetry_active()
+        if obs.enabled:
+            obs.instant("farm.cache_save", track="farm", lane="cache",
+                        cat="farm", path=str(path), entries=count)
+            obs.count("farm.cache_saves")
+        return count
 
     def load_cache(self, path, merge: bool = True) -> int:
         """Load a persisted timing cache (see :meth:`TimingCache.load`).
@@ -585,6 +627,11 @@ class SimulationFarm:
         """
         loaded = self.cache.load(path, merge=merge)
         self._import_traces()
+        obs = _telemetry_active()
+        if obs.enabled:
+            obs.instant("farm.cache_load", track="farm", lane="cache",
+                        cat="farm", path=str(path), entries=loaded)
+            obs.count("farm.cache_loads")
         return loaded
 
     def _export_traces(self) -> None:

@@ -1,0 +1,11 @@
+"""``python -m repro.obs TRACE.json [...]`` validates Chrome trace files.
+
+Thin wrapper over :func:`repro.obs.validate.main`; running the package
+(rather than ``repro.obs.validate`` directly) keeps runpy from importing
+the module twice.
+"""
+
+from repro.obs.validate import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,9 +7,21 @@ EXPERIMENTS.md code blocks.
 
 from __future__ import annotations
 
+import sys
 from typing import Iterable, List, Sequence, Union
 
 Cell = Union[str, int, float, None]
+
+
+def write_out(text: str = "") -> None:
+    """The library's single sanctioned console sink.
+
+    ``src/repro`` is lint-gated against stray ``print`` calls (ruff
+    ``T201``); report-style output -- experiment tables, runner status
+    lines, validator verdicts -- flows through here instead so there is
+    exactly one place to redirect or silence it.
+    """
+    sys.stdout.write(text + "\n")
 
 
 class TextTable:

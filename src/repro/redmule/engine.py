@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.interco.hci import Hci, HciConfig
 from repro.mem.tcdm import Tcdm, TcdmConfig
+from repro.obs import active as _telemetry_active
 from repro.redmule.buffers import WLineBuffer, XBlockBuffer, ZStoreBuffer, ZStoreRequest
 from repro.redmule.config import RedMulEConfig
 from repro.redmule.controller import RedMulEController
@@ -246,25 +247,51 @@ class RedMulE:
                 session = None
         self._session = session
 
+        # Per-tile spans are stamped in *engine cycles* on a per-job lane.
+        # Replay applies a tile's recorded timing in ``try_replay`` (only
+        # the data plane is deferred), so the tile boundaries -- and hence
+        # the exported timeline -- are identical between the event-stepped
+        # and trace-replay backends; only the ``replayed`` attribute tells
+        # them apart.  The disabled path costs one check per tile.
+        obs = _telemetry_active()
+        monitor = obs.enabled
+        if monitor:
+            obs.declare_track("engine", "cycles")
+            lane = f"job{len(self.history)}"
+
         try:
             for tile in schedule:
-                if session is not None and session.try_replay(tile):
-                    continue
-                if session is not None:
-                    # An event-stepped tile needs the real machine state;
-                    # materialise any deferred replays first.
-                    session.flush()
-                    recorder = session.begin_recording(tile)
-                else:
-                    recorder = None
-                self._run_tile(job, schedule, tile, xbuf, wbuf, zbuf,
-                               w_need_order, state, recorder)
-                if recorder is not None:
-                    session.commit_recording(tile, recorder)
+                if monitor:
+                    tile_start = state.total_cycles
+                    stalls_before = state.stall_cycles
+                    active_before = state.active_cycles
+                replayed = session is not None and session.try_replay(tile)
+                if not replayed:
+                    if session is not None:
+                        # An event-stepped tile needs the real machine
+                        # state; materialise any deferred replays first.
+                        session.flush()
+                        recorder = session.begin_recording(tile)
+                    else:
+                        recorder = None
+                    self._run_tile(job, schedule, tile, xbuf, wbuf, zbuf,
+                                   w_need_order, state, recorder)
+                    if recorder is not None:
+                        session.commit_recording(tile, recorder)
+                if monitor:
+                    obs.complete_span(
+                        f"tile{tile.index}", tile_start, state.total_cycles,
+                        track="engine", lane=lane, cat="tile",
+                        rows=tile.rows, cols=tile.cols,
+                        stall_cycles=state.stall_cycles - stalls_before,
+                        active_cycles=state.active_cycles - active_before,
+                        replayed=replayed)
             if session is not None:
                 session.flush()
 
             # Drain the remaining Z stores.
+            if monitor:
+                drain_start = state.total_cycles
             while not zbuf.empty or self.streamer.busy:
                 state.total_cycles += 1
                 if state.total_cycles > state.max_cycles:
@@ -272,6 +299,9 @@ class RedMulE:
                         "simulation exceeded max_cycles during Z drain")
                 self._drain_zbuf(zbuf)
                 self.streamer.cycle()
+            if monitor:
+                obs.complete_span("z_drain", drain_start, state.total_cycles,
+                                  track="engine", lane=lane, cat="drain")
         finally:
             self._session = None
             if session is not None:
@@ -288,6 +318,16 @@ class RedMulE:
             peak_macs_per_cycle=cfg.ideal_macs_per_cycle,
             streamer=self.streamer.stats,
         )
+        if monitor:
+            obs.complete_span(
+                f"gemm {job.m}x{job.n}x{job.k}", 0, state.total_cycles,
+                track="engine", lane=lane, cat="job", m=job.m, n=job.n,
+                k=job.k, backend=self.backend, tiles=schedule.n_tiles,
+                stall_cycles=state.stall_cycles,
+                active_cycles=state.active_cycles)
+            obs.count("engine.jobs")
+            obs.observe("engine.job_cycles", state.total_cycles)
+            obs.observe("engine.stall_cycles", state.stall_cycles)
         self.history.append(result)
         return result
 

@@ -47,6 +47,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 from repro.farm import SimulationFarm, default_farm
 from repro.graph.ir import WorkloadGraph
 from repro.graph.lower import LoweredProgram
+from repro.obs import active as _telemetry_active
 from repro.redmule.config import RedMulEConfig
 from repro.serve.report import ServeReport, StreamingLatencyStats, TenantReport
 from repro.serve.requests import DEFAULT_FREQUENCY_HZ, Request
@@ -168,6 +169,7 @@ class ServingSimulator:
         keep_trace: bool = False,
         stats_mode: str = "reservoir",
         reservoir_size: int = 4096,
+        telemetry=None,
     ) -> None:
         if n_clusters < 1:
             raise ValueError("the pool needs at least one cluster")
@@ -204,6 +206,13 @@ class ServingSimulator:
         #: farm call the first time a program is served; every later
         #: request of the model skips the farm on the hot path.
         self._node_cycles: Dict[int, List[int]] = {}
+        # Observability: node placements land on the "wave" track stamped
+        # in simulated cycles (one lane per cluster, host nodes as instant
+        # events since their concurrency is unbounded).  Captured once; the
+        # NullTelemetry default costs one attribute check per dispatch.
+        self._obs = telemetry if telemetry is not None else _telemetry_active()
+        if self._obs.enabled:
+            self._obs.declare_track("wave", "cycles")
 
     # -- lowering ------------------------------------------------------------
     def _program_for(self, graph: WorkloadGraph) -> LoweredProgram:
@@ -368,6 +377,22 @@ class ServingSimulator:
                     request_id=state.request.request_id,
                     node=state.program.nodes[node_index].name,
                     cluster=cluster, start_cycle=now, end_cycle=end))
+            if self._obs.enabled:
+                state = states[state_index]
+                name = state.program.nodes[node_index].name
+                if cluster >= 0:
+                    self._obs.complete_span(
+                        name, now, end, track="wave",
+                        lane=f"cluster{cluster}", cat="node",
+                        request_id=state.request.request_id,
+                        tenant=state.request.tenant)
+                else:
+                    self._obs.instant(
+                        name, ts=now, track="wave", lane="host", cat="node",
+                        duration=end - now,
+                        request_id=state.request.request_id,
+                        tenant=state.request.tenant)
+                self._obs.count("wave.nodes")
 
         while events:
             now = events[0][0]

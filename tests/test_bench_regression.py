@@ -12,6 +12,7 @@ from benchmarks.compare_baselines import (
     metric_is_higher_better,
     metric_is_wall_clock,
     render,
+    significant_improvements,
 )
 from benchmarks.conftest import BENCH_RESULTS_ENV, record_info
 
@@ -198,3 +199,56 @@ class TestRecordInfoEmission:
         record_info(_FakeBenchmark(stats=None), {"cycles": 7})
         payload = json.loads((tmp_path / "BENCH_fake_bench.json").read_text())
         assert payload["metrics"] == {"cycles": 7.0}
+
+
+class TestImprovementsSection:
+    def _write(self, directory, name, metrics):
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps({"name": name, "metrics": metrics}))
+
+    def test_detects_big_improvements_in_both_directions(self):
+        items = compare_metrics("b", {"cycles": 100.0, "hit_rate": 0.5},
+                                {"cycles": 10.0, "hit_rate": 0.9})
+        improved = significant_improvements(items)
+        assert {item.metric for item in improved} == {"cycles", "hit_rate"}
+        assert all(item.ok for item in improved)
+
+    def test_small_improvements_and_count_metrics_excluded(self):
+        items = compare_metrics(
+            "b",
+            {"cycles": 100.0, "n_points": 50.0, "new_metric": 1.0},
+            {"cycles": 95.0, "n_points": 50.0, "other_metric": 1.0})
+        assert significant_improvements(
+            [item for item in items if item.ok]) == []
+
+    def test_wall_clock_cannot_trip_the_default_margin(self):
+        # A lower-is-better metric improves by at most -100%, so wall
+        # metrics (limit 200%) never land here under the defaults -- even
+        # a 10x speedup stays informational-silent.
+        (item,) = compare_metrics("b", {"setup_wall_s": 10.0},
+                                  {"setup_wall_s": 1.0})
+        assert significant_improvements([item]) == []
+        # A tightened wall threshold re-enables the report.
+        (item,) = compare_metrics("b", {"setup_wall_s": 10.0},
+                                  {"setup_wall_s": 1.0}, wall_threshold=0.5)
+        assert significant_improvements([item]) == [item]
+
+    def test_main_reports_improvements_but_exits_zero(self, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        self._write(baselines, "alpha", {"throughput_rps": 100.0})
+        self._write(results, "alpha", {"throughput_rps": 400.0})
+        assert main([str(results), str(baselines)]) == 0
+        out = capsys.readouterr().out
+        assert "significant improvement" in out
+        assert "alpha.throughput_rps" in out
+        assert "refreshing" in out
+
+    def test_main_stays_quiet_without_improvements(self, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        results = tmp_path / "results"
+        self._write(baselines, "alpha", {"cycles": 100.0})
+        self._write(results, "alpha", {"cycles": 101.0})
+        assert main([str(results), str(baselines)]) == 0
+        assert "improvement" not in capsys.readouterr().out

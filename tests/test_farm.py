@@ -389,3 +389,45 @@ class TestWorkerHelpers:
                         backend="fpga")
         with pytest.raises(ValueError):
             simulate_key(key)
+
+
+class TestStatsSnapshots:
+    """`FarmStats`/`CacheStats` snapshot-and-reset (the --farm-stats JSON)."""
+
+    def test_farm_stats_snapshot_and_reset(self):
+        farm = SimulationFarm(backend="model", max_workers=1)
+        farm.run([MatmulJob(0, 0, 0, 4, 4, 4), MatmulJob(0, 0, 0, 4, 8, 4)])
+        snap = farm.stats.snapshot()
+        assert snap["jobs"] == 2
+        assert snap["batches"] == 1
+        assert snap["model_runs"] == 2
+        # The snapshot is a copy: mutating it leaves the farm untouched.
+        snap["jobs"] = 99
+        assert farm.stats.jobs == 2
+        farm.stats.reset()
+        assert farm.stats.snapshot() == {
+            "jobs": 0, "engine_runs": 0, "model_runs": 0, "validations": 0,
+            "backend_validations": 0, "batches": 0, "pool_batches": 0,
+            "pool_failures": 0,
+        }
+        # The farm (cache included) still works after a stats reset.
+        farm.run([MatmulJob(0, 0, 0, 4, 4, 4)])
+        assert farm.stats.snapshot()["jobs"] == 1
+
+    def test_cache_stats_snapshot_and_reset(self):
+        farm = SimulationFarm(backend="model", max_workers=1)
+        job = MatmulJob(0, 0, 0, 4, 4, 4)
+        farm.run([job])
+        farm.run([job])
+        snap = farm.cache.stats.snapshot()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["lookups"] == 2
+        assert snap["hit_rate"] == pytest.approx(0.5)
+        farm.cache.stats.reset()
+        assert farm.cache.stats.snapshot() == {
+            "hits": 0, "misses": 0, "evictions": 0,
+            "lookups": 0, "hit_rate": 0.0,
+        }
+        # Resetting stats does not evict entries: the next run still hits.
+        farm.run([job])
+        assert farm.cache.stats.hits == 1

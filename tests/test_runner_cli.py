@@ -304,3 +304,77 @@ class TestCacheFileFlag:
         runner.main(["fig3a", "--cache-file", str(cache_file)])
         assert cache_file.exists()  # directory created, cache saved
         reset_default_farms()
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_out_export_the_run(self, monkeypatch,
+                                                  tmp_path, capsys):
+        import json
+
+        from repro.obs import NULL_TELEMETRY, active, validate_chrome_trace
+
+        seen = []
+
+        def driver():
+            obs = active()
+            seen.append(obs.enabled)  # the runner installed a live telemetry
+            obs.declare_track("serve", "cycles")
+            obs.complete_span("req", 0, 50, track="serve", lane="cluster0",
+                              cat="request")
+            obs.count("serve.completed")
+            return "obs-stub-ran"
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a", driver)
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        runner.main(["fig3a", "--trace-out", str(trace_path),
+                     "--metrics-out", str(metrics_path)])
+        assert seen == [True]
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace" in out and "wrote metrics JSON" in out
+        stats = validate_chrome_trace(json.loads(trace_path.read_text()))
+        assert stats["phases"]["X"] == 1
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["serve.completed"] == 1
+        assert "farm" not in metrics  # only embedded under --farm-stats
+        # The batch telemetry never leaks past the run.
+        assert active() is NULL_TELEMETRY
+
+    def test_metrics_out_with_farm_stats_embeds_the_farm_section(
+            self, monkeypatch, tmp_path, capsys):
+        import json
+
+        from repro.farm import reset_default_farms
+
+        reset_default_farms()
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a", lambda: "stub")
+        metrics_path = tmp_path / "metrics.json"
+        runner.main(["fig3a", "--farm-stats",
+                     "--metrics-out", str(metrics_path)])
+        metrics = json.loads(metrics_path.read_text())
+        assert set(metrics["farm"]) == {"stats", "cache", "cache_entries"}
+        assert "batches" in metrics["farm"]["stats"]
+        assert "hit_rate" in metrics["farm"]["cache"]
+        reset_default_farms()
+
+    def test_telemetry_uninstalled_when_an_experiment_fails(
+            self, monkeypatch, tmp_path, capsys):
+        from repro.obs import NULL_TELEMETRY, active
+
+        def broken():
+            raise RuntimeError("driver exploded")
+
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a", broken)
+        with pytest.raises(RuntimeError):
+            runner.main(["fig3a", "--trace-out",
+                         str(tmp_path / "trace.json")])
+        assert active() is NULL_TELEMETRY
+
+    def test_no_flags_means_no_telemetry(self, monkeypatch, capsys):
+        from repro.obs import active
+
+        seen = []
+        monkeypatch.setitem(runner.EXPERIMENTS, "fig3a",
+                            lambda: seen.append(active().enabled) or "stub")
+        runner.main(["fig3a"])
+        assert seen == [False]

@@ -762,3 +762,61 @@ class TestContinuousServer:
         assert "rejected" in text
         assert "pool" in text
         assert "memo" in text
+
+
+class TestWindowP99:
+    """Edge cases of the autoscaler's sliding completion-latency window."""
+
+    def _server(self, n_clusters=1, window=8):
+        return ContinuousServer(
+            n_clusters=n_clusters, farm=_model_farm(), backend="model",
+            autoscaler=AutoscalePolicy(
+                min_clusters=1, max_clusters=8, interval_cycles=100,
+                slo_p99_cycles=1000.0, window=window))
+
+    def test_empty_window_yields_none(self):
+        assert self._server()._window_p99() is None
+
+    def test_no_slo_means_no_window_at_all(self):
+        server = ContinuousServer(
+            n_clusters=1, farm=_model_farm(), backend="model",
+            autoscaler=AutoscalePolicy(interval_cycles=100))
+        assert server._window is None
+        assert server._window_p99() is None
+
+    def test_single_sample_is_its_own_p99(self):
+        server = self._server()
+        server._window.append(137)
+        assert server._window_p99() == 137.0
+
+    def test_p99_rank_over_a_full_window(self):
+        server = self._server(window=100)
+        server._window.extend(range(1, 101))  # 1..100
+        # ceil(0.99 * 100) = 99 -> the 99th order statistic.
+        assert server._window_p99() == 99.0
+
+    def test_window_is_bounded_to_the_policy_size(self):
+        server = self._server(window=8)
+        server._window.extend(range(20))
+        assert list(server._window) == list(range(12, 20))
+        assert server._window_p99() == 19.0
+
+    def test_window_spans_an_autoscale_resize(self):
+        """Samples recorded before a pool resize stay in the window: the
+        p99 after ``force_scale`` still reflects the pre-resize latencies
+        until they age out of the deque."""
+        graph = build_model("mlp-tiny")
+        server = self._server(n_clusters=1, window=8)
+        server.simulate([Request(request_id=i, tenant="t", model="m",
+                                 graph=graph, arrival_cycle=0)
+                         for i in range(3)])
+        before = list(server._window)
+        assert len(before) == 3  # one latency per completion
+        applied = server.force_scale(2)
+        assert applied == 2
+        assert list(server._window) == before  # resize drops no samples
+        p99_before = server._window_p99()
+        assert p99_before == float(max(before))
+        # Completions on the grown pool fold into the same window.
+        server._window.append(int(p99_before) * 10)
+        assert server._window_p99() == float(int(p99_before) * 10)
