@@ -39,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable[[], object]] = {
     "serve-mlp": serve.serve_mlp,
     "serve-mix": serve.serve_mix,
     "serve-million": serve.serve_million,
+    "serve-decode": serve.serve_decode,
     "dse-frontier": dse.dse_frontier,
     "dse-memory": dse.dse_memory,
 }
@@ -175,6 +176,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "gives the autoscaler its scale-up trigger",
     )
     parser.add_argument(
+        "--prefill",
+        type=int,
+        default=None,
+        metavar="TOKENS",
+        help="KV-cache length serve-decode sessions start from (the "
+        "already-prefilled context)",
+    )
+    parser.add_argument(
+        "--decode-steps",
+        type=int,
+        default=None,
+        metavar="TOKENS",
+        help="tokens each serve-decode session generates (one skinny-GEMM "
+        "step graph per token, attention growing with the KV position)",
+    )
+    parser.add_argument(
+        "--batch-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="continuous-batching cap of the serve-decode scenario: how "
+        "many concurrent sessions may coalesce their weight-stationary "
+        "halves into one cluster's batched steps (1 disables batching)",
+    )
+    parser.add_argument(
         "--dse-export",
         default=None,
         metavar="DIR",
@@ -250,6 +276,17 @@ def main(argv: Optional[List[str]] = None) -> None:
                 arrival=args.arrival,
                 autoscale=True if args.autoscale else None,
                 slo_p99_ms=args.slo_p99_ms,
+            )
+        except ValueError as error:
+            raise SystemExit(f"error: {error}")
+    if (args.prefill is not None or args.decode_steps is not None
+            or args.batch_cap is not None or args.duration is not None):
+        try:
+            serve.set_serve_decode_defaults(
+                prefill=args.prefill,
+                decode_steps=args.decode_steps,
+                batch_cap=args.batch_cap,
+                duration_s=args.duration,
             )
         except ValueError as error:
             raise SystemExit(f"error: {error}")

@@ -17,16 +17,26 @@ roadmap's serving ambitions:
   autoscaling, and an FP8-routed throughput tenant next to FP16
   interactive traffic.  The same driver scales from the registry's quick
   default window to the million-request benchmark purely via
-  ``duration_s``.
+  ``duration_s``;
+* ``serve-decode`` -- autoregressive LLM decode sessions (one skinny-GEMM
+  step graph per token, attention growing with the KV position) streamed
+  through the continuous loop with continuous batching: concurrent
+  sessions of the same block spec coalesce their weight-stationary halves
+  into batched steps up to ``batch_cap``, joining and leaving at step
+  boundaries.  Two session classes share the pool: an FP16 block and an
+  FP16 block whose KV-cache reads run FP8 via per-node precision
+  overrides.
 
 The first two run Poisson arrivals through the dependency-aware list
 scheduler on a pool of simulated clusters and return a
-:class:`~repro.serve.report.ServeReport`; ``serve-million`` returns a
+:class:`~repro.serve.report.ServeReport`; ``serve-million`` and
+``serve-decode`` return a
 :class:`~repro.serve.report.ContinuousReport`.  The runner CLI
 parameterises them through :func:`set_serve_defaults` (``--clusters`` /
-``--rps``) and :func:`set_serve_million_defaults` (``--duration`` /
-``--arrival`` / ``--autoscale`` / ``--slo-p99-ms``), mirroring how
-``--backend`` reaches the farm.
+``--rps``), :func:`set_serve_million_defaults` (``--duration`` /
+``--arrival`` / ``--autoscale`` / ``--slo-p99-ms``) and
+:func:`set_serve_decode_defaults` (``--prefill`` / ``--decode-steps`` /
+``--batch-cap``), mirroring how ``--backend`` reaches the farm.
 """
 
 from __future__ import annotations
@@ -64,12 +74,26 @@ DEFAULT_DURATION_S = 0.05
 DEFAULT_MILLION_DURATION_S = 0.02
 DEFAULT_MILLION_RPS = 12_000.0
 
+#: serve-decode defaults: sessions prefill 8 tokens and generate 16, the
+#: pool batches up to 8 sessions per cluster, and the arrival rate keeps
+#: the default four-cluster pool busy enough that sessions overlap and
+#: steps actually coalesce (~84% utilisation, ~27% of steps batched).
+DEFAULT_DECODE_DURATION_S = 0.02
+DEFAULT_DECODE_RPS = 40_000.0
+DEFAULT_DECODE_PREFILL = 8
+DEFAULT_DECODE_STEPS = 16
+DEFAULT_DECODE_BATCH_CAP = 8
+
 _DEFAULT_CLUSTERS_OVERRIDE: Optional[int] = None
 _DEFAULT_RPS_OVERRIDE: Optional[float] = None
 _MILLION_DURATION_OVERRIDE: Optional[float] = None
 _MILLION_ARRIVAL_OVERRIDE: Optional[str] = None
 _MILLION_AUTOSCALE_OVERRIDE: Optional[bool] = None
 _MILLION_SLO_P99_MS_OVERRIDE: Optional[float] = None
+_DECODE_PREFILL_OVERRIDE: Optional[int] = None
+_DECODE_STEPS_OVERRIDE: Optional[int] = None
+_DECODE_BATCH_CAP_OVERRIDE: Optional[int] = None
+_DECODE_DURATION_OVERRIDE: Optional[float] = None
 
 
 def set_serve_defaults(clusters: Optional[int] = None,
@@ -123,6 +147,35 @@ def set_serve_million_defaults(
     _MILLION_ARRIVAL_OVERRIDE = arrival
     _MILLION_AUTOSCALE_OVERRIDE = autoscale
     _MILLION_SLO_P99_MS_OVERRIDE = slo_p99_ms
+
+
+def set_serve_decode_defaults(
+    prefill: Optional[int] = None,
+    decode_steps: Optional[int] = None,
+    batch_cap: Optional[int] = None,
+    duration_s: Optional[float] = None,
+) -> None:
+    """Set the session shape future ``serve-decode`` runs default to.
+
+    This is how the runner CLI's ``--prefill``, ``--decode-steps``,
+    ``--batch-cap`` and ``--duration`` flags reach the zero-argument driver
+    in the experiment registry.  Pass ``None`` per parameter to restore its
+    built-in default.
+    """
+    if prefill is not None and prefill < 0:
+        raise ValueError("prefill must be >= 0")
+    if decode_steps is not None and decode_steps < 1:
+        raise ValueError("decode-steps must be >= 1")
+    if batch_cap is not None and batch_cap < 1:
+        raise ValueError("batch-cap must be >= 1")
+    if duration_s is not None and duration_s <= 0:
+        raise ValueError("duration must be positive")
+    global _DECODE_PREFILL_OVERRIDE, _DECODE_STEPS_OVERRIDE
+    global _DECODE_BATCH_CAP_OVERRIDE, _DECODE_DURATION_OVERRIDE
+    _DECODE_PREFILL_OVERRIDE = prefill
+    _DECODE_STEPS_OVERRIDE = decode_steps
+    _DECODE_BATCH_CAP_OVERRIDE = batch_cap
+    _DECODE_DURATION_OVERRIDE = duration_s
 
 
 def _simulate(tenants, clusters: int, duration_s: float, seed: int,
@@ -301,3 +354,68 @@ def serve_million(
     )
     return server.simulate(generator.stream(duration_s, arrival),
                            scenario="serve-million")
+
+
+def decode_session_classes(prefill: int, decode_steps: int) -> tuple:
+    """The ``serve-decode`` session mix: FP16 and FP8-KV decode blocks.
+
+    Both classes decode the same tiny transformer block shape; the second
+    reads its KV cache at FP8 through per-node precision overrides, so the
+    two exercise distinct batch-group signatures on a shared pool.
+    """
+    from repro.graph.llm import build_decode_spec
+    from repro.serve import DecodeSessionSpec
+
+    return (
+        DecodeSessionSpec(spec=build_decode_spec("llm-decode-tiny"),
+                          prefill=prefill, decode_steps=decode_steps),
+        DecodeSessionSpec(spec=build_decode_spec("llm-decode-tiny-kv8"),
+                          prefill=prefill, decode_steps=decode_steps),
+    )
+
+
+def serve_decode(
+    duration_s: Optional[float] = None,
+    prefill: Optional[int] = None,
+    decode_steps: Optional[int] = None,
+    batch_cap: Optional[int] = None,
+    clusters: Optional[int] = None,
+    rps: Optional[float] = None,
+    seed: int = 0,
+    farm: Optional[SimulationFarm] = None,
+) -> ContinuousReport:
+    """Continuously batched LLM decode serving on the event loop.
+
+    Streams Poisson session arrivals (each a multi-step decode of
+    ``decode_steps`` tokens on top of a ``prefill``-token cache) through
+    :class:`~repro.serve.loop.ContinuousServer` with ``batch_cap``-bounded
+    continuous batching.  The report's ``decode_*`` fields show how much of
+    the step traffic actually coalesced.
+    """
+    from repro.serve import decode_session_stream
+
+    if duration_s is None:
+        duration_s = (_DECODE_DURATION_OVERRIDE
+                      if _DECODE_DURATION_OVERRIDE is not None
+                      else DEFAULT_DECODE_DURATION_S)
+    if prefill is None:
+        prefill = (_DECODE_PREFILL_OVERRIDE
+                   if _DECODE_PREFILL_OVERRIDE is not None
+                   else DEFAULT_DECODE_PREFILL)
+    if decode_steps is None:
+        decode_steps = _DECODE_STEPS_OVERRIDE or DEFAULT_DECODE_STEPS
+    if batch_cap is None:
+        batch_cap = _DECODE_BATCH_CAP_OVERRIDE or DEFAULT_DECODE_BATCH_CAP
+    clusters, rps = _resolve(clusters, rps)
+    if rps == DEFAULT_RPS and _DEFAULT_RPS_OVERRIDE is None:
+        rps = DEFAULT_DECODE_RPS
+
+    farm = farm if farm is not None else default_farm()
+    sessions = decode_session_classes(prefill, decode_steps)
+    server = ContinuousServer(
+        n_clusters=clusters, farm=farm, backend=BACKEND_MODEL,
+        batch_cap=batch_cap,
+    )
+    stream = decode_session_stream(sessions, rps=rps, duration_s=duration_s,
+                                   seed=seed)
+    return server.simulate(stream, scenario="serve-decode")

@@ -318,6 +318,11 @@ class SimulationFarm:
         # doomed creation attempt and go straight to the serial path.
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
         self._pool_unavailable = False
+        # Derived farms per element format (lazily created, cache shared):
+        # the timing cache keys on the *farm config's* format, so jobs of a
+        # per-node precision override must be timed by a farm of that
+        # format.  See with_format().
+        self._format_farms: Dict[str, "SimulationFarm"] = {}
 
     # -- backend routing -----------------------------------------------------
     def resolve_backend(self, job: MatmulJob,
@@ -334,6 +339,37 @@ class SimulationFarm:
 
     def _key(self, job: MatmulJob, backend: str) -> TimingKey:
         return TimingKey.for_job(self.config, job, self.exact, backend)
+
+    def with_format(self, fmt: str) -> "SimulationFarm":
+        """A farm timing the same instance at a different element format.
+
+        Timing keys embed the farm config's format (FP8's packed line
+        geometry changes every cycle count), so jobs lowered under a
+        per-node precision override cannot be timed by this farm directly.
+        The derived farm shares this farm's :class:`TimingCache` (format
+        disambiguation happens in the key) and policy knobs; it is created
+        once per format and memoised, and runs serially -- the per-node
+        overrides time skinny decode GEMMs for which a process pool would
+        be pure overhead.  Returns ``self`` when ``fmt`` is already this
+        farm's format.
+        """
+        if fmt == self.config.format:
+            return self
+        derived = self._format_farms.get(fmt)
+        if derived is None:
+            derived = SimulationFarm(
+                config=replace(self.config, format=fmt),
+                backend=self.backend,
+                engine_macs_threshold=self.engine_macs_threshold,
+                max_workers=1,
+                validate=self.validate,
+                tolerance=self.tolerance,
+                cache=self.cache,
+                max_cycles=self.max_cycles,
+                arithmetic=self.arithmetic,
+            )
+            self._format_farms[fmt] = derived
+        return derived
 
     # -- batch execution -----------------------------------------------------
     def run(self, jobs: Iterable[MatmulJob],
@@ -480,16 +516,41 @@ class SimulationFarm:
         serving scheduler's single-cluster makespan must reproduce.
         ``per_gemm`` is keyed by *node* name (a tiled node's jobs are
         aggregated).
+
+        Mixed-precision programs (nodes carrying a ``precision`` differing
+        from this farm's format, see
+        :func:`repro.graph.precision.assign_precisions`) are handled by
+        routing each node's jobs through :meth:`with_format` of its
+        effective format, so every job is timed on the line geometry it was
+        lowered for while all records land in the one shared cache.
         """
         from repro.perf.metrics import WorkloadTiming
 
-        jobs = [(node.name, job) for node in program.nodes
-                for job in node.jobs]
-        results = self.run([job for _, job in jobs], backend=backend)
+        jobs = [(node.name, getattr(node, "precision", None), job)
+                for node in program.nodes for job in node.jobs]
+        overrides = {precision for _, precision, _ in jobs
+                     if precision and precision != self.config.format}
+        if not overrides:
+            results = self.run([job for _, _, job in jobs], backend=backend)
+        else:
+            # One batched run() per distinct format, results stitched back
+            # into submission order so the serial-sum semantics (and the
+            # conservation law built on them) are unchanged.
+            by_format: Dict[Optional[str], List[int]] = {}
+            for index, (_, precision, _) in enumerate(jobs):
+                fmt = (precision if precision in overrides else None)
+                by_format.setdefault(fmt, []).append(index)
+            results: List[Optional[FarmResult]] = [None] * len(jobs)
+            for fmt, indices in by_format.items():
+                farm = self if fmt is None else self.with_format(fmt)
+                batch = farm.run([jobs[i][2] for i in indices],
+                                 backend=backend)
+                for i, result in zip(indices, batch):
+                    results[i] = result
         per_node: Dict[str, float] = {}
         total_cycles = 0.0
         total_macs = 0
-        for (name, job), result in zip(jobs, results):
+        for (name, _, job), result in zip(jobs, results):
             cycles = result.cycles + offload_cycles_per_job
             per_node[name] = per_node.get(name, 0.0) + cycles
             total_cycles += cycles

@@ -86,17 +86,32 @@ class TensorRef:
 class GraphNode:
     """Base class: a compute node consuming and producing named tensors."""
 
+    #: Unique node name within the graph (also the lowering/scheduling key).
     name: str
+    #: Names of the tensors the node consumes, in positional order.
     inputs: Tuple[str, ...]
+    #: Name of the single tensor the node produces (SSA: one producer max).
     output: str
     #: Free-form string metadata (e.g. training role / layer index) that
     #: survives lowering and lets flat-list consumers reconstruct context.
     tags: Dict[str, str] = field(default_factory=dict)
+    #: Per-node element-format override (a registered :mod:`repro.fp.formats`
+    #: name).  ``None`` -- the default -- inherits the graph's precision (or
+    #: the lowering target's format).  Set by the precision-assignment pass
+    #: (:mod:`repro.graph.precision`); the canonical use is LLM decode,
+    #: where the KV-cache-reading GEMMs run at FP8 (multiplies through the
+    #: :func:`repro.fp.formats.fma_mixed` narrow path, FP16 accumulation)
+    #: while the rest of the step stays at the graph precision.
+    precision: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise GraphValidationError("a node needs a non-empty name")
         self.inputs = tuple(self.inputs)
+        if self.precision is not None:
+            from repro.fp.formats import get_format
+
+            get_format(self.precision)  # raises on unknown names
 
     @property
     def is_gemm(self) -> bool:
@@ -196,15 +211,20 @@ class CriticalPath:
 class WorkloadGraph:
     """A validated DAG of GEMM / elementwise nodes over named tensors.
 
-    ``precision`` names the element format every tensor of the graph is
-    stored in (:mod:`repro.fp.formats`); lowering resolves it into the
-    accelerator configuration, so an FP8 model is timed on FP8 line
-    geometry.  The default ``None`` means *inherit*: the graph is lowered
-    in whatever format the target configuration uses (so e.g. the runner's
+    ``precision`` names the element format the graph's tensors default to
+    (:mod:`repro.fp.formats`); lowering resolves it into the accelerator
+    configuration, so an FP8 model is timed on FP8 line geometry.  The
+    default ``None`` means *inherit*: the graph is lowered in whatever
+    format the target configuration uses (so e.g. the runner's
     ``--format`` reaches precision-agnostic zoo models).  Mixed-precision
     *deployments* mix graphs of different precisions (e.g. per serving
-    tenant); within one graph the precision is uniform, like the
-    accelerator's per-job element width.
+    tenant); *within* one graph, individual nodes may carry a
+    :attr:`GraphNode.precision` override (assigned through
+    :func:`repro.graph.precision.assign_precisions`), which lowering and
+    the simulation farm honour per node -- the LLM decode workloads use
+    this to read their KV-cache GEMMs at FP8 while the projections stay at
+    the graph precision.  See ``docs/architecture.md`` for where this
+    boundary sits in the stack.
     """
 
     def __init__(self, name: str, precision: Optional[str] = None) -> None:
@@ -258,10 +278,17 @@ class WorkloadGraph:
 
     def add_gemm(self, name: str, shape: GemmShape, x: str, w: str, z: str,
                  transpose: str = "",
-                 tags: Optional[Dict[str, str]] = None) -> GemmNode:
-        """Convenience wrapper building and adding a :class:`GemmNode`."""
+                 tags: Optional[Dict[str, str]] = None,
+                 precision: Optional[str] = None) -> GemmNode:
+        """Convenience wrapper building and adding a :class:`GemmNode`.
+
+        ``precision`` is the optional per-node element-format override (see
+        :attr:`GraphNode.precision`); most callers leave it ``None`` and use
+        the precision-assignment pass instead.
+        """
         node = GemmNode(name=name, inputs=(x, w), output=z, shape=shape,
-                        transpose=transpose, tags=dict(tags or {}))
+                        transpose=transpose, tags=dict(tags or {}),
+                        precision=precision)
         self.add(node)
         return node
 
@@ -425,7 +452,23 @@ class WorkloadGraph:
     # -- lowering ------------------------------------------------------------
     def lower(self, config=None, tile: bool = False,
               tcdm_budget_bytes: Optional[int] = None):
-        """Lower to a dependency-annotated job stream (see :mod:`repro.graph.lower`)."""
+        """Lower to a dependency-annotated job stream (see :mod:`repro.graph.lower`).
+
+        ``config`` is the target :class:`~repro.redmule.config.RedMulEConfig`
+        (the paper's reference instance when omitted); the graph's precision
+        -- and any per-node override -- wins over the config's format, so an
+        FP8 model is never silently timed on FP16 line geometry.
+
+        ``tile=False`` (default) emits **one whole-GEMM job per node**: the
+        canonical placement the farm's shape-keyed timing cache memoises,
+        with the tiling planner consulted only for diagnostics.  ``tile=True``
+        splits any GEMM whose operand set exceeds ``tcdm_budget_bytes``
+        (default: 96 KiB, headroom below the 128 KiB reference TCDM) into
+        the per-tile job stream a DMA-fed cluster would actually execute:
+        inner-dimension tiles carry ``accumulate=True`` and add into the
+        same Z region, so the stream's MAC count equals the whole GEMM's
+        and a job waits on its predecessor within the node.
+        """
         from repro.graph.lower import lower as lower_graph
 
         kwargs = {}

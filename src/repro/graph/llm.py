@@ -1,0 +1,325 @@
+"""LLM decode workloads: autoregressive steps against a growing KV-cache.
+
+Autoregressive transformer inference is the workload class the encoder-style
+zoo (:mod:`repro.graph.zoo`) does not cover: each generated token runs the
+*whole* block again, but with a single query position -- skinny ``k = 1``
+GEMMs for every weight-stationary projection, plus two attention GEMMs whose
+reduction/output length grows with the number of cached tokens.  This module
+unrolls that into per-step dynamic graphs:
+
+* :func:`decode_step_graph` -- one full decode step for ``batch`` concurrent
+  sequences at KV position ``position`` (the number of already-cached
+  tokens): QKV projections, per-head cache append + scores + context,
+  output projection and the two MLP GEMMs.
+* :func:`decode_shared_graph` -- only the *batchable* portion (projections
+  and MLP): weight-stationary GEMMs whose shapes depend on the batch width
+  but not on any sequence's cache position, so concurrent requests coalesce
+  into one ``k = batch`` job stream.  This is the half the continuous
+  batcher (:mod:`repro.serve.loop`) shares across a batch group.
+* :func:`decode_attention_graph` -- only the per-request portion (cache
+  append, scores, softmax, context) for one sequence at one position.
+  These shapes depend on that sequence's own cache length, so they can
+  never batch across requests; the batcher charges one per group member.
+
+Every node is tagged: ``role=shared`` / ``role=attention`` splits the two
+halves, and the cache-*reading* GEMMs (scores and context) additionally
+carry ``kv=cache``.  A spec with ``kv_precision`` set routes exactly those
+nodes through the per-node precision pass (:mod:`repro.graph.precision`) --
+the standard deployment trick of storing and reading the KV-cache in FP8
+(the multiplies take the packed-line :func:`repro.fp.formats.fma_mixed`
+narrow path, accumulation stays FP16) while weights stay at the graph
+precision.
+
+``DECODE_ZOO`` names small :class:`DecodeSpec` instances for the serving
+scenarios, tests and benchmarks; :mod:`repro.graph.zoo` additionally
+registers representative mid-stream step graphs as ordinary zoo models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.ir import WorkloadGraph
+from repro.graph.precision import PrecisionRule, assign_precisions
+from repro.workloads.gemm import GemmShape
+
+#: Tag key/values splitting batchable from per-request nodes.
+TAG_ROLE = "role"
+ROLE_SHARED = "shared"
+ROLE_ATTENTION = "attention"
+
+#: Tag marking the KV-cache-*reading* GEMMs (scores and context) -- the
+#: nodes a ``kv_precision`` override retargets.
+TAG_KV = "kv"
+KV_CACHE = "cache"
+
+
+@dataclass(frozen=True)
+class DecodeSpec:
+    """Static shape of a decode workload (one transformer block).
+
+    ``context_limit`` is the KV-cache capacity in tokens: a step at
+    ``position`` appends one token, so ``position + 1 <= context_limit``.
+    ``kv_precision``, when set, is a registered element-format name applied
+    to the cache-reading GEMMs of every graph this spec builds.
+    """
+
+    name: str
+    d_model: int
+    n_heads: int
+    d_ff: int
+    context_limit: int
+    kv_precision: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if min(self.d_model, self.n_heads, self.d_ff,
+               self.context_limit) <= 0:
+            raise ValueError("decode spec dimensions must be positive")
+        if self.d_model % self.n_heads:
+            raise ValueError(
+                f"d_model ({self.d_model}) must be divisible by n_heads "
+                f"({self.n_heads})")
+        if self.kv_precision is not None:
+            from repro.fp.formats import get_format
+
+            get_format(self.kv_precision)
+
+    @property
+    def d_head(self) -> int:
+        """Per-head feature width."""
+        return self.d_model // self.n_heads
+
+    def check_position(self, position: int) -> None:
+        """Validate a KV position against the cache capacity."""
+        if position < 0:
+            raise ValueError(f"KV position must be >= 0, got {position}")
+        if position + 1 > self.context_limit:
+            raise ValueError(
+                f"decode step at position {position} exceeds the "
+                f"{self.context_limit}-token context limit of "
+                f"{self.name!r}")
+
+    def describe(self) -> str:
+        """One-line summary."""
+        kv = f", kv={self.kv_precision}" if self.kv_precision else ""
+        return (f"{self.name}: d_model={self.d_model} "
+                f"heads={self.n_heads} d_ff={self.d_ff} "
+                f"ctx<={self.context_limit}{kv}")
+
+
+def _kv_rules(spec: DecodeSpec) -> List[PrecisionRule]:
+    if spec.kv_precision is None:
+        return []
+    return [PrecisionRule(precision=spec.kv_precision,
+                          tag=(TAG_KV, KV_CACHE))]
+
+
+def _shared_projection_nodes(graph: WorkloadGraph, spec: DecodeSpec,
+                             batch: int) -> None:
+    """QKV projections: ``q/k/v[d, B] = Wq/k/v[d, d] . x[d, B]``."""
+    graph.add_tensor("x", spec.d_model, batch)
+    for proj in ("q", "k", "v"):
+        graph.add_tensor(f"w{proj}", spec.d_model, spec.d_model)
+        graph.add_tensor(proj, spec.d_model, batch)
+        graph.add_gemm(
+            f"dec-{proj}",
+            GemmShape(m=spec.d_model, n=spec.d_model, k=batch,
+                      name=f"dec-{proj}"),
+            x=f"w{proj}", w="x", z=proj,
+            tags={TAG_ROLE: ROLE_SHARED},
+        )
+
+
+def _shared_tail_nodes(graph: WorkloadGraph, spec: DecodeSpec,
+                       batch: int) -> None:
+    """Output projection + MLP, reading the ``ctx`` tensor."""
+    graph.add_tensor("wo", spec.d_model, spec.d_model)
+    graph.add_tensor("attn", spec.d_model, batch)
+    graph.add_gemm(
+        "dec-out",
+        GemmShape(m=spec.d_model, n=spec.d_model, k=batch, name="dec-out"),
+        x="wo", w="ctx", z="attn", tags={TAG_ROLE: ROLE_SHARED},
+    )
+    graph.add_tensor("h1", spec.d_model, batch)
+    graph.add_elementwise("ln1", "residual-layernorm",
+                          inputs=("attn", "x"), output="h1")
+    graph.add_tensor("w1", spec.d_ff, spec.d_model)
+    graph.add_tensor("f1", spec.d_ff, batch)
+    graph.add_gemm(
+        "mlp-up",
+        GemmShape(m=spec.d_ff, n=spec.d_model, k=batch, name="mlp-up"),
+        x="w1", w="h1", z="f1", tags={TAG_ROLE: ROLE_SHARED},
+    )
+    graph.add_tensor("f2", spec.d_ff, batch)
+    graph.add_elementwise("mlp-act", "gelu", inputs=("f1",), output="f2")
+    graph.add_tensor("w2", spec.d_model, spec.d_ff)
+    graph.add_tensor("f3", spec.d_model, batch)
+    graph.add_gemm(
+        "mlp-down",
+        GemmShape(m=spec.d_model, n=spec.d_ff, k=batch, name="mlp-down"),
+        x="w2", w="f2", z="f3", tags={TAG_ROLE: ROLE_SHARED},
+    )
+    graph.add_tensor("out", spec.d_model, batch)
+    graph.add_elementwise("ln2", "residual-layernorm",
+                          inputs=("f3", "h1"), output="out")
+
+
+def _attention_head_nodes(graph: WorkloadGraph, spec: DecodeSpec,
+                          position: int, batch: int,
+                          sliced: bool) -> None:
+    """Per-head cache append + scores + softmax + context, then concat.
+
+    ``sliced`` means the per-head q/k/v tensors are carved out of full
+    ``d_model``-wide projection outputs (the full-step graph); otherwise
+    they are graph inputs (the attention-only graph).  The cache length
+    after the append is ``position + 1``: at position 0 the append sees
+    only the current token's slice -- there is no zero-length past tensor.
+    """
+    cached = position + 1
+    for head in range(spec.n_heads):
+        tag = {"head": str(head)}
+        for proj in ("q", "k", "v"):
+            if sliced:
+                graph.add_tensor(f"{proj}{head}", spec.d_head, batch)
+                graph.add_elementwise(f"slice-{proj}{head}", "slice",
+                                      inputs=(proj,),
+                                      output=f"{proj}{head}", tags=tag)
+            else:
+                graph.add_tensor(f"{proj}{head}", spec.d_head, batch)
+        for cache in ("k", "v"):
+            append_inputs = [f"{cache}{head}"]
+            if position > 0:
+                graph.add_tensor(f"{cache}past{head}", spec.d_head, position)
+                append_inputs.insert(0, f"{cache}past{head}")
+            graph.add_tensor(f"{cache}c{head}", spec.d_head, cached)
+            graph.add_elementwise(f"{cache}-append{head}", "kv-append",
+                                  inputs=tuple(append_inputs),
+                                  output=f"{cache}c{head}", tags=tag)
+        graph.add_tensor(f"s{head}", batch, cached)
+        graph.add_gemm(
+            f"dec-scores{head}",
+            GemmShape(m=batch, n=spec.d_head, k=cached,
+                      name=f"dec-scores{head}"),
+            x=f"q{head}", w=f"kc{head}", z=f"s{head}", transpose="x",
+            tags={TAG_ROLE: ROLE_ATTENTION, TAG_KV: KV_CACHE, **tag},
+        )
+        graph.add_tensor(f"p{head}", batch, cached)
+        graph.add_elementwise(f"softmax{head}", "softmax",
+                              inputs=(f"s{head}",), output=f"p{head}",
+                              tags=tag)
+        graph.add_tensor(f"c{head}", spec.d_head, batch)
+        graph.add_gemm(
+            f"dec-ctx{head}",
+            GemmShape(m=spec.d_head, n=cached, k=batch,
+                      name=f"dec-ctx{head}"),
+            x=f"vc{head}", w=f"p{head}", z=f"c{head}", transpose="w",
+            tags={TAG_ROLE: ROLE_ATTENTION, TAG_KV: KV_CACHE, **tag},
+        )
+    graph.add_tensor("ctx", spec.d_model, batch)
+    graph.add_elementwise(
+        "concat", "concat",
+        inputs=tuple(f"c{h}" for h in range(spec.n_heads)), output="ctx")
+
+
+def decode_step_graph(spec: DecodeSpec, position: int, batch: int = 1,
+                      precision: Optional[str] = None) -> WorkloadGraph:
+    """One full decode step at KV position ``position`` for ``batch`` rows.
+
+    ``position`` counts already-cached tokens, so step 0 runs attention over
+    just the current token and the attention GEMMs reduce/emit over
+    ``position + 1`` cached positions.  ``batch > 1`` models *already
+    coalesced* sequences whose caches are at the same position (the
+    batcher's shared+attention decomposition handles mismatched positions
+    instead).  The spec's ``kv_precision`` is applied as per-node overrides.
+    """
+    spec.check_position(position)
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    graph = WorkloadGraph(f"{spec.name}@p{position}b{batch}",
+                          precision=precision)
+    _shared_projection_nodes(graph, spec, batch)
+    _attention_head_nodes(graph, spec, position, batch, sliced=True)
+    _shared_tail_nodes(graph, spec, batch)
+    return assign_precisions(graph, _kv_rules(spec))
+
+
+def decode_shared_graph(spec: DecodeSpec, batch: int,
+                        precision: Optional[str] = None) -> WorkloadGraph:
+    """The batchable half of a step: projections + MLP at width ``batch``.
+
+    ``ctx`` (the concatenated attention output) is a graph input here --
+    the per-request attention graphs produce it.  Shapes depend only on
+    ``batch``, never on cache positions, which is exactly why the
+    continuous batcher can run this half once per group per step.
+    """
+    if batch <= 0:
+        raise ValueError("batch must be positive")
+    graph = WorkloadGraph(f"{spec.name}-shared-b{batch}",
+                          precision=precision)
+    _shared_projection_nodes(graph, spec, batch)
+    graph.add_tensor("ctx", spec.d_model, batch)
+    _shared_tail_nodes(graph, spec, batch)
+    return graph
+
+
+def decode_attention_graph(spec: DecodeSpec, position: int,
+                           precision: Optional[str] = None) -> WorkloadGraph:
+    """The per-request half: one sequence's attention at one position.
+
+    Per-head q/k/v slices (and the past cache, when ``position > 0``) are
+    graph inputs; the graph appends to the cache, scores the query against
+    it, and produces the concatenated ``ctx``.  The spec's ``kv_precision``
+    applies here -- these are the cache-reading GEMMs.
+    """
+    spec.check_position(position)
+    graph = WorkloadGraph(f"{spec.name}-attn-p{position}",
+                          precision=precision)
+    _attention_head_nodes(graph, spec, position, batch=1, sliced=False)
+    return assign_precisions(graph, _kv_rules(spec))
+
+
+#: Named decode specs used by the ``serve-decode`` scenario, the batching
+#: benchmark and the tests.  The ``-kv8`` variant stores/reads its KV-cache
+#: in FP8 E4M3 through the per-node precision pass.
+DECODE_ZOO: Dict[str, DecodeSpec] = {
+    "llm-decode-tiny": DecodeSpec(
+        name="llm-decode-tiny", d_model=32, n_heads=2, d_ff=64,
+        context_limit=64),
+    "llm-decode-tiny-kv8": DecodeSpec(
+        name="llm-decode-tiny-kv8", d_model=32, n_heads=2, d_ff=64,
+        context_limit=64, kv_precision="fp8-e4m3"),
+    "llm-decode-small": DecodeSpec(
+        name="llm-decode-small", d_model=64, n_heads=4, d_ff=128,
+        context_limit=128),
+}
+
+
+def build_decode_spec(name: str) -> DecodeSpec:
+    """Look a decode spec up by name."""
+    try:
+        return DECODE_ZOO[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown decode spec {name!r}; available: {decode_specs()}"
+        ) from None
+
+
+def decode_specs() -> List[str]:
+    """Sorted decode spec names."""
+    return sorted(DECODE_ZOO)
+
+
+def session_positions(prefill: int, decode_steps: int) -> Sequence[int]:
+    """The KV positions a session's steps run at.
+
+    A session arrives with ``prefill`` tokens already cached (the prompt --
+    prefill itself is a dense encoder-style pass, not modelled here) and
+    generates ``decode_steps`` tokens, so its steps run at positions
+    ``prefill, prefill + 1, ..., prefill + decode_steps - 1``.
+    """
+    if prefill < 0:
+        raise ValueError("prefill must be >= 0")
+    if decode_steps <= 0:
+        raise ValueError("a session needs at least one decode step")
+    return range(prefill, prefill + decode_steps)

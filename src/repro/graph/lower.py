@@ -58,6 +58,9 @@ class LoweredNode:
     elements: int
     #: Human-readable diagnostic (transpose-aware equation, tiling plan).
     note: str
+    #: Effective element format the node's jobs were lowered for: the
+    #: node's own override if set, else the program precision.
+    precision: str = "fp16"
 
     @property
     def is_gemm(self) -> bool:
@@ -78,8 +81,19 @@ class LoweredProgram:
     nodes: List[LoweredNode]
     tiled: bool
     tcdm_budget_bytes: int
-    #: Element format the jobs were lowered for.
+    #: Default element format the jobs were lowered for.  Nodes carrying a
+    #: per-node override (:attr:`LoweredNode.precision`) differ from this;
+    #: :attr:`mixed_precision` is True when any does.
     precision: str = "fp16"
+
+    @property
+    def mixed_precision(self) -> bool:
+        """True when any node's format differs from the program default."""
+        return any(node.precision != self.precision for node in self.nodes)
+
+    def node_precisions(self) -> Dict[str, str]:
+        """Node name -> effective element format (diagnostics / routing)."""
+        return {node.name: node.precision for node in self.nodes}
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -203,24 +217,36 @@ def lower(
     tiled mode any GEMM that does not fit ``tcdm_budget_bytes`` becomes its
     plan's per-tile accumulate stream.
     """
+    from dataclasses import replace
+
     config = config or RedMulEConfig.reference()
     # An explicit graph precision wins (timing an FP8 model on FP16 line
     # geometry would silently misestimate every job); precision-agnostic
     # graphs (the default) inherit the target configuration's format.
     precision = getattr(graph, "precision", None) or config.format
     if precision != config.format:
-        from dataclasses import replace
-
         config = replace(config, format=precision)
-    element_bytes = config.element_bytes
+    # Per-node overrides (set by repro.graph.precision.assign_precisions)
+    # lower against a config of *their* format: element width and line
+    # geometry both follow the node, so an FP8 KV-cache GEMM gets 1-byte
+    # jobs and an FP8 tiling plan inside an otherwise-FP16 program.
+    configs: Dict[str, RedMulEConfig] = {precision: config}
     lowered: List[LoweredNode] = []
     for node in graph.topo_sort():
         deps = tuple(graph.dependencies(node))
         if isinstance(node, GemmNode):
+            node_precision = node.precision or precision
+            node_config = configs.get(node_precision)
+            if node_config is None:
+                node_config = replace(config, format=node_precision)
+                configs[node_precision] = node_config
+            element_bytes = node_config.element_bytes
             shape = node.shape
-            plan = plan_tiled_matmul(shape.m, shape.n, shape.k, config,
+            plan = plan_tiled_matmul(shape.m, shape.n, shape.k, node_config,
                                      tcdm_budget_bytes)
             note = shape.describe(transpose=node.transpose)
+            if node_precision != precision:
+                note += f" | {node_precision}"
             if tile and plan.n_jobs > 1:
                 jobs = tuple(_tile_jobs(plan, element_bytes))
                 note += f" | {plan.describe()}"
@@ -235,6 +261,7 @@ def lower(
                 name=node.name, kind=KIND_GEMM, jobs=jobs, deps=deps,
                 shape=shape, macs=shape.macs,
                 elements=graph.tensors[node.output].elements, note=note,
+                precision=node_precision,
             ))
         elif isinstance(node, ElementwiseNode):
             lowered.append(LoweredNode(
@@ -242,6 +269,7 @@ def lower(
                 shape=None, macs=0,
                 elements=graph.tensors[node.output].elements,
                 note=node.describe(),
+                precision=node.precision or precision,
             ))
         else:  # pragma: no cover - the IR only defines the two kinds
             raise TypeError(f"cannot lower node of type {type(node).__name__}")

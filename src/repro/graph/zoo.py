@@ -401,6 +401,25 @@ MODEL_ZOO.update({
 })
 
 
+def _decode_step(spec_name: str, position: int) -> WorkloadGraph:
+    # Lazy import: repro.graph.llm imports GemmShape/ir like this module
+    # does, but keeping the zoo importable without it costs nothing.
+    from repro.graph.llm import build_decode_spec, decode_step_graph
+
+    return decode_step_graph(build_decode_spec(spec_name), position=position)
+
+
+# Representative mid-stream decode steps as ordinary zoo models (fixed KV
+# position), so DSE sweeps and flat serve scenarios can time the skinny-GEMM
+# regime without the session machinery; sessions proper go through
+# ``repro.serve`` decode arrivals, which build per-position graphs.
+MODEL_ZOO.update({
+    "llm-decode-tiny-step8": lambda: _decode_step("llm-decode-tiny", 8),
+    "llm-decode-tiny-kv8-step8": lambda: _decode_step("llm-decode-tiny-kv8",
+                                                      8),
+})
+
+
 def build_model(name: str) -> WorkloadGraph:
     """Build a fresh graph for a zoo model by name."""
     try:

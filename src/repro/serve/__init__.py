@@ -12,7 +12,8 @@ latency, for which tenant mix?
   per-program service-time memo so warm models never re-enter the farm;
 * :mod:`repro.serve.loop` -- the continuous request-granularity serving
   loop: SLO-aware admission control with tenant fairness, queue/p99-driven
-  autoscaling pools, and online precision routing, sustaining 10^6+
+  autoscaling pools, online precision routing, and continuous batching of
+  LLM decode sessions (join/leave at step boundaries), sustaining 10^6+
   simulated requests at interactive wall-clock;
 * :mod:`repro.serve.report` -- latency percentiles (p50/p95/p99) via exact
   or streaming (reservoir / P-square) estimators, throughput, utilisation
@@ -39,10 +40,13 @@ from repro.serve.requests import (
     ARRIVAL_KINDS,
     DEFAULT_FREQUENCY_HZ,
     ArrivalSpec,
+    DecodeSessionSpec,
     ModelSpec,
     Request,
     RequestGenerator,
     TenantSpec,
+    decode_burst,
+    decode_session_stream,
 )
 from repro.serve.scheduler import ScheduledNode, ServingSimulator
 
@@ -54,6 +58,7 @@ __all__ = [
     "AutoscalePolicy",
     "ContinuousReport",
     "ContinuousServer",
+    "DecodeSessionSpec",
     "LatencyStats",
     "ModelSpec",
     "P2Quantile",
@@ -67,5 +72,7 @@ __all__ = [
     "StreamingLatencyStats",
     "TenantReport",
     "TenantSpec",
+    "decode_burst",
+    "decode_session_stream",
     "percentile",
 ]

@@ -32,7 +32,22 @@ On top of the loop sit the production concerns it unlocks:
   (e.g. ``"fp8-e4m3"``) is timed through the per-precision farm of that
   element format (all derived farms share one timing cache -- PR 5's
   plumbing), so throughput tenants ride packed FP8 while accuracy-critical
-  tenants stay FP16 on the same pool.
+  tenants stay FP16 on the same pool;
+* **continuous batching** (``batch_cap > 1``): decode *sessions*
+  (:class:`~repro.serve.requests.DecodeSessionSpec` requests) are
+  multi-step units -- one skinny-GEMM step graph per generated token,
+  attention growing with the KV position.  Sessions of the same
+  (block-spec, precision) signature coalesce into one batched group per
+  cluster: the weight-stationary projections and MLP run once at
+  ``k = batch`` while each member's attention (whose shapes depend on its
+  own cache length) is charged per member.  Members join and leave only at
+  step boundaries; arrivals join a running group mid-stream (absorbed at
+  the next boundary) when no cluster is idle.  Step costs memoise per
+  (step-signature, batch-occupancy), so warm steady-state steps are
+  dictionary lookups.  The decode conservation law -- a 1-session run on
+  one cluster equals the serial sum of its per-step
+  ``farm.time_program`` makespans -- holds by construction and is pinned
+  per precision by the test suite.
 
 The loop is instrumented through :mod:`repro.obs`: per-request lifecycle
 spans stamped in *simulated* cycles on per-cluster-lane tracks (attrs:
@@ -67,14 +82,16 @@ from repro.serve.requests import DEFAULT_FREQUENCY_HZ, Request
 from repro.serve.scheduler import derive_precision_farm
 
 #: Event kinds, ordered so capacity freed or provisioned at cycle t serves
-#: an arrival at the same cycle: completions first, then provisions, then
+#: an arrival at the same cycle: completions first, then decode step
+#: boundaries (which may free a cluster too), then provisions, then
 #: autoscale evaluations.  Arrivals are not heap events at all -- ``offer``
 #: pumps the heap up to (and including) the arrival cycle first, which
 #: yields exactly the same ordering without a push/pop round-trip per
 #: request on the hot path.
 _EVENT_COMPLETION = 0
-_EVENT_PROVISION = 1
-_EVENT_EVAL = 2
+_EVENT_STEP = 1
+_EVENT_PROVISION = 2
+_EVENT_EVAL = 3
 
 #: ``drain()``'s pump limit: beyond any schedulable cycle.
 _FOREVER = 1 << 62
@@ -95,9 +112,16 @@ class AdmissionPolicy:
     instead of serving answers that already missed their deadline.
     """
 
+    #: Queue-depth bound counting waiting atomic requests *and* waiting
+    #: decode sessions; ``None`` admits everything.
     max_queue: Optional[int] = None
+    #: Projected-completion bound: reject when queued work spread over the
+    #: pool plus the request's own serial service exceeds this.
     slo_p99_cycles: Optional[float] = None
+    #: Multiple of a tenant's fair queue fraction it may occupy.
     fair_share: float = 2.0
+    #: Optional per-tenant weights for the fairness shares (equal when
+    #: omitted).
     tenant_weights: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
@@ -128,12 +152,19 @@ class AutoscalePolicy:
     slow down), the shape every production autoscaler converges to.
     """
 
+    #: Pool-size floor / ceiling the autoscaler must stay within.
     min_clusters: int = 1
     max_clusters: int = 16
+    #: Cycles between autoscale evaluations.
     interval_cycles: int = 100_000
+    #: Queued requests each cluster is expected to absorb (queue-depth
+    #: scale-up trigger: grow toward ``ceil(queue / queue_per_cluster)``).
     queue_per_cluster: int = 4
+    #: Occupancy at or below which an idle cluster may be retired.
     scale_down_occupancy: float = 0.25
+    #: Delay between a scale-up decision and the capacity joining.
     provision_delay_cycles: int = 0
+    #: Windowed-p99 target; breaching it scales up by one (``None`` = off).
     slo_p99_cycles: Optional[float] = None
     #: Completions folded into the sliding p99 window between evaluations.
     window: int = 1024
@@ -157,6 +188,58 @@ class AutoscalePolicy:
             raise ValueError("window must be at least 8")
 
 
+class _DecodeSession:
+    """Progress of one admitted decode session.
+
+    ``index`` walks the session's KV-position list; ``queued_service`` is
+    the serial-service estimate charged to the admission accounting while
+    the session waits in the decode queue (zero otherwise).
+    """
+
+    __slots__ = ("request", "positions", "index", "queued_service")
+
+    def __init__(self, request: Request, positions: Tuple[int, ...]) -> None:
+        self.request = request
+        self.positions = positions
+        self.index = 0
+        self.queued_service = 0
+
+    @property
+    def position(self) -> int:
+        """KV position of the session's next (or current) step."""
+        return self.positions[self.index]
+
+    @property
+    def done(self) -> bool:
+        """True once every step has completed."""
+        return self.index >= len(self.positions)
+
+
+class _DecodeGroup:
+    """A batch of decode sessions stepping together on one cluster.
+
+    ``members`` step in lockstep (one batched step per event);
+    ``joiners`` arrived mid-step and are absorbed at the next boundary.
+    The group exists exactly while it occupies a cluster.
+    """
+
+    __slots__ = ("key", "members", "joiners", "step_started", "step_cost",
+                 "lane")
+
+    def __init__(self, key, members: List[_DecodeSession]) -> None:
+        self.key = key
+        self.members = members
+        self.joiners: List[_DecodeSession] = []
+        self.step_started = 0
+        self.step_cost = 0
+        self.lane = -1
+
+    @property
+    def occupancy(self) -> int:
+        """Members plus pending joiners (the join-capacity measure)."""
+        return len(self.members) + len(self.joiners)
+
+
 class ContinuousServer:
     """Event-driven continuous serving over a resizable cluster pool.
 
@@ -168,7 +251,9 @@ class ContinuousServer:
 
     Parameters mirror :class:`ServingSimulator` where they overlap;
     ``admission`` and ``autoscaler`` are optional policies (both default
-    to off: unbounded queue, fixed pool).
+    to off: unbounded queue, fixed pool).  ``batch_cap`` bounds how many
+    decode sessions may share one cluster's batched steps (1 = no
+    cross-request batching: every session steps alone).
     """
 
     def __init__(
@@ -185,6 +270,7 @@ class ContinuousServer:
         stats_mode: str = "reservoir",
         reservoir_size: int = 4096,
         keep_latencies: bool = False,
+        batch_cap: int = 1,
         telemetry=None,
     ) -> None:
         if n_clusters < 1:
@@ -199,6 +285,9 @@ class ContinuousServer:
         if autoscaler is not None and n_clusters > autoscaler.max_clusters:
             raise ValueError("n_clusters must start within the autoscaler's "
                              "[min_clusters, max_clusters] band")
+        if batch_cap < 1:
+            raise ValueError("batch_cap must be at least 1")
+        self.batch_cap = batch_cap
         self.farm = farm if farm is not None else default_farm(config)
         self.backend = backend
         self.frequency_hz = frequency_hz
@@ -218,6 +307,21 @@ class ContinuousServer:
         self._queued_service = 0  # summed service cycles of queued requests
         self._queued_by_tenant: Dict[str, int] = {}
         self._pending_provisions = 0
+        # -- decode-session state --------------------------------------------
+        #: Sessions admitted but waiting for a cluster (FIFO; compatible
+        #: runs are pulled together when a group starts).
+        self._decode_queue: Deque[_DecodeSession] = deque()
+        #: Join signature (block spec, requested precision) -> groups
+        #: currently stepping (each occupies one cluster).
+        self._decode_groups: Dict[Tuple[object, Optional[str]],
+                                  List[_DecodeGroup]] = {}
+        #: Sessions admitted and not yet completed (queued + grouped).
+        self._decode_active = 0
+        self.decode_sessions_completed = 0
+        self.decode_steps = 0
+        self.decode_batched_steps = 0
+        self._decode_occupancy_sum = 0
+        self.decode_max_occupancy = 0
 
         # -- clock / events --------------------------------------------------
         self._events: List[Tuple[int, int, int, object]] = []
@@ -238,6 +342,21 @@ class ContinuousServer:
         #: without re-deriving the effective precision.
         self._service_fast: Dict[Tuple[WorkloadGraph, Optional[str]],
                                  int] = {}
+        # -- decode step-cost memos (keyed by step signature) ----------------
+        #: (block spec, effective precision, KV position) -> rounded serial
+        #: cycles of the *full* single-session step graph.  The B == 1 cost,
+        #: exactly ``int(round(farm.time_program(step graph)))`` -- the
+        #: decode conservation law rests on this memo.
+        self._decode_full: Dict[Tuple[object, str, int], int] = {}
+        #: (block spec, effective precision, batch) -> unrounded cycles of
+        #: the shared (projections + MLP) half at width ``batch``.
+        self._decode_shared: Dict[Tuple[object, str, int], float] = {}
+        #: (block spec, effective precision, KV position) -> unrounded
+        #: cycles of one member's attention half at that position.
+        self._decode_attn: Dict[Tuple[object, str, int], float] = {}
+        #: (session spec, effective precision) -> whole-session serial
+        #: cycles (the admission estimate).
+        self._decode_session: Dict[Tuple[object, str], int] = {}
         self.memo_hits = 0
         self.memo_misses = 0
         self._jobs_timed = 0
@@ -298,8 +417,18 @@ class ContinuousServer:
 
     @property
     def in_flight(self) -> int:
-        """Requests currently occupying a cluster."""
+        """Cluster-occupying units in flight (a decode group counts once)."""
         return self._in_flight
+
+    @property
+    def decode_queue_depth(self) -> int:
+        """Decode sessions admitted but not yet grouped onto a cluster."""
+        return len(self._decode_queue)
+
+    @property
+    def decode_active(self) -> int:
+        """Decode sessions admitted and not yet completed."""
+        return self._decode_active
 
     def _advance_pool_integral(self, cycle: int) -> None:
         if cycle > self._pool_marker:
@@ -355,6 +484,129 @@ class ContinuousServer:
         self._service[key] = cycles
         return cycles
 
+    # -- decode step costing -------------------------------------------------
+    def _decode_effective(self, precision: Optional[str]) -> str:
+        """Effective element format of a decode session's timing.
+
+        Decode step graphs are precision-agnostic at graph level (the
+        KV-cache overrides ride on individual nodes), so the requested
+        class wins, then the pool's default format.
+        """
+        return precision or self.farm.config.format
+
+    def _decode_program_cycles(self, graph: WorkloadGraph,
+                               effective: str) -> float:
+        """Unrounded serial cycles of one decode graph (farm-timed).
+
+        Lowers against the effective-format farm and times through
+        :meth:`SimulationFarm.time_program`, which routes each node's jobs
+        through the farm of *its* precision -- the per-node KV-cache
+        overrides are honoured here.  Offload and elementwise core costs
+        are charged exactly like :meth:`service_cycles`.
+        """
+        farm = self._farm_for(effective)
+        program = graph.lower(config=farm.config)
+        timing = farm.time_program(program, backend=self.backend)
+        self._jobs_timed += program.n_jobs
+        total = timing.cycles
+        total += self.offload_cycles_per_job * program.n_jobs
+        if self.elementwise_cycles_per_element:
+            total += self.elementwise_cycles_per_element * sum(
+                node.elements for node in program.nodes if not node.is_gemm)
+        return total
+
+    def _decode_full_cycles(self, spec, effective: str, position: int) -> int:
+        """Rounded cycles of a full single-session step at one KV position.
+
+        This is the B == 1 step cost: ``int(round(farm.time_program(step
+        graph)))`` by construction, which is what makes the decode
+        conservation law exact.
+        """
+        key = (spec, effective, position)
+        cycles = self._decode_full.get(key)
+        if cycles is None:
+            self.memo_misses += 1
+            from repro.graph.llm import decode_step_graph
+
+            cycles = int(round(self._decode_program_cycles(
+                decode_step_graph(spec, position), effective)))
+            self._decode_full[key] = cycles
+        else:
+            self.memo_hits += 1
+        return cycles
+
+    def _decode_shared_cycles(self, spec, effective: str,
+                              batch: int) -> float:
+        """Unrounded cycles of the batchable half at ``batch`` width."""
+        key = (spec, effective, batch)
+        cycles = self._decode_shared.get(key)
+        if cycles is None:
+            self.memo_misses += 1
+            from repro.graph.llm import decode_shared_graph
+
+            cycles = self._decode_program_cycles(
+                decode_shared_graph(spec, batch), effective)
+            self._decode_shared[key] = cycles
+        else:
+            self.memo_hits += 1
+        return cycles
+
+    def _decode_attn_cycles(self, spec, effective: str,
+                            position: int) -> float:
+        """Unrounded cycles of one member's attention half at a position."""
+        key = (spec, effective, position)
+        cycles = self._decode_attn.get(key)
+        if cycles is None:
+            self.memo_misses += 1
+            from repro.graph.llm import decode_attention_graph
+
+            cycles = self._decode_program_cycles(
+                decode_attention_graph(spec, position), effective)
+            self._decode_attn[key] = cycles
+        else:
+            self.memo_hits += 1
+        return cycles
+
+    def _group_step_cost(self, group: _DecodeGroup) -> int:
+        """Cycles of the group's next batched step.
+
+        A lone member runs its full step graph (the conservation-exact
+        path).  A batch runs the shared half once at ``k = batch`` plus
+        each member's own attention half -- the weight-stationary GEMMs
+        coalesce, the KV-cache-shaped GEMMs cannot.
+        """
+        spec, precision = group.key
+        effective = self._decode_effective(precision)
+        members = group.members
+        if len(members) == 1:
+            return self._decode_full_cycles(spec, effective,
+                                            members[0].position)
+        total = self._decode_shared_cycles(spec, effective, len(members))
+        for session in members:
+            total += self._decode_attn_cycles(spec, effective,
+                                              session.position)
+        return int(round(total))
+
+    def decode_session_cycles(self, session,
+                              precision: Optional[str] = None) -> int:
+        """Serial (unbatched) service cycles of one whole decode session.
+
+        The sum of the session's per-step full-graph costs -- what a
+        1-session run on one cluster takes, and the service estimate the
+        admission policy charges for a decode arrival.
+        """
+        effective = self._decode_effective(precision)
+        key = (session, effective)
+        cycles = self._decode_session.get(key)
+        if cycles is None:
+            cycles = sum(
+                self._decode_full_cycles(session.spec, effective, position)
+                for position in session.positions)
+            self._decode_session[key] = cycles
+        else:
+            self.memo_hits += 1
+        return cycles
+
     # -- event plumbing ------------------------------------------------------
     def _push(self, cycle: int, kind: int, payload: object) -> None:
         heapq.heappush(self._events, (cycle, kind, self._sequence, payload))
@@ -373,7 +625,8 @@ class ContinuousServer:
         if policy is None:
             return None
         if policy.max_queue is not None:
-            if len(self._queue) >= policy.max_queue:
+            waiting = len(self._queue) + len(self._decode_queue)
+            if waiting >= policy.max_queue:
                 return "queue"
             weights = policy.tenant_weights
             if weights is not None:
@@ -403,14 +656,18 @@ class ContinuousServer:
             self._obs_dispatched(request)
         self._arm_autoscaler()
 
-    def _obs_dispatched(self, request: Request) -> None:
-        """Record the dispatch: claim a lane, sample occupancy gauges."""
+    def _obs_claim_lane(self) -> int:
+        """Claim the lowest free cluster lane (allocating if none free)."""
         lanes = self._obs_lanes
         if lanes:
-            lane = heapq.heappop(lanes)
-        else:
-            lane = self._obs_next_lane
-            self._obs_next_lane += 1
+            return heapq.heappop(lanes)
+        lane = self._obs_next_lane
+        self._obs_next_lane += 1
+        return lane
+
+    def _obs_dispatched(self, request: Request) -> None:
+        """Record the dispatch: claim a lane, sample occupancy gauges."""
+        lane = self._obs_claim_lane()
         # Keyed by object identity with a FIFO list per key, so even the
         # degenerate case of one Request object offered twice stays sound.
         self._obs_inflight.setdefault(id(request), []).append(
@@ -445,10 +702,9 @@ class ContinuousServer:
         obs.sample("serve.in_flight", self._in_flight, ts=self._now,
                    track="serve")
 
-    def _complete(self, request: Request) -> None:
-        self._in_flight -= 1
-        self._idle += 1
-        self._last_completion = self._now
+    def _record_completion(self, request: Request) -> int:
+        """Fold one finished request (or decode session) into the latency
+        accounting; returns the arrival-to-completion latency."""
         latency = self._now - request.arrival_cycle
         self._overall.add(latency)
         tenant = self._per_tenant.get(request.tenant)
@@ -463,14 +719,32 @@ class ContinuousServer:
             self._window.append(latency)
         if self.keep_latencies:
             self.latencies.append(latency)
-        if self._obs.enabled:
-            self._obs_completed(request, latency)
-        # Freed capacity immediately serves the head of the queue.
-        if self._queue:
+        return latency
+
+    def _serve_queues(self) -> None:
+        """Hand freed (or newly provisioned) capacity to waiting work.
+
+        Atomic requests first (they were admitted against the same bounded
+        queue), then decode-queue heads -- each of which seeds a fresh
+        batched group, pulling compatible waiting sessions along.
+        """
+        while self._idle > 0 and self._queue:
             queued, queued_service = self._queue.popleft()
             self._queued_service -= queued_service
             self._queued_by_tenant[queued.tenant] -= 1
             self._dispatch(queued, queued_service)
+        while self._idle > 0 and self._decode_queue:
+            self._launch_decode_head()
+
+    def _complete(self, request: Request) -> None:
+        self._in_flight -= 1
+        self._idle += 1
+        self._last_completion = self._now
+        latency = self._record_completion(request)
+        if self._obs.enabled:
+            self._obs_completed(request, latency)
+        # Freed capacity immediately serves the head of the queues.
+        self._serve_queues()
 
     def _fast_service(self, request: Request) -> int:
         """One-lookup service memo keyed by the requested precision."""
@@ -482,6 +756,138 @@ class ContinuousServer:
         else:
             self.memo_hits += 1
         return service
+
+    # -- decode sessions -----------------------------------------------------
+    def _admit_decode_session(self, request: Request, service: int) -> None:
+        """Place a just-admitted decode session: own cluster, running
+        group of the same signature, or the decode queue -- in that order.
+        """
+        session = _DecodeSession(request, tuple(request.decode.positions))
+        self._decode_active += 1
+        key = (request.decode.spec, request.precision)
+        if self._idle > 0:
+            self._start_decode_group(session, key)
+            return
+        for group in self._decode_groups.get(key, ()):
+            if group.occupancy < self.batch_cap:
+                # Absorbed at the group's next step boundary.
+                group.joiners.append(session)
+                return
+        session.queued_service = service
+        self._decode_queue.append(session)
+        self._queued_service += service
+        self._queued_by_tenant[request.tenant] = (
+            self._queued_by_tenant.get(request.tenant, 0) + 1)
+        if self._obs.enabled:
+            self._obs.sample(
+                "serve.queue_depth",
+                len(self._queue) + len(self._decode_queue),
+                ts=self._now, track="serve")
+        self._arm_autoscaler()
+
+    def _dequeue_decode(self, session: _DecodeSession) -> None:
+        """Undo the queue accounting of a session leaving the decode queue."""
+        self._queued_service -= session.queued_service
+        session.queued_service = 0
+        self._queued_by_tenant[session.request.tenant] -= 1
+
+    def _launch_decode_head(self) -> None:
+        """Seed a new group from the decode-queue head (cluster is idle)."""
+        session = self._decode_queue.popleft()
+        self._dequeue_decode(session)
+        self._start_decode_group(
+            session, (session.request.decode.spec, session.request.precision))
+
+    def _start_decode_group(self, first: _DecodeSession, key) -> None:
+        """Occupy an idle cluster with a new group led by ``first``,
+        pulling compatible decode-queued sessions along up to the cap."""
+        members = [first]
+        if self._decode_queue and self.batch_cap > 1:
+            remaining: Deque[_DecodeSession] = deque()
+            for session in self._decode_queue:
+                if (len(members) < self.batch_cap
+                        and (session.request.decode.spec,
+                             session.request.precision) == key):
+                    self._dequeue_decode(session)
+                    members.append(session)
+                else:
+                    remaining.append(session)
+            self._decode_queue = remaining
+        group = _DecodeGroup(key, members)
+        self._idle -= 1
+        self._in_flight += 1
+        self._decode_groups.setdefault(key, []).append(group)
+        if self._obs.enabled:
+            group.lane = self._obs_claim_lane()
+            self._obs.sample("serve.in_flight", self._in_flight,
+                             ts=self._now, track="serve")
+        self._begin_step(group)
+        self._arm_autoscaler()
+
+    def _begin_step(self, group: _DecodeGroup) -> None:
+        """Schedule the group's next batched step from the current cycle."""
+        cost = self._group_step_cost(group)
+        group.step_started = self._now
+        group.step_cost = cost
+        occupancy = len(group.members)
+        self._busy_cycles += cost
+        self.decode_steps += 1
+        if occupancy > 1:
+            self.decode_batched_steps += 1
+        self._decode_occupancy_sum += occupancy
+        if occupancy > self.decode_max_occupancy:
+            self.decode_max_occupancy = occupancy
+        self._push(self._now + cost, _EVENT_STEP, group)
+
+    def _on_step(self, group: _DecodeGroup) -> None:
+        """A batched step finished: advance every member, retire the done
+        ones, absorb joiners, and either step again or free the cluster."""
+        obs = self._obs
+        if obs.enabled:
+            spec, _ = group.key
+            obs.complete_span(
+                f"{spec.name}.step", group.step_started, self._now,
+                track="serve", lane=f"cluster{group.lane}", cat="decode-step",
+                occupancy=len(group.members),
+                positions=",".join(
+                    str(session.position) for session in group.members))
+        finished = []
+        for session in group.members:
+            session.index += 1
+            if session.done:
+                finished.append(session)
+        if finished:
+            group.members = [session for session in group.members
+                             if not session.done]
+            self._last_completion = self._now
+            for session in finished:
+                latency = self._record_completion(session.request)
+                self.decode_sessions_completed += 1
+                self._decode_active -= 1
+                if obs.enabled:
+                    obs.count("serve.decode_sessions")
+                    obs.observe("serve.latency_cycles", latency)
+        if group.joiners:
+            free = self.batch_cap - len(group.members)
+            if free > 0:
+                group.members.extend(group.joiners[:free])
+                del group.joiners[:free]
+        if group.members:
+            self._begin_step(group)
+            return
+        # Drained (joiners are promoted before this point, so an empty
+        # member list implies no joiners either): free the cluster.
+        siblings = self._decode_groups[group.key]
+        siblings.remove(group)
+        if not siblings:
+            del self._decode_groups[group.key]
+        self._in_flight -= 1
+        self._idle += 1
+        if obs.enabled:
+            heapq.heappush(self._obs_lanes, group.lane)
+            obs.sample("serve.in_flight", self._in_flight, ts=self._now,
+                       track="serve")
+        self._serve_queues()
 
     # -- autoscaling ---------------------------------------------------------
     def _resize(self, delta: int) -> int:
@@ -500,12 +906,8 @@ class ContinuousServer:
             if self._obs.enabled:
                 self._obs.sample("serve.pool_size", self.n_clusters,
                                  ts=self._now, track="serve")
-            # New capacity drains the queue immediately.
-            while self._queue and self._idle > 0:
-                queued, queued_service = self._queue.popleft()
-                self._queued_service -= queued_service
-                self._queued_by_tenant[queued.tenant] -= 1
-                self._dispatch(queued, queued_service)
+            # New capacity drains the queues immediately.
+            self._serve_queues()
             return delta
         floor = (self.autoscaler.min_clusters
                  if self.autoscaler is not None else 1)
@@ -544,7 +946,8 @@ class ContinuousServer:
         policy = self.autoscaler
         self._eval_scheduled = False
         effective = self.n_clusters + self._pending_provisions
-        desired = math.ceil(len(self._queue) / policy.queue_per_cluster)
+        waiting = len(self._queue) + len(self._decode_queue)
+        desired = math.ceil(waiting / policy.queue_per_cluster)
         desired = max(policy.min_clusters,
                       min(policy.max_clusters, max(desired, 1)))
         p99 = None
@@ -561,6 +964,7 @@ class ContinuousServer:
                        _EVENT_PROVISION, grow)
             decision, amount = "scale_up", grow
         elif (desired < effective and not self._queue
+              and not self._decode_queue
               and self._pending_provisions == 0):
             occupancy = (self._in_flight / self.n_clusters
                          if self.n_clusters else 1.0)
@@ -575,13 +979,14 @@ class ContinuousServer:
                 "serve.autoscale", ts=self._now, track="serve",
                 lane="autoscaler", cat="autoscale", decision=decision,
                 amount=amount, desired=desired, effective=effective,
-                queue_depth=len(self._queue), in_flight=self._in_flight,
+                queue_depth=waiting, in_flight=self._in_flight,
                 window_p99=-1.0 if p99 is None else p99,
                 slo_p99=(-1.0 if policy.slo_p99_cycles is None
                          else policy.slo_p99_cycles))
         # Keep evaluating while there is work (or capacity in flight) --
         # and let the event heap drain to empty otherwise.
-        if (self._queue or self._in_flight or self._pending_provisions):
+        if (self._queue or self._decode_queue or self._in_flight
+                or self._pending_provisions):
             self._arm_autoscaler()
 
     # -- event loop ----------------------------------------------------------
@@ -603,6 +1008,8 @@ class ContinuousServer:
             self._now = cycle
             if kind == _EVENT_COMPLETION:
                 self._complete(payload)
+            elif kind == _EVENT_STEP:
+                self._on_step(payload)
             elif kind == _EVENT_PROVISION:
                 self._pending_provisions -= payload
                 self._resize(payload)
@@ -640,7 +1047,11 @@ class ContinuousServer:
                                   * (arrival - self._pool_marker))
             self._pool_marker = arrival
         self._now = arrival
-        service = self._fast_service(request)
+        if request.decode is not None:
+            service = self.decode_session_cycles(request.decode,
+                                                 request.precision)
+        else:
+            service = self._fast_service(request)
         if self.admission is not None:
             reason = self._admit(request, service)
             if reason is not None:
@@ -660,6 +1071,9 @@ class ContinuousServer:
         self.admitted += 1
         if self._obs.enabled:
             self._obs.count("serve.admitted")
+        if request.decode is not None:
+            self._admit_decode_session(request, service)
+            return True
         if self._idle > 0 and not self._queue:
             self._dispatch(request, service)
         else:
@@ -721,6 +1135,14 @@ class ContinuousServer:
             cache_hits=stats.hits - self._cache_hits0,
             cache_misses=stats.misses - self._cache_misses0,
             models=dict(self._models),
+            decode_sessions=self.decode_sessions_completed,
+            decode_steps=self.decode_steps,
+            decode_batched_steps=self.decode_batched_steps,
+            decode_mean_occupancy=(
+                self._decode_occupancy_sum / self.decode_steps
+                if self.decode_steps else 0.0),
+            decode_max_occupancy=self.decode_max_occupancy,
+            batch_cap=self.batch_cap,
         )
 
     def simulate(self, requests: Iterable[Request],

@@ -462,6 +462,16 @@ class ContinuousReport:
     cache_hits: int = 0
     cache_misses: int = 0
     models: Dict[str, int] = field(default_factory=dict)
+    #: Continuous-batching outcome (zeros when the run had no decode
+    #: sessions): completed sessions, total batched-step events, steps that
+    #: ran at occupancy > 1, and the occupancy profile of all steps.
+    decode_sessions: int = 0
+    decode_steps: int = 0
+    decode_batched_steps: int = 0
+    decode_mean_occupancy: float = 0.0
+    decode_max_occupancy: int = 0
+    #: The server's decode batching cap (1 = no cross-request batching).
+    batch_cap: int = 1
 
     # -- derived -------------------------------------------------------------
     @property
@@ -470,6 +480,13 @@ class ContinuousReport:
         if self.makespan_cycles <= 0:
             return 0.0
         return self.completed / (self.makespan_cycles / self.frequency_hz)
+
+    @property
+    def decode_batched_fraction(self) -> float:
+        """Fraction of decode steps that ran at occupancy > 1."""
+        if self.decode_steps == 0:
+            return 0.0
+        return self.decode_batched_steps / self.decode_steps
 
     @property
     def rejection_rate(self) -> float:
@@ -535,6 +552,14 @@ class ContinuousReport:
             f"timed, farm cache {self.cache_hits} hits / "
             f"{self.cache_misses} misses",
         ]
+        if self.decode_steps:
+            lines.append(
+                f"  decode     : {self.decode_sessions} sessions, "
+                f"{self.decode_steps} steps "
+                f"({self.decode_batched_steps} batched, "
+                f"{100 * self.decode_batched_fraction:.1f}%), occupancy "
+                f"mean {self.decode_mean_occupancy:.2f} / "
+                f"max {self.decode_max_occupancy} (cap {self.batch_cap})")
         if self.models:
             mix = ", ".join(f"{name}: {count}"
                             for name, count in sorted(self.models.items()))

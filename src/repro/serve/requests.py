@@ -36,11 +36,15 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 import numpy as np
 
 from repro.graph.ir import WorkloadGraph
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.graph.llm import DecodeSpec
 from repro.power.technology import OP_22NM_PERFORMANCE
 
 #: Clock frequency used to convert requests/s into cycles (22 nm, 0.8 V).
@@ -161,21 +165,68 @@ class TenantSpec:
 
 
 @dataclass(frozen=True)
+class DecodeSessionSpec:
+    """An autoregressive decode session class: block shape + step count.
+
+    ``spec`` is the transformer-block shape (a
+    :class:`repro.graph.llm.DecodeSpec`); a session arrives with ``prefill``
+    tokens already in its KV-cache (the prompt) and generates
+    ``decode_steps`` tokens, one decode-step graph per token at KV
+    positions ``prefill .. prefill + decode_steps - 1``.  The last position
+    must fit the spec's context limit.  Frozen and hashable: the continuous
+    batcher keys its step-cost memo and its join-compatibility signature on
+    ``(spec, precision)``.
+    """
+
+    spec: "DecodeSpec"
+    prefill: int = 0
+    decode_steps: int = 1
+
+    def __post_init__(self) -> None:
+        from repro.graph.llm import session_positions
+
+        positions = session_positions(self.prefill, self.decode_steps)
+        self.spec.check_position(positions[-1])
+
+    @property
+    def model(self) -> str:
+        """Display/model name of the session class (the spec's name)."""
+        return self.spec.name
+
+    @property
+    def positions(self) -> Sequence[int]:
+        """KV positions of the session's steps, in order."""
+        return range(self.prefill, self.prefill + self.decode_steps)
+
+
+@dataclass(frozen=True)
 class Request:
-    """One inference/training request entering the serving system."""
+    """One inference/training request entering the serving system.
+
+    Atomic requests carry a ``graph`` and occupy a cluster for its serial
+    service time.  Decode *sessions* carry a :class:`DecodeSessionSpec` in
+    ``decode`` instead (``graph`` is ``None``): the continuous loop runs
+    them step by step and may coalesce concurrent sessions into batched
+    steps (see :class:`repro.serve.loop.ContinuousServer`).
+    """
 
     request_id: int
     tenant: str
     model: str
-    graph: WorkloadGraph
+    graph: Optional[WorkloadGraph]
     arrival_cycle: int
     #: Requested element precision (tenant serving class); ``None`` defers
     #: to the graph's own precision or the serving pool's default format.
     precision: Optional[str] = None
+    #: Decode-session description; ``None`` for atomic requests.
+    decode: Optional[DecodeSessionSpec] = None
 
     def __post_init__(self) -> None:
         if self.arrival_cycle < 0:
             raise ValueError("arrival_cycle must be non-negative")
+        if self.graph is None and self.decode is None:
+            raise ValueError(
+                "a request needs a workload graph or a decode session")
 
 
 # -- per-tenant arrival-time processes (lazy, seconds domain) ----------------
@@ -382,3 +433,67 @@ class RequestGenerator:
                     precision=tenant.precision,
                 ))
         return requests
+
+
+# -- decode-session arrivals --------------------------------------------------
+def decode_session_stream(
+    sessions: Sequence[DecodeSessionSpec],
+    rps: float,
+    duration_s: float,
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    seed: int = 0,
+    tenant: str = "decode",
+    precision: Optional[str] = None,
+) -> Iterator[Request]:
+    """Lazily yield decode-session arrivals (Poisson at aggregate ``rps``).
+
+    Each arrival picks one of ``sessions`` uniformly (deterministically
+    under ``seed``) and is stamped with the tenant name and precision
+    class.  Arrival-ordered like :meth:`RequestGenerator.stream`, so it
+    feeds :meth:`ContinuousServer.offer` / ``simulate`` directly.
+    """
+    if not sessions:
+        raise ValueError("decode_session_stream needs at least one session")
+    if rps <= 0:
+        raise ValueError("rps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    rng = np.random.default_rng(np.random.SeedSequence((seed, 7)))
+    choices = _model_indices(rng, [1.0 / len(sessions)] * len(sessions))
+    request_id = 0
+    for time_s in _poisson_times(rng, rps, duration_s):
+        session = sessions[next(choices)]
+        yield Request(
+            request_id=request_id, tenant=tenant, model=session.model,
+            graph=None, arrival_cycle=int(time_s * frequency_hz),
+            precision=precision, decode=session,
+        )
+        request_id += 1
+
+
+def decode_burst(
+    sessions: Sequence[DecodeSessionSpec],
+    count: int,
+    tenant: str = "decode",
+    precision: Optional[str] = None,
+) -> List[Request]:
+    """A closed-loop decode burst: ``count`` sessions all arriving at cycle 0.
+
+    Session classes are assigned round-robin (deterministic without any
+    randomness), which is what the batching benchmark uses: with every
+    session queued from the start, throughput is limited purely by how well
+    steps coalesce under the batch cap.
+    """
+    if not sessions:
+        raise ValueError("decode_burst needs at least one session")
+    if count <= 0:
+        raise ValueError("count must be positive")
+    return [
+        Request(
+            request_id=index, tenant=tenant,
+            model=sessions[index % len(sessions)].model, graph=None,
+            arrival_cycle=0, precision=precision,
+            decode=sessions[index % len(sessions)],
+        )
+        for index in range(count)
+    ]

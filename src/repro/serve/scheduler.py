@@ -41,7 +41,7 @@ pinned by the test suite.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.farm import SimulationFarm, default_farm
@@ -105,16 +105,10 @@ def derive_precision_farm(base: SimulationFarm,
     The derived farm shares the base farm's timing cache (per-precision
     records key on the element format, so they never collide) -- the PR 5
     plumbing that makes online precision routing free of duplicate state.
+    Delegates to :meth:`~repro.farm.SimulationFarm.with_format`, which
+    memoises one derived farm per format on the base farm.
     """
-    return SimulationFarm(
-        config=replace(base.config, format=precision),
-        backend=base.backend,
-        engine_macs_threshold=base.engine_macs_threshold,
-        max_workers=1,
-        arithmetic=base.arithmetic,
-        cache=base.cache,
-        max_cycles=base.max_cycles,
-    )
+    return base.with_format(precision)
 
 
 class ServingSimulator:

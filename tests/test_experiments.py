@@ -159,7 +159,7 @@ class TestRunner:
         assert set(EXPERIMENTS) == {
             "table1", "fig3a", "fig3b", "fig3c", "fig3d",
             "fig4a", "fig4b", "fig4c", "fig4d",
-            "serve-mlp", "serve-mix", "serve-million",
+            "serve-mlp", "serve-mix", "serve-million", "serve-decode",
             "dse-frontier", "dse-memory",
         }
 

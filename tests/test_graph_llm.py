@@ -1,0 +1,213 @@
+"""LLM decode workload graphs: shapes, KV growth, per-node precision."""
+
+import pytest
+
+from repro.graph import (
+    DECODE_ZOO,
+    DecodeSpec,
+    GraphValidationError,
+    PrecisionRule,
+    assign_precisions,
+    build_decode_spec,
+    build_model,
+    decode_attention_graph,
+    decode_shared_graph,
+    decode_specs,
+    decode_step_graph,
+    precision_summary,
+    session_positions,
+)
+from repro.graph.llm import KV_CACHE, ROLE_ATTENTION, ROLE_SHARED, TAG_KV, TAG_ROLE
+from repro.graph.precision import node_precision
+from repro.redmule.config import RedMulEConfig
+
+TINY = build_decode_spec("llm-decode-tiny")
+KV8 = build_decode_spec("llm-decode-tiny-kv8")
+
+
+# -- spec validation ----------------------------------------------------------
+def test_spec_rejects_bad_dimensions():
+    with pytest.raises(ValueError, match="positive"):
+        DecodeSpec(name="x", d_model=0, n_heads=1, d_ff=4, context_limit=8)
+    with pytest.raises(ValueError, match="divisible"):
+        DecodeSpec(name="x", d_model=30, n_heads=4, d_ff=4, context_limit=8)
+    with pytest.raises(ValueError, match="unknown element format"):
+        DecodeSpec(name="x", d_model=32, n_heads=2, d_ff=4, context_limit=8,
+                   kv_precision="fp7-nope")
+
+
+def test_context_limit_enforced():
+    spec = TINY
+    spec.check_position(spec.context_limit - 1)  # last legal append
+    with pytest.raises(ValueError, match="context limit"):
+        spec.check_position(spec.context_limit)
+    with pytest.raises(ValueError, match=">= 0"):
+        spec.check_position(-1)
+    with pytest.raises(ValueError, match="context limit"):
+        decode_step_graph(spec, spec.context_limit)
+
+
+def test_zoo_lookup():
+    assert decode_specs() == sorted(DECODE_ZOO)
+    with pytest.raises(KeyError, match="unknown decode spec"):
+        build_decode_spec("llm-decode-huge")
+
+
+def test_session_positions():
+    assert list(session_positions(8, 3)) == [8, 9, 10]
+    assert list(session_positions(0, 1)) == [0]
+    with pytest.raises(ValueError, match="prefill"):
+        session_positions(-1, 2)
+    with pytest.raises(ValueError, match="at least one"):
+        session_positions(4, 0)
+
+
+# -- step graph shapes --------------------------------------------------------
+def test_step_zero_has_no_past_cache():
+    """Position 0 attends over exactly the current token: the kv-append
+    consumes only the fresh slice, there is no zero-length past tensor."""
+    graph = decode_step_graph(TINY, 0)
+    assert "kpast0" not in graph.tensors
+    assert "vpast0" not in graph.tensors
+    append = graph.node("k-append0")
+    assert append.inputs == ("k0",)
+    scores = graph.node("dec-scores0")
+    assert scores.shape.k == 1
+    graph.validate()
+    assert graph.lower().n_jobs > 0
+
+
+def test_attention_grows_with_position():
+    for position in (0, 7, 31):
+        graph = decode_step_graph(TINY, position)
+        cached = position + 1
+        for head in range(TINY.n_heads):
+            scores = graph.node(f"dec-scores{head}")
+            assert scores.shape.k == cached
+            assert scores.shape.n == TINY.d_head
+            ctx = graph.node(f"dec-ctx{head}")
+            assert ctx.shape.n == cached
+        # Past-cache tensors appear exactly when there is a past.
+        assert ("kpast0" in graph.tensors) == (position > 0)
+
+
+def test_step_at_context_limit_boundary():
+    """The last legal step fills the cache to exactly context_limit."""
+    graph = decode_step_graph(TINY, TINY.context_limit - 1)
+    assert graph.node("dec-scores0").shape.k == TINY.context_limit
+    graph.validate()
+
+
+def test_single_head_spec():
+    spec = DecodeSpec(name="one-head", d_model=16, n_heads=1, d_ff=32,
+                      context_limit=16)
+    graph = decode_step_graph(spec, 3)
+    assert spec.d_head == spec.d_model
+    assert graph.node("concat").inputs == ("c0",)
+    graph.validate()
+    program = graph.lower()
+    assert program.n_jobs > 0
+
+
+def test_shared_graph_is_position_free():
+    """The batchable half depends on batch width only."""
+    for batch in (1, 4, 8):
+        graph = decode_shared_graph(TINY, batch)
+        assert graph.node("dec-q").shape.k == batch
+        assert graph.node("mlp-up").shape.k == batch
+        for node in graph.gemm_nodes():
+            assert node.tags[TAG_ROLE] == ROLE_SHARED
+        graph.validate()
+    with pytest.raises(ValueError, match="batch"):
+        decode_shared_graph(TINY, 0)
+
+
+def test_attention_graph_matches_step_attention():
+    """The per-request half carries the same attention shapes as the full
+    step, with the q/k/v slices as graph inputs."""
+    position = 9
+    attn = decode_attention_graph(TINY, position)
+    step = decode_step_graph(TINY, position)
+    for head in range(TINY.n_heads):
+        assert (attn.node(f"dec-scores{head}").shape
+                == step.node(f"dec-scores{head}").shape)
+        assert (attn.node(f"dec-ctx{head}").shape
+                == step.node(f"dec-ctx{head}").shape)
+    for node in attn.gemm_nodes():
+        assert node.tags[TAG_ROLE] == ROLE_ATTENTION
+    attn.validate()
+
+
+def test_roles_partition_the_step():
+    graph = decode_step_graph(TINY, 5)
+    roles = {node.tags[TAG_ROLE] for node in graph.gemm_nodes()}
+    assert roles == {ROLE_SHARED, ROLE_ATTENTION}
+    kv_nodes = [node for node in graph.gemm_nodes()
+                if node.tags.get(TAG_KV) == KV_CACHE]
+    # scores + ctx per head.
+    assert len(kv_nodes) == 2 * TINY.n_heads
+
+
+# -- per-node precision -------------------------------------------------------
+def test_kv_precision_overrides_cache_gemms_only():
+    graph = decode_step_graph(KV8, 5)
+    summary = precision_summary(graph, fallback="fp16")
+    assert summary == {"fp16": len(graph) - 2 * KV8.n_heads,
+                       "fp8-e4m3": 2 * KV8.n_heads}
+    for node in graph.gemm_nodes():
+        expected = ("fp8-e4m3" if node.tags.get(TAG_KV) == KV_CACHE
+                    else None)
+        assert node.precision == expected
+
+
+def test_kv8_lowering_narrows_element_bytes():
+    """Inside an FP16 program the FP8-KV jobs carry 1-byte elements."""
+    config = RedMulEConfig.reference()
+    program = decode_step_graph(KV8, 5).lower(config=config)
+    assert program.mixed_precision
+    by_name = {node.name: node for node in program.nodes if node.is_gemm}
+    for name, node in by_name.items():
+        is_kv = name.startswith("dec-scores") or name.startswith("dec-ctx")
+        assert node.precision == ("fp8-e4m3" if is_kv else "fp16")
+        for job in node.jobs:
+            assert job.element_bytes == (1 if is_kv else 2)
+    precisions = program.node_precisions()
+    assert precisions["dec-scores0"] == "fp8-e4m3"
+    assert precisions["dec-q"] == "fp16"
+
+
+def test_plain_spec_lowering_is_uniform():
+    program = decode_step_graph(TINY, 5).lower(config=RedMulEConfig.reference())
+    assert not program.mixed_precision
+    assert all(node.precision == "fp16" for node in program.nodes)
+
+
+def test_assign_precisions_requires_matches():
+    graph = decode_step_graph(TINY, 2)
+    with pytest.raises(GraphValidationError, match="matched no node"):
+        assign_precisions(graph, [PrecisionRule(precision="fp8-e4m3",
+                                                prefix="nonexistent-")])
+    # require_match=False tolerates dead rules.
+    assign_precisions(graph, [PrecisionRule(precision="fp8-e4m3",
+                                            prefix="nonexistent-")],
+                      require_match=False)
+    assert all(node.precision is None for node in graph.nodes)
+
+
+def test_assign_precisions_first_match_wins():
+    graph = decode_step_graph(TINY, 2)
+    assign_precisions(graph, [
+        PrecisionRule(precision="fp8-e4m3", prefix="dec-scores"),
+        PrecisionRule(precision="bf16", tag=(TAG_ROLE, ROLE_ATTENTION)),
+    ])
+    assert graph.node("dec-scores0").precision == "fp8-e4m3"
+    assert graph.node("dec-ctx0").precision == "bf16"
+    assert node_precision(graph, graph.node("dec-q"), fallback="fp16") == "fp16"
+
+
+def test_zoo_registers_decode_steps():
+    """Representative mid-stream steps ride in the ordinary model zoo."""
+    model = build_model("llm-decode-tiny-step8")
+    assert model.node("dec-scores0").shape.k == 9
+    kv8 = build_model("llm-decode-tiny-kv8-step8")
+    assert kv8.node("dec-scores0").precision == "fp8-e4m3"

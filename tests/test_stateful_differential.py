@@ -19,7 +19,15 @@ Two :class:`~hypothesis.stateful.RuleBasedStateMachine` suites live here:
   the serial ``farm.time_program`` makespan, and replaying the recorded
   command log on a fresh server reproduces the identical state.
 
-Both runs are bounded (few examples, short command sequences) so they stay
+* :class:`DecodeSessionMachine` extends the same treatment to continuous
+  batching: random interleavings of atomic requests, multi-step decode
+  sessions (two batch-group signatures), clock advances and forced scale
+  events, with the accounting closure spanning both kinds (admitted ==
+  completed + queued + occupying), every memoised full-step cost equal to
+  its step graph's serial ``farm.time_program`` makespan, and command-log
+  replay determinism.
+
+All runs are bounded (few examples, short command sequences) so they stay
 quick CI jobs rather than soak tests.
 """
 
@@ -32,6 +40,7 @@ import pytest
 
 from repro.farm import SimulationFarm
 from repro.fp.vector import pack_matrix, random_matrix
+from repro.graph.llm import build_decode_spec, decode_step_graph
 from repro.graph.zoo import build_model
 from repro.interco.hci import Hci, HciConfig
 from repro.mem.layout import MemoryAllocator
@@ -41,7 +50,12 @@ from repro.redmule.engine import RedMulE
 from repro.redmule.functional import matmul_hw_order_simd_fmt
 from repro.redmule.job import MatmulJob
 from repro.redmule.trace import TraceStore, reset_shared_trace_stores
-from repro.serve import AdmissionPolicy, ContinuousServer, Request
+from repro.serve import (
+    AdmissionPolicy,
+    ContinuousServer,
+    DecodeSessionSpec,
+    Request,
+)
 
 #: Small shapes exercising single ragged tiles, multi-tile sweeps and the
 #: Z-backlog handover between tiles, without blowing up per-example runtime.
@@ -292,6 +306,143 @@ class ServeLoopMachine(RuleBasedStateMachine):
 
 TestServeLoopStateful = ServeLoopMachine.TestCase
 TestServeLoopStateful.settings = settings(
+    max_examples=10,
+    stateful_step_count=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- continuous batching ------------------------------------------------------
+_DECODE_SPECS = {
+    "fp16": build_decode_spec("llm-decode-tiny"),
+    "kv8": build_decode_spec("llm-decode-tiny-kv8"),
+}
+
+
+def _fresh_decode_loop():
+    return ContinuousServer(n_clusters=2, farm=_SERVE_FARM, backend="model",
+                            batch_cap=3)
+
+
+class DecodeSessionMachine(RuleBasedStateMachine):
+    """Mixed atomic + decode-session traffic against the loop's invariants."""
+
+    @initialize()
+    def setup(self):
+        self.server = _fresh_decode_loop()
+        self.log = []  # replayable command log
+        self.next_id = 0
+        self.last_arrival = 0
+
+    def _state(self, server):
+        """Everything a replay must reproduce exactly."""
+        return (server.now, server.offered, server.admitted, server.rejected,
+                server.queue_depth, server.in_flight, server.n_clusters,
+                server.decode_active, server.decode_queue_depth,
+                server.decode_sessions_completed, server.decode_steps,
+                server.decode_batched_steps, server.decode_max_occupancy,
+                server._overall.count, server._overall.total,
+                server._overall.max, dict(server._models),
+                sorted(server._decode_full.values()))
+
+    def _offer(self, request):
+        self.next_id += 1
+        self.last_arrival = request.arrival_cycle
+        self.log.append(("arrive", request))
+        self.server.offer(request)
+
+    @rule(model=st.sampled_from(sorted(_SERVE_GRAPHS)),
+          gap=st.integers(min_value=0, max_value=4000))
+    def arrive_atomic(self, model, gap):
+        arrival = max(self.last_arrival, self.server.now) + gap
+        self._offer(Request(request_id=self.next_id, tenant="atomic",
+                            model=model, graph=_SERVE_GRAPHS[model],
+                            arrival_cycle=arrival))
+
+    @rule(kind=st.sampled_from(sorted(_DECODE_SPECS)),
+          prefill=st.integers(min_value=0, max_value=6),
+          steps=st.integers(min_value=1, max_value=3),
+          gap=st.integers(min_value=0, max_value=4000))
+    def arrive_session(self, kind, prefill, steps, gap):
+        arrival = max(self.last_arrival, self.server.now) + gap
+        session = DecodeSessionSpec(spec=_DECODE_SPECS[kind],
+                                    prefill=prefill, decode_steps=steps)
+        self._offer(Request(request_id=self.next_id, tenant="decode",
+                            model=session.model, graph=None,
+                            arrival_cycle=arrival, decode=session))
+
+    @rule(delta=st.integers(min_value=1, max_value=8000))
+    def advance(self, delta):
+        target = self.server.now + delta
+        self.log.append(("advance", target))
+        self.server.run_until(target)
+
+    @rule(delta=st.sampled_from([-1, 1, 2]))
+    def scale(self, delta):
+        self.log.append(("scale", delta))
+        self.server.force_scale(delta)
+
+    @rule()
+    def drain(self):
+        self.log.append(("drain",))
+        self.server.drain()
+
+    @invariant()
+    def accounting_closes_across_kinds(self):
+        if not hasattr(self, "server"):
+            return  # before @initialize
+        server = self.server
+        groups = [group for siblings in server._decode_groups.values()
+                  for group in siblings]
+        # A decode group occupies exactly one cluster.
+        atomic_in_flight = server.in_flight - len(groups)
+        assert atomic_in_flight >= 0
+        assert server.offered == server.admitted + server.rejected
+        assert server.admitted == (server._overall.count
+                                   + server.queue_depth + atomic_in_flight
+                                   + server.decode_active)
+        # Active sessions are either decode-queued or riding a group.
+        assert server.decode_active == (
+            server.decode_queue_depth
+            + sum(group.occupancy for group in groups))
+        assert server.in_flight + server._idle == server.n_clusters
+        assert server.decode_sessions_completed <= server.admitted
+
+    @invariant()
+    def memoised_step_cost_is_the_serial_makespan(self):
+        """Conservation: every full-step memo entry equals the serial
+        ``farm.time_program`` makespan of that step graph, lowered for the
+        effective precision's farm."""
+        if not hasattr(self, "server"):
+            return
+        server = self.server
+        for (spec, effective, position), cycles in server._decode_full.items():
+            farm = server._farms[effective]
+            program = decode_step_graph(spec, position).lower(
+                config=farm.config)
+            assert cycles == int(round(
+                farm.time_program(program, backend="model").cycles))
+
+    @invariant()
+    def replay_is_deterministic(self):
+        if not hasattr(self, "server") or not self.log:
+            return
+        replayed = _fresh_decode_loop()
+        for command in self.log:
+            if command[0] == "arrive":
+                replayed.offer(command[1])
+            elif command[0] == "advance":
+                replayed.run_until(command[1])
+            elif command[0] == "scale":
+                replayed.force_scale(command[1])
+            else:
+                replayed.drain()
+        assert self._state(replayed) == self._state(self.server)
+
+
+TestDecodeSessionStateful = DecodeSessionMachine.TestCase
+TestDecodeSessionStateful.settings = settings(
     max_examples=10,
     stateful_step_count=8,
     deadline=None,

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the repository's markdown docs.
+
+Scans ``README.md`` and every ``*.md`` under ``docs/`` for markdown links
+(``[text](target)``) and checks that each *local* target resolves:
+
+- external links (``http(s)://``, ``mailto:``) are skipped;
+- pure-anchor links (``#section``) must match a heading in the same file;
+- path links are resolved relative to the file containing them and must
+  exist; a ``path#anchor`` target must also match a heading in the
+  linked markdown file.
+
+Anchors are matched against GitHub-style heading slugs (lowercase,
+spaces to dashes, punctuation dropped).
+
+Usage:  python tools/check_links.py [repo-root]
+Exit status 0 when every link resolves, 1 otherwise (dead links listed
+one per line).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text).strip("-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {slugify(match.group(1)) for match in HEADING.finditer(text)}
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    problems = []
+    text = FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        where = f"{path.relative_to(root)}: ({target})"
+        if target.startswith("#"):
+            if target[1:] not in anchors_of(path):
+                problems.append(f"{where} -- no such heading")
+            continue
+        target_path, _, anchor = target.partition("#")
+        resolved = (path.parent / target_path).resolve()
+        if not resolved.exists():
+            problems.append(f"{where} -- no such file")
+            continue
+        if root not in resolved.parents and resolved != root:
+            problems.append(f"{where} -- escapes the repository")
+            continue
+        if anchor:
+            if resolved.suffix != ".md":
+                problems.append(f"{where} -- anchor on a non-markdown file")
+            elif slugify(anchor) not in anchors_of(resolved):
+                problems.append(f"{where} -- no such heading in target")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    files = [root / "README.md"] + sorted((root / "docs").glob("**/*.md"))
+    problems = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            continue
+        checked += 1
+        problems.extend(check_file(path, root))
+    if problems:
+        print(f"{len(problems)} dead link(s) in {checked} file(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"link check passed: {checked} file(s), no dead intra-repo links")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
