@@ -74,7 +74,7 @@ def _pool_size(server, tenants):
 
 def _serve_million_budget() -> float:
     """The committed serve-million throughput budget (req/s floor)."""
-    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
         return float(json.load(handle)["metrics"]["sim_req_per_second"])
 
 

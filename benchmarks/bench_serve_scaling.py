@@ -71,8 +71,8 @@ def test_serve_throughput_scales_with_clusters(benchmark):
     for pool in POOL_SIZES:
         if pool == max(POOL_SIZES):
             report = benchmark(
-                lambda: ServingSimulator(n_clusters=pool,
-                                         farm=farm).simulate(requests)
+                lambda pool=pool: ServingSimulator(n_clusters=pool,
+                                                   farm=farm).simulate(requests)
             )
         else:
             report = ServingSimulator(n_clusters=pool,

@@ -145,7 +145,7 @@ def compare_metrics(
 
 
 def _load(path: str) -> Dict[str, float]:
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     metrics = payload.get("metrics", {})
     return {name: float(value) for name, value in metrics.items()}

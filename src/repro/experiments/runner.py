@@ -278,7 +278,7 @@ def main(argv: Optional[List[str]] = None) -> None:
                 slo_p99_ms=args.slo_p99_ms,
             )
         except ValueError as error:
-            raise SystemExit(f"error: {error}")
+            raise SystemExit(f"error: {error}") from error
     if (args.prefill is not None or args.decode_steps is not None
             or args.batch_cap is not None or args.duration is not None):
         try:
@@ -289,7 +289,7 @@ def main(argv: Optional[List[str]] = None) -> None:
                 duration_s=args.duration,
             )
         except ValueError as error:
-            raise SystemExit(f"error: {error}")
+            raise SystemExit(f"error: {error}") from error
     if args.dse_export is not None:
         dse.set_dse_defaults(export_dir=args.dse_export)
 
@@ -297,7 +297,7 @@ def main(argv: Optional[List[str]] = None) -> None:
     try:
         validate_names(names)
     except KeyError as error:
-        raise SystemExit(f"error: {error.args[0]}")
+        raise SystemExit(f"error: {error.args[0]}") from error
 
     telemetry = None
     if args.trace_out is not None or args.metrics_out is not None:

@@ -219,7 +219,7 @@ class TimingCache:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.max_entries = max_entries
-        self._entries: "OrderedDict[TimingKey, TimingRecord]" = OrderedDict()
+        self._entries: OrderedDict[TimingKey, TimingRecord] = OrderedDict()
         #: Engine schedule-trace payloads keyed by config tag
         #: (:func:`repro.redmule.trace.trace_tag`); persisted alongside the
         #: timing entries so a warm cache also warms the trace stores.
@@ -299,7 +299,7 @@ class TimingCache:
         rejected -- their model records predate the bit-exact analytical
         model and carry stale cycle counts.
         """
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             payload = json.load(handle)
         version = payload.get("version")
         if version not in _LOADABLE_VERSIONS:

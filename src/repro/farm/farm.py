@@ -322,7 +322,7 @@ class SimulationFarm:
         # the timing cache keys on the *farm config's* format, so jobs of a
         # per-node precision override must be timed by a farm of that
         # format.  See with_format().
-        self._format_farms: Dict[str, "SimulationFarm"] = {}
+        self._format_farms: Dict[str, SimulationFarm] = {}
 
     # -- backend routing -----------------------------------------------------
     def resolve_backend(self, job: MatmulJob,
@@ -485,6 +485,7 @@ class SimulationFarm:
         backend = backend or BACKEND_MODEL
         # Imported here: repro.perf.comparison routes Table I through the
         # farm, so a module-level import would be circular.
+        # lint: ignore[ARCH001] lazy result-shaping import; perf sits above
         from repro.perf.metrics import WorkloadTiming
 
         shapes = list(shapes)
@@ -524,6 +525,7 @@ class SimulationFarm:
         effective format, so every job is timed on the line geometry it was
         lowered for while all records land in the one shared cache.
         """
+        # lint: ignore[ARCH001] lazy result-shaping import; perf sits above
         from repro.perf.metrics import WorkloadTiming
 
         jobs = [(node.name, getattr(node, "precision", None), job)

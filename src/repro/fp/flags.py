@@ -25,7 +25,7 @@ class ExceptionFlags:
     underflow: bool = False
     inexact: bool = False
 
-    def merge(self, other: "ExceptionFlags") -> "ExceptionFlags":
+    def merge(self, other: ExceptionFlags) -> ExceptionFlags:
         """Accumulate *other* into this instance and return ``self``."""
         self.invalid |= other.invalid
         self.div_by_zero |= other.div_by_zero

@@ -1,0 +1,92 @@
+"""`repro.lint` -- the AST-based invariant checker.
+
+The repository's load-bearing invariants -- replay determinism, the
+nine-subsystem dependency direction, per-track clock units, cache-key
+completeness -- are enforced dynamically by the property/differential test
+suites, which means a violation hides until a randomized test stumbles over
+it (the signed-zero padding bug and the perf-model undercount each survived
+several PRs that way).  This package enforces the *whole class* statically,
+at commit time, like the sanitizer and lint walls of production stacks.
+
+Rules (see :mod:`repro.lint.rules` and docs/architecture.md, "Mechanized
+invariants"):
+
+* **DET001** determinism wall -- no wall clocks (``time.time``,
+  ``datetime.now``), no process-global RNG streams (stdlib ``random``,
+  legacy ``numpy.random.*``, unseeded ``default_rng()``), no iteration
+  over sets / dict views feeding ordering-sensitive sinks.
+* **ARCH001** layering -- imports must follow the subsystem DAG declared
+  in ``tools/layers.toml``.
+* **CLK001** clock domains -- simulated-cycle modules must record
+  explicit-timestamp spans, never the wall-clock ``span()`` manager.
+* **KEY001** cache-key completeness -- every compared config field must
+  reach the cache-key tuple.
+* **FLT001** -- no ``==``/``!=`` between float cycle/latency expressions
+  in accounting code.
+
+Intentional exceptions carry ``# lint: ignore[RULE-ID] reason`` on the
+offending line (reason mandatory, stale suppressions reported).  CLI:
+``python -m repro.lint src`` (or ``tools/reprolint.py``); exit 0 clean,
+1 findings, 2 usage error.  ``--baseline`` records current findings so a
+new rule can land incrementally.
+
+This package imports nothing from the rest of ``repro`` (it is a declared
+bottom layer) and nothing beyond the standard library.
+"""
+
+from repro.lint.manifest import (
+    KeyPair,
+    LayerManifest,
+    ManifestError,
+    default_manifest_path,
+    load_manifest,
+    parse_toml_subset,
+)
+from repro.lint.reporters import (
+    apply_baseline,
+    baseline_from,
+    load_baseline,
+    render_human,
+    render_json,
+    report_json,
+    write_baseline,
+)
+from repro.lint.rules import RULES, Finding, ModuleContext, Rule
+from repro.lint.suppressions import (
+    Suppression,
+    SuppressionIndex,
+    scan_suppressions,
+)
+from repro.lint.walker import (
+    LintReport,
+    discover_files,
+    module_name_for,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "KeyPair",
+    "LayerManifest",
+    "LintReport",
+    "ManifestError",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "Suppression",
+    "SuppressionIndex",
+    "apply_baseline",
+    "baseline_from",
+    "default_manifest_path",
+    "discover_files",
+    "load_baseline",
+    "load_manifest",
+    "module_name_for",
+    "parse_toml_subset",
+    "render_human",
+    "render_json",
+    "report_json",
+    "run_lint",
+    "scan_suppressions",
+    "write_baseline",
+]

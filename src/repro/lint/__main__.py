@@ -1,0 +1,158 @@
+"""``python -m repro.lint`` -- the invariant checker CLI.
+
+Exit-code contract (relied on by CI and pinned by ``tests/test_lint.py``):
+
+* ``0`` -- no unsuppressed findings (or none beyond ``--baseline``),
+* ``1`` -- at least one unsuppressed finding,
+* ``2`` -- usage / manifest / I/O error (nothing was fully checked).
+
+Typical invocations::
+
+    python -m repro.lint src                      # the CI wall
+    python -m repro.lint src --format json        # machine-readable report
+    python -m repro.lint src --output lint.json   # human + JSON artifact
+    python -m repro.lint src --write-baseline tools/lint-baseline.json
+    python -m repro.lint src --baseline tools/lint-baseline.json
+    python -m repro.lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.lint.manifest import (
+    ManifestError,
+    default_manifest_path,
+    load_manifest,
+)
+from repro.lint.reporters import (
+    apply_baseline,
+    load_baseline,
+    render_human,
+    render_json,
+    report_json,
+    write_baseline,
+)
+from repro.lint.rules import RULES
+from repro.lint.walker import LintReport, run_lint
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker: determinism (DET001), "
+                    "layering (ARCH001), clock domains (CLK001), cache-key "
+                    "completeness (KEY001), float accounting (FLT001).")
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to check (e.g. src)")
+    parser.add_argument(
+        "--manifest", type=Path, default=None,
+        help="layer manifest (default: tools/layers.toml, located by "
+             "walking up from the current directory)")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format on stdout (default: human)")
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print suppressed findings with their reasons")
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="fail only on findings not recorded in FILE")
+    parser.add_argument(
+        "--write-baseline", type=Path, default=None, metavar="FILE",
+        help="record the current findings to FILE and exit 0")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list rule ids and exit")
+    return parser
+
+
+def _emit(report: LintReport, args: argparse.Namespace,
+          stdout: TextIO) -> None:
+    if args.format == "json":
+        render_json(report, stdout)
+    else:
+        render_human(report, stdout, show_suppressed=args.show_suppressed)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        with args.output.open("w", encoding="utf-8") as handle:
+            render_json(report, handle)
+
+
+def main(argv: Optional[List[str]] = None, *,
+         stdout: TextIO = sys.stdout,
+         stderr: TextIO = sys.stderr) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(RULES.items()):
+            stdout.write(f"{rule_id}  {rule.summary}\n")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        stderr.write("error: no paths given (try: python -m repro.lint "
+                     "src)\n")
+        return EXIT_ERROR
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        names = ", ".join(str(p) for p in missing)
+        stderr.write(f"error: no such path: {names}\n")
+        return EXIT_ERROR
+
+    manifest_path = args.manifest or default_manifest_path()
+    if manifest_path is None:
+        stderr.write("error: no tools/layers.toml found above the current "
+                     "directory; pass --manifest\n")
+        return EXIT_ERROR
+    try:
+        manifest = load_manifest(manifest_path)
+    except ManifestError as exc:
+        stderr.write(f"error: {exc}\n")
+        return EXIT_ERROR
+
+    report = run_lint(args.paths, manifest)
+
+    if args.write_baseline is not None:
+        write_baseline(report, args.write_baseline)
+        _emit(report, args, stdout)
+        stdout.write(
+            f"baseline: recorded {len(report.active)} finding(s) to "
+            f"{args.write_baseline}\n")
+        return EXIT_CLEAN
+
+    if args.baseline is not None:
+        try:
+            allowed = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            stderr.write(f"error: cannot load baseline: {exc}\n")
+            return EXIT_ERROR
+        new = apply_baseline(report, allowed)
+        _emit(report, args, stdout)
+        if new:
+            stdout.write(
+                f"baseline: {len(new)} new finding(s) beyond "
+                f"{args.baseline}\n")
+            return EXIT_FINDINGS
+        stdout.write(
+            f"baseline: no new findings beyond {args.baseline} "
+            f"({len(report.active)} baselined)\n")
+        return EXIT_CLEAN
+
+    _emit(report, args, stdout)
+    return EXIT_FINDINGS if report.active else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,345 @@
+"""The layer manifest: `tools/layers.toml` parsed into queryable form.
+
+The manifest is the single declared source of truth for the architectural
+rules: the subsystem dependency DAG (ARCH001), the per-prefix clock domains
+(CLK001), the rule scopes (DET001/FLT001) and the dataclass/key-builder
+pairs (KEY001).  `docs/architecture.md` tells the story in prose; this file
+is the machine-checked version, and `tests/test_lint.py` round-trips the two
+against each other so they cannot drift apart silently.
+
+TOML parsing: Python 3.11+ ships :mod:`tomllib`, but the repository's floor
+is 3.10, so :func:`parse_toml_subset` implements the small fixed subset the
+manifest actually uses (tables, bare/quoted string keys, strings, and arrays
+of strings).  When :mod:`tomllib` is available it is preferred -- the subset
+parser is pinned against it by the test suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+
+class ManifestError(Exception):
+    """Raised when the manifest file is missing, malformed or inconsistent."""
+
+
+_TABLE_RE = re.compile(r"^\[([A-Za-z0-9_.\"'-]+)\]$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_-]+|\"[^\"]*\"|'[^']*')\s*=\s*(.+)$")
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment (the manifest has no ``#`` in strings)."""
+    in_string: Optional[str] = None
+    for i, ch in enumerate(line):
+        if in_string:
+            if ch == in_string:
+                in_string = None
+        elif ch in ("'", '"'):
+            in_string = ch
+        elif ch == "#":
+            return line[:i]
+    return line
+
+
+def _unquote(token: str) -> str:
+    token = token.strip()
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in ("'", '"'):
+        return token[1:-1]
+    return token
+
+
+def _parse_value(token: str, lineno: int) -> object:
+    """Parse a string or an array of strings (the only value shapes used)."""
+    token = token.strip()
+    if token.startswith("["):
+        try:
+            value = ast.literal_eval(token)
+        except (ValueError, SyntaxError) as exc:
+            raise ManifestError(
+                f"line {lineno}: unparseable array {token!r}") from exc
+        if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value):
+            raise ManifestError(
+                f"line {lineno}: arrays must contain only strings")
+        return value
+    if token.startswith(("'", '"')):
+        return _unquote(token)
+    raise ManifestError(
+        f"line {lineno}: values must be strings or arrays of strings, "
+        f"got {token!r}")
+
+
+def parse_toml_subset(text: str) -> Dict[str, object]:
+    """Parse the TOML subset the manifest uses, without :mod:`tomllib`.
+
+    Supported: ``[dotted.table]`` headers, ``key = "string"`` and
+    ``key = ["array", "of", "strings"]`` assignments, ``#`` comments and
+    blank lines.  Anything else raises :class:`ManifestError`.
+    """
+    root: Dict[str, object] = {}
+    table: Dict[str, object] = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        header = _TABLE_RE.match(line)
+        if header:
+            table = root
+            for part in header.group(1).split("."):
+                part = _unquote(part)
+                nxt = table.setdefault(part, {})
+                if not isinstance(nxt, dict):
+                    raise ManifestError(
+                        f"line {lineno}: table {part!r} clashes with a value")
+                table = nxt
+            continue
+        assign = _KEY_RE.match(line)
+        if assign:
+            key = _unquote(assign.group(1))
+            table[key] = _parse_value(assign.group(2), lineno)
+            continue
+        raise ManifestError(f"line {lineno}: unsupported syntax {line!r}")
+    return root
+
+
+def _load_toml(path: Path) -> Dict[str, object]:
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: fall back to the subset parser.
+        return parse_toml_subset(text)
+    return tomllib.loads(text)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """One KEY001 check: a compared dataclass and its cache-key builder."""
+
+    name: str
+    dataclass_path: str
+    dataclass_name: str
+    builder_path: str
+    builder_name: str
+
+
+@dataclass
+class LayerManifest:
+    """Queryable view of ``tools/layers.toml``."""
+
+    package: str
+    #: Subsystem name -> allowed *direct* dependencies ("*" = everything).
+    layers: Dict[str, Tuple[str, ...]]
+    #: Declaration order, bottom-up (used for acyclicity and reporting).
+    order: Tuple[str, ...]
+    #: The package facade's allow/deny lists.
+    root_allow: Tuple[str, ...] = ("*",)
+    root_deny: Tuple[str, ...] = ()
+    #: Module prefix -> clock unit ("wall" prefixes may use span()).
+    clocks: Dict[str, str] = field(default_factory=dict)
+    #: Rule id -> module prefixes the rule applies to.
+    rule_paths: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: KEY001 dataclass/builder pairs.
+    key_pairs: Tuple[KeyPair, ...] = ()
+    #: Directory the manifest was loaded from (resolves key-pair paths).
+    base_dir: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def subsystem_of(self, module: str) -> Optional[str]:
+        """Subsystem of a dotted module name, or ``"root"``/``None``.
+
+        ``repro.farm.cache`` -> ``farm``; ``repro`` -> ``root``; modules
+        outside the package -> ``None``.
+        """
+        parts = module.split(".")
+        if parts[0] != self.package:
+            return None
+        if len(parts) == 1:
+            return "root"
+        return parts[1]
+
+    def allowed(self, source: str, target: str) -> bool:
+        """May subsystem ``source`` import subsystem ``target`` directly?"""
+        if source == target:
+            return True
+        if source == "root":
+            if target in self.root_deny:
+                return False
+            return "*" in self.root_allow or target in self.root_allow
+        if target == "root":
+            return False  # nothing re-imports the package facade
+        deps = self.layers.get(source)
+        if deps is None:
+            return False
+        return "*" in deps or target in deps
+
+    def clock_of(self, module: str) -> Optional[str]:
+        """Clock unit of the longest declared prefix covering ``module``."""
+        best: Optional[str] = None
+        best_len = -1
+        for prefix, unit in self.clocks.items():
+            if module == prefix or module.startswith(prefix + "."):
+                if len(prefix) > best_len:
+                    best, best_len = unit, len(prefix)
+        return best
+
+    def rule_applies(self, rule: str, module: str) -> bool:
+        """Is ``module`` inside the declared scope of ``rule``?
+
+        Rules with no declared scope apply everywhere.
+        """
+        prefixes = self.rule_paths.get(rule)
+        if prefixes is None:
+            return True
+        return any(module == p or module.startswith(p + ".")
+                   for p in prefixes)
+
+    def resolve_path(self, rel: str) -> Optional[Path]:
+        """Resolve a manifest-relative path (key pairs) against likely roots.
+
+        Tries the manifest's own directory, then its parent (the repository
+        root for ``tools/layers.toml``), then the current directory.
+        """
+        candidates: List[Path] = []
+        if self.base_dir is not None:
+            candidates += [self.base_dir / rel, self.base_dir.parent / rel]
+        candidates.append(Path(rel))
+        for candidate in candidates:
+            if candidate.is_file():
+                return candidate
+        return None
+
+
+def _expect_str_list(value: object, what: str) -> Tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value):
+        raise ManifestError(f"{what} must be an array of strings")
+    return tuple(value)
+
+
+def _split_target(spec: str, what: str) -> Tuple[str, str]:
+    path, sep, name = spec.partition("::")
+    if not sep or not path or not name:
+        raise ManifestError(
+            f"{what} must look like 'path/to/file.py::Name', got {spec!r}")
+    return path, name
+
+
+def load_manifest(path: Path) -> LayerManifest:
+    """Load and validate a layer manifest."""
+    if not path.is_file():
+        raise ManifestError(f"manifest not found: {path}")
+    try:
+        data = _load_toml(path)
+    except ManifestError:
+        raise
+    except Exception as exc:  # tomllib.TOMLDecodeError, OSError
+        raise ManifestError(f"cannot parse {path}: {exc}") from exc
+
+    package_tbl = data.get("package")
+    if not isinstance(package_tbl, dict) or not isinstance(
+            package_tbl.get("name"), str):
+        raise ManifestError("manifest needs [package] name = \"...\"")
+    package = package_tbl["name"]
+
+    layers_tbl = data.get("layers")
+    if not isinstance(layers_tbl, dict) or not layers_tbl:
+        raise ManifestError("manifest needs a non-empty [layers] table")
+    layers: Dict[str, Tuple[str, ...]] = {}
+    order: List[str] = []
+    for name, deps in layers_tbl.items():
+        declared = _expect_str_list(deps, f"layer {name!r}")
+        for dep in declared:
+            if dep == "*":
+                continue
+            if dep not in layers:
+                # Only previously-declared layers may be referenced:
+                # bottom-up declaration keeps the manifest a DAG by
+                # construction (a forward or unknown reference is an error).
+                raise ManifestError(
+                    f"layer {name!r} depends on {dep!r}, which is not "
+                    f"declared above it (layers are declared bottom-up)")
+        layers[name] = declared
+        order.append(name)
+
+    root_tbl = data.get("root", {})
+    if not isinstance(root_tbl, dict):
+        raise ManifestError("[root] must be a table")
+    root_allow = _expect_str_list(root_tbl.get("allow", ["*"]), "[root] allow")
+    root_deny = _expect_str_list(root_tbl.get("deny", []), "[root] deny")
+
+    clocks_tbl = data.get("clocks", {})
+    if not isinstance(clocks_tbl, dict):
+        raise ManifestError("[clocks] must be a table")
+    clocks: Dict[str, str] = {}
+    for prefix, unit in clocks_tbl.items():
+        if not isinstance(unit, str):
+            raise ManifestError(f"clock for {prefix!r} must be a string")
+        clocks[prefix] = unit
+
+    rules_tbl = data.get("rules", {})
+    if not isinstance(rules_tbl, dict):
+        raise ManifestError("[rules] must be a table")
+    rule_paths: Dict[str, Tuple[str, ...]] = {}
+    for rule, cfg in rules_tbl.items():
+        if not isinstance(cfg, dict):
+            raise ManifestError(f"[rules.{rule}] must be a table")
+        if "paths" in cfg:
+            rule_paths[rule] = _expect_str_list(
+                cfg["paths"], f"[rules.{rule}] paths")
+
+    keys_tbl = data.get("keys", {})
+    if not isinstance(keys_tbl, dict):
+        raise ManifestError("[keys] must be a table")
+    key_pairs: List[KeyPair] = []
+    for name, cfg in keys_tbl.items():
+        if not isinstance(cfg, dict):
+            raise ManifestError(f"[keys.{name}] must be a table")
+        for required in ("dataclass", "builder"):
+            if not isinstance(cfg.get(required), str):
+                raise ManifestError(
+                    f"[keys.{name}] needs {required} = "
+                    f"\"path.py::Name\"")
+        dc_path, dc_name = _split_target(cfg["dataclass"],
+                                         f"[keys.{name}] dataclass")
+        b_path, b_name = _split_target(cfg["builder"],
+                                       f"[keys.{name}] builder")
+        key_pairs.append(KeyPair(name, dc_path, dc_name, b_path, b_name))
+
+    return LayerManifest(
+        package=package,
+        layers=layers,
+        order=tuple(order),
+        root_allow=root_allow,
+        root_deny=root_deny,
+        clocks=clocks,
+        rule_paths=rule_paths,
+        key_pairs=tuple(key_pairs),
+        base_dir=path.resolve().parent,
+    )
+
+
+def default_manifest_path(start: Optional[Path] = None) -> Optional[Path]:
+    """Locate ``tools/layers.toml`` from ``start`` (default: cwd) upward."""
+    here = (start or Path.cwd()).resolve()
+    for directory in (here, *here.parents):
+        candidate = directory / "tools" / "layers.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+__all__ = [
+    "KeyPair",
+    "LayerManifest",
+    "ManifestError",
+    "default_manifest_path",
+    "load_manifest",
+    "parse_toml_subset",
+]

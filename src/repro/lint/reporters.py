@@ -1,0 +1,137 @@
+"""Reporters (human / JSON) and the findings baseline.
+
+The JSON report is the machine interface: CI uploads it as an artifact and
+``--baseline`` consumes a reduced form of it.  Baselines are keyed by
+line-number-insensitive fingerprints (``rule::path::message``) with
+multiplicity, so unrelated edits that shift code downward do not invalidate
+a recorded baseline, while a *new* instance of an already-baselined finding
+in the same file still fails (the count grows past the recorded one).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, TextIO
+
+from repro.lint.rules import Finding, RULES
+from repro.lint.walker import LintReport
+
+BASELINE_VERSION = 1
+REPORT_VERSION = 1
+
+
+def render_human(report: LintReport, stream: TextIO, *,
+                 show_suppressed: bool = False) -> None:
+    """One ``path:line:col: RULE message`` line per active finding."""
+    for finding in report.active:
+        stream.write(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.message}\n")
+    if show_suppressed:
+        for finding in report.suppressed:
+            stream.write(
+                f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                f"{finding.rule} [suppressed: {finding.reason}] "
+                f"{finding.message}\n")
+    active, suppressed = len(report.active), len(report.suppressed)
+    stream.write(
+        f"{active} finding{'s' if active != 1 else ''} "
+        f"({suppressed} suppressed) in {report.files_checked} "
+        f"file{'s' if report.files_checked != 1 else ''}\n")
+
+
+def _finding_dict(finding: Finding) -> Dict[str, object]:
+    data: Dict[str, object] = {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }
+    if finding.suppressed:
+        data["suppressed"] = True
+        data["reason"] = finding.reason
+    return data
+
+
+def report_json(report: LintReport) -> Dict[str, object]:
+    """The full machine-readable report (CI artifact)."""
+    return {
+        "version": REPORT_VERSION,
+        "files_checked": report.files_checked,
+        "rules": {rule_id: rule.summary
+                  for rule_id, rule in sorted(RULES.items())},
+        "findings": [_finding_dict(f) for f in report.active],
+        "suppressed": [_finding_dict(f) for f in report.suppressed],
+    }
+
+
+def render_json(report: LintReport, stream: TextIO) -> None:
+    json.dump(report_json(report), stream, indent=2, sort_keys=False)
+    stream.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def baseline_from(report: LintReport) -> Dict[str, object]:
+    counts = Counter(f.fingerprint for f in report.active)
+    return {
+        "version": BASELINE_VERSION,
+        "findings": {fp: counts[fp] for fp in sorted(counts)},
+    }
+
+
+def write_baseline(report: LintReport, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(baseline_from(report), handle, indent=2)
+        handle.write("\n")
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> allowed count.  Raises ValueError on bad files."""
+    with path.open("r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if (not isinstance(data, dict)
+            or data.get("version") != BASELINE_VERSION
+            or not isinstance(data.get("findings"), dict)):
+        raise ValueError(
+            f"{path} is not a version-{BASELINE_VERSION} lint baseline")
+    findings = data["findings"]
+    if not all(isinstance(k, str) and isinstance(v, int)
+               for k, v in findings.items()):
+        raise ValueError(f"{path} has malformed baseline entries")
+    return dict(findings)
+
+
+def apply_baseline(report: LintReport,
+                   allowed: Dict[str, int]) -> List[Finding]:
+    """Active findings *not* covered by the baseline.
+
+    Findings sharing a fingerprint are budgeted: the first ``allowed[fp]``
+    instances (in report order) pass, later ones are new.
+    """
+    budget = dict(allowed)
+    new: List[Finding] = []
+    for finding in report.active:
+        fp = finding.fingerprint
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+        else:
+            new.append(finding)
+    return new
+
+
+__all__ = [
+    "apply_baseline",
+    "baseline_from",
+    "load_baseline",
+    "render_human",
+    "render_json",
+    "report_json",
+    "write_baseline",
+]

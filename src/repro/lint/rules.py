@@ -1,0 +1,613 @@
+"""The domain rules and the rule registry.
+
+Each rule mechanizes one invariant the repository otherwise enforces only
+dynamically (property tests, differential machines) or by convention
+(docstrings, review).  The mapping back to the prose invariants lives in
+``docs/architecture.md`` ("Mechanized invariants"); the scopes, layer DAG,
+clock domains and key pairs a rule consults come from the manifest
+(``tools/layers.toml``), never from hard-coded paths, so fixtures and future
+subsystems configure the same rules differently.
+
+Rules are deliberately *syntactic*: they walk the AST of one file (or, for
+KEY001, of the declared dataclass/builder pair) with a module-local import
+table for name resolution, and no cross-module type inference.  That keeps
+the checker dependency-free and fast, at the price of heuristics -- which is
+what the per-line ``# lint: ignore[RULE] reason`` escape hatch is for.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.manifest import LayerManifest
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-insensitive identity used by ``--baseline``."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a per-file rule may look at."""
+
+    path: str                       # display path (as passed on the CLI)
+    module: Optional[str]           # dotted module name, if under the package
+    is_package: bool                # True for __init__.py files
+    tree: ast.AST
+    source_lines: List[str]
+    manifest: LayerManifest
+
+    def __post_init__(self) -> None:
+        self.imports = _import_table(self.tree)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an expression via the module's import table.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        when the module did ``import numpy as np``; unknown roots resolve
+        to ``None``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)]) if parts else base
+
+
+def _import_table(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> dotted origin, from every import in the module."""
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    table[alias.asname] = alias.name
+                else:
+                    table[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module is None:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+CheckFn = Callable[[ModuleContext], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: id, one-line summary, and its check function."""
+
+    rule_id: str
+    summary: str
+    check: Optional[CheckFn] = None   # None for walker-internal rules
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def register(rule_id: str, summary: str,
+             check: Optional[CheckFn] = None) -> None:
+    RULES[rule_id] = Rule(rule_id, summary, check)
+
+
+def file_rules() -> List[Rule]:
+    """Rules that run per file (registration order)."""
+    return [rule for rule in RULES.values() if rule.check is not None]
+
+
+# ----------------------------------------------------------------------
+# DET001 -- the determinism wall
+# ----------------------------------------------------------------------
+
+_DET_FORBIDDEN_CALLS = {
+    "time.time":
+        "wall-clock time.time() in simulation code breaks replay "
+        "determinism; use explicit simulated timestamps (or "
+        "time.perf_counter for wall profiling outside timed state)",
+    "datetime.datetime.now": "wall-clock datetime breaks replay determinism",
+    "datetime.datetime.today": "wall-clock datetime breaks replay determinism",
+    "datetime.datetime.utcnow": "wall-clock datetime breaks replay determinism",
+    "datetime.date.today": "wall-clock datetime breaks replay determinism",
+}
+
+#: Legacy global-state numpy RNG entry points (np.random.<fn>()); the
+#: seeded Generator / SeedSequence API is the sanctioned path.
+_DET_LEGACY_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf", "sample",
+    "seed", "shuffle", "permutation", "choice", "uniform", "normal",
+    "standard_normal", "exponential", "poisson", "bytes", "get_state",
+    "set_state",
+}
+
+_DET_HEAP_SINKS = {
+    "heapq.heappush", "heapq.heappushpop", "heapq.heapify",
+    "heapq.heapreplace", "heapq.merge",
+}
+
+#: Receiver names whose .append()/.extend() is ordering-sensitive: event
+#: heaps, schedules and ready/pending queues replayed by the simulators.
+_DET_SINK_RECEIVER_RE = re.compile(
+    r"(schedule|event|queue|heap|pending|ready|order)", re.IGNORECASE)
+
+_DET_SINK_METHODS = {"append", "extend", "appendleft", "push", "put"}
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """Right-most identifier of a Name/Attribute/Subscript chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    return None
+
+
+def _is_unordered_iterable(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if iterating it has no guaranteed stable order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}()"
+        if isinstance(func, ast.Attribute) and func.attr in ("values", "keys"):
+            return f".{func.attr}()"
+    return None
+
+
+def _sink_in(node: ast.Call, ctx: ModuleContext) -> Optional[str]:
+    """Name of the ordering-sensitive sink ``node`` calls, if any."""
+    dotted = ctx.resolve(node.func)
+    if dotted in _DET_HEAP_SINKS:
+        return dotted
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _DET_SINK_METHODS:
+        receiver = _terminal_name(func.value)
+        if receiver and _DET_SINK_RECEIVER_RE.search(receiver):
+            return f"{receiver}.{func.attr}"
+    return None
+
+
+def check_det001(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.module is None or not ctx.manifest.rule_applies(
+            "DET001", ctx.module):
+        return
+    for node in ast.walk(ctx.tree):
+        # -- stdlib `random` (unseedable global stream) at the import ----
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield Finding(
+                        "DET001", ctx.path, node.lineno, node.col_offset,
+                        "stdlib `random` is a process-global stream; "
+                        "draw from an explicit numpy SeedSequence instead")
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield Finding(
+                    "DET001", ctx.path, node.lineno, node.col_offset,
+                    "stdlib `random` is a process-global stream; "
+                    "draw from an explicit numpy SeedSequence instead")
+        elif isinstance(node, ast.Call):
+            dotted = ctx.resolve(node.func)
+            if dotted in _DET_FORBIDDEN_CALLS:
+                yield Finding(
+                    "DET001", ctx.path, node.lineno, node.col_offset,
+                    f"{dotted}(): {_DET_FORBIDDEN_CALLS[dotted]}")
+            elif dotted == "numpy.random.default_rng":
+                unseeded = (
+                    not node.args and not node.keywords
+                    or (len(node.args) == 1
+                        and isinstance(node.args[0], ast.Constant)
+                        and node.args[0].value is None))
+                if unseeded:
+                    yield Finding(
+                        "DET001", ctx.path, node.lineno, node.col_offset,
+                        "unseeded numpy.random.default_rng() draws OS "
+                        "entropy; seed it from an explicit SeedSequence "
+                        "parameter")
+            elif (dotted is not None
+                  and dotted.startswith("numpy.random.")
+                  and dotted.rsplit(".", 1)[1] in _DET_LEGACY_NP_RANDOM):
+                yield Finding(
+                    "DET001", ctx.path, node.lineno, node.col_offset,
+                    f"{dotted}() uses numpy's process-global RNG; draw "
+                    "from an explicit SeedSequence-derived Generator")
+            else:
+                comp = _unordered_comprehension_arg(node)
+                sink = _sink_in(node, ctx)
+                if comp is not None and sink is not None:
+                    yield Finding(
+                        "DET001", ctx.path, node.lineno, node.col_offset,
+                        f"comprehension over {comp} feeds "
+                        f"ordering-sensitive sink {sink}; iterate a "
+                        "deterministically ordered sequence (sorted(...) "
+                        "or a list)")
+        elif isinstance(node, ast.For):
+            unordered = _is_unordered_iterable(node.iter)
+            if unordered is None:
+                continue
+            for inner in ast.walk(ast.Module(body=node.body,
+                                             type_ignores=[])):
+                if isinstance(inner, ast.Call):
+                    sink = _sink_in(inner, ctx)
+                    if sink is not None:
+                        yield Finding(
+                            "DET001", ctx.path, node.lineno, node.col_offset,
+                            f"iteration over {unordered} feeds "
+                            f"ordering-sensitive sink {sink}; iterate a "
+                            "deterministically ordered sequence "
+                            "(sorted(...) or a list)")
+                        break
+
+
+def _unordered_comprehension_arg(node: ast.Call) -> Optional[str]:
+    """Unordered iterable inside a comprehension argument of ``node``."""
+    for arg in node.args:
+        if isinstance(arg, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            for gen in arg.generators:
+                unordered = _is_unordered_iterable(gen.iter)
+                if unordered is not None:
+                    return unordered
+    return None
+
+
+# ----------------------------------------------------------------------
+# ARCH001 -- layering
+# ----------------------------------------------------------------------
+
+def _relative_base(ctx: ModuleContext, level: int) -> Optional[str]:
+    """Absolute package a level-``level`` relative import resolves against."""
+    if ctx.module is None:
+        return None
+    parts = ctx.module.split(".")
+    if not ctx.is_package:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop >= len(parts):
+        return None
+    return ".".join(parts[: len(parts) - drop]) if drop else ".".join(parts)
+
+
+def _import_targets(ctx: ModuleContext,
+                    node: ast.AST) -> Iterator[Tuple[str, bool]]:
+    """(absolute dotted target, definitely-a-module) pairs of an import.
+
+    ``from <package> import X`` may bind a submodule or a facade name --
+    statically undecidable, so those yield ``definitely_module=False`` and
+    unknown names fall back to facade semantics instead of being reported
+    as undeclared subsystems.
+    """
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name, True
+    elif isinstance(node, ast.ImportFrom):
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            resolved = _relative_base(ctx, node.level)
+            if resolved is None:
+                return
+            base = f"{resolved}.{node.module}" if node.module else resolved
+        if base == ctx.manifest.package:
+            # `from repro import farm` binds submodules (or facade names);
+            # try each name as a submodule so subsystem imports via the
+            # package root are still attributed to their layer.
+            for alias in node.names:
+                yield f"{base}.{alias.name}", False
+        elif base:
+            yield base, True
+
+
+def check_arch001(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.module is None:
+        return
+    manifest = ctx.manifest
+    source_sub = manifest.subsystem_of(ctx.module)
+    if source_sub is None:
+        return
+    known = set(manifest.layers) | {"root"}
+    if source_sub not in known:
+        yield Finding(
+            "ARCH001", ctx.path, 1, 0,
+            f"subsystem `{manifest.package}.{source_sub}` is not declared "
+            "in the layer manifest (tools/layers.toml); add it with its "
+            "allowed dependencies")
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        for target, definitely_module in _import_targets(ctx, node):
+            target_sub = manifest.subsystem_of(target)
+            if target_sub is None:
+                continue
+            if target_sub != "root" and target_sub not in known:
+                if definitely_module:
+                    yield Finding(
+                        "ARCH001", ctx.path, node.lineno, node.col_offset,
+                        f"`{ctx.module}` imports `{target}`, but subsystem "
+                        f"`{manifest.package}.{target_sub}` is not declared "
+                        "in the layer manifest (tools/layers.toml)")
+                    continue
+                # Names pulled off the facade (`from repro import X` where
+                # X is not a subsystem) resolve as root.
+                target_sub = "root"
+            if manifest.allowed(source_sub, target_sub):
+                continue
+            if target_sub == "root":
+                message = (
+                    f"`{ctx.module}` imports the package facade "
+                    f"`{manifest.package}` -- import the owning subsystem "
+                    "directly (the facade sits above every layer)")
+            else:
+                deps = manifest.layers.get(source_sub, ())
+                declared = ", ".join(deps) if deps else "nothing"
+                message = (
+                    f"layering violation: `{manifest.package}.{source_sub}` "
+                    f"may not import `{manifest.package}.{target_sub}` "
+                    f"(declared deps: {declared}); the dependency points "
+                    "up the DAG in tools/layers.toml")
+            yield Finding("ARCH001", ctx.path, node.lineno,
+                          node.col_offset, message)
+
+
+# ----------------------------------------------------------------------
+# CLK001 -- clock domains
+# ----------------------------------------------------------------------
+
+def check_clk001(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.module is None:
+        return
+    clock = ctx.manifest.clock_of(ctx.module)
+    if clock is None or clock == "wall":
+        return
+    for node in ast.walk(ctx.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"):
+            yield Finding(
+                "CLK001", ctx.path, node.lineno, node.col_offset,
+                f"this module's telemetry track is declared `{clock}`: the "
+                "wall-clock span() context manager would mix clock domains; "
+                "record complete_span()/instant() with explicit simulated "
+                "timestamps instead")
+
+
+# ----------------------------------------------------------------------
+# KEY001 -- cache-key completeness (global rule)
+# ----------------------------------------------------------------------
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = _terminal_name(target)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _compared_fields(node: ast.ClassDef) -> Tuple[List[str], Set[str]]:
+    """(compare=True field names, every name defined in the class body)."""
+    compared: List[str] = []
+    defined: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defined.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    defined.add(tgt.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name):
+            name = stmt.target.id
+            defined.add(name)
+            annotation = ast.dump(stmt.annotation)
+            if "ClassVar" in annotation or "InitVar" in annotation:
+                continue
+            if isinstance(stmt.value, ast.Call) and _terminal_name(
+                    stmt.value.func) == "field":
+                if any(kw.arg == "compare"
+                       and isinstance(kw.value, ast.Constant)
+                       and kw.value.value is False
+                       for kw in stmt.value.keywords):
+                    continue
+            compared.append(name)
+    return compared, defined
+
+
+def _builder_reads(node: ast.FunctionDef) -> Set[str]:
+    """Attribute names the builder reads off its first parameter."""
+    args = node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if not positional:
+        return set()
+    param = positional[0].arg
+    reads: Set[str] = set()
+    for inner in ast.walk(node):
+        if (isinstance(inner, ast.Attribute)
+                and isinstance(inner.value, ast.Name)
+                and inner.value.id == param):
+            reads.add(inner.attr)
+    return reads
+
+
+def check_key001(manifest: LayerManifest) -> Iterator[Finding]:
+    """Cross-file rule: run once per lint invocation."""
+    for pair in manifest.key_pairs:
+        dc_path = manifest.resolve_path(pair.dataclass_path)
+        b_path = manifest.resolve_path(pair.builder_path)
+        if dc_path is None or b_path is None:
+            missing = pair.dataclass_path if dc_path is None \
+                else pair.builder_path
+            yield Finding(
+                "KEY001", pair.builder_path, 1, 0,
+                f"[keys.{pair.name}] target file not found: {missing}")
+            continue
+        try:
+            dc_tree = ast.parse(dc_path.read_text(encoding="utf-8"))
+            b_tree = ast.parse(b_path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            yield Finding("KEY001", pair.builder_path, 1, 0,
+                          f"[keys.{pair.name}] cannot parse targets: {exc}")
+            continue
+        dc_node = next(
+            (n for n in ast.walk(dc_tree)
+             if isinstance(n, ast.ClassDef)
+             and n.name == pair.dataclass_name
+             and _is_dataclass_decorated(n)), None)
+        builder = next(
+            (n for n in ast.walk(b_tree)
+             if isinstance(n, ast.FunctionDef)
+             and n.name == pair.builder_name), None)
+        if dc_node is None:
+            yield Finding(
+                "KEY001", pair.dataclass_path, 1, 0,
+                f"[keys.{pair.name}] dataclass {pair.dataclass_name!r} "
+                f"not found in {pair.dataclass_path}")
+            continue
+        if builder is None:
+            yield Finding(
+                "KEY001", pair.builder_path, 1, 0,
+                f"[keys.{pair.name}] builder {pair.builder_name!r} "
+                f"not found in {pair.builder_path}")
+            continue
+        compared, defined = _compared_fields(dc_node)
+        reads = _builder_reads(builder)
+        for name in compared:
+            if name not in reads:
+                yield Finding(
+                    "KEY001", pair.builder_path, builder.lineno, 0,
+                    f"cache key {pair.builder_name}() misses compared "
+                    f"field {pair.dataclass_name}.{name}: two configs "
+                    "differing only in that field would share cache "
+                    "entries")
+        for name in sorted(reads - defined):
+            yield Finding(
+                "KEY001", pair.builder_path, builder.lineno, 0,
+                f"cache key {pair.builder_name}() reads "
+                f"{pair.dataclass_name}.{name}, which the dataclass does "
+                "not define (stale key component?)")
+
+
+# ----------------------------------------------------------------------
+# FLT001 -- float equality in accounting code
+# ----------------------------------------------------------------------
+
+_FLT_TIMING_RE = re.compile(
+    r"(?:^|_)(cycle|cycles|latency|latencies|makespan|deadline|duration|"
+    r"now|ts|p50|p95|p99|ms|us|service_time|service_times)$")
+
+
+def _timing_suspicious(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Name, ast.Attribute, ast.Subscript)):
+        name = _terminal_name(node)
+        return bool(name and _FLT_TIMING_RE.search(name.lower()))
+    if isinstance(node, ast.BinOp):
+        return _timing_suspicious(node.left) or _timing_suspicious(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _timing_suspicious(node.operand)
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    return False
+
+
+def _flt_excluded(node: ast.AST) -> bool:
+    """Operand shapes that make an equality benign or undecidable."""
+    if isinstance(node, ast.Constant):
+        # `cycles == 0` on integer counters is fine; int/str/None/bool
+        # literals end the analysis (float literals do not).
+        return not isinstance(node.value, float)
+    # int(...) / round(...) / len(...) wrappers produce ints; arbitrary
+    # calls are out of scope for a syntactic rule.
+    return isinstance(node, ast.Call)
+
+
+def check_flt001(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.module is None or not ctx.manifest.rule_applies(
+            "FLT001", ctx.module):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not all(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            continue
+        operands = [node.left, *node.comparators]
+        if any(_flt_excluded(op) for op in operands):
+            continue
+        if any(_timing_suspicious(op) for op in operands):
+            yield Finding(
+                "FLT001", ctx.path, node.lineno, node.col_offset,
+                "==/!= between float-valued cycle/latency quantities: "
+                "accounting identities should compare integers or use an "
+                "explicit tolerance (exact float equality is only sound "
+                "when both sides are the same computation)")
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+
+register("DET001",
+         "determinism wall: no wall clocks, global RNG streams, or "
+         "unordered iteration feeding ordering-sensitive sinks in "
+         "simulation paths", check_det001)
+register("ARCH001",
+         "layering: imports must follow the declared subsystem DAG "
+         "(tools/layers.toml)", check_arch001)
+register("CLK001",
+         "clock domains: simulated-cycle modules must not open wall-clock "
+         "Telemetry.span() context managers", check_clk001)
+register("KEY001",
+         "cache-key completeness: every compared config field must reach "
+         "the cache-key tuple")
+register("FLT001",
+         "no ==/!= between float cycle/latency expressions in accounting "
+         "code", check_flt001)
+register("LNT000", "file does not parse (reported, never suppressed)")
+register("LNT001", "suppression comment is missing its reason")
+register("LNT002", "suppression comment matched no finding (stale?)")
+register("LNT003", "suppression names an unknown rule id")
+
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "check_arch001",
+    "check_clk001",
+    "check_det001",
+    "check_flt001",
+    "check_key001",
+    "file_rules",
+    "register",
+]

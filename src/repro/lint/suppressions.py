@@ -1,0 +1,102 @@
+"""Per-line suppression comments: ``# lint: ignore[RULE-ID] reason``.
+
+A finding is intentional only if the line that produced it (or the line
+directly above, for statements that do not fit a trailing comment) carries a
+suppression naming its rule id *and* a written reason.  The reason is
+mandatory -- a bare ``# lint: ignore[DET001]`` is itself reported (LNT001),
+because an unexplained exception is indistinguishable from a silenced bug
+two PRs later.  Suppressions that never match a finding are reported too
+(LNT002): they are either stale (the violation was fixed -- delete the
+comment) or typo'd (the violation is live but unshielded).
+
+Multiple rules may share one comment: ``# lint: ignore[ARCH001,DET001]
+reason``.  Rule ids must exist in the registry (LNT003 otherwise), so a
+misspelled id cannot silently suppress nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+#: A hash sign, then ``lint: ignore[ID1,ID2]``, then the free-text reason.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*ignore\[([A-Za-z0-9_,\s-]*)\]\s*(.*)$")
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: Rules of findings this suppression actually shielded.
+    used_by: List[str] = field(default_factory=list)
+
+    @property
+    def used(self) -> bool:
+        return bool(self.used_by)
+
+
+@dataclass
+class SuppressionIndex:
+    """All suppressions of one file, queryable by (rule, line)."""
+
+    by_line: Dict[int, Suppression] = field(default_factory=dict)
+
+    def find(self, rule: str, line: int) -> "Suppression | None":
+        """The suppression shielding ``rule`` at ``line``, if any.
+
+        Checks the finding's own line first, then the line above it (for
+        ``with``/``for`` headers and long calls where a trailing comment
+        will not fit).
+        """
+        for candidate_line in (line, line - 1):
+            supp = self.by_line.get(candidate_line)
+            if supp is not None and rule in supp.rules:
+                return supp
+        return None
+
+    def all(self) -> List[Suppression]:
+        return [self.by_line[line] for line in sorted(self.by_line)]
+
+
+def _comments(source_lines: List[str]) -> Iterator[Tuple[int, str]]:
+    """(line, text) of every *comment* token in the file.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps the pattern
+    from matching inside strings and docstrings -- this module's own
+    documentation would otherwise suppress itself.  On files the tokenizer
+    rejects (syntax errors mid-file), whatever comments were tokenized
+    before the error still count.
+    """
+    text = "\n".join(source_lines)
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def scan_suppressions(source_lines: List[str]) -> SuppressionIndex:
+    """Parse every suppression comment in a file."""
+    index = SuppressionIndex()
+    for lineno, comment in _comments(source_lines):
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            token.strip() for token in match.group(1).split(",")
+            if token.strip())
+        reason = match.group(2).strip()
+        index.by_line[lineno] = Suppression(
+            line=lineno, rules=rules, reason=reason)
+    return index
+
+
+__all__ = ["Suppression", "SuppressionIndex", "scan_suppressions"]

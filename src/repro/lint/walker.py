@@ -1,0 +1,203 @@
+"""File discovery, rule execution and suppression matching.
+
+The walker turns CLI paths into a deterministic list of Python files,
+computes each file's dotted module name (by locating the manifest's package
+name in the path, so ``src/repro/farm/cache.py`` and a fixture tree's
+``fixtures/pkg/sim/mod.py`` both resolve), runs every registered per-file
+rule plus the cross-file rules, and reconciles findings with the
+suppression comments -- producing the hygiene findings (LNT001-003) along
+the way.  Everything downstream (reporters, baseline, CLI) consumes the
+:class:`LintReport` this module builds.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.manifest import LayerManifest
+from repro.lint.rules import (
+    Finding,
+    ModuleContext,
+    RULES,
+    check_key001,
+    file_rules,
+)
+from repro.lint.suppressions import SuppressionIndex, scan_suppressions
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    def sort(self) -> None:
+        self.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            files.append(path)
+    seen = set()
+    unique: List[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def module_name_for(path: Path, package: str) -> Tuple[Optional[str], bool]:
+    """(dotted module name, is_package) of ``path`` under ``package``.
+
+    The *rightmost* path component equal to the package name anchors the
+    module root; files outside any ``<package>/`` directory have no module
+    name and the module-scoped rules skip them.
+    """
+    parts = list(path.parts)
+    name = parts[-1]
+    is_package = name == "__init__.py"
+    anchor = -1
+    for i, part in enumerate(parts[:-1]):
+        if part == package:
+            anchor = i
+    if anchor < 0:
+        return None, is_package
+    dotted = parts[anchor:-1]
+    if not is_package:
+        dotted = [*dotted, name[:-3]]
+    return ".".join(dotted), is_package
+
+
+def _apply_suppression(finding: Finding,
+                       index: SuppressionIndex) -> Finding:
+    supp = index.find(finding.rule, finding.line)
+    if supp is None or not supp.reason:
+        return finding
+    supp.used_by.append(finding.rule)
+    return Finding(
+        rule=finding.rule, path=finding.path, line=finding.line,
+        col=finding.col, message=finding.message,
+        suppressed=True, reason=supp.reason)
+
+
+def _hygiene_findings(path: str,
+                      index: SuppressionIndex) -> Iterable[Finding]:
+    for supp in index.all():
+        unknown = [rule for rule in supp.rules if rule not in RULES]
+        for rule in unknown:
+            yield Finding(
+                "LNT003", path, supp.line, 0,
+                f"suppression names unknown rule id {rule!r}")
+        if not supp.rules:
+            yield Finding(
+                "LNT003", path, supp.line, 0,
+                "suppression names no rule id (`# lint: ignore[RULE] "
+                "reason`)")
+        if not supp.reason:
+            yield Finding(
+                "LNT001", path, supp.line, 0,
+                "suppression has no reason; write `# lint: "
+                "ignore[RULE-ID] why this exception is sound`")
+        elif not supp.used and not unknown and supp.rules:
+            yield Finding(
+                "LNT002", path, supp.line, 0,
+                f"suppression for {', '.join(supp.rules)} matched no "
+                "finding on this or the next line; delete it or move it "
+                "to the violating line")
+
+
+def run_lint(paths: Sequence[Path],
+             manifest: LayerManifest) -> LintReport:
+    """Lint ``paths`` under ``manifest`` and return the full report."""
+    report = LintReport()
+    indexes: Dict[Path, SuppressionIndex] = {}
+    display: Dict[Path, str] = {}
+
+    files = discover_files(paths)
+    per_file: List[Tuple[Path, str, SuppressionIndex]] = []
+    for path in files:
+        report.files_checked += 1
+        shown = path.as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.findings.append(Finding(
+                "LNT000", shown, 1, 0, f"cannot read file: {exc}"))
+            continue
+        source_lines = text.splitlines()
+        index = scan_suppressions(source_lines)
+        indexes[path.resolve()] = index
+        display[path.resolve()] = shown
+        per_file.append((path, shown, index))
+        try:
+            tree = ast.parse(text)
+        except SyntaxError as exc:
+            report.findings.append(Finding(
+                "LNT000", shown, exc.lineno or 1, 0,
+                f"syntax error: {exc.msg}"))
+            continue
+        module, is_package = module_name_for(path, manifest.package)
+        ctx = ModuleContext(
+            path=shown, module=module, is_package=is_package,
+            tree=tree, source_lines=source_lines, manifest=manifest)
+        for rule in file_rules():
+            assert rule.check is not None
+            for finding in rule.check(ctx):
+                report.findings.append(_apply_suppression(finding, index))
+
+    # Cross-file rules -- suppressions live in the reported file, whether
+    # or not it happened to be in the linted set.
+    for finding in check_key001(manifest):
+        resolved = manifest.resolve_path(finding.path)
+        if resolved is not None:
+            key = resolved.resolve()
+            index = indexes.get(key)
+            if index is None:
+                try:
+                    index = scan_suppressions(
+                        resolved.read_text(encoding="utf-8").splitlines())
+                except OSError:
+                    index = SuppressionIndex()
+            shown = display.get(key)
+            if shown is not None and shown != finding.path:
+                finding = Finding(
+                    rule=finding.rule, path=shown, line=finding.line,
+                    col=finding.col, message=finding.message)
+            finding = _apply_suppression(finding, index)
+        report.findings.append(finding)
+
+    # Suppression hygiene runs last so cross-file matches count as used.
+    for _path, shown, index in per_file:
+        report.findings.extend(_hygiene_findings(shown, index))
+
+    report.sort()
+    return report
+
+
+__all__ = [
+    "LintReport",
+    "discover_files",
+    "module_name_for",
+    "run_lint",
+]

@@ -157,7 +157,7 @@ class _Span:
     __slots__ = ("_telemetry", "name", "cat", "track", "lane", "attrs",
                  "start")
 
-    def __init__(self, telemetry: "Telemetry", name: str, cat: str,
+    def __init__(self, telemetry: Telemetry, name: str, cat: str,
                  track: str, lane: str, attrs: Dict[str, Any]) -> None:
         self._telemetry = telemetry
         self.name = name
@@ -384,6 +384,7 @@ class Telemetry:
         # Imported here: repro.obs is imported by the farm/serve/engine hot
         # layers, and a module-level repro.perf import would close a cycle
         # (repro.perf.comparison routes Table I through the farm).
+        # lint: ignore[ARCH001] render-only lazy import behind the exporter
         from repro.perf.report import TextTable
 
         table = TextTable(["instrument", "kind", "value", "detail"])

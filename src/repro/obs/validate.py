@@ -176,6 +176,7 @@ def validate_chrome_trace(payload: Any) -> Dict[str, Any]:
 
 def main(argv=None) -> int:
     """CLI: validate trace files, print one summary line per file."""
+    # lint: ignore[ARCH001] CLI-only lazy import of the sanctioned print sink
     from repro.perf.report import write_out
 
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -185,7 +186,7 @@ def main(argv=None) -> int:
     status = 0
     for path in argv:
         try:
-            with open(path, "r", encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
             stats = validate_chrome_trace(payload)
         except (OSError, json.JSONDecodeError, ChromeTraceError) as exc:

@@ -116,7 +116,7 @@ class FmaRow:
 
             # The last column's completion closes the loop: it either becomes
             # feedback for the next chunk or the final result.
-            for lane, last_done in enumerate(completed[height - 1]):
+            for last_done in completed[height - 1]:
                 if last_done is not None:
                     _, k, tag_lane = last_done.tag
                     self.feedback[k * lanes + tag_lane] = last_done.result

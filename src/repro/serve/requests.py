@@ -104,7 +104,7 @@ class ArrivalSpec:
             raise ValueError("burst_cycle_s must be positive")
 
     @classmethod
-    def of(cls, value: Union[str, "ArrivalSpec"]) -> "ArrivalSpec":
+    def of(cls, value: Union[str, ArrivalSpec]) -> ArrivalSpec:
         """Coerce a kind name or a spec to a spec."""
         if isinstance(value, ArrivalSpec):
             return value
@@ -178,7 +178,7 @@ class DecodeSessionSpec:
     ``(spec, precision)``.
     """
 
-    spec: "DecodeSpec"
+    spec: DecodeSpec
     prefill: int = 0
     decode_steps: int = 1
 

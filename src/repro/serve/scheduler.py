@@ -390,6 +390,7 @@ class ServingSimulator:
 
         while events:
             now = events[0][0]
+            # lint: ignore[FLT001] same-cycle batch pop compares the identical float popped off this heap
             while events and events[0][0] == now:
                 _, kind, _, payload = heapq.heappop(events)
                 if kind == _EVENT_ARRIVAL:

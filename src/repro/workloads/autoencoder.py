@@ -46,6 +46,7 @@ def autoencoder_workload(batch: int) -> GemmWorkload:
     """
     # Lazy import: repro.graph.zoo reads AUTOENCODER_LAYER_SIZES from this
     # module, so a module-level import would be circular.
+    # lint: ignore[ARCH001] legacy veneer delegates up to its graph builder
     from repro.graph.zoo import autoencoder_training_graph
 
     return autoencoder_training_graph(batch).lower().gemm_workload()

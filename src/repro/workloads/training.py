@@ -126,7 +126,9 @@ def training_step_gemms(layer_sizes: Sequence[int], batch: int) -> List[Training
     """
     # Imported lazily: repro.graph.zoo builds on this module's sibling
     # (workloads.gemm), so a module-level import would be circular.
+    # lint: ignore[ARCH001] legacy veneer delegates up to its graph builder
     from repro.graph.ir import GemmNode
+    # lint: ignore[ARCH001] legacy veneer delegates up to its graph builder
     from repro.graph.zoo import TAG_LAYER, TAG_ROLE, mlp_training_graph
 
     graph = mlp_training_graph(layer_sizes, batch)

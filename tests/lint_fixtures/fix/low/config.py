@@ -1,0 +1,24 @@
+"""Dataclasses for the KEY001 fixtures (see ../../layers.toml [keys])."""
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class CleanCfg:
+    """Every compared field reaches key_clean.cfg_key."""
+
+    SCHEMA: ClassVar[int] = 1
+    height: int = 4
+    depth: int = 8
+    fmt: str = "fp16"
+    backend: str = field(default="fast", compare=False)
+
+
+@dataclass(frozen=True)
+class BadCfg:
+    """`depth` is compared but missing from key_bad/key_suppressed."""
+
+    height: int = 4
+    depth: int = 8
+    fmt: str = "fp16"

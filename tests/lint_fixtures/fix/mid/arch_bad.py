@@ -1,0 +1,6 @@
+"""ARCH001 positive: `mid` reaching up the DAG into `sim`, plus the facade."""
+
+import fix
+from fix.sim.det_clean import profiling_clock
+
+__all__ = ["fix", "profiling_clock"]

@@ -1,0 +1,5 @@
+"""ARCH001 clean: `mid` importing its declared dependency `low`."""
+
+from fix.low.config import CleanCfg
+
+__all__ = ["CleanCfg"]

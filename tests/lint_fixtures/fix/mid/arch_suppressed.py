@@ -1,0 +1,6 @@
+"""ARCH001 suppressed: an up-the-DAG import with a written reason."""
+
+# lint: ignore[ARCH001] fixture: lazy veneer delegation, cycle broken below
+from fix.sim.det_clean import profiling_clock
+
+__all__ = ["profiling_clock"]

@@ -1,0 +1,6 @@
+"""CLK001 positive: wall-clock span() inside a sim-cycles module."""
+
+
+def run_tile(telemetry, tile):
+    with telemetry.span("tile", track="engine"):
+        return tile

@@ -1,0 +1,6 @@
+"""CLK001 clean: explicit-timestamp spans in a sim-cycles module."""
+
+
+def run_tile(telemetry, start_cycle, end_cycle):
+    telemetry.complete_span("tile", start_cycle, end_cycle, track="engine")
+    telemetry.instant("tile_done", ts=end_cycle, track="engine")

@@ -1,0 +1,28 @@
+"""DET001 positives: one violation per facet of the determinism wall."""
+
+import heapq
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def wall_clock():
+    return time.time(), datetime.now()
+
+
+def global_rng():
+    rng = np.random.default_rng()
+    noise = np.random.rand(4)
+    return rng, noise, random.random()
+
+
+def unordered_feeds_heap(events):
+    for job in {3, 1, 2}:
+        heapq.heappush(events, job)
+
+
+def unordered_feeds_schedule(jobs, schedule):
+    for job in jobs.values():
+        schedule.append(job)

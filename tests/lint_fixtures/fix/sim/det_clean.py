@@ -1,0 +1,26 @@
+"""DET001 clean: the corrected forms of every det_bad violation."""
+
+import heapq
+import time
+
+import numpy as np
+
+
+def profiling_clock():
+    # perf_counter is wall profiling, not simulated state: allowed.
+    return time.perf_counter()
+
+
+def seeded_rng(seed_seq: np.random.SeedSequence):
+    rng = np.random.default_rng(seed_seq)
+    return rng.random(4)
+
+
+def ordered_feeds_heap(events):
+    for job in sorted({3, 1, 2}):
+        heapq.heappush(events, job)
+
+
+def ordered_feeds_schedule(jobs, schedule):
+    for name in sorted(jobs):
+        schedule.append(jobs[name])

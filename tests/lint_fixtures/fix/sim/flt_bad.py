@@ -1,0 +1,9 @@
+"""FLT001 positives: float equality between timing quantities."""
+
+
+def shed(latency_ms, slo_ms, service_time, makespan):
+    if latency_ms == slo_ms:
+        return True
+    if service_time != 1.5:
+        return False
+    return makespan == latency_ms

@@ -1,0 +1,7 @@
+"""FLT001 clean: integer counters and tolerance-based float checks."""
+
+
+def shed(latency_ms, slo_ms, completed, offered):
+    if completed == 0 or completed != offered:
+        return False
+    return abs(latency_ms - slo_ms) < 1e-9

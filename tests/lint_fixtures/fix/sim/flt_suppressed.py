@@ -1,0 +1,6 @@
+"""FLT001 suppressed: intentional exact equality with a written reason."""
+
+
+def same_cycle(events, now):
+    # lint: ignore[FLT001] fixture: both sides are the identical heap float
+    return events and events[0][0] == now

@@ -1,0 +1,5 @@
+"""KEY001 positive: misses BadCfg.depth and reads a stale attribute."""
+
+
+def cfg_key(cfg):
+    return (cfg.height, cfg.fmt, cfg.legacy_mode)

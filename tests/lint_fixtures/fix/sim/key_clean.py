@@ -1,0 +1,5 @@
+"""KEY001 clean: every compared CleanCfg field reaches the tuple."""
+
+
+def cfg_key(cfg):
+    return (cfg.height, cfg.depth, cfg.fmt)

@@ -116,7 +116,7 @@ class TestHci:
         tcdm = Tcdm()
         hci = Hci(tcdm, HciConfig(max_wide_streak=2))
         stalls = 0
-        for i in range(20):
+        for _ in range(20):
             hci.submit_log_requests(
                 [CoreRequest(initiator=0, addr=tcdm.base)]
             )

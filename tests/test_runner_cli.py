@@ -56,7 +56,7 @@ class TestListFlag:
         executed = []
         for name in list(runner.EXPERIMENTS):
             monkeypatch.setitem(runner.EXPERIMENTS, name,
-                                lambda: executed.append(name))
+                                lambda name=name: executed.append(name))
         runner.main(["--list"])
         assert executed == []
 

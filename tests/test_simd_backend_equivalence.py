@@ -156,7 +156,7 @@ class TestVectorOpsLevel:
         bits = [int(v) for v in rng.integers(0, 0x8000, 8)]
         exact_vec = exact.from_bits(bits)
         simd_vec = simd.from_bits(bits)
-        for step in range(40):
+        for _ in range(40):
             w = int(rng.integers(0, 0x8000))
             x_bits = [int(v) for v in rng.integers(0, 0x8000, 8)]
             exact_vec = exact.fma(exact.from_bits(x_bits), w, exact_vec)

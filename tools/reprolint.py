@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the repro invariant checker.
+
+Equivalent to ``PYTHONPATH=src python -m repro.lint ...`` but runnable from
+a plain checkout without setting the path by hand::
+
+    ./tools/reprolint.py src
+    ./tools/reprolint.py src --format json --output lint-report.json
+
+See ``python -m repro.lint --help`` (or :mod:`repro.lint`) for the rule set
+and the exit-code contract.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.lint.__main__ import main  # noqa: E402  (path bootstrap first)
+
+if __name__ == "__main__":
+    sys.exit(main())
